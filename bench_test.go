@@ -1,0 +1,142 @@
+package shredder
+
+import (
+	"testing"
+
+	"shredder/internal/experiments"
+)
+
+// benchOptions sizes the experiments for benchmarking: large enough
+// that every pipeline has several buffers in flight, small enough that
+// the full suite finishes in tens of seconds. All reported *figures*
+// come from the simulated clock and are size-invariant in shape.
+func benchOptions() experiments.Options {
+	opt := experiments.Default()
+	opt.DataBytes = 128 << 20
+	opt.TextBytes = 4 << 20
+	opt.KMeansPoints = 50_000
+	opt.ImageBytes = 32 << 20
+	return opt
+}
+
+// BenchmarkTable1Spec regenerates Table 1 (GPU performance
+// characteristics).
+func BenchmarkTable1Spec(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if out := experiments.Table1(); len(out) == 0 {
+			b.Fatal("empty table")
+		}
+	}
+}
+
+// BenchmarkFig3Bandwidth regenerates Figure 3 (host/device bandwidth vs
+// buffer size, pageable vs pinned, both directions).
+func BenchmarkFig3Bandwidth(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig3()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkFig5Overlap regenerates Figure 5 (serialized vs concurrent
+// copy+execute).
+func BenchmarkFig5Overlap(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig5(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig6Alloc regenerates Figure 6 (pageable vs pinned
+// allocation overhead and the ring's amortization).
+func BenchmarkFig6Alloc(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows := experiments.Fig6()
+		if len(rows) == 0 {
+			b.Fatal("no rows")
+		}
+	}
+}
+
+// BenchmarkTable2SpareCycles regenerates Table 2 (host spare cycles
+// during asynchronous device execution).
+func BenchmarkTable2SpareCycles(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Table2(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig9Pipeline regenerates Figure 9 (streaming-pipeline
+// speedup at 2–4 stages).
+func BenchmarkFig9Pipeline(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig9(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig11Coalescing regenerates Figure 11 (chunking-kernel time,
+// naive device memory vs memory coalescing).
+func BenchmarkFig11Coalescing(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		if _, err := experiments.Fig11(opt); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFig12Throughput regenerates Figure 12 (end-to-end chunking
+// throughput: CPU±Hoard, GPU Basic/Streams/Streams+Memory). This one
+// chunks real bytes through the whole pipeline.
+func BenchmarkFig12Throughput(b *testing.B) {
+	opt := benchOptions()
+	b.SetBytes(opt.DataBytes * 3) // three GPU configurations per iteration
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig12(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != 5 {
+			b.Fatal("expected five configurations")
+		}
+	}
+}
+
+// BenchmarkFig15Incremental regenerates Figure 15 (incremental
+// MapReduce speedups for word count, co-occurrence and k-means).
+func BenchmarkFig15Incremental(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig15(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(experiments.Fig15ChangePcts) {
+			b.Fatal("missing change percentages")
+		}
+	}
+}
+
+// BenchmarkFig18Backup regenerates Figure 18 (cloud-backup bandwidth vs
+// image similarity, CPU vs GPU).
+func BenchmarkFig18Backup(b *testing.B) {
+	opt := benchOptions()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiments.Fig18(opt)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if len(rows) != len(experiments.Fig18Probs) {
+			b.Fatal("missing probabilities")
+		}
+	}
+}

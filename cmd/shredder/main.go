@@ -1,0 +1,144 @@
+// Command shredder is a real content-defined chunking CLI built on the
+// library: it cuts files (or stdin) into Rabin-fingerprint chunks and
+// can estimate cross-file deduplication.
+//
+//	shredder chunk  [-win N] [-mask N] [-min N] [-max N] [-v] [file...]
+//	shredder dedup  [-win N] [-mask N] [-min N] [-max N] file...
+//
+// With -v, chunk prints one line per chunk (offset, length, SHA-256
+// prefix); otherwise it prints a summary per input. dedup chunks every
+// input into one shared store and reports the dedup ratio.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"os"
+
+	"shredder/internal/chunker"
+	"shredder/internal/dedup"
+	"shredder/internal/stats"
+)
+
+func main() {
+	if len(os.Args) < 2 {
+		usage()
+	}
+	cmd := os.Args[1]
+	fs := flag.NewFlagSet(cmd, flag.ExitOnError)
+	win := fs.Int("win", chunker.DefaultWindow, "sliding window bytes")
+	mask := fs.Int("mask", chunker.DefaultMaskBits, "mask bits (expected chunk size 2^mask)")
+	min := fs.Int("min", 0, "minimum chunk size (0 = none)")
+	max := fs.Int("max", 0, "maximum chunk size (0 = none)")
+	verbose := fs.Bool("v", false, "print every chunk")
+	showDist := fs.Bool("stats", false, "print the chunk-size distribution")
+	fs.Parse(os.Args[2:])
+
+	p := chunker.DefaultParams()
+	p.Window = *win
+	p.MaskBits = *mask
+	p.Marker = 1<<uint(*mask) - 1
+	p.MinSize = *min
+	p.MaxSize = *max
+	c, err := chunker.New(p)
+	if err != nil {
+		fatal(err)
+	}
+
+	switch cmd {
+	case "chunk":
+		files := fs.Args()
+		if len(files) == 0 {
+			files = []string{"-"}
+		}
+		for _, f := range files {
+			if err := chunkOne(c, f, *verbose, *showDist); err != nil {
+				fatal(err)
+			}
+		}
+	case "dedup":
+		if fs.NArg() == 0 {
+			fatal(fmt.Errorf("dedup needs at least one file"))
+		}
+		if err := dedupFiles(c, fs.Args()); err != nil {
+			fatal(err)
+		}
+	default:
+		usage()
+	}
+}
+
+func readInput(name string) ([]byte, error) {
+	if name == "-" {
+		return io.ReadAll(os.Stdin)
+	}
+	return os.ReadFile(name)
+}
+
+func chunkOne(c *chunker.Chunker, name string, verbose, showDist bool) error {
+	data, err := readInput(name)
+	if err != nil {
+		return err
+	}
+	chunks := c.Split(data)
+	if verbose {
+		for _, ch := range chunks {
+			sum := ch.Sum(data)
+			kind := "content"
+			if ch.Forced {
+				kind = "forced"
+			}
+			fmt.Printf("%12d %10d  %x  %s\n", ch.Offset, ch.Length, sum[:8], kind)
+		}
+	}
+	var mean int64
+	if len(chunks) > 0 {
+		mean = int64(len(data)) / int64(len(chunks))
+	}
+	fmt.Printf("%s: %s in %d chunks (mean %s)\n",
+		name, stats.Bytes(int64(len(data))), len(chunks), stats.Bytes(mean))
+	if showDist {
+		d := chunker.Analyze(chunks)
+		fmt.Printf("  size distribution: min %s  p10 %s  median %s  p90 %s  max %s  (%d forced cuts)\n",
+			stats.Bytes(d.Min), stats.Bytes(d.P10), stats.Bytes(d.Median),
+			stats.Bytes(d.P90), stats.Bytes(d.Max), d.Forced)
+	}
+	return nil
+}
+
+func dedupFiles(c *chunker.Chunker, files []string) error {
+	store, err := dedup.NewStore(0)
+	if err != nil {
+		return err
+	}
+	for _, f := range files {
+		data, err := readInput(f)
+		if err != nil {
+			return err
+		}
+		before := store.Stats()
+		for _, ch := range c.Split(data) {
+			store.Put(data[ch.Offset:ch.End()])
+		}
+		after := store.Stats()
+		fmt.Printf("%s: %s logical, %s new\n", f,
+			stats.Bytes(after.LogicalBytes-before.LogicalBytes),
+			stats.Bytes(after.StoredBytes-before.StoredBytes))
+	}
+	st := store.Stats()
+	fmt.Printf("total: %s logical, %s stored, ratio %.2fx, saved %s\n",
+		stats.Bytes(st.LogicalBytes), stats.Bytes(st.StoredBytes),
+		st.Ratio(), stats.Bytes(st.Saved()))
+	return nil
+}
+
+func usage() {
+	fmt.Fprintln(os.Stderr, "usage: shredder {chunk|dedup} [flags] [file...]")
+	os.Exit(2)
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shredder:", err)
+	os.Exit(1)
+}

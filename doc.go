@@ -1,0 +1,23 @@
+// Package shredder is a Go reproduction of "Shredder: GPU-Accelerated
+// Incremental Storage and Computation" (Bhatotia, Rodrigues & Verma,
+// FAST 2012): a high-throughput content-based chunking framework for
+// incremental storage and computation systems.
+//
+// The implementation lives under internal/:
+//
+//   - internal/rabin, internal/chunker — Rabin fingerprinting and the
+//     sequential content-defined chunking reference
+//   - internal/gpu, internal/pcie, internal/hostmem, internal/host,
+//     internal/sim — the simulated device/host substrate (this machine
+//     has no GPU; see DESIGN.md for the substitution argument)
+//   - internal/core — the Shredder pipeline itself
+//   - internal/pchunk, internal/dedup — the pthreads baseline and the
+//     dedup store
+//   - internal/hdfs, internal/mapreduce, internal/backup — the two
+//     case studies (Inc-HDFS + Incoop, cloud backup)
+//   - internal/experiments — regenerates every table and figure
+//
+// The benchmarks in bench_test.go wrap internal/experiments so that
+// `go test -bench=.` reproduces the paper's entire evaluation; the
+// cmd/shredbench binary prints the same tables interactively.
+package shredder

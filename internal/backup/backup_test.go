@@ -1,0 +1,166 @@
+package backup
+
+import (
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+func newServer(t testing.TB) *Server {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.Shredder.BufferSize = 4 << 20
+	cfg.BufferSize = 4 << 20
+	s, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestConfigValidation(t *testing.T) {
+	if err := DefaultConfig().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.Chunking.MinSize = 0 },
+		func(c *Config) { c.Chunking.MaxSize = 0 },
+		func(c *Config) { c.SourceRate = 0 },
+		func(c *Config) { c.MinMaxPenalty = 0.5 },
+		func(c *Config) { c.BufferSize = 0 },
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestBackupAndRestore(t *testing.T) {
+	s := newServer(t)
+	im := workload.NewImage(1, 8<<20, 64<<10, 0.1)
+	master := im.Master
+	rep, err := s.Backup("master", master, ShredderGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chunks == 0 || rep.UniqueBytes != rep.Bytes {
+		t.Fatalf("first backup should be all-unique: %+v", rep)
+	}
+	if err := s.VerifyRestore("master", master); err != nil {
+		t.Fatal(err)
+	}
+	// A snapshot with 10% segment churn dedups most of its content.
+	snap := im.Snapshot(2)
+	rep2, err := s.Backup("snap1", snap, ShredderGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	uniqueFrac := float64(rep2.UniqueBytes) / float64(rep2.Bytes)
+	if uniqueFrac > 0.35 {
+		t.Fatalf("10%% churn produced %.0f%% unique bytes", uniqueFrac*100)
+	}
+	if err := s.VerifyRestore("snap1", snap); err != nil {
+		t.Fatal(err)
+	}
+	// Restoring the master must still work after later backups.
+	if err := s.VerifyRestore("master", master); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Restore("unknown"); err == nil {
+		t.Fatal("expected error for unknown image")
+	}
+}
+
+func TestGPUFasterThanCPU(t *testing.T) {
+	// Figure 18: Shredder keeps backup bandwidth well above the
+	// pthreads baseline (about 2.5x with min/max enabled).
+	im := workload.NewImage(3, 16<<20, 64<<10, 0.1)
+	gpu := newServer(t)
+	if _, err := gpu.Backup("master", im.Master, ShredderGPU); err != nil {
+		t.Fatal(err)
+	}
+	repG, err := gpu.Backup("s", im.Snapshot(4), ShredderGPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cpu := newServer(t)
+	if _, err := cpu.Backup("master", im.Master, PthreadsCPU); err != nil {
+		t.Fatal(err)
+	}
+	repC, err := cpu.Backup("s", im.Snapshot(4), PthreadsCPU)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := repG.Bandwidth / repC.Bandwidth
+	if ratio < 1.8 || ratio > 4 {
+		t.Fatalf("GPU/CPU backup bandwidth ratio %.2f, want ~2.5 (paper §7.3)", ratio)
+	}
+	// The CPU engine is chunking-bound around 2.9 Gbps.
+	cgbps := repC.Bandwidth * 8 / 1e9
+	if cgbps < 2 || cgbps > 4 {
+		t.Fatalf("CPU backup bandwidth %.2f Gbps outside [2, 4]", cgbps)
+	}
+}
+
+func TestBandwidthFallsWithDissimilarity(t *testing.T) {
+	// Figure 18's GPU curve: more churn, more unique data, more index
+	// and network work, lower bandwidth.
+	bw := func(prob float64) float64 {
+		im := workload.NewImage(5, 16<<20, 64<<10, prob)
+		s := newServer(t)
+		if _, err := s.Backup("master", im.Master, ShredderGPU); err != nil {
+			t.Fatal(err)
+		}
+		rep, err := s.Backup("snap", im.Snapshot(6), ShredderGPU)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Bandwidth
+	}
+	low := bw(0.05)
+	high := bw(0.40)
+	if high >= low {
+		t.Fatalf("bandwidth did not fall with churn: %.2f -> %.2f Gbps", low*8/1e9, high*8/1e9)
+	}
+}
+
+func TestMinMaxRespectedInBackupChunks(t *testing.T) {
+	s := newServer(t)
+	im := workload.NewImage(7, 4<<20, 64<<10, 0.1)
+	chunks := s.chk.Split(im.Master)
+	for i, c := range chunks {
+		if c.Length > int64(s.cfg.Chunking.MaxSize) {
+			t.Fatalf("chunk %d exceeds max", i)
+		}
+		if i < len(chunks)-1 && !c.Forced && c.Length < int64(s.cfg.Chunking.MinSize) {
+			t.Fatalf("chunk %d below min", i)
+		}
+	}
+}
+
+func TestEmptyImageRejected(t *testing.T) {
+	s := newServer(t)
+	if _, err := s.Backup("x", nil, ShredderGPU); err == nil {
+		t.Fatal("expected error for empty image")
+	}
+}
+
+func TestEngineStrings(t *testing.T) {
+	if PthreadsCPU.String() == ShredderGPU.String() {
+		t.Fatal("engine strings collide")
+	}
+}
+
+func TestDedupRatio(t *testing.T) {
+	r := &Report{Bytes: 100, UniqueBytes: 25}
+	if r.DedupRatio() != 4 {
+		t.Fatalf("ratio %.1f, want 4", r.DedupRatio())
+	}
+	empty := &Report{Bytes: 100}
+	if empty.DedupRatio() != 0 {
+		t.Fatal("zero unique bytes should report 0")
+	}
+}

@@ -1,0 +1,46 @@
+package chunker
+
+import "sort"
+
+// Distribution summarizes the chunk-size distribution of a split — the
+// quantity that determines index overhead (min size) and RAM buffering
+// (max size) in §2.1.
+type Distribution struct {
+	// Chunks is the number of chunks observed.
+	Chunks int
+	// TotalBytes is the sum of all chunk lengths.
+	TotalBytes int64
+	// Min, Max, Mean and Median chunk sizes in bytes.
+	Min, Max int64
+	Mean     float64
+	Median   int64
+	// P10 and P90 are the 10th/90th percentile sizes.
+	P10, P90 int64
+	// Forced counts boundaries forced by max-size or end of stream.
+	Forced int
+}
+
+// Analyze computes the size distribution of chunks.
+func Analyze(chunks []Chunk) Distribution {
+	var d Distribution
+	if len(chunks) == 0 {
+		return d
+	}
+	sizes := make([]int64, len(chunks))
+	for i, c := range chunks {
+		sizes[i] = c.Length
+		d.TotalBytes += c.Length
+		if c.Forced {
+			d.Forced++
+		}
+	}
+	sort.Slice(sizes, func(i, j int) bool { return sizes[i] < sizes[j] })
+	d.Chunks = len(chunks)
+	d.Min = sizes[0]
+	d.Max = sizes[len(sizes)-1]
+	d.Mean = float64(d.TotalBytes) / float64(d.Chunks)
+	d.Median = sizes[len(sizes)/2]
+	d.P10 = sizes[len(sizes)/10]
+	d.P90 = sizes[len(sizes)*9/10]
+	return d
+}

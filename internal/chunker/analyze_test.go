@@ -1,0 +1,60 @@
+package chunker
+
+import "testing"
+
+func TestAnalyzeEmpty(t *testing.T) {
+	d := Analyze(nil)
+	if d.Chunks != 0 || d.TotalBytes != 0 {
+		t.Fatalf("empty analysis: %+v", d)
+	}
+}
+
+func TestAnalyzeBasics(t *testing.T) {
+	chunks := []Chunk{
+		{Offset: 0, Length: 100},
+		{Offset: 100, Length: 300},
+		{Offset: 400, Length: 200, Forced: true},
+		{Offset: 600, Length: 400},
+	}
+	d := Analyze(chunks)
+	if d.Chunks != 4 || d.TotalBytes != 1000 {
+		t.Fatalf("counts: %+v", d)
+	}
+	if d.Min != 100 || d.Max != 400 {
+		t.Fatalf("min/max: %+v", d)
+	}
+	if d.Mean != 250 {
+		t.Fatalf("mean %f", d.Mean)
+	}
+	if d.Median != 300 { // sorted: 100 200 300 400, index 2
+		t.Fatalf("median %d", d.Median)
+	}
+	if d.Forced != 1 {
+		t.Fatalf("forced %d", d.Forced)
+	}
+}
+
+func TestAnalyzeOnRealSplit(t *testing.T) {
+	p := DefaultParams()
+	p.MinSize = 2048
+	p.MaxSize = 32768
+	c := mustNew(t, p)
+	data := testData(70, 1<<20)
+	d := Analyze(c.Split(data))
+	if d.Min < 2048 && d.Chunks > 1 {
+		// Only the final chunk may be under min; Min can reflect it.
+		last := c.Split(data)[d.Chunks-1]
+		if last.Length != d.Min {
+			t.Fatalf("min %d below MinSize and not the tail", d.Min)
+		}
+	}
+	if d.Max > 32768 {
+		t.Fatalf("max %d above MaxSize", d.Max)
+	}
+	if d.P10 > d.Median || d.Median > d.P90 {
+		t.Fatalf("percentiles out of order: %+v", d)
+	}
+	if d.TotalBytes != 1<<20 {
+		t.Fatalf("total %d", d.TotalBytes)
+	}
+}

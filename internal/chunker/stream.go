@@ -1,0 +1,129 @@
+package chunker
+
+import (
+	"errors"
+	"io"
+
+	"shredder/internal/rabin"
+)
+
+// EmitFunc receives each chunk as it is cut from a Stream, together
+// with the chunk's bytes. The data slice is only valid for the duration
+// of the call; implementations must copy it if they keep it.
+type EmitFunc func(c Chunk, data []byte) error
+
+// Stream performs content-defined chunking incrementally over a byte
+// stream fed through Write. It implements io.Writer so callers can
+// io.Copy into it; Close flushes the final partial chunk.
+//
+// Stream buffers at most one chunk of data (bounded by MaxSize when a
+// maximum is configured, otherwise by the distance between content
+// boundaries). It produces exactly the same chunks as Chunker.Split
+// over the concatenation of all writes.
+type Stream struct {
+	c        *Chunker
+	emit     EmitFunc
+	win      *rabin.Window
+	min, max int64
+	buf      []byte
+	start    int64 // absolute offset of buf[0]
+	closed   bool
+	err      error
+}
+
+// NewStream returns a Stream cutting chunks with c and delivering them
+// to emit.
+func NewStream(c *Chunker, emit EmitFunc) *Stream {
+	min := int64(c.params.MinSize)
+	if min == 0 {
+		min = 1
+	}
+	return &Stream{
+		c:    c,
+		emit: emit,
+		win:  rabin.NewWindow(c.table),
+		min:  min,
+		max:  int64(c.params.MaxSize),
+	}
+}
+
+// Write feeds p into the chunker, invoking the emit callback for every
+// completed chunk. It always consumes all of p unless the callback
+// returns an error, which is sticky.
+func (s *Stream) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.closed {
+		return 0, errors.New("chunker: write after Close")
+	}
+	for i := 0; i < len(p); i++ {
+		b := p[i]
+		s.buf = append(s.buf, b)
+		fp := s.win.Slide(b)
+		n := int64(len(s.buf))
+		switch {
+		case s.win.Full() && s.c.IsBoundary(fp) && n >= s.min:
+			if err := s.flush(Chunk{Offset: s.start, Length: n, Cut: fp}); err != nil {
+				return i + 1, err
+			}
+		case s.max > 0 && n == s.max:
+			if err := s.flush(Chunk{Offset: s.start, Length: n, Forced: true}); err != nil {
+				return i + 1, err
+			}
+		}
+	}
+	return len(p), nil
+}
+
+func (s *Stream) flush(c Chunk) error {
+	if err := s.emit(c, s.buf[:c.Length]); err != nil {
+		s.err = err
+		return err
+	}
+	s.buf = s.buf[:0]
+	s.start = c.End()
+	return nil
+}
+
+// Close emits the final partial chunk, if any. It is idempotent.
+func (s *Stream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if len(s.buf) > 0 {
+		return s.flush(Chunk{Offset: s.start, Length: int64(len(s.buf)), Forced: true})
+	}
+	return nil
+}
+
+// Offset returns the absolute stream offset of the next byte to be
+// written.
+func (s *Stream) Offset() int64 { return s.start + int64(len(s.buf)) }
+
+// SplitReader chunks everything from r using c, returning the chunks
+// and the total number of bytes read. Chunk bytes are delivered through
+// emit; pass nil to collect boundaries only.
+func SplitReader(c *Chunker, r io.Reader, emit EmitFunc) ([]Chunk, int64, error) {
+	var chunks []Chunk
+	cb := func(ch Chunk, data []byte) error {
+		chunks = append(chunks, ch)
+		if emit != nil {
+			return emit(ch, data)
+		}
+		return nil
+	}
+	s := NewStream(c, cb)
+	n, err := io.Copy(s, r)
+	if err != nil {
+		return chunks, n, err
+	}
+	if err := s.Close(); err != nil {
+		return chunks, n, err
+	}
+	return chunks, n, nil
+}

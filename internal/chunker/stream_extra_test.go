@@ -1,0 +1,92 @@
+package chunker
+
+import (
+	"errors"
+	"io"
+	"testing"
+)
+
+// shortReader returns data in 3-byte dribbles, then a custom error.
+type shortReader struct {
+	data []byte
+	off  int
+	err  error
+}
+
+func (r *shortReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, r.err
+	}
+	n := 3
+	if n > len(p) {
+		n = len(p)
+	}
+	if r.off+n > len(r.data) {
+		n = len(r.data) - r.off
+	}
+	copy(p, r.data[r.off:r.off+n])
+	r.off += n
+	return n, nil
+}
+
+func TestSplitReaderPropagatesIOError(t *testing.T) {
+	c := mustNew(t, DefaultParams())
+	sentinel := errors.New("disk on fire")
+	chunks, n, err := SplitReader(c, &shortReader{data: testData(80, 1000), err: sentinel}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+	if n != 1000 {
+		t.Fatalf("consumed %d bytes before error, want 1000", n)
+	}
+	_ = chunks // chunks seen so far are still valid
+}
+
+func TestSplitReaderDribble(t *testing.T) {
+	c := mustNew(t, DefaultParams())
+	data := testData(81, 1<<16)
+	chunks, n, err := SplitReader(c, &shortReader{data: data, err: io.EOF}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if n != int64(len(data)) {
+		t.Fatalf("read %d, want %d", n, len(data))
+	}
+	want := c.Split(data)
+	if len(chunks) != len(want) {
+		t.Fatalf("%d chunks, want %d", len(chunks), len(want))
+	}
+}
+
+func TestStreamOffset(t *testing.T) {
+	c := mustNew(t, DefaultParams())
+	s := NewStream(c, func(Chunk, []byte) error { return nil })
+	if s.Offset() != 0 {
+		t.Fatal("fresh stream offset not 0")
+	}
+	payload := testData(82, 10000)
+	if _, err := s.Write(payload); err != nil {
+		t.Fatal(err)
+	}
+	if s.Offset() != 10000 {
+		t.Fatalf("offset %d, want 10000", s.Offset())
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestZeroDataStreams(t *testing.T) {
+	c := mustNew(t, DefaultParams())
+	emitted := 0
+	s := NewStream(c, func(Chunk, []byte) error { emitted++; return nil })
+	if _, err := s.Write(nil); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if emitted != 0 {
+		t.Fatal("empty stream emitted chunks")
+	}
+}

@@ -1,0 +1,201 @@
+package chunker
+
+import (
+	"fmt"
+	"math/rand"
+
+	"shredder/internal/rabin"
+)
+
+// FixedSplit cuts data into fixed-size blocks — the original HDFS
+// behaviour Inc-HDFS replaces (§6.2), kept as the comparison baseline.
+// A single inserted byte shifts every later block, which is exactly the
+// failure mode content-defined chunking avoids.
+func FixedSplit(data []byte, blockSize int) []Chunk {
+	if blockSize < 1 {
+		panic("chunker: fixed block size must be positive")
+	}
+	var chunks []Chunk
+	total := int64(len(data))
+	for off := int64(0); off < total; off += int64(blockSize) {
+		end := off + int64(blockSize)
+		if end > total {
+			end = total
+		}
+		chunks = append(chunks, Chunk{Offset: off, Length: end - off, Forced: true})
+	}
+	return chunks
+}
+
+// SkipSplit is Split with the standard minimum-size skip optimization:
+// after each cut the scanner jumps directly to the first position where
+// a boundary could legally end, refilling the window from MinSize−Window
+// bytes before it. The paper notes (§2.1) that practical schemes skip
+// min bytes after finding a marker; because a boundary decision depends
+// only on the window contents, the result is bit-identical to Split —
+// asserted by TestSkipSplitEqualsSplit — while scanning
+// MinSize−Window fewer bytes per chunk.
+func (c *Chunker) SkipSplit(data []byte) []Chunk {
+	min := int64(c.params.MinSize)
+	if min == 0 {
+		min = 1
+	}
+	max := int64(c.params.MaxSize)
+	win := int64(c.params.Window)
+	if min <= win {
+		// Nothing to skip; the plain scanner is already optimal.
+		return c.Split(data)
+	}
+	var chunks []Chunk
+	w := rabin.NewWindow(c.table)
+	total := int64(len(data))
+	start := int64(0)
+	// i indexes the byte being slid in; a cut at end e means e = i+1.
+	i := int64(0)
+	refill := func(from int64) {
+		w.Reset()
+		lo := from - win
+		if lo < 0 {
+			lo = 0
+		}
+		for j := lo; j < from; j++ {
+			w.Slide(data[j])
+		}
+		i = from
+	}
+	// First legal cut ends at min (or never, for short streams).
+	first := min - 1
+	if first > total {
+		first = total
+	}
+	refill(first)
+	for i < total {
+		fp := w.Slide(data[i])
+		end := i + 1
+		i++
+		if w.Full() && c.IsBoundary(fp) && end-start >= min {
+			chunks = append(chunks, Chunk{Offset: start, Length: end - start, Cut: fp})
+			start = end
+			next := start + min - 1
+			if next > total {
+				next = total
+			}
+			refill(next)
+			continue
+		}
+		if max > 0 && end-start == max {
+			chunks = append(chunks, Chunk{Offset: start, Length: max, Forced: true})
+			start = end
+			next := start + min - 1
+			if next > total {
+				next = total
+			}
+			refill(next)
+		}
+	}
+	if total > start {
+		chunks = append(chunks, Chunk{Offset: start, Length: total - start, Forced: true})
+	}
+	return chunks
+}
+
+// SampleByteParams configures the sampling-based chunker of §2.1's
+// discussion (EndRE's SAMPLEBYTE): instead of fingerprinting a window
+// at every offset, a single byte is inspected and a boundary declared
+// when it belongs to a marker set. Far cheaper than Rabin, but suited
+// only to small chunks — larger targets skip so much context that
+// deduplication opportunities are missed, which is why Shredder keeps
+// Rabin fingerprinting and accelerates it instead.
+type SampleByteParams struct {
+	// MarkedBytes is the size of the marker set; the expected chunk
+	// size is 256/MarkedBytes + SkipAfterMatch.
+	MarkedBytes int
+	// SkipAfterMatch is the minimum chunk size; the scanner jumps this
+	// far after each boundary (EndRE uses p/2 for target size p).
+	SkipAfterMatch int
+	// MaxSize forces a boundary (0 = none).
+	MaxSize int
+	// Seed selects which byte values are markers.
+	Seed int64
+}
+
+// Validate checks the parameters.
+func (p SampleByteParams) Validate() error {
+	if p.MarkedBytes < 1 || p.MarkedBytes > 128 {
+		return fmt.Errorf("chunker: marked bytes %d outside [1, 128]", p.MarkedBytes)
+	}
+	if p.SkipAfterMatch < 0 {
+		return fmt.Errorf("chunker: negative skip")
+	}
+	if p.MaxSize > 0 && p.MaxSize <= p.SkipAfterMatch {
+		return fmt.Errorf("chunker: max %d not above skip %d", p.MaxSize, p.SkipAfterMatch)
+	}
+	return nil
+}
+
+// SampleByte is the sampling chunker. It is stateless and safe for
+// concurrent use.
+type SampleByte struct {
+	params SampleByteParams
+	marked [256]bool
+}
+
+// NewSampleByte builds a sampling chunker with a deterministic marker
+// set derived from Seed.
+func NewSampleByte(p SampleByteParams) (*SampleByte, error) {
+	if err := p.Validate(); err != nil {
+		return nil, err
+	}
+	s := &SampleByte{params: p}
+	rng := rand.New(rand.NewSource(p.Seed))
+	for n := 0; n < p.MarkedBytes; {
+		b := byte(rng.Intn(256))
+		if !s.marked[b] {
+			s.marked[b] = true
+			n++
+		}
+	}
+	return s, nil
+}
+
+// Params returns the configuration.
+func (s *SampleByte) Params() SampleByteParams { return s.params }
+
+// Split cuts data with single-byte sampling.
+func (s *SampleByte) Split(data []byte) []Chunk {
+	var chunks []Chunk
+	total := int64(len(data))
+	start := int64(0)
+	max := int64(s.params.MaxSize)
+	i := int64(s.params.SkipAfterMatch)
+	if i < 1 {
+		i = 1
+	}
+	i-- // index of the first byte inspected
+	for i < total {
+		end := i + 1
+		switch {
+		case s.marked[data[i]]:
+			chunks = append(chunks, Chunk{Offset: start, Length: end - start})
+			start = end
+			i = start + int64(s.params.SkipAfterMatch) - 1
+			if int64(s.params.SkipAfterMatch) < 1 {
+				i = start
+			}
+			continue
+		case max > 0 && end-start == max:
+			chunks = append(chunks, Chunk{Offset: start, Length: max, Forced: true})
+			start = end
+			i = start + int64(s.params.SkipAfterMatch) - 1
+			if int64(s.params.SkipAfterMatch) < 1 {
+				i = start
+			}
+			continue
+		}
+		i++
+	}
+	if total > start {
+		chunks = append(chunks, Chunk{Offset: start, Length: total - start, Forced: true})
+	}
+	return chunks
+}

@@ -1,0 +1,269 @@
+package chunker
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestFixedSplit(t *testing.T) {
+	data := testData(40, 100)
+	chunks := FixedSplit(data, 32)
+	if len(chunks) != 4 {
+		t.Fatalf("%d chunks, want 4", len(chunks))
+	}
+	checkCover(t, chunks, 100)
+	if chunks[3].Length != 4 {
+		t.Fatalf("tail length %d, want 4", chunks[3].Length)
+	}
+	if len(FixedSplit(nil, 32)) != 0 {
+		t.Fatal("empty input produced chunks")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("zero block size did not panic")
+		}
+	}()
+	FixedSplit(data, 0)
+}
+
+func TestFixedSplitShiftFragility(t *testing.T) {
+	// The motivating failure: one inserted byte changes every following
+	// fixed block, while content-defined chunks downstream of the edit
+	// keep their identity.
+	data := testData(41, 1<<18)
+	shifted := append([]byte{0xAA}, data...)
+
+	fixedA := FixedSplit(data, 4096)
+	fixedB := FixedSplit(shifted, 4096)
+	sameFixed := 0
+	sums := map[[32]byte]bool{}
+	for _, c := range fixedA {
+		sums[c.Sum(data)] = true
+	}
+	for _, c := range fixedB {
+		if sums[c.Sum(shifted)] {
+			sameFixed++
+		}
+	}
+
+	c := mustNew(t, DefaultParams())
+	cdcA := c.Split(data)
+	cdcB := c.Split(shifted)
+	sums = map[[32]byte]bool{}
+	for _, ch := range cdcA {
+		sums[ch.Sum(data)] = true
+	}
+	sameCDC := 0
+	for _, ch := range cdcB {
+		if sums[ch.Sum(shifted)] {
+			sameCDC++
+		}
+	}
+	if sameFixed > len(fixedB)/10 {
+		t.Fatalf("fixed-size unexpectedly survived the shift: %d/%d", sameFixed, len(fixedB))
+	}
+	if sameCDC < len(cdcB)*8/10 {
+		t.Fatalf("CDC lost identity after shift: %d/%d chunks shared", sameCDC, len(cdcB))
+	}
+}
+
+func TestSkipSplitEqualsSplit(t *testing.T) {
+	for _, cfg := range []struct{ min, max int }{
+		{2048, 0},
+		{2048, 16384},
+		{4096, 65536},
+		{64, 4096},
+		{32, 0}, // min < window: falls back to plain Split
+	} {
+		p := DefaultParams()
+		p.MinSize = cfg.min
+		p.MaxSize = cfg.max
+		c := mustNew(t, p)
+		for _, n := range []int{0, 1, 100, 2047, 2048, 2049, 1 << 18} {
+			data := testData(int64(42+n), n)
+			got := c.SkipSplit(data)
+			want := c.Split(data)
+			if len(got) != len(want) {
+				t.Fatalf("min=%d max=%d n=%d: %d chunks vs %d", cfg.min, cfg.max, n, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("min=%d max=%d n=%d chunk %d: %+v != %+v",
+						cfg.min, cfg.max, n, i, got[i], want[i])
+				}
+			}
+		}
+	}
+}
+
+func TestSkipSplitQuick(t *testing.T) {
+	p := DefaultParams()
+	p.MinSize = 256
+	p.MaxSize = 4096
+	c := mustNew(t, p)
+	f := func(data []byte) bool {
+		got := c.SkipSplit(data)
+		want := c.Split(data)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleByteValidation(t *testing.T) {
+	good := SampleByteParams{MarkedBytes: 8, SkipAfterMatch: 16, Seed: 1}
+	if _, err := NewSampleByte(good); err != nil {
+		t.Fatal(err)
+	}
+	bad := []SampleByteParams{
+		{MarkedBytes: 0},
+		{MarkedBytes: 200},
+		{MarkedBytes: 8, SkipAfterMatch: -1},
+		{MarkedBytes: 8, SkipAfterMatch: 64, MaxSize: 64},
+	}
+	for i, p := range bad {
+		if _, err := NewSampleByte(p); err == nil {
+			t.Errorf("case %d: expected error", i)
+		}
+	}
+}
+
+func TestSampleByteSplitInvariants(t *testing.T) {
+	s, err := NewSampleByte(SampleByteParams{MarkedBytes: 8, SkipAfterMatch: 16, MaxSize: 1024, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := testData(50, 1<<18)
+	chunks := s.Split(data)
+	checkCover(t, chunks, int64(len(data)))
+	for i, c := range chunks {
+		if c.Length > 1024 {
+			t.Fatalf("chunk %d exceeds max", i)
+		}
+		if i < len(chunks)-1 && !c.Forced && c.Length < 16 {
+			t.Fatalf("chunk %d below skip/min", i)
+		}
+	}
+	// Deterministic.
+	again := s.Split(data)
+	if len(again) != len(chunks) {
+		t.Fatal("non-deterministic")
+	}
+	// Expected size roughly 256/8 + 16 = 48.
+	mean := float64(len(data)) / float64(len(chunks))
+	if mean < 30 || mean > 80 {
+		t.Fatalf("mean chunk %.0f outside [30, 80]", mean)
+	}
+}
+
+func TestSampleByteQuickCoverage(t *testing.T) {
+	s, _ := NewSampleByte(SampleByteParams{MarkedBytes: 16, SkipAfterMatch: 8, Seed: 3})
+	f := func(data []byte) bool {
+		chunks := s.Split(data)
+		var off int64
+		for _, c := range chunks {
+			if c.Offset != off || c.Length <= 0 {
+				return false
+			}
+			off = c.End()
+		}
+		return off == int64(len(data))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestSampleByteMissesDedupVsRabin(t *testing.T) {
+	// §2.1: sampling approaches are suited only to small chunks, because
+	// at large target sizes most bytes fall inside the skip region and a
+	// boundary's position depends on where the previous one landed.
+	// Under insertions (content shifts) that coupling slows boundary
+	// re-synchronization and dedup opportunities are missed, while
+	// Rabin windows resynchronize within one chunk. Both chunkers are
+	// configured for a ~4 KB average.
+	data := testData(51, 1<<20)
+	edited := make([]byte, 0, len(data)+8*64)
+	prev := 0
+	for i := 1; i <= 8; i++ { // eight 64-byte insertions
+		pos := i * len(data) / 9
+		edited = append(edited, data[prev:pos]...)
+		edited = append(edited, testData(int64(60+i), 64)...)
+		prev = pos
+	}
+	edited = append(edited, data[prev:]...)
+
+	pr := DefaultParams()
+	pr.MaskBits = 12
+	pr.Marker = 1<<12 - 1
+	rab := mustNew(t, pr)
+	sam, _ := NewSampleByte(SampleByteParams{MarkedBytes: 1, SkipAfterMatch: 3840, Seed: 4})
+
+	recall := func(split func([]byte) []Chunk) float64 {
+		sums := map[[32]byte]bool{}
+		for _, c := range split(data) {
+			sums[c.Sum(data)] = true
+		}
+		hit, total := 0, 0
+		for _, c := range split(edited) {
+			total++
+			if sums[c.Sum(edited)] {
+				hit++
+			}
+		}
+		return float64(hit) / float64(total)
+	}
+	rr := recall(rab.Split)
+	sr := recall(sam.Split)
+	if rr < 0.85 {
+		t.Fatalf("rabin recall %.2f unexpectedly low", rr)
+	}
+	if sr >= rr {
+		t.Fatalf("samplebyte recall %.2f not below rabin %.2f under insertions", sr, rr)
+	}
+}
+
+func BenchmarkSkipSplit(b *testing.B) {
+	p := DefaultParams()
+	p.MinSize = 4096
+	p.MaxSize = 65536
+	c := mustNew(b, p)
+	data := testData(52, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.SkipSplit(data)
+	}
+}
+
+func BenchmarkSplitWithLimits(b *testing.B) {
+	p := DefaultParams()
+	p.MinSize = 4096
+	p.MaxSize = 65536
+	c := mustNew(b, p)
+	data := testData(52, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		c.Split(data)
+	}
+}
+
+func BenchmarkSampleByte(b *testing.B) {
+	s, _ := NewSampleByte(SampleByteParams{MarkedBytes: 1, SkipAfterMatch: 2048, Seed: 5})
+	data := testData(53, 1<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Split(data)
+	}
+}

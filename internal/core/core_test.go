@@ -1,0 +1,303 @@
+package core
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"time"
+
+	"shredder/internal/chunker"
+)
+
+func testData(seed int64, n int) []byte {
+	d := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(d)
+	return d
+}
+
+func newShredder(t testing.TB, mutate func(*Config)) *Shredder {
+	t.Helper()
+	cfg := DefaultConfig()
+	cfg.BufferSize = 1 << 20 // small buffers keep tests quick
+	if mutate != nil {
+		mutate(&cfg)
+	}
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestModeStrings(t *testing.T) {
+	seen := map[string]bool{}
+	for _, m := range []Mode{Basic, Streams, StreamsCoalesced} {
+		s := m.String()
+		if seen[s] {
+			t.Fatalf("duplicate mode string %q", s)
+		}
+		seen[s] = true
+	}
+}
+
+func TestConfigValidation(t *testing.T) {
+	good := DefaultConfig()
+	if err := good.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	bad := []func(*Config){
+		func(c *Config) { c.BufferSize = 0 },
+		func(c *Config) { c.PipelineDepth = 0 },
+		func(c *Config) { c.PipelineDepth = 99 },
+		func(c *Config) { c.RingRegions = 2; c.PipelineDepth = 4 },
+		func(c *Config) { c.Chunking.Window = 0 },
+		func(c *Config) { c.PCIe.H2DBandwidth = 0 },
+		func(c *Config) { c.IO.ReaderBandwidth = 0 },
+		func(c *Config) { c.BufferSize = 2 << 30 }, // twin buffers exceed 2.6 GB
+	}
+	for i, mutate := range bad {
+		cfg := DefaultConfig()
+		mutate(&cfg)
+		if err := cfg.Validate(); err == nil {
+			t.Errorf("case %d: expected validation error", i)
+		}
+	}
+}
+
+func TestChunksMatchSequentialReference(t *testing.T) {
+	// The full pipeline must produce exactly the chunks of the
+	// sequential reference chunker, for every mode and across buffer
+	// boundaries.
+	data := testData(1, 5<<20+12345) // ~5 buffers, ragged tail
+	ref, err := chunker.New(chunker.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Split(data)
+	for _, mode := range []Mode{Basic, Streams, StreamsCoalesced} {
+		s := newShredder(t, func(c *Config) { c.Mode = mode })
+		var got []chunker.Chunk
+		rep, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+			got = append(got, c)
+			if !bytes.Equal(payload, data[c.Offset:c.End()]) {
+				t.Fatalf("mode %v: payload mismatch at chunk %d", mode, len(got)-1)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("mode %v: %d chunks, want %d", mode, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+				t.Fatalf("mode %v chunk %d: (%d,%d) != (%d,%d)", mode, i,
+					got[i].Offset, got[i].Length, want[i].Offset, want[i].Length)
+			}
+		}
+		if rep.Chunks != len(want) || rep.Bytes != int64(len(data)) {
+			t.Fatalf("mode %v: report says %d chunks / %d bytes", mode, rep.Chunks, rep.Bytes)
+		}
+	}
+}
+
+func TestMinMaxAcrossBuffers(t *testing.T) {
+	p := chunker.DefaultParams()
+	p.MinSize = 2048
+	p.MaxSize = 16384
+	data := testData(2, 3<<20+777)
+	ref, _ := chunker.New(p)
+	want := ref.Split(data)
+	s := newShredder(t, func(c *Config) { c.Chunking = p })
+	var got []chunker.Chunk
+	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+		got = append(got, c)
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+			t.Fatalf("chunk %d: (%d,%d) != (%d,%d)", i,
+				got[i].Offset, got[i].Length, want[i].Offset, want[i].Length)
+		}
+	}
+}
+
+func TestBufferSizeInvariance(t *testing.T) {
+	// Chunk results must not depend on the device buffer size.
+	data := testData(3, 2<<20+99)
+	collect := func(bufSize int) []chunker.Chunk {
+		s := newShredder(t, func(c *Config) { c.BufferSize = bufSize })
+		var got []chunker.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+			got = append(got, c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		return got
+	}
+	a := collect(256 << 10)
+	b := collect(1 << 20)
+	c := collect(3 << 20)
+	if len(a) != len(b) || len(b) != len(c) {
+		t.Fatalf("chunk counts differ across buffer sizes: %d/%d/%d", len(a), len(b), len(c))
+	}
+	for i := range a {
+		if a[i].Offset != b[i].Offset || b[i].Offset != c[i].Offset {
+			t.Fatalf("chunk %d offsets differ across buffer sizes", i)
+		}
+	}
+}
+
+func TestEmptyAndTinyStreams(t *testing.T) {
+	s := newShredder(t, nil)
+	rep, err := s.ChunkBytes(nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Chunks != 0 || rep.Bytes != 0 || rep.SimTime != 0 {
+		t.Fatalf("empty stream: %+v", rep)
+	}
+	var got []chunker.Chunk
+	rep, err = s.ChunkBytes([]byte{42}, func(c chunker.Chunk, d []byte) error {
+		got = append(got, c)
+		if len(d) != 1 || d[0] != 42 {
+			t.Fatal("payload wrong")
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 1 || got[0].Length != 1 || rep.Chunks != 1 {
+		t.Fatalf("single byte stream: %+v", got)
+	}
+}
+
+func TestOptimizationsImproveThroughput(t *testing.T) {
+	// Figure 12's ordering: Basic < Streams < StreamsCoalesced.
+	data := testData(4, 8<<20)
+	through := func(mode Mode) float64 {
+		s := newShredder(t, func(c *Config) { c.Mode = mode })
+		rep, err := s.ChunkBytes(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.Throughput
+	}
+	basic := through(Basic)
+	streams := through(Streams)
+	full := through(StreamsCoalesced)
+	if !(basic < streams && streams < full) {
+		t.Fatalf("throughput ordering violated: basic=%.0f streams=%.0f full=%.0f", basic, streams, full)
+	}
+}
+
+func TestFigure12Calibration(t *testing.T) {
+	// With paper-scale buffers the full pipeline must exceed 5x the
+	// optimized host baseline (the headline claim), and the reader
+	// (2 GB/s SAN) must be the eventual bottleneck.
+	data := testData(5, 64<<20)
+	s := newShredder(t, func(c *Config) {
+		c.BufferSize = 32 << 20
+		c.Mode = StreamsCoalesced
+	})
+	rep, err := s.ChunkBytes(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gbps := rep.Throughput / 1e9
+	if gbps < 1.5 || gbps > 2.2 {
+		t.Fatalf("full-pipeline throughput %.2f GB/s outside [1.5, 2.2] (reader-bound ~2)", gbps)
+	}
+}
+
+func TestSimTimeDominatedByBottleneck(t *testing.T) {
+	data := testData(6, 8<<20)
+	s := newShredder(t, func(c *Config) { c.Mode = StreamsCoalesced })
+	rep, err := s.ChunkBytes(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// In the full pipeline the makespan must be close to the busiest
+	// stage, not to the sum of stages.
+	sum := rep.Stage.Reader + rep.Stage.Transfer + rep.Stage.Kernel + rep.Stage.Store
+	max := rep.Stage.Reader
+	for _, d := range []time.Duration{rep.Stage.Transfer, rep.Stage.Kernel, rep.Stage.Store} {
+		if d > max {
+			max = d
+		}
+	}
+	if rep.SimTime >= sum {
+		t.Fatalf("pipelined makespan %v not below stage sum %v", rep.SimTime, sum)
+	}
+	if float64(rep.SimTime) > 1.6*float64(max) {
+		t.Fatalf("makespan %v too far above bottleneck %v", rep.SimTime, max)
+	}
+}
+
+func TestBasicModeIsSerialized(t *testing.T) {
+	data := testData(7, 4<<20)
+	s := newShredder(t, func(c *Config) { c.Mode = Basic })
+	rep, err := s.ChunkBytes(data, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := rep.Stage.Reader + rep.Stage.Transfer + rep.Stage.Kernel + rep.Stage.Store
+	// Serialized: makespan equals the sum of all stage busy times.
+	if rep.SimTime != sum {
+		t.Fatalf("basic-mode makespan %v != stage sum %v", rep.SimTime, sum)
+	}
+}
+
+func TestPipelineDepthSpeedsUp(t *testing.T) {
+	// Figure 9: deeper pipelines are faster (up to the bottleneck).
+	data := testData(8, 16<<20)
+	simTime := func(depth int) float64 {
+		s := newShredder(t, func(c *Config) {
+			c.Mode = Streams
+			c.PipelineDepth = depth
+			c.RingRegions = depth
+		})
+		rep, err := s.ChunkBytes(data, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return rep.SimTime.Seconds()
+	}
+	d1, d2, d4 := simTime(1), simTime(2), simTime(4)
+	if !(d2 < d1 && d4 <= d2) {
+		t.Fatalf("pipeline depth not monotone: d1=%.4f d2=%.4f d4=%.4f", d1, d2, d4)
+	}
+}
+
+func TestCallbackErrorPropagates(t *testing.T) {
+	s := newShredder(t, nil)
+	sentinel := bytes.ErrTooLarge
+	_, err := s.ChunkBytes(testData(9, 1<<20), func(chunker.Chunk, []byte) error {
+		return sentinel
+	})
+	if err != sentinel {
+		t.Fatalf("error = %v, want sentinel", err)
+	}
+}
+
+func TestSetupTimeReported(t *testing.T) {
+	s := newShredder(t, func(c *Config) { c.Mode = Streams })
+	if s.setup <= 0 {
+		t.Fatal("streams mode must report pinned-ring setup cost")
+	}
+	b := newShredder(t, func(c *Config) { c.Mode = Basic })
+	if b.setup <= 0 {
+		t.Fatal("basic mode must report pageable staging alloc cost")
+	}
+	if b.setup >= s.setup {
+		t.Fatal("pageable setup should be cheaper than pinned ring")
+	}
+}

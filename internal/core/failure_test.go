@@ -1,0 +1,141 @@
+package core
+
+import (
+	"errors"
+	"io"
+	"testing"
+
+	"shredder/internal/chunker"
+)
+
+// failingReader delivers n good bytes, then fails.
+type failingReader struct {
+	remaining int
+	err       error
+}
+
+func (f *failingReader) Read(p []byte) (int, error) {
+	if f.remaining <= 0 {
+		return 0, f.err
+	}
+	n := len(p)
+	if n > f.remaining {
+		n = f.remaining
+	}
+	for i := 0; i < n; i++ {
+		p[i] = byte(i)
+	}
+	f.remaining -= n
+	return n, nil
+}
+
+func TestReaderErrorPropagates(t *testing.T) {
+	s := newShredder(t, nil)
+	sentinel := errors.New("SAN link dropped")
+	_, err := s.ChunkReader(&failingReader{remaining: 3 << 20, err: sentinel}, nil)
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v, want the reader's", err)
+	}
+}
+
+func TestReaderEOFMidBufferIsClean(t *testing.T) {
+	// A stream ending mid-buffer (io.EOF after a short read) must
+	// finish normally with a tail chunk.
+	s := newShredder(t, nil)
+	n := 1<<20 + 12345 // 1.01 buffers
+	rep, err := s.ChunkReader(&failingReader{remaining: n, err: io.EOF}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != int64(n) {
+		t.Fatalf("processed %d bytes, want %d", rep.Bytes, n)
+	}
+}
+
+// trickleReader returns one byte per Read call: the pathological
+// io.Reader the pipeline must still handle correctly.
+type trickleReader struct {
+	data []byte
+	off  int
+}
+
+func (r *trickleReader) Read(p []byte) (int, error) {
+	if r.off >= len(r.data) {
+		return 0, io.EOF
+	}
+	p[0] = r.data[r.off]
+	r.off++
+	return 1, nil
+}
+
+func TestTrickleReader(t *testing.T) {
+	data := testData(60, 64<<10)
+	s := newShredder(t, func(c *Config) { c.BufferSize = 16 << 10 })
+	var got []chunker.Chunk
+	rep, err := s.ChunkReader(&trickleReader{data: data}, func(c chunker.Chunk, _ []byte) error {
+		got = append(got, c)
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Bytes != int64(len(data)) {
+		t.Fatalf("bytes %d, want %d", rep.Bytes, len(data))
+	}
+	ref, _ := chunker.New(s.Config().Chunking)
+	want := ref.Split(data)
+	if len(got) != len(want) {
+		t.Fatalf("%d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestCallbackErrorMidStreamStops(t *testing.T) {
+	s := newShredder(t, nil)
+	sentinel := errors.New("application back-pressure")
+	emitted := 0
+	_, err := s.ChunkBytes(testData(61, 4<<20), func(chunker.Chunk, []byte) error {
+		emitted++
+		if emitted == 3 {
+			return sentinel
+		}
+		return nil
+	})
+	if !errors.Is(err, sentinel) {
+		t.Fatalf("error = %v", err)
+	}
+	if emitted != 3 {
+		t.Fatalf("emitted %d chunks after error, want exactly 3", emitted)
+	}
+}
+
+func TestShredderSequentialReuse(t *testing.T) {
+	// The same Shredder instance must chunk several streams correctly
+	// in sequence (window/limiter state must not leak between runs).
+	s := newShredder(t, nil)
+	a := testData(62, 2<<20)
+	b := testData(63, 2<<20)
+	ref, _ := chunker.New(s.Config().Chunking)
+	for run, data := range [][]byte{a, b, a} {
+		var got []chunker.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+			got = append(got, c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := ref.Split(data)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d chunks, want %d", run, len(got), len(want))
+		}
+		for i := range want {
+			if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+				t.Fatalf("run %d chunk %d mismatch", run, i)
+			}
+		}
+	}
+}

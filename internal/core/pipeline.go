@@ -1,0 +1,295 @@
+package core
+
+import (
+	"io"
+	"time"
+
+	"shredder/internal/chunker"
+	"shredder/internal/pcie"
+	"shredder/internal/rabin"
+	"shredder/internal/sim"
+)
+
+// limiter applies min/max chunk limits to an incoming ordered sequence
+// of raw boundaries, emitting final chunks — the paper's Store-thread
+// adjustment (§3.1), implemented incrementally so it works on unbounded
+// streams. It produces exactly the same chunks as
+// chunker.Chunker.ApplyLimits over the whole stream.
+type limiter struct {
+	min, max int64
+	start    int64
+	emit     func(chunker.Chunk) error
+}
+
+func newLimiter(p chunker.Params, emit func(chunker.Chunk) error) *limiter {
+	min := int64(p.MinSize)
+	if min == 0 {
+		min = 1
+	}
+	return &limiter{min: min, max: int64(p.MaxSize), emit: emit}
+}
+
+func (l *limiter) cut(end int64, fp rabin.Poly, forced bool) error {
+	c := chunker.Chunk{Offset: l.start, Length: end - l.start, Cut: fp, Forced: forced}
+	l.start = end
+	return l.emit(c)
+}
+
+// push consumes one raw boundary (global end-exclusive offset).
+func (l *limiter) push(b int64, fp rabin.Poly) error {
+	if l.max > 0 {
+		for b-l.start > l.max {
+			if err := l.cut(l.start+l.max, 0, true); err != nil {
+				return err
+			}
+		}
+	}
+	if b-l.start >= l.min {
+		return l.cut(b, fp, false)
+	}
+	return nil
+}
+
+// finish cuts the stream tail at the given total length.
+func (l *limiter) finish(total int64) error {
+	if l.max > 0 {
+		for total-l.start > l.max {
+			if err := l.cut(l.start+l.max, 0, true); err != nil {
+				return err
+			}
+		}
+	}
+	if total > l.start {
+		return l.cut(total, 0, true)
+	}
+	return nil
+}
+
+// bufferStats records one device buffer's worth of modeled work.
+type bufferStats struct {
+	bytes      int64
+	boundaries int
+	chunks     int
+}
+
+// ChunkBytes runs the pipeline over an in-memory stream. See
+// ChunkReader.
+func (s *Shredder) ChunkBytes(data []byte, emit chunker.EmitFunc) (*Report, error) {
+	return s.ChunkReader(&sliceReader{data: data}, emit)
+}
+
+// ChunkReader streams r through the Shredder pipeline: the stream is
+// cut into BufferSize device buffers, each buffer is chunked by the GPU
+// kernel (functionally real, bit-identical to the sequential
+// reference), limits are applied by the Store thread, and each final
+// chunk is upcalled through emit together with its bytes (emit may be
+// nil). The returned report carries the simulated pipeline timing.
+func (s *Shredder) ChunkReader(r io.Reader, emit chunker.EmitFunc) (*Report, error) {
+	src := r
+	kmode := s.cfg.Mode.KernelMode()
+	win := s.cfg.Chunking.Window
+
+	// pending holds stream bytes from the start of the currently open
+	// chunk; pendingStart is the global offset of pending[0].
+	var pending []byte
+	var pendingStart int64
+	keepPayload := emit != nil
+	chunks := 0
+	lim := newLimiter(s.cfg.Chunking, func(c chunker.Chunk) error {
+		chunks++
+		if !keepPayload {
+			return nil
+		}
+		return emit(c, pending[c.Offset-pendingStart:c.End()-pendingStart])
+	})
+
+	// scanBuf layout: [carry (win-1 bytes)][payload (BufferSize)].
+	scanBuf := make([]byte, 0, s.cfg.BufferSize+win-1)
+	carry := 0 // valid carry bytes at the head of scanBuf
+
+	var stats []bufferStats
+	var total int64
+	var conflicts uint64
+
+	for {
+		// Reader stage (functional): fill the payload region.
+		scanBuf = scanBuf[:carry+s.cfg.BufferSize]
+		n, err := io.ReadFull(src, scanBuf[carry:])
+		scanBuf = scanBuf[:carry+n]
+		if n > 0 {
+			bufStart := total
+			scanBase := bufStart - int64(carry)
+
+			// Kernel stage (functional): raw boundaries over carry+payload.
+			res, kerr := s.kernel.Run(scanBuf, kmode)
+			if kerr != nil {
+				return nil, kerr
+			}
+			conflicts += res.BankConflicts
+
+			// Store stage (functional): keep payload for upcalls, apply
+			// limits, emit chunks.
+			if keepPayload {
+				pending = append(pending, scanBuf[carry:]...)
+			}
+			st := bufferStats{bytes: int64(n)}
+			before := chunks
+			for i, b := range res.Boundaries {
+				if b <= int64(carry) {
+					continue // belongs to the previous buffer
+				}
+				st.boundaries++
+				if perr := lim.push(scanBase+b, res.Fingerprints[i]); perr != nil {
+					return nil, perr
+				}
+			}
+			total += int64(n)
+			st.chunks = chunks - before
+			stats = append(stats, st)
+
+			// Trim emitted bytes from pending.
+			if keepPayload && lim.start > pendingStart {
+				drop := lim.start - pendingStart
+				pending = pending[:copy(pending, pending[drop:])]
+				pendingStart = lim.start
+			}
+
+			// Maintain carry = last win-1 bytes of the stream so far.
+			c := win - 1
+			if int64(c) > total {
+				c = int(total)
+			}
+			copy(scanBuf, scanBuf[len(scanBuf)-c:])
+			carry = c
+			scanBuf = scanBuf[:carry]
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := lim.finish(total); err != nil {
+		return nil, err
+	}
+	// Account the tail cut to the final buffer's stats.
+	if len(stats) > 0 {
+		last := &stats[len(stats)-1]
+		// chunks counted so far may have grown by finish(); recompute.
+		counted := 0
+		for _, st := range stats {
+			counted += st.chunks
+		}
+		last.chunks += chunks - counted
+	}
+
+	rep := s.simulate(stats)
+	rep.Bytes = total
+	rep.Chunks = chunks
+	rep.BankConflicts = conflicts
+	return rep, nil
+}
+
+// sliceReader is a tiny io.Reader over a byte slice (avoids importing
+// bytes just for Reader, and keeps ChunkBytes allocation-free).
+type sliceReader struct {
+	data []byte
+	off  int
+}
+
+func (s *sliceReader) Read(p []byte) (int, error) {
+	if s.off >= len(s.data) {
+		return 0, io.EOF
+	}
+	n := copy(p, s.data[s.off:])
+	s.off += n
+	return n, nil
+}
+
+// simulate replays the per-buffer work through the discrete-event
+// pipeline model and returns the timing report.
+func (s *Shredder) simulate(stats []bufferStats) *Report {
+	rep := &Report{
+		Mode:      s.cfg.Mode,
+		Buffers:   len(stats),
+		SetupTime: s.setup,
+	}
+	if len(stats) == 0 {
+		return rep
+	}
+
+	var e sim.Engine
+	reader := sim.NewResource(&e, "reader")
+	store := sim.NewResource(&e, "store")
+	// One PCIe slot and one kernel queue per device (§5.2: one or more
+	// GPUs as co-processors); buffers round-robin across devices.
+	transfers := make([]*sim.Resource, s.devices)
+	kernels := make([]*sim.Resource, s.devices)
+	for d := 0; d < s.devices; d++ {
+		transfers[d] = sim.NewResource(&e, "transfer")
+		kernels[d] = sim.NewResource(&e, "kernel")
+	}
+
+	depth := s.cfg.PipelineDepth
+	if s.cfg.Mode == Basic {
+		depth = 1
+	}
+	tokens := sim.NewTokens(&e, depth)
+
+	kind := s.cfg.Mode.BufferKind()
+	kmode := s.cfg.Mode.KernelMode()
+
+	for i := range stats {
+		st := stats[i]
+		dev := i % s.devices
+		readT := s.cfg.IO.ReadTime(st.bytes)
+		xferT := s.cfg.PCIe.TransferTime(st.bytes, pcie.HostToDevice, kind)
+		if s.cfg.GPUDirect {
+			// The SAN adapter DMAs straight into device memory; only a
+			// doorbell write remains on the transfer path.
+			xferT = time.Microsecond
+		}
+		kernT := s.kernel.EstimateTime(st.bytes, kmode)
+		storeT := s.storeTime(st)
+		tokens.Acquire(func() {
+			reader.Submit(readT, func(_, _ sim.Time) {
+				transfers[dev].Submit(xferT, func(_, _ sim.Time) {
+					kernels[dev].Submit(kernT, func(_, _ sim.Time) {
+						store.Submit(storeT, func(_, _ sim.Time) {
+							tokens.Release()
+						})
+					})
+				})
+			})
+		})
+	}
+	end := e.Run()
+	rep.SimTime = end.Duration()
+	if rep.SimTime > 0 {
+		var bytes int64
+		for _, st := range stats {
+			bytes += st.bytes
+		}
+		rep.Throughput = float64(bytes) / rep.SimTime.Seconds()
+	}
+	rep.Stage = StageTimes{
+		Reader: reader.BusyTotal(),
+		Store:  store.BusyTotal(),
+	}
+	for d := 0; d < s.devices; d++ {
+		rep.Stage.Transfer += transfers[d].BusyTotal()
+		rep.Stage.Kernel += kernels[d].BusyTotal()
+	}
+	return rep
+}
+
+// storeTime models the Store thread's work for one buffer: the
+// device-to-host DMA of the boundary array, the min/max adjustment and
+// the per-chunk upcalls.
+func (s *Shredder) storeTime(st bufferStats) time.Duration {
+	boundsBytes := int64(st.boundaries) * 8
+	d := s.cfg.PCIe.TransferTime(boundsBytes, pcie.DeviceToHost, s.cfg.Mode.BufferKind())
+	d += time.Duration(float64(st.chunks) * s.cfg.UpcallNsPerChunk)
+	return d
+}

@@ -1,0 +1,80 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/chunker"
+)
+
+// TestChunkSpanningManyBuffers exercises the pending-payload path: with
+// a large MaxSize and small device buffers, single chunks span several
+// buffers and the Store side must accumulate their bytes across
+// iterations.
+func TestChunkSpanningManyBuffers(t *testing.T) {
+	p := chunker.DefaultParams()
+	p.MaskBits = 22 // ~4 MB expected chunks
+	p.Marker = 1<<22 - 1
+	p.MaxSize = 2 << 20
+	data := testData(90, 5<<20)
+	s := newShredder(t, func(c *Config) {
+		c.BufferSize = 256 << 10 // chunks span up to 8 buffers
+		c.Chunking = p
+	})
+	ref, err := chunker.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := ref.Split(data)
+	var got []chunker.Chunk
+	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+		got = append(got, c)
+		if !bytes.Equal(payload, data[c.Offset:c.End()]) {
+			t.Fatalf("payload mismatch for chunk at %d (spans buffers)", c.Offset)
+		}
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != len(want) {
+		t.Fatalf("%d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+	// Sanity: this configuration really does make chunks span buffers.
+	maxLen := int64(0)
+	for _, c := range got {
+		if c.Length > maxLen {
+			maxLen = c.Length
+		}
+	}
+	if maxLen <= 256<<10 {
+		t.Fatalf("largest chunk %d does not span buffers; test misconfigured", maxLen)
+	}
+}
+
+// TestNoMaxUnboundedPending is the same without MaxSize: the open chunk
+// may grow to megabytes before a content boundary appears.
+func TestNoMaxUnboundedPending(t *testing.T) {
+	p := chunker.DefaultParams()
+	p.MaskBits = 24 // boundaries are rare; most of the stream is one chunk
+	p.Marker = 1<<24 - 1
+	data := testData(91, 4<<20)
+	s := newShredder(t, func(c *Config) {
+		c.BufferSize = 512 << 10
+		c.Chunking = p
+	})
+	var total int64
+	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+		total += int64(len(payload))
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if total != int64(len(data)) {
+		t.Fatalf("payload bytes %d, want %d", total, len(data))
+	}
+}

@@ -1,0 +1,177 @@
+// Package dedup implements the duplicate-identification machinery
+// downstream of chunking (§2.1 steps 2 and 3): collision-resistant
+// chunk hashing, an in-memory fingerprint index, a container-based
+// chunk store with reference counting, and file recipes that
+// reconstruct original content byte-exactly.
+package dedup
+
+import (
+	"crypto/sha256"
+	"errors"
+	"fmt"
+)
+
+// Hash is a chunk's collision-resistant digest.
+type Hash = [sha256.Size]byte
+
+// Sum hashes chunk content.
+func Sum(data []byte) Hash { return sha256.Sum256(data) }
+
+// Ref locates a stored chunk.
+type Ref struct {
+	// Container indexes the container holding the chunk.
+	Container int
+	// Offset and Length locate the chunk within the container.
+	Offset int64
+	Length int64
+}
+
+// Stats summarizes deduplication effectiveness.
+type Stats struct {
+	// LogicalBytes is the total size of everything written.
+	LogicalBytes int64
+	// StoredBytes is the unique data actually kept.
+	StoredBytes int64
+	// Chunks and UniqueChunks count writes and distinct contents.
+	Chunks       int64
+	UniqueChunks int64
+	// IndexHits counts writes resolved as duplicates.
+	IndexHits int64
+}
+
+// Ratio returns logical/stored, the deduplication factor (>= 1).
+func (s Stats) Ratio() float64 {
+	if s.StoredBytes == 0 {
+		if s.LogicalBytes == 0 {
+			return 1
+		}
+		return 0
+	}
+	return float64(s.LogicalBytes) / float64(s.StoredBytes)
+}
+
+// Saved returns the bytes avoided by deduplication.
+func (s Stats) Saved() int64 { return s.LogicalBytes - s.StoredBytes }
+
+// Store is a deduplicating chunk store: content-addressed chunks packed
+// into append-only containers. The zero value is not usable; call
+// NewStore.
+type Store struct {
+	containerSize int64
+	containers    [][]byte
+	index         map[Hash]Ref
+	refcount      map[Hash]int64
+	stats         Stats
+}
+
+// DefaultContainerSize packs chunks into 4 MB containers, a common
+// figure in deduplicating backup systems.
+const DefaultContainerSize = 4 << 20
+
+// NewStore returns an empty store with the given container size
+// (0 means DefaultContainerSize).
+func NewStore(containerSize int64) (*Store, error) {
+	if containerSize < 0 {
+		return nil, errors.New("dedup: negative container size")
+	}
+	if containerSize == 0 {
+		containerSize = DefaultContainerSize
+	}
+	return &Store{
+		containerSize: containerSize,
+		index:         make(map[Hash]Ref),
+		refcount:      make(map[Hash]int64),
+	}, nil
+}
+
+// Put stores one chunk, returning its location and whether it was a
+// duplicate of existing content.
+func (s *Store) Put(data []byte) (Ref, bool) {
+	h := Sum(data)
+	s.stats.Chunks++
+	s.stats.LogicalBytes += int64(len(data))
+	if ref, ok := s.index[h]; ok {
+		s.stats.IndexHits++
+		s.refcount[h]++
+		return ref, true
+	}
+	ref := s.append(data)
+	s.index[h] = ref
+	s.refcount[h] = 1
+	s.stats.UniqueChunks++
+	s.stats.StoredBytes += int64(len(data))
+	return ref, false
+}
+
+// Lookup reports whether a chunk with hash h is already stored,
+// without writing anything. This is the Matching step (§2.1, step 3).
+func (s *Store) Lookup(h Hash) (Ref, bool) {
+	ref, ok := s.index[h]
+	return ref, ok
+}
+
+// Get returns the bytes of a stored chunk.
+func (s *Store) Get(ref Ref) ([]byte, error) {
+	if ref.Container < 0 || ref.Container >= len(s.containers) {
+		return nil, fmt.Errorf("dedup: container %d out of range", ref.Container)
+	}
+	c := s.containers[ref.Container]
+	if ref.Offset < 0 || ref.Offset+ref.Length > int64(len(c)) {
+		return nil, fmt.Errorf("dedup: ref %+v outside container", ref)
+	}
+	return c[ref.Offset : ref.Offset+ref.Length : ref.Offset+ref.Length], nil
+}
+
+// Stats returns a copy of the current statistics.
+func (s *Store) Stats() Stats { return s.stats }
+
+// Containers returns the number of containers allocated.
+func (s *Store) Containers() int { return len(s.containers) }
+
+func (s *Store) append(data []byte) Ref {
+	if len(s.containers) == 0 || int64(len(s.containers[len(s.containers)-1]))+int64(len(data)) > s.containerSize {
+		s.containers = append(s.containers, make([]byte, 0, s.containerSize))
+	}
+	ci := len(s.containers) - 1
+	c := s.containers[ci]
+	ref := Ref{Container: ci, Offset: int64(len(c)), Length: int64(len(data))}
+	s.containers[ci] = append(c, data...)
+	return ref
+}
+
+// Recipe is the ordered list of chunk references that reconstructs one
+// stored stream (a file, a VM image snapshot, ...).
+type Recipe []Ref
+
+// WriteStream stores a stream that has already been cut into chunks,
+// returning its recipe and the number of duplicate chunks.
+func (s *Store) WriteStream(chunks [][]byte) (Recipe, int) {
+	recipe := make(Recipe, 0, len(chunks))
+	dups := 0
+	for _, c := range chunks {
+		ref, dup := s.Put(c)
+		if dup {
+			dups++
+		}
+		recipe = append(recipe, ref)
+	}
+	return recipe, dups
+}
+
+// Reconstruct concatenates a recipe's chunks back into the original
+// stream.
+func (s *Store) Reconstruct(r Recipe) ([]byte, error) {
+	var total int64
+	for _, ref := range r {
+		total += ref.Length
+	}
+	out := make([]byte, 0, total)
+	for _, ref := range r {
+		data, err := s.Get(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}

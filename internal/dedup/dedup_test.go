@@ -1,0 +1,182 @@
+package dedup
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func testData(seed int64, n int) []byte {
+	d := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(d)
+	return d
+}
+
+func TestPutGetRoundTrip(t *testing.T) {
+	s, err := NewStore(0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	chunkA := testData(1, 4096)
+	chunkB := testData(2, 100)
+	refA, dup := s.Put(chunkA)
+	if dup {
+		t.Fatal("first put reported duplicate")
+	}
+	refB, _ := s.Put(chunkB)
+	gotA, err := s.Get(refA)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(gotA, chunkA) {
+		t.Fatal("chunk A corrupted")
+	}
+	gotB, _ := s.Get(refB)
+	if !bytes.Equal(gotB, chunkB) {
+		t.Fatal("chunk B corrupted")
+	}
+}
+
+func TestDuplicateDetection(t *testing.T) {
+	s, _ := NewStore(0)
+	chunk := testData(3, 2048)
+	ref1, dup1 := s.Put(chunk)
+	ref2, dup2 := s.Put(append([]byte(nil), chunk...)) // equal content, new slice
+	if dup1 || !dup2 {
+		t.Fatalf("dup flags: %v %v, want false true", dup1, dup2)
+	}
+	if ref1 != ref2 {
+		t.Fatal("duplicate got a different ref")
+	}
+	st := s.Stats()
+	if st.Chunks != 2 || st.UniqueChunks != 1 || st.IndexHits != 1 {
+		t.Fatalf("stats %+v", st)
+	}
+	if st.LogicalBytes != 4096 || st.StoredBytes != 2048 {
+		t.Fatalf("byte accounting wrong: %+v", st)
+	}
+	if st.Ratio() != 2 {
+		t.Fatalf("ratio %.2f, want 2", st.Ratio())
+	}
+	if st.Saved() != 2048 {
+		t.Fatalf("saved %d, want 2048", st.Saved())
+	}
+}
+
+func TestLookup(t *testing.T) {
+	s, _ := NewStore(0)
+	chunk := testData(4, 512)
+	if _, ok := s.Lookup(Sum(chunk)); ok {
+		t.Fatal("lookup hit before put")
+	}
+	ref, _ := s.Put(chunk)
+	got, ok := s.Lookup(Sum(chunk))
+	if !ok || got != ref {
+		t.Fatal("lookup after put failed")
+	}
+	// Lookup must not change stats.
+	if s.Stats().Chunks != 1 {
+		t.Fatal("lookup mutated stats")
+	}
+}
+
+func TestContainerRollover(t *testing.T) {
+	s, _ := NewStore(1024)
+	for i := 0; i < 10; i++ {
+		s.Put(testData(int64(i+10), 512))
+	}
+	if s.Containers() < 5 {
+		t.Fatalf("containers = %d, want >= 5 with 1KB containers", s.Containers())
+	}
+}
+
+func TestGetErrors(t *testing.T) {
+	s, _ := NewStore(0)
+	s.Put(testData(5, 100))
+	if _, err := s.Get(Ref{Container: 9}); err == nil {
+		t.Fatal("expected out-of-range container error")
+	}
+	if _, err := s.Get(Ref{Container: 0, Offset: 50, Length: 100}); err == nil {
+		t.Fatal("expected out-of-bounds ref error")
+	}
+	if _, err := NewStore(-1); err == nil {
+		t.Fatal("expected negative container size error")
+	}
+}
+
+func TestWriteStreamAndReconstruct(t *testing.T) {
+	s, _ := NewStore(0)
+	base := testData(6, 1<<16)
+	// Cut into fixed pieces and duplicate the stream: the second write
+	// must dedup completely.
+	var chunks [][]byte
+	for off := 0; off < len(base); off += 4096 {
+		end := off + 4096
+		if end > len(base) {
+			end = len(base)
+		}
+		chunks = append(chunks, base[off:end])
+	}
+	r1, d1 := s.WriteStream(chunks)
+	r2, d2 := s.WriteStream(chunks)
+	if d1 != 0 {
+		t.Fatalf("first stream had %d dups", d1)
+	}
+	if d2 != len(chunks) {
+		t.Fatalf("second stream deduped %d of %d", d2, len(chunks))
+	}
+	for _, r := range []Recipe{r1, r2} {
+		got, err := s.Reconstruct(r)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, base) {
+			t.Fatal("reconstruction differs from original")
+		}
+	}
+	if s.Stats().Ratio() < 1.99 {
+		t.Fatalf("dedup ratio %.2f, want ~2", s.Stats().Ratio())
+	}
+}
+
+func TestStatsZero(t *testing.T) {
+	var st Stats
+	if st.Ratio() != 1 {
+		t.Fatal("empty stats ratio should be 1")
+	}
+	st.LogicalBytes = 10
+	if st.Ratio() != 0 {
+		t.Fatal("logical without stored should report 0 ratio")
+	}
+}
+
+func TestQuickReconstruction(t *testing.T) {
+	// Property: for any sequence of chunks, reconstruction of the
+	// recipe equals the concatenation, and stored <= logical.
+	f := func(pieces [][]byte) bool {
+		s, _ := NewStore(0)
+		var want []byte
+		var chunks [][]byte
+		for _, p := range pieces {
+			if len(p) == 0 {
+				continue
+			}
+			chunks = append(chunks, p)
+			want = append(want, p...)
+		}
+		recipe, _ := s.WriteStream(chunks)
+		got, err := s.Reconstruct(recipe)
+		if err != nil {
+			return false
+		}
+		if len(want) == 0 {
+			return len(got) == 0
+		}
+		st := s.Stats()
+		return bytes.Equal(got, want) && st.StoredBytes <= st.LogicalBytes && st.Saved() >= 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

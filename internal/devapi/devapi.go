@@ -1,0 +1,213 @@
+// Package devapi is a CUDA-runtime-style programming interface over
+// the simulated device: in-order streams, events, asynchronous memcpys
+// and kernel launches (§5.2.1 — the paper's host driver dispatches the
+// GPU kernel "in the form of RPCs supported by the CUDA toolkit" and
+// overlaps copies with execution via streams).
+//
+// Operations issued to one stream execute in order; operations in
+// different streams overlap, except that all host↔device copies share
+// one DMA engine and all kernels share the device — exactly the
+// concurrency structure that makes double buffering (§4.1.1) work.
+// Everything runs on virtual time; Context.Synchronize drains the work
+// and returns the simulated clock.
+package devapi
+
+import (
+	"errors"
+	"time"
+
+	"shredder/internal/gpu"
+	"shredder/internal/pcie"
+	"shredder/internal/sim"
+)
+
+// Context owns the virtual clock and the shared hardware resources.
+type Context struct {
+	engine *sim.Engine
+	spec   gpu.Spec
+	link   pcie.Model
+	dma    *sim.Resource
+	dev    *sim.Resource
+	launch time.Duration
+}
+
+// NewContext builds a context for one device.
+func NewContext(spec gpu.Spec, link pcie.Model) (*Context, error) {
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	if err := link.Validate(); err != nil {
+		return nil, err
+	}
+	e := &sim.Engine{}
+	return &Context{
+		engine: e,
+		spec:   spec,
+		link:   link,
+		dma:    sim.NewResource(e, "dma"),
+		dev:    sim.NewResource(e, "device"),
+		launch: 25 * time.Microsecond,
+	}, nil
+}
+
+// future is one operation's completion: it resolves exactly once and
+// then releases its waiters.
+type future struct {
+	done    bool
+	at      sim.Time
+	waiters []func(sim.Time)
+}
+
+func (f *future) wait(fn func(sim.Time)) {
+	if f.done {
+		fn(f.at)
+		return
+	}
+	f.waiters = append(f.waiters, fn)
+}
+
+func (f *future) resolve(at sim.Time) {
+	if f.done {
+		panic("devapi: future resolved twice")
+	}
+	f.done = true
+	f.at = at
+	for _, fn := range f.waiters {
+		fn(at)
+	}
+	f.waiters = nil
+}
+
+// resolved returns an already-completed future at time t.
+func resolved(t sim.Time) *future { return &future{done: true, at: t} }
+
+// Stream is an in-order execution queue, as in cudaStreamCreate.
+type Stream struct {
+	ctx  *Context
+	tail *future // completion of the most recently enqueued op
+}
+
+// NewStream creates an empty stream.
+func (c *Context) NewStream() *Stream {
+	return &Stream{ctx: c, tail: resolved(c.engine.Now())}
+}
+
+// enqueue chains an operation after the stream tail: when the previous
+// op (and any extra dependency) completes, service time is submitted to
+// the given resource.
+func (s *Stream) enqueue(r *sim.Resource, service time.Duration, extra *future) *future {
+	f := &future{}
+	prev := s.tail
+	s.tail = f
+	start := func(sim.Time) {
+		r.Submit(service, func(_, finish sim.Time) {
+			f.resolve(finish)
+		})
+	}
+	if extra == nil {
+		prev.wait(start)
+		return f
+	}
+	// Wait for both the stream order and the extra dependency.
+	pending := 2
+	dec := func(sim.Time) {
+		pending--
+		if pending == 0 {
+			start(0)
+		}
+	}
+	prev.wait(dec)
+	extra.wait(dec)
+	return f
+}
+
+// MemcpyHostToDevice enqueues an asynchronous host→device copy of n
+// bytes from the given host buffer kind. Asynchronous copies from
+// pageable memory are still legal but stage through the bounce buffer,
+// as on real hardware.
+func (s *Stream) MemcpyHostToDevice(n int64, kind pcie.BufferKind) {
+	s.enqueue(s.ctx.dma, s.ctx.link.TransferTime(n, pcie.HostToDevice, kind), nil)
+}
+
+// MemcpyDeviceToHost enqueues the reverse copy.
+func (s *Stream) MemcpyDeviceToHost(n int64, kind pcie.BufferKind) {
+	s.enqueue(s.ctx.dma, s.ctx.link.TransferTime(n, pcie.DeviceToHost, kind), nil)
+}
+
+// Launch enqueues a kernel execution of the given modeled duration.
+func (s *Stream) Launch(d time.Duration) {
+	if d < 0 {
+		panic("devapi: negative kernel time")
+	}
+	s.enqueue(s.ctx.dev, s.ctx.launch+d, nil)
+}
+
+// LaunchChunking enqueues the Shredder chunking kernel over n bytes.
+func (s *Stream) LaunchChunking(k *gpu.Kernel, n int64, mode gpu.MemoryMode) {
+	s.Launch(k.EstimateTime(n, mode))
+}
+
+// Event marks a point in a stream, as in cudaEventRecord.
+type Event struct {
+	f *future
+}
+
+// NewEvent creates an unrecorded event.
+func (c *Context) NewEvent() *Event { return &Event{} }
+
+// Record captures the completion of all work enqueued to s so far.
+// Recording an event twice is an error (matching the simplest CUDA
+// usage; re-create events instead).
+func (s *Stream) Record(ev *Event) error {
+	if ev.f != nil {
+		return errors.New("devapi: event already recorded")
+	}
+	ev.f = s.tail
+	return nil
+}
+
+// Wait makes subsequent work on s wait until ev's recorded point has
+// completed (cudaStreamWaitEvent). The event must be recorded first.
+func (s *Stream) Wait(ev *Event) error {
+	if ev.f == nil {
+		return errors.New("devapi: waiting on an unrecorded event")
+	}
+	// A zero-duration operation on a virtual resource enforces the
+	// dependency without consuming hardware.
+	f := &future{}
+	prev := s.tail
+	s.tail = f
+	pending := 2
+	dec := func(sim.Time) {
+		pending--
+		if pending == 0 {
+			f.resolve(s.ctx.engine.Now())
+		}
+	}
+	prev.wait(dec)
+	ev.f.wait(dec)
+	return nil
+}
+
+// CompletedAt returns the event's completion time; valid only after
+// Synchronize has drained the work.
+func (ev *Event) CompletedAt() (sim.Time, error) {
+	if ev.f == nil || !ev.f.done {
+		return 0, errors.New("devapi: event not complete")
+	}
+	return ev.f.at, nil
+}
+
+// Synchronize runs the virtual clock until all enqueued work has
+// drained and returns the final time (cudaDeviceSynchronize).
+func (c *Context) Synchronize() sim.Time {
+	return c.engine.Run()
+}
+
+// Now returns the current virtual time without draining.
+func (c *Context) Now() sim.Time { return c.engine.Now() }
+
+// DMABusy and DeviceBusy expose cumulative resource busy time for
+// overlap accounting.
+func (c *Context) DMABusy() time.Duration    { return c.dma.BusyTotal() }
+func (c *Context) DeviceBusy() time.Duration { return c.dev.BusyTotal() }

@@ -1,0 +1,188 @@
+package devapi
+
+import (
+	"testing"
+	"time"
+
+	"shredder/internal/chunker"
+	"shredder/internal/gpu"
+	"shredder/internal/pcie"
+	"shredder/internal/sim"
+)
+
+func newCtx(t testing.TB) *Context {
+	t.Helper()
+	c, err := NewContext(gpu.C2050(), pcie.Default())
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewContextValidation(t *testing.T) {
+	bad := gpu.C2050()
+	bad.SMs = 0
+	if _, err := NewContext(bad, pcie.Default()); err == nil {
+		t.Fatal("expected error for bad spec")
+	}
+	link := pcie.Default()
+	link.H2DBandwidth = 0
+	if _, err := NewContext(gpu.C2050(), link); err == nil {
+		t.Fatal("expected error for bad link")
+	}
+}
+
+func TestStreamIsInOrder(t *testing.T) {
+	ctx := newCtx(t)
+	s := ctx.NewStream()
+	// copy then kernel then copy-back: total = sum of the three.
+	n := int64(32 << 20)
+	h2d := pcie.Default().TransferTime(n, pcie.HostToDevice, pcie.Pinned)
+	kern := 20 * time.Millisecond
+	d2h := pcie.Default().TransferTime(1<<20, pcie.DeviceToHost, pcie.Pinned)
+	s.MemcpyHostToDevice(n, pcie.Pinned)
+	s.Launch(kern)
+	s.MemcpyDeviceToHost(1<<20, pcie.Pinned)
+	end := ctx.Synchronize()
+	want := sim.Time(h2d + 25*time.Microsecond + kern + d2h)
+	if end != want {
+		t.Fatalf("in-order stream finished at %v, want %v", end, want)
+	}
+}
+
+func TestTwoStreamsOverlap(t *testing.T) {
+	// The §4.1.1 double-buffering pattern: two streams alternate copy
+	// and kernel; copies hide behind kernels, so the makespan is about
+	// first-copy + N·kernel.
+	ctx := newCtx(t)
+	s := []*Stream{ctx.NewStream(), ctx.NewStream()}
+	n := int64(32 << 20)
+	kern := 30 * time.Millisecond
+	const buffers = 8
+	for i := 0; i < buffers; i++ {
+		st := s[i%2]
+		st.MemcpyHostToDevice(n, pcie.Pinned)
+		st.Launch(kern)
+	}
+	end := ctx.Synchronize()
+	copyT := pcie.Default().TransferTime(n, pcie.HostToDevice, pcie.Pinned)
+	lower := sim.Time(buffers * (kern + 25*time.Microsecond))
+	upper := lower + sim.Time(2*copyT)
+	if end < lower || end > upper {
+		t.Fatalf("double-buffered makespan %v outside [%v, %v]", end, lower, upper)
+	}
+	// And it must beat the single-stream serialized version.
+	serial := newCtx(t)
+	ss := serial.NewStream()
+	for i := 0; i < buffers; i++ {
+		ss.MemcpyHostToDevice(n, pcie.Pinned)
+		ss.Launch(kern)
+	}
+	if serialEnd := serial.Synchronize(); serialEnd <= end {
+		t.Fatalf("serialized %v not slower than overlapped %v", serialEnd, end)
+	}
+}
+
+func TestDMAEngineIsShared(t *testing.T) {
+	// Two concurrent copies on different streams serialize on the one
+	// DMA engine.
+	ctx := newCtx(t)
+	a, b := ctx.NewStream(), ctx.NewStream()
+	n := int64(64 << 20)
+	a.MemcpyHostToDevice(n, pcie.Pinned)
+	b.MemcpyHostToDevice(n, pcie.Pinned)
+	end := ctx.Synchronize()
+	one := pcie.Default().TransferTime(n, pcie.HostToDevice, pcie.Pinned)
+	if end < sim.Time(2*one) {
+		t.Fatalf("two copies finished in %v, below 2x single copy %v", end, one)
+	}
+}
+
+func TestEventCrossStreamDependency(t *testing.T) {
+	ctx := newCtx(t)
+	producer := ctx.NewStream()
+	consumer := ctx.NewStream()
+	producer.Launch(50 * time.Millisecond)
+	ev := ctx.NewEvent()
+	if err := producer.Record(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := consumer.Wait(ev); err != nil {
+		t.Fatal(err)
+	}
+	consumer.Launch(10 * time.Millisecond)
+	end := ctx.Synchronize()
+	at, err := ev.CompletedAt()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if at < sim.Time(50*time.Millisecond) {
+		t.Fatalf("event completed at %v, before producer kernel", at)
+	}
+	if end < at+sim.Time(10*time.Millisecond) {
+		t.Fatalf("consumer kernel did not wait: end %v, event %v", end, at)
+	}
+}
+
+func TestEventErrors(t *testing.T) {
+	ctx := newCtx(t)
+	s := ctx.NewStream()
+	ev := ctx.NewEvent()
+	if err := s.Wait(ev); err == nil {
+		t.Fatal("waiting on unrecorded event must fail")
+	}
+	if _, err := ev.CompletedAt(); err == nil {
+		t.Fatal("CompletedAt on unrecorded event must fail")
+	}
+	if err := s.Record(ev); err != nil {
+		t.Fatal(err)
+	}
+	if err := s.Record(ev); err == nil {
+		t.Fatal("double record must fail")
+	}
+}
+
+func TestLaunchChunkingUsesKernelModel(t *testing.T) {
+	ctx := newCtx(t)
+	chk, err := chunker.New(chunker.DefaultParams())
+	if err != nil {
+		t.Fatal(err)
+	}
+	k, err := gpu.NewKernel(gpu.DefaultKernelConfig(), chk)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := ctx.NewStream()
+	n := int64(64 << 20)
+	s.LaunchChunking(k, n, gpu.Coalesced)
+	end := ctx.Synchronize()
+	want := k.EstimateTime(n, gpu.Coalesced)
+	if end < sim.Time(want) || end > sim.Time(want)+sim.Time(time.Millisecond) {
+		t.Fatalf("chunking launch took %v, want ~%v", end, want)
+	}
+}
+
+func TestBusyAccounting(t *testing.T) {
+	ctx := newCtx(t)
+	s := ctx.NewStream()
+	s.MemcpyHostToDevice(32<<20, pcie.Pinned)
+	s.Launch(10 * time.Millisecond)
+	ctx.Synchronize()
+	if ctx.DMABusy() <= 0 || ctx.DeviceBusy() <= 0 {
+		t.Fatal("busy accounting empty")
+	}
+	if ctx.DeviceBusy() < 10*time.Millisecond {
+		t.Fatalf("device busy %v below kernel time", ctx.DeviceBusy())
+	}
+}
+
+func TestNegativeKernelPanics(t *testing.T) {
+	ctx := newCtx(t)
+	s := ctx.NewStream()
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative kernel time did not panic")
+		}
+	}()
+	s.Launch(-time.Millisecond)
+}

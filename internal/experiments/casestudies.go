@@ -1,0 +1,263 @@
+package experiments
+
+import (
+	"fmt"
+
+	"shredder/internal/backup"
+	"shredder/internal/core"
+	"shredder/internal/hdfs"
+	"shredder/internal/mapreduce"
+	"shredder/internal/stats"
+	"shredder/internal/workload"
+)
+
+// ---------------------------------------------------------------------
+// Figure 15 — incremental MapReduce speedups.
+// ---------------------------------------------------------------------
+
+// Fig15Row reports the three applications' speedups at one change
+// percentage.
+type Fig15Row struct {
+	ChangePct    float64
+	WordCount    float64
+	CoOccurrence float64
+	KMeans       float64
+}
+
+// Fig15ChangePcts is the x-axis of Figure 15.
+var Fig15ChangePcts = []float64{0, 5, 10, 15, 20, 25}
+
+// inchdfsConfig builds the Shredder configuration used for Inc-HDFS
+// uploads: larger content-defined blocks (≈64 KB mean) so the split
+// count matches MapReduce task granularity while keeping enough splits
+// for localized edits to leave most of them untouched.
+func inchdfsConfig() core.Config {
+	cfg := core.DefaultConfig()
+	cfg.BufferSize = 8 << 20
+	cfg.Chunking.MaskBits = 16
+	cfg.Chunking.Marker = 1<<16 - 1
+	return cfg
+}
+
+// fig15MutationRegions localizes each percentage of change into this
+// many contiguous edit regions (see workload.MutateClusteredReplace).
+const fig15MutationRegions = 4
+
+// uploadSplits pushes data into a fresh Inc-HDFS cluster via
+// copyFromLocalGPU and returns the resulting split payloads.
+func uploadSplits(name string, data []byte, delim byte) ([][]byte, error) {
+	cluster, err := hdfs.NewCluster(4)
+	if err != nil {
+		return nil, err
+	}
+	shred, err := core.New(inchdfsConfig())
+	if err != nil {
+		return nil, err
+	}
+	client := hdfs.NewClient(cluster, shred)
+	client.RecordDelim = delim
+	if _, err := client.CopyFromLocalGPU(name, data); err != nil {
+		return nil, err
+	}
+	splits, err := cluster.InputSplits(name)
+	if err != nil {
+		return nil, err
+	}
+	payloads := make([][]byte, len(splits))
+	for i, s := range splits {
+		payloads[i], err = cluster.ReadBlock(s.Block.ID)
+		if err != nil {
+			return nil, err
+		}
+	}
+	return payloads, nil
+}
+
+// Fig15 runs word count, co-occurrence and k-means through Inc-HDFS +
+// the Incoop engine for each change percentage, reporting modeled
+// cluster speedups over from-scratch Hadoop execution on the same
+// (mutated) inputs.
+func Fig15(opt Options) ([]Fig15Row, error) {
+	// Per-application cluster cost profiles: co-occurrence's map emits a
+	// pair per adjacent word (heavier per byte), k-means parses floats
+	// and computes distances. Heavier map phases make reuse worth more.
+	wcModel := mapreduce.DefaultClusterModel()
+	coModel := wcModel
+	coModel.MapNsPerByte = 60
+	kmModel := wcModel
+	kmModel.MapNsPerByte = 35
+	text := workload.Text(opt.Seed, opt.TextBytes)
+	points := workload.Points(opt.Seed+1, opt.KMeansPoints, 8)
+	initialCentroids := []mapreduce.Point{
+		{X: 100, Y: 100}, {X: 300, Y: 300}, {X: 500, Y: 500}, {X: 700, Y: 700},
+		{X: 900, Y: 900}, {X: 200, Y: 800}, {X: 800, Y: 200}, {X: 500, Y: 100},
+	}
+
+	var rows []Fig15Row
+	for _, pct := range Fig15ChangePcts {
+		row := Fig15Row{ChangePct: pct}
+
+		// --- Word count & co-occurrence over mutated text ---
+		mutated := workload.MutateClusteredReplace(text, opt.Seed+int64(pct*10)+7, pct, fig15MutationRegions)
+		baseSplits, err := uploadSplits("text-v1", text, '\n')
+		if err != nil {
+			return nil, err
+		}
+		newSplits, err := uploadSplits("text-v2", mutated, '\n')
+		if err != nil {
+			return nil, err
+		}
+		for app, job := range map[string]mapreduce.Job{
+			"wc": mapreduce.WordCountJob(),
+			"co": mapreduce.CoOccurrenceJob(),
+		} {
+			memo := mapreduce.NewMemo()
+			warm := &mapreduce.Engine{Memo: memo}
+			if _, _, err := warm.Run(job, baseSplits); err != nil {
+				return nil, err
+			}
+			_, incMet, err := warm.Run(job, newSplits)
+			if err != nil {
+				return nil, err
+			}
+			_, fullMet, err := (&mapreduce.Engine{}).Run(job, newSplits)
+			if err != nil {
+				return nil, err
+			}
+			if app == "wc" {
+				row.WordCount = wcModel.Speedup(*fullMet, *incMet)
+			} else {
+				row.CoOccurrence = coModel.Speedup(*fullMet, *incMet)
+			}
+		}
+
+		// --- K-means over mutated points ---
+		mutatedPts := workload.MutateClusteredReplace(points, opt.Seed+int64(pct*10)+13, pct, fig15MutationRegions)
+		basePts, err := uploadSplits("pts-v1", points, '\n')
+		if err != nil {
+			return nil, err
+		}
+		newPts, err := uploadSplits("pts-v2", mutatedPts, '\n')
+		if err != nil {
+			return nil, err
+		}
+		memo := mapreduce.NewMemo()
+		warm := &mapreduce.Engine{Memo: memo}
+		if _, err := mapreduce.KMeans(warm, basePts, initialCentroids, 10); err != nil {
+			return nil, err
+		}
+		incRes, err := mapreduce.KMeans(warm, newPts, initialCentroids, 10)
+		if err != nil {
+			return nil, err
+		}
+		fullRes, err := mapreduce.KMeans(&mapreduce.Engine{}, newPts, initialCentroids, 10)
+		if err != nil {
+			return nil, err
+		}
+		row.KMeans = kmModel.Speedup(fullRes.Metrics, incRes.Metrics)
+
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig15 renders the speedup table.
+func RenderFig15(rows []Fig15Row) string {
+	t := stats.NewTable("Figure 15: Speedup for incremental computation (w.r.t. Hadoop)",
+		"Change%", "Word-Count", "Co-occurrence", "K-means")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", r.ChangePct),
+			stats.Speedup(r.WordCount), stats.Speedup(r.CoOccurrence), stats.Speedup(r.KMeans))
+	}
+	return t.String()
+}
+
+// ---------------------------------------------------------------------
+// Figure 18 — cloud backup bandwidth.
+// ---------------------------------------------------------------------
+
+// Fig18Row reports backup bandwidth at one segment-change probability.
+type Fig18Row struct {
+	ChangeProb        float64
+	CPUBandwidth      float64 // bytes/sec
+	GPUBandwidth      float64
+	GPUUniqueFraction float64
+	// GPUOptimizedIndex is the extension the paper predicts in §7.3's
+	// closing sentence: Shredder plus ChunkStash-style index
+	// maintenance, expected to hold the target bandwidth across the
+	// entire similarity spectrum.
+	GPUOptimizedIndex float64
+}
+
+// Fig18Probs is the x-axis of Figure 18.
+var Fig18Probs = []float64{0.05, 0.10, 0.15, 0.20, 0.25}
+
+// Fig18 backs up VM snapshots of increasing dissimilarity with both
+// engines. Min/max chunk sizes are enabled, as in commercial practice.
+func Fig18(opt Options) ([]Fig18Row, error) {
+	var rows []Fig18Row
+	for _, prob := range Fig18Probs {
+		im := workload.NewImage(opt.Seed+int64(prob*1000), opt.ImageBytes, 64<<10, prob)
+		row := Fig18Row{ChangeProb: prob}
+
+		// Extension: the §7.3 prediction with an optimized index.
+		{
+			cfg := backup.DefaultConfig()
+			cfg.OptimizedIndex = true
+			srv, err := backup.NewServer(cfg)
+			if err != nil {
+				return nil, err
+			}
+			if _, err := srv.Backup("master", im.Master, backup.ShredderGPU); err != nil {
+				return nil, err
+			}
+			rep, err := srv.Backup("snap", im.Snapshot(opt.Seed+int64(prob*100)+3), backup.ShredderGPU)
+			if err != nil {
+				return nil, err
+			}
+			row.GPUOptimizedIndex = rep.Bandwidth
+		}
+
+		for _, engine := range []backup.Engine{backup.PthreadsCPU, backup.ShredderGPU} {
+			srv, err := backup.NewServer(backup.DefaultConfig())
+			if err != nil {
+				return nil, err
+			}
+			// Full backup of the master image first (warm the index),
+			// then the incremental snapshot we measure.
+			if _, err := srv.Backup("master", im.Master, engine); err != nil {
+				return nil, err
+			}
+			snap := im.Snapshot(opt.Seed + int64(prob*100) + 3)
+			rep, err := srv.Backup("snap", snap, engine)
+			if err != nil {
+				return nil, err
+			}
+			if err := srv.VerifyRestore("snap", snap); err != nil {
+				return nil, err
+			}
+			if engine == backup.PthreadsCPU {
+				row.CPUBandwidth = rep.Bandwidth
+			} else {
+				row.GPUBandwidth = rep.Bandwidth
+				row.GPUUniqueFraction = float64(rep.UniqueBytes) / float64(rep.Bytes)
+			}
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// RenderFig18 renders the backup-bandwidth comparison.
+func RenderFig18(rows []Fig18Row) string {
+	t := stats.NewTable("Figure 18: Backup bandwidth with varying image similarity",
+		"SegChange", "Pthreads-CPU", "Shredder-GPU", "GPU-vs-CPU", "UniqueData", "GPU+OptIndex")
+	for _, r := range rows {
+		t.AddRow(fmt.Sprintf("%.0f%%", r.ChangeProb*100),
+			stats.Gbps(r.CPUBandwidth), stats.Gbps(r.GPUBandwidth),
+			stats.Speedup(r.GPUBandwidth/r.CPUBandwidth),
+			fmt.Sprintf("%.0f%%", r.GPUUniqueFraction*100),
+			stats.Gbps(r.GPUOptimizedIndex))
+	}
+	return t.String()
+}

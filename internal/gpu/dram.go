@@ -1,0 +1,123 @@
+package gpu
+
+// DRAMTimings parameterizes the SDRAM access model from §2.3 of the
+// paper: memory is arranged into banks; each bank has one sense
+// amplifier holding an open row. Accessing an open row is cheap;
+// touching a different row in the same bank requires a PRE (write back)
+// and an ACT (activate) — a bank conflict. Concurrent accesses to
+// different banks proceed in parallel; accesses to the same bank
+// serialize.
+//
+// The cycle constants are calibrated so that the modeled chunking
+// kernel lands at the throughput ratios the paper reports (Figure 11:
+// coalesced ≈ 8× naive), while the latency band respects Table 1
+// (400–600 cycles per global access).
+type DRAMTimings struct {
+	// Banks is the number of independent banks.
+	Banks int
+	// RowBytes is the size of one row (the sense-amplifier granule).
+	RowBytes int64
+	// HitCycles is the service time of an access to the open row.
+	HitCycles int64
+	// MissCycles is the service time when the bank must PRE the old row
+	// and ACT the new one before transferring.
+	MissCycles int64
+	// BurstBytesPerCycle is the data rate once a transaction streams
+	// from the sense amplifier.
+	BurstBytesPerCycle int64
+}
+
+// DefaultDRAMTimings returns the calibrated GDDR5 model constants.
+func DefaultDRAMTimings() DRAMTimings {
+	return DRAMTimings{
+		Banks:              16,
+		RowBytes:           2048,
+		HitCycles:          16,
+		MissCycles:         80, // PRE + ACT + CAS
+		BurstBytesPerCycle: 32,
+	}
+}
+
+// DRAM tracks per-bank open rows and accounts cycles and conflicts for
+// batches of concurrent accesses. It is the timing heart of the naive
+// vs. coalesced comparison; the data itself lives in ordinary Go slices.
+type DRAM struct {
+	t       DRAMTimings
+	openRow []int64
+	scratch []int64 // per-bank accumulated cycles for the current batch
+
+	// Accesses counts individual memory transactions; Conflicts counts
+	// those that required a row activation (ACT after PRE).
+	Accesses  uint64
+	Conflicts uint64
+	// Cycles is the total modeled memory time across all batches.
+	Cycles uint64
+}
+
+// NewDRAM returns a DRAM model with all banks closed.
+func NewDRAM(t DRAMTimings) *DRAM {
+	if t.Banks < 1 || t.RowBytes < 1 {
+		panic("gpu: invalid DRAM geometry")
+	}
+	d := &DRAM{
+		t:       t,
+		openRow: make([]int64, t.Banks),
+		scratch: make([]int64, t.Banks),
+	}
+	d.Reset()
+	return d
+}
+
+// Timings returns the model constants.
+func (d *DRAM) Timings() DRAMTimings { return d.t }
+
+// Reset closes all rows and clears counters.
+func (d *DRAM) Reset() {
+	for i := range d.openRow {
+		d.openRow[i] = -1
+	}
+	d.Accesses, d.Conflicts, d.Cycles = 0, 0, 0
+}
+
+// bankRow decomposes a byte address: rows are striped across banks in
+// RowBytes units, so consecutive rows land in consecutive banks.
+func (d *DRAM) bankRow(addr int64) (bank int, row int64) {
+	unit := addr / d.t.RowBytes
+	return int(unit % int64(d.t.Banks)), unit / int64(d.t.Banks)
+}
+
+// AccessBatch models one SIMT batch: every address is issued
+// concurrently (one per thread of a warp, or one per coalesced
+// transaction). Banks operate in parallel; accesses hitting the same
+// bank serialize, paying MissCycles whenever they touch a row other
+// than the bank's open row. size is the bytes moved per address
+// (burst length). The returned cycle count is the batch's completion
+// time: the maximum over banks of each bank's serialized service.
+func (d *DRAM) AccessBatch(addrs []int64, size int64) int64 {
+	if len(addrs) == 0 {
+		return 0
+	}
+	burst := (size + d.t.BurstBytesPerCycle - 1) / d.t.BurstBytesPerCycle
+	for i := range d.scratch {
+		d.scratch[i] = 0
+	}
+	for _, a := range addrs {
+		bank, row := d.bankRow(a)
+		d.Accesses++
+		if d.openRow[bank] == row {
+			d.scratch[bank] += d.t.HitCycles + burst
+		} else {
+			d.Conflicts++
+			d.openRow[bank] = row
+			d.scratch[bank] += d.t.MissCycles + burst
+		}
+	}
+	var max int64
+	for _, c := range d.scratch {
+		if c > max {
+			max = c
+		}
+	}
+	d.Cycles += uint64(max)
+	return max
+}

@@ -1,0 +1,406 @@
+package gpu
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+	"time"
+
+	"shredder/internal/chunker"
+	"shredder/internal/rabin"
+)
+
+// MemoryMode selects how the chunking kernel reaches the data in global
+// device memory.
+type MemoryMode int
+
+const (
+	// NaiveGlobal has every thread read its substream directly from
+	// global memory, byte by byte. With hundreds of threads the
+	// accesses scatter across bank rows and thrash the sense
+	// amplifiers (§3.2).
+	NaiveGlobal MemoryMode = iota
+	// Coalesced uses the paper's thread-cooperation scheme (§4.3,
+	// Figure 10): the threads of a (half-)warp fetch each data block
+	// with contiguous, aligned transactions into per-SM shared memory,
+	// then process it from there.
+	Coalesced
+)
+
+func (m MemoryMode) String() string {
+	switch m {
+	case NaiveGlobal:
+		return "naive-global"
+	case Coalesced:
+		return "coalesced"
+	default:
+		return fmt.Sprintf("MemoryMode(%d)", int(m))
+	}
+}
+
+// KernelConfig configures the chunking kernel model.
+type KernelConfig struct {
+	// Spec is the device executing the kernel.
+	Spec Spec
+	// DRAM gives the global-memory timing model.
+	DRAM DRAMTimings
+	// ThreadsPerBlock is the number of threads per thread block; one
+	// block is resident per SM, so total threads = SMs·ThreadsPerBlock
+	// and the input is divided into that many substreams (§3.1).
+	ThreadsPerBlock int
+	// ComputeCyclesPerByte is the SP cost of the unrolled Rabin
+	// inner loop (table lookups, shifts, compare) per input byte.
+	ComputeCyclesPerByte float64
+	// UnrolledFingerprint applies the §5.2.2 loop-unrolling and
+	// instruction-level optimizations; disabling it inflates compute
+	// cost by the RAW-stall factor of the in-order SPs.
+	UnrolledFingerprint bool
+	// DivergenceOptimized applies the §5.2.2 warp-divergence
+	// restructuring; disabling it serializes the warp on every
+	// boundary hit.
+	DivergenceOptimized bool
+	// TransactionBytes is the size of one coalesced global-memory
+	// transaction (the contiguous, 16-byte-aligned access of §4.3).
+	TransactionBytes int64
+	// SharedAccessCyclesPerByte is the per-lane cost of reading a byte
+	// from on-chip shared memory during the processing phase of the
+	// coalesced path (Table 1: "L1 latency, a few cycles").
+	SharedAccessCyclesPerByte float64
+	// SampleWarps and SampleIters bound the micro-simulation used to
+	// derive per-byte memory cost; the access pattern is periodic, so a
+	// small sample converges.
+	SampleWarps int
+	SampleIters int
+	// Workers is the number of host goroutines used for the functional
+	// boundary scan; 0 means GOMAXPROCS.
+	Workers int
+}
+
+// RAW-stall factor applied when the fingerprint loop is not unrolled
+// (§5.2.2: the GPU lacks out-of-order execution to hide read-after-
+// write dependencies).
+const rawStallFactor = 1.7
+
+// Cycles a warp loses on a divergent branch when a lane finds a chunk
+// boundary.
+const (
+	divergenceCyclesOptimized = 32
+	divergenceCyclesNaive     = 1024
+)
+
+// DefaultKernelConfig returns the calibrated C2050 kernel model.
+func DefaultKernelConfig() KernelConfig {
+	return KernelConfig{
+		Spec:                      C2050(),
+		DRAM:                      DefaultDRAMTimings(),
+		ThreadsPerBlock:           128,
+		ComputeCyclesPerByte:      40,
+		UnrolledFingerprint:       true,
+		DivergenceOptimized:       true,
+		TransactionBytes:          128,
+		SharedAccessCyclesPerByte: 12,
+		SampleWarps:               4,
+		SampleIters:               256,
+	}
+}
+
+// Kernel is the GPU chunking kernel: functionally it computes exactly
+// the raw content-defined boundaries of the sequential chunker; its
+// timing model charges cycles according to the configured memory mode.
+// Kernel is safe for concurrent use.
+type Kernel struct {
+	cfg KernelConfig
+	chk *chunker.Chunker
+
+	mu      sync.Mutex
+	memMemo map[memKey]memProfile
+}
+
+type memKey struct {
+	mode      MemoryMode
+	substream int64
+}
+
+// memProfile is the outcome of the memory micro-simulation.
+type memProfile struct {
+	cyclesPerByte   float64 // memory cycles per byte, per SM
+	conflictsPerByt float64 // bank conflicts per byte (modeled)
+}
+
+// NewKernel returns a kernel cutting with c on the configured device.
+func NewKernel(cfg KernelConfig, c *chunker.Chunker) (*Kernel, error) {
+	if err := cfg.Spec.Validate(); err != nil {
+		return nil, err
+	}
+	if cfg.ThreadsPerBlock < cfg.Spec.WarpSize {
+		return nil, fmt.Errorf("gpu: threads per block %d below warp size %d", cfg.ThreadsPerBlock, cfg.Spec.WarpSize)
+	}
+	if cfg.TransactionBytes < 4 {
+		return nil, fmt.Errorf("gpu: transaction size %d too small", cfg.TransactionBytes)
+	}
+	if cfg.ComputeCyclesPerByte <= 0 {
+		return nil, fmt.Errorf("gpu: compute cycles per byte must be positive")
+	}
+	if cfg.SampleWarps < 1 || cfg.SampleIters < 1 {
+		return nil, fmt.Errorf("gpu: micro-simulation sample sizes must be positive")
+	}
+	return &Kernel{cfg: cfg, chk: c, memMemo: make(map[memKey]memProfile)}, nil
+}
+
+// Config returns the kernel configuration.
+func (k *Kernel) Config() KernelConfig { return k.cfg }
+
+// Threads returns the total number of device threads launched.
+func (k *Kernel) Threads() int { return k.cfg.Spec.SMs * k.cfg.ThreadsPerBlock }
+
+// Result reports one kernel execution.
+type Result struct {
+	// Boundaries are the raw chunk end offsets (exclusive), identical
+	// to chunker.Chunker.Boundaries on the same data.
+	Boundaries []int64
+	// Fingerprints carries the window fingerprint at each boundary.
+	Fingerprints []rabin.Poly
+
+	// Time is the modeled kernel execution time.
+	Time time.Duration
+	// ComputeCPB, MemoryCPB and DivergenceCPB decompose the modeled
+	// cost in cycles per byte per SM.
+	ComputeCPB, MemoryCPB, DivergenceCPB float64
+	// BankConflicts estimates the total bank conflicts incurred.
+	BankConflicts uint64
+	// Throughput is bytes divided by Time.
+	Throughput float64
+}
+
+// EstimateTime returns the modeled kernel time for n bytes in the given
+// mode, without scanning any data. The pipeline simulations use this so
+// per-buffer timing does not re-run the micro-simulation.
+func (k *Kernel) EstimateTime(n int64, mode MemoryMode) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	_, t, _ := k.cost(n, mode)
+	return t
+}
+
+// cost returns cycles-per-byte decomposition, total time and modeled
+// conflicts for n bytes.
+func (k *Kernel) cost(n int64, mode MemoryMode) ([3]float64, time.Duration, uint64) {
+	prof := k.memProfile(n, mode)
+
+	compute := k.cfg.ComputeCyclesPerByte
+	if !k.cfg.UnrolledFingerprint {
+		compute *= rawStallFactor
+	}
+	// A warp advances WarpSize bytes per ComputeCyclesPerByte cycles
+	// (all lanes in parallel); warps within the SM serialize on the SPs.
+	computeCPB := compute / float64(k.cfg.Spec.WarpSize)
+
+	// Boundary probability is 2^-MaskBits; each boundary diverges the
+	// warp for a mode-dependent number of cycles.
+	divCycles := float64(divergenceCyclesOptimized)
+	if !k.cfg.DivergenceOptimized {
+		divCycles = divergenceCyclesNaive
+	}
+	freq := 1 / float64(uint64(1)<<uint(k.chk.Params().MaskBits))
+	divCPB := freq * divCycles / float64(k.cfg.Spec.WarpSize)
+
+	// In the coalesced path the processing phase reads every byte from
+	// shared memory; the naive path reads straight from its registers
+	// after the (much dearer) global load already charged above.
+	var sharedCPB float64
+	if mode == Coalesced {
+		sharedCPB = k.cfg.SharedAccessCyclesPerByte / float64(k.cfg.Spec.WarpSize)
+	}
+	cpb := computeCPB + prof.cyclesPerByte + divCPB + sharedCPB
+	// Redundant window warm-up at substream borders.
+	eff := float64(n) + float64(k.Threads()-1)*float64(k.chk.Params().Window-1)
+	seconds := eff * cpb / (k.cfg.Spec.ClockHz * float64(k.cfg.Spec.SMs))
+	// The device can never beat its peak memory bandwidth for a
+	// single-pass scan.
+	if floor := float64(n) / k.cfg.Spec.MemBandwidth; seconds < floor {
+		seconds = floor
+	}
+	conflicts := uint64(prof.conflictsPerByt * float64(n))
+	return [3]float64{computeCPB, prof.cyclesPerByte, divCPB}, time.Duration(seconds * 1e9), conflicts
+}
+
+// memProfile runs (or recalls) the micro-simulation of the memory
+// system for the given buffer size and mode.
+func (k *Kernel) memProfile(n int64, mode MemoryMode) memProfile {
+	threads := int64(k.Threads())
+	sub := (n + threads - 1) / threads
+	key := memKey{mode: mode, substream: sub}
+	if mode == Coalesced {
+		key.substream = 0 // pattern independent of substream layout
+	}
+	k.mu.Lock()
+	if p, ok := k.memMemo[key]; ok {
+		k.mu.Unlock()
+		return p
+	}
+	k.mu.Unlock()
+
+	var p memProfile
+	switch mode {
+	case NaiveGlobal:
+		p = k.simulateNaive(sub)
+	case Coalesced:
+		p = k.simulateCoalesced()
+	default:
+		panic("gpu: unknown memory mode")
+	}
+	k.mu.Lock()
+	k.memMemo[key] = p
+	k.mu.Unlock()
+	return p
+}
+
+// simulateNaive models SampleWarps warps advancing byte by byte: lane
+// t of a warp reads substream base t·sub + iteration. The per-bank
+// sense amplifiers thrash because concurrent lanes own distant rows.
+func (k *Kernel) simulateNaive(sub int64) memProfile {
+	d := NewDRAM(k.cfg.DRAM)
+	ws := k.cfg.Spec.WarpSize
+	addrs := make([]int64, ws)
+	var cycles int64
+	var bytes int64
+	for w := 0; w < k.cfg.SampleWarps; w++ {
+		base := int64(w*ws) * sub
+		for it := 0; it < k.cfg.SampleIters; it++ {
+			for lane := 0; lane < ws; lane++ {
+				addrs[lane] = base + int64(lane)*sub + int64(it)
+			}
+			cycles += d.AccessBatch(addrs, 1)
+			bytes += int64(ws)
+		}
+	}
+	return memProfile{
+		cyclesPerByte:   float64(cycles) / float64(bytes),
+		conflictsPerByt: float64(d.Conflicts) / float64(bytes),
+	}
+}
+
+// simulateCoalesced models the cooperative tile load of §4.3: one
+// shared-memory tile (SharedMemPerSM bytes) is fetched with contiguous
+// aligned TransactionBytes transactions, a warp issuing WarpSize of
+// them concurrently; processing then happens from shared memory at L1
+// latency (charged as compute, not memory).
+func (k *Kernel) simulateCoalesced() memProfile {
+	d := NewDRAM(k.cfg.DRAM)
+	ws := k.cfg.Spec.WarpSize
+	tile := int64(k.cfg.Spec.SharedMemPerSM)
+	tx := k.cfg.TransactionBytes
+	addrs := make([]int64, 0, ws)
+	var cycles int64
+	var bytes int64
+	// Simulate a handful of consecutive tiles so row-boundary effects
+	// are represented proportionally.
+	for t := 0; t < k.cfg.SampleWarps; t++ {
+		base := tile * int64(t)
+		for off := int64(0); off < tile; off += tx * int64(ws) {
+			addrs = addrs[:0]
+			for lane := 0; lane < ws && off+int64(lane)*tx < tile; lane++ {
+				addrs = append(addrs, base+off+int64(lane)*tx)
+			}
+			cycles += d.AccessBatch(addrs, tx)
+			bytes += int64(len(addrs)) * tx
+		}
+	}
+	return memProfile{
+		cyclesPerByte:   float64(cycles) / float64(bytes),
+		conflictsPerByt: float64(d.Conflicts) / float64(bytes),
+	}
+}
+
+// Run executes the chunking kernel over data: it returns the raw
+// content-defined boundaries (bit-identical to the sequential
+// reference) plus the modeled execution report. The scan itself runs
+// on host goroutines purely to make the simulation fast; the timing in
+// the result is entirely the device model's.
+func (k *Kernel) Run(data []byte, mode MemoryMode) (*Result, error) {
+	if int64(len(data)) > k.cfg.Spec.GlobalMemBytes {
+		return nil, fmt.Errorf("gpu: buffer of %d bytes exceeds device memory %d", len(data), k.cfg.Spec.GlobalMemBytes)
+	}
+	res := &Result{}
+	if len(data) > 0 {
+		res.Boundaries, res.Fingerprints = k.scan(data)
+	}
+	cpb, t, conflicts := k.cost(int64(len(data)), mode)
+	res.ComputeCPB, res.MemoryCPB, res.DivergenceCPB = cpb[0], cpb[1], cpb[2]
+	res.Time = t
+	res.BankConflicts = conflicts
+	if t > 0 {
+		res.Throughput = float64(len(data)) / t.Seconds()
+	}
+	return res, nil
+}
+
+// scan computes raw boundaries in parallel. Worker ranges are
+// contiguous, and each worker warms its window from Window−1 bytes
+// before its range, so the union over workers equals the sequential
+// evaluate-every-position semantics of chunker.Boundaries.
+func (k *Kernel) scan(data []byte) ([]int64, []rabin.Poly) {
+	workers := k.cfg.Workers
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	n := len(data)
+	if workers > n {
+		workers = n
+	}
+	type part struct {
+		cuts []int64
+		fps  []rabin.Poly
+	}
+	parts := make([]part, workers)
+	var wg sync.WaitGroup
+	chunkLen := (n + workers - 1) / workers
+	tab := k.chk.Table()
+	win := tab.Size()
+	for wi := 0; wi < workers; wi++ {
+		lo := wi * chunkLen
+		hi := lo + chunkLen
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, lo, hi int) {
+			defer wg.Done()
+			w := rabin.NewWindow(tab)
+			warm := lo - (win - 1)
+			if warm < 0 {
+				warm = 0
+			}
+			for i := warm; i < lo; i++ {
+				w.Slide(data[i])
+			}
+			// Full() matches the sequential semantics in every case:
+			// when lo >= win-1 the warm-up provides win-1 bytes, so the
+			// window is full from the first in-range position (as it
+			// would be sequentially); when lo < win-1 the warm-up is
+			// clamped to offset 0 and the fill count equals the global
+			// position, so Full() flips exactly at position win-1.
+			var p part
+			for i := lo; i < hi; i++ {
+				fp := w.Slide(data[i])
+				if w.Full() && k.chk.IsBoundary(fp) {
+					p.cuts = append(p.cuts, int64(i)+1)
+					p.fps = append(p.fps, fp)
+				}
+			}
+			parts[wi] = p
+		}(wi, lo, hi)
+	}
+	wg.Wait()
+	var cuts []int64
+	var fps []rabin.Poly
+	for _, p := range parts {
+		cuts = append(cuts, p.cuts...)
+		fps = append(fps, p.fps...)
+	}
+	return cuts, fps
+}

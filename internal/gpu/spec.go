@@ -1,0 +1,85 @@
+// Package gpu models the GPU device Shredder offloads chunking to.
+//
+// Because Go has no native GPU support (and this reproduction must be
+// hardware-independent), the package substitutes the paper's NVidia
+// Tesla C2050 with a deterministic performance model: streaming
+// multiprocessors executing warps in SIMT fashion, a GDDR5-style global
+// memory organized into banks and rows with sense amplifiers (so ACT /
+// PRE row activations and bank conflicts are first-class, as in §2.3 of
+// the paper), and per-SM shared memory. The chunking kernel computes
+// real Rabin-fingerprint boundaries over real bytes (bit-identical to
+// the sequential chunker); only *time* is simulated, by charging every
+// modeled memory access and instruction with cycles.
+package gpu
+
+// Spec describes the simulated device. The defaults reproduce Table 1
+// of the paper (NVidia Tesla C2050, Fermi).
+type Spec struct {
+	// Name identifies the modeled device.
+	Name string
+	// SMs is the number of streaming multiprocessors.
+	SMs int
+	// SPsPerSM is the number of scalar processor cores per SM.
+	SPsPerSM int
+	// WarpSize is the SIMT scheduling width in threads.
+	WarpSize int
+	// ClockHz is the SP clock rate.
+	ClockHz float64
+	// GlobalMemBytes is the size of the off-chip device memory.
+	GlobalMemBytes int64
+	// MemBandwidth is the peak global memory bandwidth in bytes/second.
+	MemBandwidth float64
+	// MemLatencyMinCycles and MemLatencyMaxCycles bound the global
+	// memory access latency (Table 1: 400–600 cycles).
+	MemLatencyMinCycles int
+	MemLatencyMaxCycles int
+	// SharedMemPerSM is the low-latency on-chip shared memory per SM.
+	SharedMemPerSM int
+	// RegistersPerSM is the register file size per SM.
+	RegistersPerSM int
+	// GFlops is the peak single-precision throughput (Table 1).
+	GFlops float64
+}
+
+// C2050 returns the specification of the paper's evaluation GPU
+// (Table 1 and §5.3).
+func C2050() Spec {
+	return Spec{
+		Name:                "Simulated NVidia Tesla C2050 (Fermi)",
+		SMs:                 14,
+		SPsPerSM:            32,
+		WarpSize:            32,
+		ClockHz:             1.15e9,
+		GlobalMemBytes:      2600 << 20, // 2.6 GB
+		MemBandwidth:        144e9,
+		MemLatencyMinCycles: 400,
+		MemLatencyMaxCycles: 600,
+		SharedMemPerSM:      48 << 10,
+		RegistersPerSM:      32768,
+		GFlops:              1030,
+	}
+}
+
+// Cores returns the total number of scalar processors.
+func (s Spec) Cores() int { return s.SMs * s.SPsPerSM }
+
+// Validate checks the spec for consistency.
+func (s Spec) Validate() error {
+	switch {
+	case s.SMs < 1, s.SPsPerSM < 1, s.WarpSize < 1:
+		return errSpec("SM/SP/warp counts must be positive")
+	case s.ClockHz <= 0:
+		return errSpec("clock rate must be positive")
+	case s.GlobalMemBytes <= 0:
+		return errSpec("global memory size must be positive")
+	case s.MemBandwidth <= 0:
+		return errSpec("memory bandwidth must be positive")
+	case s.SharedMemPerSM <= 0:
+		return errSpec("shared memory size must be positive")
+	}
+	return nil
+}
+
+type errSpec string
+
+func (e errSpec) Error() string { return "gpu: invalid spec: " + string(e) }

@@ -1,0 +1,331 @@
+// Package hdfs implements Inc-HDFS (§6.2): a miniature HDFS-like file
+// system extended with content-based chunking so that small changes to
+// an uploaded file leave most block identities — and therefore most
+// downstream MapReduce work — unchanged.
+//
+// Blocks are content-addressed: a block whose bytes were stored by an
+// earlier upload is not stored (or shipped) again. The client offers
+// the original fixed-size path (CopyFromLocal) and the Shredder-
+// accelerated content-defined path (CopyFromLocalGPU), mirroring the
+// copyFromLocal / copyFromLocalGPU shell commands of §6.3.
+package hdfs
+
+import (
+	"errors"
+	"fmt"
+
+	"shredder/internal/chunker"
+	"shredder/internal/core"
+	"shredder/internal/dedup"
+)
+
+// BlockID identifies a block by content.
+type BlockID = dedup.Hash
+
+// BlockRef names one block of a file.
+type BlockRef struct {
+	ID     BlockID
+	Length int64
+}
+
+// FileMeta is the NameNode's record of a file.
+type FileMeta struct {
+	Name   string
+	Size   int64
+	Blocks []BlockRef
+}
+
+// DataNode stores block contents in memory.
+type DataNode struct {
+	id     int
+	blocks map[BlockID][]byte
+	dead   bool
+}
+
+// Blocks returns the number of blocks the node holds.
+func (d *DataNode) Blocks() int { return len(d.blocks) }
+
+// Alive reports whether the node is serving.
+func (d *DataNode) Alive() bool { return !d.dead }
+
+// Cluster bundles a NameNode with its DataNodes.
+type Cluster struct {
+	files     map[string]*FileMeta
+	locations map[BlockID][]int // block -> replica datanodes
+	refcount  map[BlockID]int64
+	nodes     []*DataNode
+	next      int // round-robin placement cursor
+	replicas  int
+
+	// Uploaded counts bytes actually shipped to datanodes; Deduped
+	// counts bytes avoided because the block already existed.
+	Uploaded int64
+	Deduped  int64
+}
+
+// NewCluster creates a cluster with n datanodes and replication
+// factor 1; use NewReplicatedCluster for fault tolerance.
+func NewCluster(n int) (*Cluster, error) {
+	return NewReplicatedCluster(n, 1)
+}
+
+// NewReplicatedCluster creates a cluster with n datanodes storing r
+// replicas of every block (HDFS defaults to 3).
+func NewReplicatedCluster(n, r int) (*Cluster, error) {
+	if n < 1 {
+		return nil, errors.New("hdfs: need at least one datanode")
+	}
+	if r < 1 || r > n {
+		return nil, fmt.Errorf("hdfs: replication factor %d outside [1, %d]", r, n)
+	}
+	c := &Cluster{
+		files:     make(map[string]*FileMeta),
+		locations: make(map[BlockID][]int),
+		refcount:  make(map[BlockID]int64),
+		replicas:  r,
+	}
+	for i := 0; i < n; i++ {
+		c.nodes = append(c.nodes, &DataNode{id: i, blocks: make(map[BlockID][]byte)})
+	}
+	return c, nil
+}
+
+// DataNodes returns the cluster's nodes.
+func (c *Cluster) DataNodes() []*DataNode { return c.nodes }
+
+// KillNode marks a datanode failed: it stops serving reads until
+// ReviveNode. Blocks whose every replica is dead become unreadable,
+// which ReadBlock reports.
+func (c *Cluster) KillNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no datanode %d", id)
+	}
+	c.nodes[id].dead = true
+	return nil
+}
+
+// ReviveNode brings a failed datanode back (its blocks are intact; this
+// models a restart, not disk loss).
+func (c *Cluster) ReviveNode(id int) error {
+	if id < 0 || id >= len(c.nodes) {
+		return fmt.Errorf("hdfs: no datanode %d", id)
+	}
+	c.nodes[id].dead = false
+	return nil
+}
+
+// putBlock stores a block if new; returns whether it was new.
+func (c *Cluster) putBlock(data []byte) (BlockID, bool) {
+	id := dedup.Sum(data)
+	if _, ok := c.locations[id]; ok {
+		c.refcount[id]++
+		c.Deduped += int64(len(data))
+		return id, false
+	}
+	cp := make([]byte, len(data))
+	copy(cp, data)
+	var placed []int
+	for r := 0; r < c.replicas; r++ {
+		node := c.nodes[(c.next+r)%len(c.nodes)]
+		node.blocks[id] = cp
+		placed = append(placed, node.id)
+	}
+	c.next++
+	c.locations[id] = placed
+	c.refcount[id] = 1
+	c.Uploaded += int64(len(cp)) * int64(c.replicas)
+	return id, true
+}
+
+// commit records a file's metadata at the NameNode.
+func (c *Cluster) commit(meta *FileMeta) {
+	c.files[meta.Name] = meta
+}
+
+// Stat returns a file's metadata.
+func (c *Cluster) Stat(name string) (*FileMeta, error) {
+	m, ok := c.files[name]
+	if !ok {
+		return nil, fmt.Errorf("hdfs: no such file %q", name)
+	}
+	return m, nil
+}
+
+// ReadBlock fetches one block's bytes from any live replica.
+func (c *Cluster) ReadBlock(id BlockID) ([]byte, error) {
+	replicas, ok := c.locations[id]
+	if !ok {
+		return nil, errors.New("hdfs: block not found")
+	}
+	for _, n := range replicas {
+		if c.nodes[n].Alive() {
+			return c.nodes[n].blocks[id], nil
+		}
+	}
+	return nil, fmt.Errorf("hdfs: all %d replicas of block %x are down", len(replicas), id[:8])
+}
+
+// ReadFile reassembles a whole file.
+func (c *Cluster) ReadFile(name string) ([]byte, error) {
+	m, err := c.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	out := make([]byte, 0, m.Size)
+	for _, b := range m.Blocks {
+		data, err := c.ReadBlock(b.ID)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}
+
+// Split is one unit of MapReduce input: a block plus its location.
+type Split struct {
+	File  string
+	Index int
+	Block BlockRef
+	Node  int
+}
+
+// InputSplits lists a file's splits in order — the InputFormat the
+// Incoop engine consumes. One split per block, as in §6.2.
+func (c *Cluster) InputSplits(name string) ([]Split, error) {
+	m, err := c.Stat(name)
+	if err != nil {
+		return nil, err
+	}
+	splits := make([]Split, len(m.Blocks))
+	for i, b := range m.Blocks {
+		node := -1
+		for _, n := range c.locations[b.ID] {
+			if c.nodes[n].Alive() {
+				node = n
+				break
+			}
+		}
+		splits[i] = Split{File: name, Index: i, Block: b, Node: node}
+	}
+	return splits, nil
+}
+
+// UploadReport summarizes one upload.
+type UploadReport struct {
+	Blocks      int
+	NewBlocks   int
+	BytesTotal  int64
+	BytesStored int64
+	// Shredder carries the chunking pipeline's timing report for the
+	// GPU path (nil for fixed-size uploads).
+	Shredder *core.Report
+}
+
+// Client uploads files into the cluster.
+type Client struct {
+	cluster *Cluster
+	shred   *core.Shredder
+	// RecordDelim, when nonzero, turns on semantic chunking: content
+	// boundaries are advanced to the next delimiter so no record is
+	// split across blocks (§6.3's InputFormat-aware chunking).
+	RecordDelim byte
+}
+
+// NewClient returns a client for the cluster; shred may be nil if only
+// fixed-size uploads are needed.
+func NewClient(cluster *Cluster, shred *core.Shredder) *Client {
+	return &Client{cluster: cluster, shred: shred}
+}
+
+// CopyFromLocal uploads with original-HDFS fixed-size blocks.
+func (c *Client) CopyFromLocal(name string, data []byte, blockSize int) (*UploadReport, error) {
+	if blockSize < 1 {
+		return nil, errors.New("hdfs: block size must be positive")
+	}
+	meta := &FileMeta{Name: name, Size: int64(len(data))}
+	rep := &UploadReport{BytesTotal: int64(len(data))}
+	for off := 0; off < len(data); off += blockSize {
+		end := off + blockSize
+		if end > len(data) {
+			end = len(data)
+		}
+		block := data[off:end]
+		id, fresh := c.cluster.putBlock(block)
+		meta.Blocks = append(meta.Blocks, BlockRef{ID: id, Length: int64(len(block))})
+		rep.Blocks++
+		if fresh {
+			rep.NewBlocks++
+			rep.BytesStored += int64(len(block))
+		}
+	}
+	c.cluster.commit(meta)
+	return rep, nil
+}
+
+// CopyFromLocalGPU uploads with Shredder content-based chunking (the
+// copyFromLocalGPU shell command). Boundaries are optionally aligned to
+// record delimiters.
+func (c *Client) CopyFromLocalGPU(name string, data []byte) (*UploadReport, error) {
+	if c.shred == nil {
+		return nil, errors.New("hdfs: client has no Shredder attached")
+	}
+	var chunks []chunker.Chunk
+	srep, err := c.shred.ChunkBytes(data, func(ch chunker.Chunk, _ []byte) error {
+		chunks = append(chunks, ch)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	if c.RecordDelim != 0 {
+		chunks = AlignToRecords(data, chunks, c.RecordDelim)
+	}
+	meta := &FileMeta{Name: name, Size: int64(len(data))}
+	rep := &UploadReport{BytesTotal: int64(len(data)), Shredder: srep}
+	for _, ch := range chunks {
+		block := data[ch.Offset:ch.End()]
+		id, fresh := c.cluster.putBlock(block)
+		meta.Blocks = append(meta.Blocks, BlockRef{ID: id, Length: ch.Length})
+		rep.Blocks++
+		if fresh {
+			rep.NewBlocks++
+			rep.BytesStored += int64(len(block))
+		}
+	}
+	c.cluster.commit(meta)
+	return rep, nil
+}
+
+// AlignToRecords moves every chunk boundary forward to just past the
+// next delimiter, so records never straddle blocks. The final chunk
+// always ends at the end of data. Chunks that become empty are merged
+// away. Alignment is content-local: it depends only on bytes near the
+// boundary, preserving chunk-identity stability.
+func AlignToRecords(data []byte, chunks []chunker.Chunk, delim byte) []chunker.Chunk {
+	if len(chunks) == 0 {
+		return nil
+	}
+	out := make([]chunker.Chunk, 0, len(chunks))
+	start := int64(0)
+	for i := 0; i < len(chunks)-1; i++ {
+		cut := chunks[i].End()
+		// Advance to one past the next delimiter (or swallow the next
+		// chunk if none found within it — handled by the loop).
+		j := cut
+		for j < int64(len(data)) && data[j-1] != delim {
+			j++
+		}
+		if j >= chunks[len(chunks)-1].End() {
+			break // rest collapses into the final chunk
+		}
+		if j > start {
+			out = append(out, chunker.Chunk{Offset: start, Length: j - start, Cut: chunks[i].Cut, Forced: chunks[i].Forced})
+			start = j
+		}
+	}
+	if total := int64(len(data)); total > start {
+		out = append(out, chunker.Chunk{Offset: start, Length: total - start, Forced: true})
+	}
+	return out
+}

@@ -1,0 +1,256 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/chunker"
+	"shredder/internal/core"
+	"shredder/internal/workload"
+)
+
+func newTestShredder(t testing.TB) *core.Shredder {
+	t.Helper()
+	cfg := core.DefaultConfig()
+	cfg.BufferSize = 1 << 20
+	s, err := core.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s
+}
+
+func TestFixedSizeUploadRoundTrip(t *testing.T) {
+	c, err := NewCluster(3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(c, nil)
+	data := workload.Random(1, 1<<20+333)
+	rep, err := client.CopyFromLocal("f", data, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Blocks != 17 { // ceil((1MiB+333)/64KiB)
+		t.Fatalf("blocks = %d, want 17", rep.Blocks)
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back differs")
+	}
+}
+
+func TestContentUploadRoundTrip(t *testing.T) {
+	c, _ := NewCluster(4)
+	client := NewClient(c, newTestShredder(t))
+	data := workload.Random(2, 3<<20+17)
+	rep, err := client.CopyFromLocalGPU("f", data)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Shredder == nil || rep.Shredder.Throughput <= 0 {
+		t.Fatal("missing shredder report")
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back differs")
+	}
+	// Blocks distributed across datanodes.
+	placed := 0
+	for _, dn := range c.DataNodes() {
+		if dn.Blocks() > 0 {
+			placed++
+		}
+	}
+	if placed < 2 {
+		t.Fatalf("blocks on %d datanodes, want spread", placed)
+	}
+}
+
+func TestContentChunkingDedupsAcrossVersions(t *testing.T) {
+	// The §6.2 motivation: re-uploading a slightly edited file must
+	// reuse most blocks under content chunking, but almost none under
+	// fixed-size chunking when bytes are inserted.
+	base := workload.Text(3, 2<<20)
+	edited := workload.MutateInsert(base, 7, 2) // 2% inserted
+
+	// Fixed-size path.
+	cf, _ := NewCluster(2)
+	fixed := NewClient(cf, nil)
+	if _, err := fixed.CopyFromLocal("v1", base, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	repFixed, err := fixed.CopyFromLocal("v2", edited, 64<<10)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Content-defined path.
+	cc, _ := NewCluster(2)
+	content := NewClient(cc, newTestShredder(t))
+	if _, err := content.CopyFromLocalGPU("v1", base); err != nil {
+		t.Fatal(err)
+	}
+	repContent, err := content.CopyFromLocalGPU("v2", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	fixedReuse := 1 - float64(repFixed.NewBlocks)/float64(repFixed.Blocks)
+	contentReuse := 1 - float64(repContent.NewBlocks)/float64(repContent.Blocks)
+	if contentReuse < 0.6 {
+		t.Fatalf("content chunking reused only %.0f%% of blocks", contentReuse*100)
+	}
+	if contentReuse <= fixedReuse {
+		t.Fatalf("content reuse %.2f not above fixed-size reuse %.2f", contentReuse, fixedReuse)
+	}
+	// Both versions still read back intact.
+	for _, name := range []string{"v1", "v2"} {
+		want := base
+		if name == "v2" {
+			want = edited
+		}
+		got, err := cc.ReadFile(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, want) {
+			t.Fatalf("%s read-back differs", name)
+		}
+	}
+}
+
+func TestInputSplits(t *testing.T) {
+	c, _ := NewCluster(2)
+	client := NewClient(c, newTestShredder(t))
+	data := workload.Text(4, 1<<20)
+	if _, err := client.CopyFromLocalGPU("f", data); err != nil {
+		t.Fatal(err)
+	}
+	splits, err := c.InputSplits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(splits) < 2 {
+		t.Fatalf("only %d splits", len(splits))
+	}
+	var total int64
+	for i, s := range splits {
+		if s.Index != i || s.File != "f" {
+			t.Fatalf("split %d mislabeled: %+v", i, s)
+		}
+		total += s.Block.Length
+	}
+	if total != int64(len(data)) {
+		t.Fatalf("splits cover %d bytes, want %d", total, len(data))
+	}
+	if _, err := c.InputSplits("nope"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+}
+
+func TestSemanticChunkingRespectsRecords(t *testing.T) {
+	c, _ := NewCluster(2)
+	client := NewClient(c, newTestShredder(t))
+	client.RecordDelim = '\n'
+	data := workload.Text(5, 2<<20)
+	if _, err := client.CopyFromLocalGPU("f", data); err != nil {
+		t.Fatal(err)
+	}
+	meta, _ := c.Stat("f")
+	var off int64
+	for i, b := range meta.Blocks {
+		off += b.Length
+		if off == int64(len(data)) {
+			break // final block may end without a delimiter
+		}
+		if data[off-1] != '\n' {
+			t.Fatalf("block %d ends mid-record at offset %d", i, off)
+		}
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("semantic chunking corrupted the file")
+	}
+}
+
+func TestAlignToRecordsEdgeCases(t *testing.T) {
+	data := []byte("aa\nbb\ncc")
+	chunks := []chunker.Chunk{
+		{Offset: 0, Length: 1}, // cut inside "aa"
+		{Offset: 1, Length: 3}, // cut at 4, inside "bb"
+		{Offset: 4, Length: 4},
+	}
+	out := AlignToRecords(data, chunks, '\n')
+	var off int64
+	for _, c := range out {
+		if c.Offset != off {
+			t.Fatalf("gap at %d", off)
+		}
+		off = c.End()
+	}
+	if off != int64(len(data)) {
+		t.Fatalf("coverage ends at %d", off)
+	}
+	for i, c := range out[:len(out)-1] {
+		if data[c.End()-1] != '\n' {
+			t.Fatalf("aligned chunk %d ends mid-record", i)
+		}
+	}
+	if AlignToRecords(data, nil, '\n') != nil {
+		t.Fatal("empty chunk list should align to nil")
+	}
+}
+
+func TestSemanticStabilityUnderEdits(t *testing.T) {
+	// Record alignment must not destroy dedup: editing a few records
+	// still leaves most blocks shared.
+	base := workload.Text(6, 2<<20)
+	edited := workload.MutateReplace(base, 8, 1)
+	c, _ := NewCluster(2)
+	client := NewClient(c, newTestShredder(t))
+	client.RecordDelim = '\n'
+	if _, err := client.CopyFromLocalGPU("v1", base); err != nil {
+		t.Fatal(err)
+	}
+	rep, err := client.CopyFromLocalGPU("v2", edited)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reuse := 1 - float64(rep.NewBlocks)/float64(rep.Blocks)
+	if reuse < 0.5 {
+		t.Fatalf("record-aligned reuse only %.0f%%", reuse*100)
+	}
+}
+
+func TestClusterValidation(t *testing.T) {
+	if _, err := NewCluster(0); err == nil {
+		t.Fatal("expected error for zero datanodes")
+	}
+	c, _ := NewCluster(1)
+	client := NewClient(c, nil)
+	if _, err := client.CopyFromLocal("f", []byte("x"), 0); err == nil {
+		t.Fatal("expected error for zero block size")
+	}
+	if _, err := client.CopyFromLocalGPU("f", []byte("x")); err == nil {
+		t.Fatal("expected error without shredder")
+	}
+	if _, err := c.Stat("missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := c.ReadFile("missing"); err == nil {
+		t.Fatal("expected error for missing file")
+	}
+	if _, err := c.ReadBlock(BlockID{}); err == nil {
+		t.Fatal("expected error for missing block")
+	}
+}

@@ -1,0 +1,118 @@
+package hdfs
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+func TestReplicatedClusterValidation(t *testing.T) {
+	if _, err := NewReplicatedCluster(3, 0); err == nil {
+		t.Fatal("expected error for r=0")
+	}
+	if _, err := NewReplicatedCluster(3, 4); err == nil {
+		t.Fatal("expected error for r>n")
+	}
+	if _, err := NewReplicatedCluster(3, 3); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReplicationSurvivesNodeFailure(t *testing.T) {
+	c, err := NewReplicatedCluster(4, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(c, newTestShredder(t))
+	data := workload.Random(80, 2<<20)
+	if _, err := client.CopyFromLocalGPU("f", data); err != nil {
+		t.Fatal(err)
+	}
+	// Kill two of the four nodes: every block still has a live replica.
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	got, err := c.ReadFile("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, data) {
+		t.Fatal("read-back differs after failures")
+	}
+	// Splits point only at live nodes.
+	splits, err := c.InputSplits("f")
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, s := range splits {
+		if s.Node == 0 || s.Node == 1 {
+			t.Fatalf("split %d assigned to dead node %d", i, s.Node)
+		}
+		if s.Node < 0 {
+			t.Fatalf("split %d has no live replica", i)
+		}
+	}
+}
+
+func TestAllReplicasDownIsAnError(t *testing.T) {
+	c, err := NewReplicatedCluster(2, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	client := NewClient(c, nil)
+	if _, err := client.CopyFromLocal("f", workload.Random(81, 1<<16), 8<<10); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.KillNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile("f"); err == nil {
+		t.Fatal("expected error with every node down")
+	}
+	// Revival restores service.
+	if err := c.ReviveNode(0); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.ReviveNode(1); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.ReadFile("f"); err != nil {
+		t.Fatalf("read after revival: %v", err)
+	}
+}
+
+func TestKillNodeValidation(t *testing.T) {
+	c, _ := NewCluster(2)
+	if err := c.KillNode(5); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+	if err := c.ReviveNode(-1); err == nil {
+		t.Fatal("expected error for unknown node")
+	}
+}
+
+func TestReplicationCountsUploadBytes(t *testing.T) {
+	c, _ := NewReplicatedCluster(3, 3)
+	client := NewClient(c, nil)
+	data := workload.Random(82, 1<<18)
+	if _, err := client.CopyFromLocal("f", data, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Uploaded != int64(len(data))*3 {
+		t.Fatalf("uploaded %d bytes, want 3x data", c.Uploaded)
+	}
+	// Dedup still applies across replicated blocks.
+	if _, err := client.CopyFromLocal("g", data, 64<<10); err != nil {
+		t.Fatal(err)
+	}
+	if c.Deduped != int64(len(data)) {
+		t.Fatalf("deduped %d, want %d", c.Deduped, len(data))
+	}
+}

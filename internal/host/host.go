@@ -1,0 +1,161 @@
+// Package host models the CPU side of the Shredder pipeline: the
+// 12-core Xeon X5650 host from §5.3, its RDTSC cycle counter (Table 2),
+// the asynchronous-I/O reader/store path of §5.2.1, and the cost of
+// host-only parallel chunking with and without a scalable allocator
+// (the pthreads baseline of §5.1, Figure 12).
+package host
+
+import (
+	"fmt"
+	"time"
+)
+
+// CPU describes the host processor.
+type CPU struct {
+	// Cores is the number of hardware threads used (the paper runs the
+	// pthreads implementation with 12).
+	Cores int
+	// ClockHz is the core clock; RDTSC ticks at this rate.
+	ClockHz float64
+}
+
+// X5650 returns the paper's host: 12 Intel Xeon X5650 cores at
+// 2.67 GHz.
+func X5650() CPU {
+	return CPU{Cores: 12, ClockHz: 2.67e9}
+}
+
+// RDTSCTicks converts a wall-clock duration into timestamp-counter
+// ticks, the unit of Table 2.
+func (c CPU) RDTSCTicks(d time.Duration) uint64 {
+	if d <= 0 {
+		return 0
+	}
+	return uint64(d.Seconds() * c.ClockHz)
+}
+
+// IOModel models the SAN-attached reader and store path. The paper's
+// Table 1 puts reader bandwidth at 2 GB/s; reads are issued as
+// asynchronous I/O, with lio_listio batching several aio requests into
+// one syscall (§5.2.1).
+type IOModel struct {
+	// ReaderBandwidth is the sequential ingest rate in bytes/second.
+	ReaderBandwidth float64
+	// StoreBandwidth is the rate of writing results (chunk boundaries
+	// or chunk data) out; same SAN class as the reader.
+	StoreBandwidth float64
+	// SyscallCost is the kernel entry/exit plus completion-signal cost
+	// per I/O submission batch.
+	SyscallCost time.Duration
+	// ListioBatch is the number of aio requests amortized per
+	// lio_listio call; 1 models issuing aio_read per buffer.
+	ListioBatch int
+}
+
+// DefaultIO returns the calibrated SAN model.
+func DefaultIO() IOModel {
+	return IOModel{
+		ReaderBandwidth: 2e9,
+		StoreBandwidth:  2e9,
+		SyscallCost:     4 * time.Microsecond,
+		ListioBatch:     8,
+	}
+}
+
+// Validate checks the model.
+func (m IOModel) Validate() error {
+	if m.ReaderBandwidth <= 0 || m.StoreBandwidth <= 0 {
+		return fmt.Errorf("host: I/O bandwidths must be positive")
+	}
+	if m.ListioBatch < 1 {
+		return fmt.Errorf("host: lio batch must be >= 1")
+	}
+	return nil
+}
+
+// ReadTime models ingesting n bytes through the AIO reader.
+func (m IOModel) ReadTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.syscallShare() + time.Duration(float64(n)/m.ReaderBandwidth*1e9)
+}
+
+// StoreTime models writing n bytes out.
+func (m IOModel) StoreTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.syscallShare() + time.Duration(float64(n)/m.StoreBandwidth*1e9)
+}
+
+func (m IOModel) syscallShare() time.Duration {
+	return m.SyscallCost / time.Duration(m.ListioBatch)
+}
+
+// Allocator identifies the memory-allocation strategy of the host-only
+// parallel chunker (§5.1): glibc malloc serializes concurrent
+// allocation on a global lock, while Hoard gives each thread its own
+// heap.
+type Allocator int
+
+const (
+	// Malloc is the default allocator with global-lock contention.
+	Malloc Allocator = iota
+	// Hoard is the scalable per-thread allocator the paper switches to.
+	Hoard
+)
+
+func (a Allocator) String() string {
+	if a == Hoard {
+		return "hoard"
+	}
+	return "malloc"
+}
+
+// ChunkModel models host-only parallel Rabin chunking throughput for
+// Figure 12's CPU bars.
+type ChunkModel struct {
+	CPU CPU
+	// CyclesPerByte is the per-core cost of the table-driven rolling
+	// fingerprint loop, including the boundary test.
+	CyclesPerByte float64
+	// MallocContention inflates runtime when the serializing allocator
+	// is used from all cores at once.
+	MallocContention float64
+	// SyncOverhead covers the neighbor-synchronization merge step of
+	// the SPMD scheme (§5.1, step 3).
+	SyncOverhead float64
+}
+
+// DefaultChunkModel returns the calibrated host-chunking model: with
+// Hoard, 12 cores sustain ~0.36 GB/s, the paper's optimized pthreads
+// baseline (Figure 12; the GPU full pipeline beats it by over 5x).
+func DefaultChunkModel() ChunkModel {
+	return ChunkModel{
+		CPU:              X5650(),
+		CyclesPerByte:    85,
+		MallocContention: 1.22,
+		SyncOverhead:     0.03,
+	}
+}
+
+// ChunkTime models chunking n bytes on the host with the given
+// allocator.
+func (m ChunkModel) ChunkTime(n int64, alloc Allocator) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	secs := float64(n) * m.CyclesPerByte / (m.CPU.ClockHz * float64(m.CPU.Cores))
+	secs *= 1 + m.SyncOverhead
+	if alloc == Malloc {
+		secs *= m.MallocContention
+	}
+	return time.Duration(secs * 1e9)
+}
+
+// Throughput returns the modeled chunking rate in bytes/second.
+func (m ChunkModel) Throughput(alloc Allocator) float64 {
+	const probe = 1 << 30
+	return float64(probe) / m.ChunkTime(probe, alloc).Seconds()
+}

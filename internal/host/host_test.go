@@ -1,0 +1,93 @@
+package host
+
+import (
+	"testing"
+	"time"
+)
+
+func TestRDTSC(t *testing.T) {
+	c := X5650()
+	// Table 2's first row: ~11.4ms of device time leaves ~3.0e7 spare
+	// ticks per core at 2.67 GHz.
+	ticks := c.RDTSCTicks(11420 * time.Microsecond)
+	if ticks < 2.9e7 || ticks > 3.2e7 {
+		t.Fatalf("RDTSC ticks for 11.42ms = %.2g, want ~3.0e7", float64(ticks))
+	}
+	if c.RDTSCTicks(0) != 0 || c.RDTSCTicks(-time.Second) != 0 {
+		t.Fatal("non-positive durations must yield zero ticks")
+	}
+}
+
+func TestIOModel(t *testing.T) {
+	m := DefaultIO()
+	if err := m.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// 2 GB/s reader: 1 GB takes ~0.5s.
+	d := m.ReadTime(1 << 30)
+	if d < 500*time.Millisecond || d > 550*time.Millisecond {
+		t.Fatalf("1GB read time %v, want ~0.5s", d)
+	}
+	if m.ReadTime(0) != 0 || m.StoreTime(0) != 0 {
+		t.Fatal("zero-byte I/O should cost nothing")
+	}
+	bad := DefaultIO()
+	bad.ReaderBandwidth = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+	bad = DefaultIO()
+	bad.ListioBatch = 0
+	if err := bad.Validate(); err == nil {
+		t.Fatal("expected validation error")
+	}
+}
+
+func TestListioBatchingAmortizesSyscalls(t *testing.T) {
+	// §5.2.1: lio_listio batches multiple aio reads into one syscall,
+	// so a bigger batch must never make reads slower.
+	single := DefaultIO()
+	single.ListioBatch = 1
+	batched := DefaultIO()
+	batched.ListioBatch = 8
+	n := int64(64 << 10)
+	if batched.ReadTime(n) >= single.ReadTime(n) {
+		t.Fatal("lio_listio batching did not reduce read cost")
+	}
+}
+
+func TestChunkModelCalibration(t *testing.T) {
+	m := DefaultChunkModel()
+	// Figure 12: the optimized pthreads implementation (with Hoard)
+	// sustains ~0.4 GB/s on the 12-core host.
+	hoard := m.Throughput(Hoard)
+	if hoard < 0.3e9 || hoard > 0.5e9 {
+		t.Fatalf("hoard throughput %.3f GB/s outside [0.3, 0.5]", hoard/1e9)
+	}
+	// Without Hoard the allocator serializes and throughput drops.
+	malloc := m.Throughput(Malloc)
+	if malloc >= hoard {
+		t.Fatal("malloc contention did not reduce throughput")
+	}
+	if ratio := hoard / malloc; ratio < 1.1 || ratio > 1.5 {
+		t.Fatalf("hoard/malloc ratio %.2f outside [1.1, 1.5]", ratio)
+	}
+}
+
+func TestChunkTimeLinear(t *testing.T) {
+	m := DefaultChunkModel()
+	t1 := m.ChunkTime(128<<20, Hoard)
+	t2 := m.ChunkTime(256<<20, Hoard)
+	if r := float64(t2) / float64(t1); r < 1.99 || r > 2.01 {
+		t.Fatalf("chunk time not linear: ratio %.3f", r)
+	}
+	if m.ChunkTime(0, Hoard) != 0 {
+		t.Fatal("zero bytes should take zero time")
+	}
+}
+
+func TestAllocatorString(t *testing.T) {
+	if Malloc.String() == Hoard.String() {
+		t.Fatal("allocator strings collide")
+	}
+}

@@ -1,0 +1,180 @@
+// Package hostmem models host-side memory management for Shredder: the
+// cost asymmetry between pageable and pinned (page-locked) allocation
+// that motivates §4.1.2, and a real, reusable ring of pinned buffer
+// regions (Figure 7) that amortizes the one-time pinning cost across
+// the life of the pipeline.
+package hostmem
+
+import (
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+)
+
+// Model holds the calibrated allocation-cost constants behind Figure 6.
+// All allocation times include touching every page (the paper bzero's
+// the region to defeat Linux's optimistic allocation).
+type Model struct {
+	// PageableAllocNsPerByte is the cost of malloc + first-touch page
+	// faults, in nanoseconds per byte (sub-nanosecond values are
+	// meaningful, hence float64 rather than time.Duration).
+	PageableAllocNsPerByte float64
+	// PinnedAllocNsPerByte is the cost of cudaHostAlloc-style
+	// page-locked allocation per byte (page locking, IOMMU
+	// bookkeeping), in nanoseconds per byte.
+	PinnedAllocNsPerByte float64
+	// AllocSetup is the fixed syscall/driver entry cost per allocation.
+	AllocSetup time.Duration
+	// MemcpyBandwidth is the host memcpy throughput (pageable-to-pinned
+	// staging in Figure 6).
+	MemcpyBandwidth float64
+	// HostRAM is the machine's physical memory (48 GB on the paper's
+	// Xeon host).
+	HostRAM int64
+	// PinnedFractionLimit is the fraction of HostRAM that can be pinned
+	// before paging pressure penalizes the rest of the system (§4.1.2:
+	// "too many pinned memory pages ... increase paging activity").
+	PinnedFractionLimit float64
+	// PagingPenaltyFactor scales allocation costs once the pinned
+	// fraction exceeds the limit.
+	PagingPenaltyFactor float64
+}
+
+// Default returns the calibrated model: pinned allocation is roughly
+// 8x dearer per byte than pageable allocation, and host memcpy runs at
+// 8 GB/s.
+func Default() Model {
+	return Model{
+		PageableAllocNsPerByte: 0.8 * 1e6 / (1 << 20), // 0.8 ms per MiB
+		PinnedAllocNsPerByte:   6.4 * 1e6 / (1 << 20), // 6.4 ms per MiB
+		AllocSetup:             30 * time.Microsecond,
+		MemcpyBandwidth:        8e9,
+		HostRAM:                48 << 30,
+		PinnedFractionLimit:    0.25,
+		PagingPenaltyFactor:    4,
+	}
+}
+
+// PageableAllocTime models malloc + bzero of n bytes.
+func (m Model) PageableAllocTime(n int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	return m.AllocSetup + time.Duration(float64(n)*m.PageableAllocNsPerByte)
+}
+
+// PinnedAllocTime models page-locked allocation of n bytes, given the
+// number of bytes already pinned on the host: past the pinned-fraction
+// limit, paging pressure inflates the cost.
+func (m Model) PinnedAllocTime(n, alreadyPinned int64) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	d := m.AllocSetup + time.Duration(float64(n)*m.PinnedAllocNsPerByte)
+	if m.HostRAM > 0 && float64(alreadyPinned+n) > m.PinnedFractionLimit*float64(m.HostRAM) {
+		d = time.Duration(float64(d) * m.PagingPenaltyFactor)
+	}
+	return d
+}
+
+// MemcpyTime models copying n bytes between host buffers (the
+// pageable-to-pinned staging copy in Figure 6).
+func (m Model) MemcpyTime(n int64) time.Duration {
+	if n <= 0 || m.MemcpyBandwidth <= 0 {
+		return 0
+	}
+	return time.Duration(float64(n) / m.MemcpyBandwidth * 1e9)
+}
+
+// Region is one pinned buffer handed out by a Ring.
+type Region struct {
+	// Data is the real backing storage; callers fill it with stream
+	// bytes before the (modeled) DMA.
+	Data []byte
+	idx  int
+}
+
+// Ring is the circular ring of pinned memory regions from §4.1.2
+// (Figure 7): the regions are allocated (and their pinning cost paid)
+// exactly once, then reused round-robin. Acquire hands out the oldest
+// free region; Release returns it. The ring refuses to hand out a
+// region still in flight, which the tests assert.
+type Ring struct {
+	model   Model
+	regions []Region
+	free    chan int
+	mu      sync.Mutex
+	held    []bool
+	// AllocTime is the modeled one-time cost of building the ring.
+	AllocTime time.Duration
+}
+
+// NewRing allocates count pinned regions of size bytes each.
+func NewRing(model Model, count, size int) (*Ring, error) {
+	if count < 1 {
+		return nil, errors.New("hostmem: ring needs at least one region")
+	}
+	if size < 1 {
+		return nil, errors.New("hostmem: region size must be positive")
+	}
+	r := &Ring{
+		model: model,
+		free:  make(chan int, count),
+		held:  make([]bool, count),
+	}
+	var pinned int64
+	for i := 0; i < count; i++ {
+		r.AllocTime += model.PinnedAllocTime(int64(size), pinned)
+		pinned += int64(size)
+		r.regions = append(r.regions, Region{Data: make([]byte, size), idx: i})
+		r.free <- i
+	}
+	return r, nil
+}
+
+// Regions returns the number of regions in the ring.
+func (r *Ring) Regions() int { return len(r.regions) }
+
+// RegionSize returns the size of each region in bytes.
+func (r *Ring) RegionSize() int { return len(r.regions[0].Data) }
+
+// Acquire returns a free region, blocking until one is released. It is
+// safe for concurrent use.
+func (r *Ring) Acquire() *Region {
+	idx := <-r.free
+	r.mu.Lock()
+	r.held[idx] = true
+	r.mu.Unlock()
+	return &r.regions[idx]
+}
+
+// TryAcquire returns a free region or nil without blocking.
+func (r *Ring) TryAcquire() *Region {
+	select {
+	case idx := <-r.free:
+		r.mu.Lock()
+		r.held[idx] = true
+		r.mu.Unlock()
+		return &r.regions[idx]
+	default:
+		return nil
+	}
+}
+
+// Release returns a region to the ring. Releasing a region twice
+// panics: it would let two pipeline stages scribble on the same pinned
+// pages.
+func (r *Ring) Release(reg *Region) {
+	if reg == nil || reg.idx < 0 || reg.idx >= len(r.regions) || &r.regions[reg.idx] != reg {
+		panic("hostmem: release of foreign region")
+	}
+	r.mu.Lock()
+	if !r.held[reg.idx] {
+		r.mu.Unlock()
+		panic(fmt.Sprintf("hostmem: double release of region %d", reg.idx))
+	}
+	r.held[reg.idx] = false
+	r.mu.Unlock()
+	r.free <- reg.idx
+}

@@ -1,0 +1,152 @@
+package hostmem
+
+import (
+	"sync"
+	"testing"
+)
+
+func TestPinnedDearerThanPageable(t *testing.T) {
+	m := Default()
+	for _, n := range []int64{16 << 20, 64 << 20, 256 << 20} {
+		pg := m.PageableAllocTime(n)
+		pn := m.PinnedAllocTime(n, 0)
+		if pn <= pg {
+			t.Fatalf("pinned alloc of %dMB (%v) not dearer than pageable (%v)", n>>20, pn, pg)
+		}
+		// Figure 6: close to an order of magnitude apart.
+		ratio := float64(pn) / float64(pg)
+		if ratio < 4 || ratio > 12 {
+			t.Fatalf("pinned/pageable alloc ratio %.1f outside [4, 12]", ratio)
+		}
+	}
+}
+
+func TestPagingPressurePenalty(t *testing.T) {
+	m := Default()
+	n := int64(256 << 20)
+	cheap := m.PinnedAllocTime(n, 0)
+	dear := m.PinnedAllocTime(n, int64(float64(m.HostRAM)*m.PinnedFractionLimit))
+	if dear <= cheap {
+		t.Fatal("exceeding the pinned-fraction limit did not penalize allocation")
+	}
+}
+
+func TestMemcpyTime(t *testing.T) {
+	m := Default()
+	d := m.MemcpyTime(64 << 20)
+	if d <= 0 {
+		t.Fatal("memcpy of 64MB costs nothing")
+	}
+	if m.MemcpyTime(0) != 0 {
+		t.Fatal("zero memcpy should cost nothing")
+	}
+	// Staging copy must be much cheaper than a pageable alloc of the
+	// same size, or Figure 6's comparison would be meaningless.
+	if d >= m.PageableAllocTime(64<<20) {
+		t.Fatal("memcpy not cheaper than pageable allocation")
+	}
+}
+
+func TestRingAllocOnce(t *testing.T) {
+	m := Default()
+	r, err := NewRing(m, 4, 1<<20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Regions() != 4 || r.RegionSize() != 1<<20 {
+		t.Fatal("ring geometry wrong")
+	}
+	if r.AllocTime <= 0 {
+		t.Fatal("ring allocation must cost modeled time")
+	}
+	// Reusing all regions many times costs nothing further: AllocTime
+	// is fixed at construction.
+	before := r.AllocTime
+	for i := 0; i < 100; i++ {
+		reg := r.Acquire()
+		reg.Data[0] = byte(i)
+		r.Release(reg)
+	}
+	if r.AllocTime != before {
+		t.Fatal("reuse changed the one-time allocation cost")
+	}
+}
+
+func TestRingNeverHandsOutInFlightRegion(t *testing.T) {
+	r, err := NewRing(Default(), 2, 1024)
+	if err != nil {
+		t.Fatal(err)
+	}
+	a := r.Acquire()
+	b := r.Acquire()
+	if a == b {
+		t.Fatal("same region handed out twice")
+	}
+	if c := r.TryAcquire(); c != nil {
+		t.Fatal("ring handed out a region while all are in flight")
+	}
+	r.Release(a)
+	c := r.TryAcquire()
+	if c == nil {
+		t.Fatal("region not reusable after release")
+	}
+	if c != a {
+		t.Fatal("expected the released region back")
+	}
+	r.Release(b)
+	r.Release(c)
+}
+
+func TestRingDoubleReleasePanics(t *testing.T) {
+	r, _ := NewRing(Default(), 2, 64)
+	a := r.Acquire()
+	r.Release(a)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double release did not panic")
+		}
+	}()
+	r.Release(a)
+}
+
+func TestRingForeignRegionPanics(t *testing.T) {
+	r, _ := NewRing(Default(), 1, 64)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("foreign region release did not panic")
+		}
+	}()
+	r.Release(&Region{Data: make([]byte, 64)})
+}
+
+func TestRingConcurrent(t *testing.T) {
+	r, _ := NewRing(Default(), 3, 256)
+	var wg sync.WaitGroup
+	for g := 0; g < 8; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < 200; i++ {
+				reg := r.Acquire()
+				reg.Data[0] = byte(g)
+				r.Release(reg)
+			}
+		}(g)
+	}
+	wg.Wait()
+	// All regions free afterwards.
+	for i := 0; i < 3; i++ {
+		if r.TryAcquire() == nil {
+			t.Fatal("region leaked")
+		}
+	}
+}
+
+func TestRingValidation(t *testing.T) {
+	if _, err := NewRing(Default(), 0, 64); err == nil {
+		t.Fatal("expected error for zero regions")
+	}
+	if _, err := NewRing(Default(), 2, 0); err == nil {
+		t.Fatal("expected error for zero size")
+	}
+}

@@ -1,0 +1,70 @@
+package mapreduce
+
+import "time"
+
+// ClusterModel converts work metrics into modeled job runtime on the
+// paper's 20-node Hadoop cluster (§6.3). Figure 15's speedups are
+// ratios of these times, so only the relative weights matter; the
+// constants are calibrated to Hadoop-era task costs (multi-second task
+// startup, tens of MB/s per-task scan rates).
+type ClusterModel struct {
+	// MapTaskOverhead is the fixed scheduling + JVM launch cost per
+	// executed map task.
+	MapTaskOverhead time.Duration
+	// MapNsPerByte is the map function's per-byte processing cost.
+	MapNsPerByte float64
+	// CombineNodeCost is the cost of recomputing one contraction-tree
+	// node.
+	CombineNodeCost time.Duration
+	// MemoLookupCost is paid per task slot in incremental runs
+	// (querying the memoization server), whether it hits or misses.
+	MemoLookupCost time.Duration
+	// ReduceCost is the fixed final-reduce cost per run.
+	ReduceCost time.Duration
+	// Slots is the number of parallel task slots in the cluster.
+	Slots int
+}
+
+// DefaultClusterModel returns the calibrated 20-node cluster.
+func DefaultClusterModel() ClusterModel {
+	return ClusterModel{
+		MapTaskOverhead: 1500 * time.Millisecond,
+		MapNsPerByte:    25, // ~40 MB/s per task, Hadoop-era scan rate
+		CombineNodeCost: 400 * time.Millisecond,
+		MemoLookupCost:  5 * time.Millisecond,
+		ReduceCost:      250 * time.Millisecond,
+		Slots:           40, // 20 nodes x 2 slots
+	}
+}
+
+// JobTime models the wall time of a run with the given metrics,
+// incremental reports whether the memoization layer was active.
+func (m ClusterModel) JobTime(met Metrics, incremental bool) time.Duration {
+	slots := m.Slots
+	if slots < 1 {
+		slots = 1
+	}
+	// Map phase: executed tasks spread over the slots.
+	mapWork := float64(met.MapExecuted)*float64(m.MapTaskOverhead) +
+		float64(met.MapBytesExecuted)*m.MapNsPerByte
+	mapPhase := time.Duration(mapWork / float64(slots))
+	// Combine phase: recomputed nodes, tree levels parallelize well, so
+	// divide by slots too.
+	combinePhase := time.Duration(float64(met.CombineExecuted) * float64(m.CombineNodeCost) / float64(slots))
+	total := mapPhase + combinePhase + m.ReduceCost
+	if incremental {
+		total += time.Duration(float64(met.MapTasks) * float64(m.MemoLookupCost) / float64(slots))
+	}
+	return total
+}
+
+// Speedup returns the Figure 15 quantity: modeled vanilla-Hadoop time
+// over modeled Incoop time.
+func (m ClusterModel) Speedup(full, inc Metrics) float64 {
+	f := m.JobTime(full, false)
+	i := m.JobTime(inc, true)
+	if i <= 0 {
+		return 0
+	}
+	return f.Seconds() / i.Seconds()
+}

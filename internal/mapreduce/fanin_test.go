@@ -1,0 +1,108 @@
+package mapreduce
+
+import (
+	"reflect"
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+func TestFanInInvariance(t *testing.T) {
+	// The contraction-tree arity must not change results — only how
+	// incremental recombination amortizes.
+	data := workload.Text(20, 1<<17)
+	splits := splitText(data, 1<<13)
+	ref, _, err := (&Engine{FanIn: 4}).Run(WordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, fanIn := range []int{2, 3, 8, 16} {
+		got, _, err := (&Engine{FanIn: fanIn}).Run(WordCountJob(), splits)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("fan-in %d changed the output", fanIn)
+		}
+	}
+}
+
+func TestFanInAffectsRecombinationCost(t *testing.T) {
+	// Wider fan-in means fewer nodes but each change dirties a larger
+	// share; narrower fan-in means longer paths. Both must still
+	// recombine only O(depth) nodes for a single changed split.
+	data := workload.Text(21, 1<<19)
+	splits := splitText(data, 1<<13) // ~64 leaves
+	for _, fanIn := range []int{2, 4, 8} {
+		memo := NewMemo()
+		e := &Engine{Memo: memo, FanIn: fanIn}
+		if _, _, err := e.Run(WordCountJob(), splits); err != nil {
+			t.Fatal(err)
+		}
+		changed := make([][]byte, len(splits))
+		copy(changed, splits)
+		changed[len(splits)/2] = []byte("entirely different content\n")
+		_, met, err := e.Run(WordCountJob(), changed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if met.MapExecuted != 1 {
+			t.Fatalf("fan-in %d: %d map tasks executed", fanIn, met.MapExecuted)
+		}
+		// Path length bound: ceil(log_fanIn(64)) + slack.
+		depth := 0
+		for n := len(splits); n > 1; n = (n + fanIn - 1) / fanIn {
+			depth++
+		}
+		if met.CombineExecuted > depth+1 {
+			t.Fatalf("fan-in %d: recombined %d nodes, want <= depth %d", fanIn, met.CombineExecuted, depth)
+		}
+	}
+}
+
+func TestWorkersInvariance(t *testing.T) {
+	data := workload.Text(22, 1<<16)
+	splits := splitText(data, 1<<12)
+	ref, _, err := (&Engine{Workers: 1}).Run(CoOccurrenceJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := (&Engine{Workers: 16}).Run(CoOccurrenceJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, ref) {
+		t.Fatal("worker count changed the output")
+	}
+}
+
+func TestMemoSharedAcrossJobs(t *testing.T) {
+	// Different jobs must not collide in the memo even on identical
+	// splits (job name is part of every key).
+	data := workload.Text(23, 1<<15)
+	splits := splitText(data, 1<<12)
+	memo := NewMemo()
+	e := &Engine{Memo: memo}
+	wc, _, err := e.Run(WordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	co, _, err := e.Run(CoOccurrenceJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Word-count keys have no pipe separators; co-occurrence keys do.
+	for k := range wc {
+		if _, clash := co[k]; clash && k == "" {
+			t.Fatal("impossible")
+		}
+	}
+	wantWC, _, _ := (&Engine{}).Run(WordCountJob(), splits)
+	if !reflect.DeepEqual(wc, wantWC) {
+		t.Fatal("word count corrupted by shared memo")
+	}
+	wantCO, _, _ := (&Engine{}).Run(CoOccurrenceJob(), splits)
+	if !reflect.DeepEqual(co, wantCO) {
+		t.Fatal("co-occurrence corrupted by shared memo")
+	}
+}

@@ -1,0 +1,285 @@
+// Package mapreduce implements a miniature MapReduce engine plus the
+// Incoop-style incremental layer Shredder feeds (§6.1): map-task
+// results are memoized keyed by the content hash of their input split,
+// and the reduce side is made incremental with a contraction tree of
+// associative combiners, so a run whose input changed by p% re-executes
+// roughly p% of the map work and a logarithmic sliver of the combine
+// work.
+package mapreduce
+
+import (
+	"crypto/sha256"
+	"errors"
+	"sort"
+	"strings"
+	"sync"
+)
+
+// Mapper transforms one input split into key/value pairs.
+type Mapper interface {
+	// Map processes split bytes; emit may be called any number of
+	// times. Implementations must be pure functions of the split.
+	Map(split []byte, emit func(key, value string))
+}
+
+// Combiner merges values associatively: Combine(k, [a,b,c]) must equal
+// Combine(k, [Combine(k,[a,b]), c]) for the contraction tree to be
+// correct. The package's tests assert this for every shipped app.
+type Combiner interface {
+	Combine(key string, values []string) string
+}
+
+// Reducer folds the final combined value of each key into the job
+// output.
+type Reducer interface {
+	Reduce(key string, values []string) string
+}
+
+// Job names a computation. Name must change whenever the computation's
+// semantics change (e.g. it should include the iteration's centroids
+// for k-means), because it is part of every memoization key.
+type Job struct {
+	Name     string
+	Mapper   Mapper
+	Combiner Combiner
+	Reducer  Reducer
+}
+
+// Validate checks the job is complete.
+func (j Job) Validate() error {
+	if j.Name == "" {
+		return errors.New("mapreduce: job needs a name")
+	}
+	if j.Mapper == nil || j.Combiner == nil || j.Reducer == nil {
+		return errors.New("mapreduce: job needs mapper, combiner and reducer")
+	}
+	return nil
+}
+
+// Metrics counts the work a run performed versus reused — the raw
+// material of Figure 15.
+type Metrics struct {
+	// MapTasks is the total number of splits; MapExecuted of them
+	// actually ran (the rest were memo hits).
+	MapTasks    int
+	MapExecuted int
+	// MapBytes / MapBytesExecuted: input volume total vs. actually
+	// processed.
+	MapBytes         int64
+	MapBytesExecuted int64
+	// CombineNodes / CombineExecuted: contraction-tree size vs. nodes
+	// recomputed.
+	CombineNodes    int
+	CombineExecuted int
+	// Keys in the final output.
+	Keys int
+}
+
+// Memo is the Incoop memoization server: it persists across runs of
+// the same (or different) jobs and is safe for concurrent use.
+type Memo struct {
+	mu      sync.Mutex
+	mapOuts map[string]aggregate // key: job name + split content hash
+	nodes   map[string]aggregate // key: job name + child signature
+}
+
+// NewMemo returns an empty memoization server.
+func NewMemo() *Memo {
+	return &Memo{
+		mapOuts: make(map[string]aggregate),
+		nodes:   make(map[string]aggregate),
+	}
+}
+
+// Entries returns how many results are memoized (for tests and
+// monitoring).
+func (m *Memo) Entries() int {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return len(m.mapOuts) + len(m.nodes)
+}
+
+// aggregate is a per-key combined partial result plus its content
+// signature (used as the child key at the next tree level).
+type aggregate struct {
+	kv  map[string]string
+	sig string
+}
+
+func newAggregate(kv map[string]string) aggregate {
+	keys := make([]string, 0, len(kv))
+	for k := range kv {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	h := sha256.New()
+	for _, k := range keys {
+		h.Write([]byte(k))
+		h.Write([]byte{0})
+		h.Write([]byte(kv[k]))
+		h.Write([]byte{1})
+	}
+	return aggregate{kv: kv, sig: string(h.Sum(nil))}
+}
+
+// Engine executes jobs. A nil Memo gives vanilla from-scratch execution
+// ("Hadoop" in Figure 15); with a Memo it behaves like Incoop.
+type Engine struct {
+	// Workers bounds map-task parallelism; 0 means 8.
+	Workers int
+	// FanIn is the contraction-tree arity; 0 means 4.
+	FanIn int
+	// Memo, when non-nil, enables incremental execution.
+	Memo *Memo
+}
+
+// Run executes job over the splits and returns the output plus work
+// metrics. Splits are identified by content, so unchanged splits hit
+// the memo regardless of position.
+func (e *Engine) Run(job Job, splits [][]byte) (map[string]string, *Metrics, error) {
+	if err := job.Validate(); err != nil {
+		return nil, nil, err
+	}
+	workers := e.Workers
+	if workers <= 0 {
+		workers = 8
+	}
+	fanIn := e.FanIn
+	if fanIn <= 0 {
+		fanIn = 4
+	}
+
+	met := &Metrics{MapTasks: len(splits)}
+	for _, s := range splits {
+		met.MapBytes += int64(len(s))
+	}
+
+	// ---- Map phase (parallel, memoized per split content) ----
+	leaves := make([]aggregate, len(splits))
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, workers)
+	var firstErr error
+	for i, split := range splits {
+		i, split := i, split
+		wg.Add(1)
+		sem <- struct{}{}
+		go func() {
+			defer func() { <-sem; wg.Done() }()
+			key := ""
+			if e.Memo != nil {
+				sum := sha256.Sum256(split)
+				key = job.Name + "\x00map\x00" + string(sum[:])
+				e.Memo.mu.Lock()
+				agg, ok := e.Memo.mapOuts[key]
+				e.Memo.mu.Unlock()
+				if ok {
+					leaves[i] = agg
+					return
+				}
+			}
+			agg := runMapTask(job, split)
+			leaves[i] = agg
+			mu.Lock()
+			met.MapExecuted++
+			met.MapBytesExecuted += int64(len(split))
+			mu.Unlock()
+			if e.Memo != nil {
+				e.Memo.mu.Lock()
+				e.Memo.mapOuts[key] = agg
+				e.Memo.mu.Unlock()
+			}
+		}()
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return nil, nil, firstErr
+	}
+
+	// ---- Contraction tree (incremental combine) ----
+	level := leaves
+	for len(level) > 1 {
+		next := make([]aggregate, 0, (len(level)+fanIn-1)/fanIn)
+		for lo := 0; lo < len(level); lo += fanIn {
+			hi := lo + fanIn
+			if hi > len(level) {
+				hi = len(level)
+			}
+			group := level[lo:hi]
+			met.CombineNodes++
+			if len(group) == 1 {
+				next = append(next, group[0])
+				continue
+			}
+			var nodeKey string
+			if e.Memo != nil {
+				var sb strings.Builder
+				sb.WriteString(job.Name)
+				sb.WriteString("\x00node\x00")
+				for _, g := range group {
+					sb.WriteString(g.sig)
+				}
+				nodeKey = sb.String()
+				e.Memo.mu.Lock()
+				agg, ok := e.Memo.nodes[nodeKey]
+				e.Memo.mu.Unlock()
+				if ok {
+					next = append(next, agg)
+					continue
+				}
+			}
+			agg := combineGroup(job, group)
+			met.CombineExecuted++
+			if e.Memo != nil {
+				e.Memo.mu.Lock()
+				e.Memo.nodes[nodeKey] = agg
+				e.Memo.mu.Unlock()
+			}
+			next = append(next, agg)
+		}
+		level = next
+	}
+
+	// ---- Final reduce ----
+	out := make(map[string]string)
+	if len(level) == 1 {
+		for k, v := range level[0].kv {
+			out[k] = job.Reducer.Reduce(k, []string{v})
+		}
+	}
+	met.Keys = len(out)
+	return out, met, nil
+}
+
+// runMapTask executes the mapper over one split and pre-aggregates its
+// output with the combiner (the standard map-side combine).
+func runMapTask(job Job, split []byte) aggregate {
+	pending := make(map[string][]string)
+	job.Mapper.Map(split, func(k, v string) {
+		pending[k] = append(pending[k], v)
+	})
+	kv := make(map[string]string, len(pending))
+	for k, vs := range pending {
+		kv[k] = job.Combiner.Combine(k, vs)
+	}
+	return newAggregate(kv)
+}
+
+// combineGroup merges the aggregates of a contraction-tree node.
+func combineGroup(job Job, group []aggregate) aggregate {
+	pending := make(map[string][]string)
+	for _, g := range group {
+		for k, v := range g.kv {
+			pending[k] = append(pending[k], v)
+		}
+	}
+	kv := make(map[string]string, len(pending))
+	for k, vs := range pending {
+		if len(vs) == 1 {
+			kv[k] = vs[0]
+			continue
+		}
+		kv[k] = job.Combiner.Combine(k, vs)
+	}
+	return newAggregate(kv)
+}

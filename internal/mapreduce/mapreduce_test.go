@@ -1,0 +1,303 @@
+package mapreduce
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+// splitText cuts text into roughly n-byte record-aligned splits,
+// standing in for Inc-HDFS blocks in unit tests.
+func splitText(data []byte, n int) [][]byte {
+	var out [][]byte
+	start := 0
+	for start < len(data) {
+		end := start + n
+		if end >= len(data) {
+			out = append(out, data[start:])
+			break
+		}
+		for end < len(data) && data[end-1] != '\n' {
+			end++
+		}
+		out = append(out, data[start:end])
+		start = end
+	}
+	return out
+}
+
+func TestWordCountCorrectness(t *testing.T) {
+	text := []byte("a b a\nc a b\n")
+	e := &Engine{}
+	out, met, err := e.Run(WordCountJob(), [][]byte{text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"a": "3", "b": "2", "c": "1"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+	if met.MapExecuted != 1 || met.Keys != 3 {
+		t.Fatalf("metrics %+v", met)
+	}
+}
+
+func TestSplitCountInvariance(t *testing.T) {
+	// The output must not depend on how the input is split.
+	data := workload.Text(1, 1<<18)
+	e := &Engine{}
+	ref, _, err := e.Run(WordCountJob(), splitText(data, 1<<14))
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, size := range []int{1 << 12, 1 << 15, 1 << 17} {
+		got, _, err := e.Run(WordCountJob(), splitText(data, size))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got, ref) {
+			t.Fatalf("output differs for split size %d", size)
+		}
+	}
+}
+
+func TestCoOccurrenceCorrectness(t *testing.T) {
+	text := []byte("x y x\ny x y\n")
+	e := &Engine{}
+	out, _, err := e.Run(CoOccurrenceJob(), [][]byte{text})
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := map[string]string{"x|y": "2", "y|x": "2"}
+	if !reflect.DeepEqual(out, want) {
+		t.Fatalf("got %v, want %v", out, want)
+	}
+}
+
+func TestCombinerAssociativity(t *testing.T) {
+	// Combine(k, [a,b,c]) == Combine(k, [Combine(k,[a,b]), c]) for the
+	// shipped apps — required by the contraction tree.
+	wc := WordCount{}
+	all := wc.Combine("k", []string{"1", "2", "3"})
+	nested := wc.Combine("k", []string{wc.Combine("k", []string{"1", "2"}), "3"})
+	if all != nested {
+		t.Fatalf("word-count combiner not associative: %s vs %s", all, nested)
+	}
+	km := KMeansCombine{}
+	a := encodeSums(Point{1, 2}, 3)
+	b := encodeSums(Point{4, 5}, 6)
+	c := encodeSums(Point{7, 8}, 9)
+	allK := km.Combine("0", []string{a, b, c})
+	nestedK := km.Combine("0", []string{km.Combine("0", []string{a, b}), c})
+	if allK != nestedK {
+		t.Fatalf("k-means combiner not associative: %s vs %s", allK, nestedK)
+	}
+}
+
+func TestIncrementalReuseUnchangedInput(t *testing.T) {
+	data := workload.Text(2, 1<<18)
+	splits := splitText(data, 1<<14)
+	memo := NewMemo()
+	e := &Engine{Memo: memo}
+	out1, met1, err := e.Run(WordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met1.MapExecuted != len(splits) {
+		t.Fatalf("first run executed %d of %d", met1.MapExecuted, len(splits))
+	}
+	out2, met2, err := e.Run(WordCountJob(), splits)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met2.MapExecuted != 0 || met2.CombineExecuted != 0 {
+		t.Fatalf("unchanged rerun executed work: %+v", met2)
+	}
+	if !reflect.DeepEqual(out1, out2) {
+		t.Fatal("memoized output differs")
+	}
+}
+
+func TestIncrementalPartialChange(t *testing.T) {
+	data := workload.Text(3, 1<<20)
+	splits := splitText(data, 1<<14) // ~64 leaves, 3 tree levels
+	memo := NewMemo()
+	e := &Engine{Memo: memo}
+	if _, _, err := e.Run(WordCountJob(), splits); err != nil {
+		t.Fatal(err)
+	}
+	// Change exactly one split.
+	changed := make([][]byte, len(splits))
+	copy(changed, splits)
+	changed[3] = []byte("totally new words here\n")
+	out, met, err := e.Run(WordCountJob(), changed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MapExecuted != 1 {
+		t.Fatalf("executed %d map tasks, want 1", met.MapExecuted)
+	}
+	// Only the path from the changed leaf to the root recombines:
+	// at most one node per tree level (log_4 of the leaf count).
+	if met.CombineExecuted > 4 {
+		t.Fatalf("recombined %d of %d nodes, want <= tree depth", met.CombineExecuted, met.CombineNodes)
+	}
+	// Correctness against a from-scratch run.
+	want, _, _ := (&Engine{}).Run(WordCountJob(), changed)
+	if !reflect.DeepEqual(out, want) {
+		t.Fatal("incremental result differs from from-scratch")
+	}
+}
+
+func TestIncrementalToleratesReordering(t *testing.T) {
+	// Splits are identified by content: permuting them must not rerun
+	// map tasks (combine nodes may change).
+	data := workload.Text(4, 1<<17)
+	splits := splitText(data, 1<<14)
+	memo := NewMemo()
+	e := &Engine{Memo: memo}
+	if _, _, err := e.Run(WordCountJob(), splits); err != nil {
+		t.Fatal(err)
+	}
+	perm := make([][]byte, len(splits))
+	copy(perm, splits)
+	perm[0], perm[1] = perm[1], perm[0]
+	_, met, err := e.Run(WordCountJob(), perm)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if met.MapExecuted != 0 {
+		t.Fatalf("reordering reran %d map tasks", met.MapExecuted)
+	}
+}
+
+func TestKMeansConverges(t *testing.T) {
+	data := workload.Points(5, 3000, 3)
+	splits := splitText(data, 1<<14)
+	initial := []Point{{100, 100}, {500, 500}, {900, 900}}
+	res, err := KMeans(&Engine{}, splits, initial, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Iterations < 2 {
+		t.Fatalf("converged suspiciously fast: %d iterations", res.Iterations)
+	}
+	if res.Iterations == 20 {
+		t.Log("k-means hit the iteration cap (acceptable but unusual)")
+	}
+	if len(res.Centroids) != 3 {
+		t.Fatalf("%d centroids", len(res.Centroids))
+	}
+}
+
+func TestKMeansIncrementalReuse(t *testing.T) {
+	data := workload.Points(6, 3000, 3)
+	splits := splitText(data, 1<<14)
+	initial := []Point{{100, 100}, {500, 500}, {900, 900}}
+	memo := NewMemo()
+	e := &Engine{Memo: memo}
+	r1, err := KMeans(e, splits, initial, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Identical rerun: everything reused.
+	r2, err := KMeans(e, splits, initial, 20)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r2.Metrics.MapExecuted != 0 {
+		t.Fatalf("identical k-means rerun executed %d map tasks", r2.Metrics.MapExecuted)
+	}
+	if r1.Iterations != r2.Iterations {
+		t.Fatalf("iteration counts differ: %d vs %d", r1.Iterations, r2.Iterations)
+	}
+}
+
+func TestJobValidation(t *testing.T) {
+	e := &Engine{}
+	if _, _, err := e.Run(Job{}, nil); err == nil {
+		t.Fatal("expected error for empty job")
+	}
+	if _, _, err := e.Run(Job{Name: "x", Mapper: WordCount{}}, nil); err == nil {
+		t.Fatal("expected error for missing reducer")
+	}
+}
+
+func TestEmptyInput(t *testing.T) {
+	e := &Engine{}
+	out, met, err := e.Run(WordCountJob(), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out) != 0 || met.MapTasks != 0 {
+		t.Fatalf("empty input: %v %+v", out, met)
+	}
+}
+
+func TestClusterModelSpeedupShape(t *testing.T) {
+	m := DefaultClusterModel()
+	full := Metrics{
+		MapTasks: 100, MapExecuted: 100,
+		MapBytes: 100 << 20, MapBytesExecuted: 100 << 20,
+		CombineNodes: 33, CombineExecuted: 33,
+	}
+	// 5% changed: 5 tasks re-executed, a few combine nodes.
+	inc := full
+	inc.MapExecuted = 5
+	inc.MapBytesExecuted = 5 << 20
+	inc.CombineExecuted = 4
+	s5 := m.Speedup(full, inc)
+	if s5 < 3 {
+		t.Fatalf("5%% change speedup %.1f, want > 3", s5)
+	}
+	// 25% changed: lower speedup.
+	inc25 := full
+	inc25.MapExecuted = 25
+	inc25.MapBytesExecuted = 25 << 20
+	inc25.CombineExecuted = 12
+	s25 := m.Speedup(full, inc25)
+	if s25 >= s5 {
+		t.Fatalf("speedup not decreasing: %.1f at 5%% vs %.1f at 25%%", s5, s25)
+	}
+	if s25 < 1.2 {
+		t.Fatalf("25%% change speedup %.2f, want > 1.2", s25)
+	}
+}
+
+func TestMemoEntriesGrow(t *testing.T) {
+	memo := NewMemo()
+	if memo.Entries() != 0 {
+		t.Fatal("fresh memo not empty")
+	}
+	e := &Engine{Memo: memo}
+	data := workload.Text(7, 1<<16)
+	if _, _, err := e.Run(WordCountJob(), splitText(data, 1<<13)); err != nil {
+		t.Fatal(err)
+	}
+	if memo.Entries() == 0 {
+		t.Fatal("memo did not record results")
+	}
+}
+
+func TestWordCountHandlesUnicodeAndJunk(t *testing.T) {
+	e := &Engine{}
+	out, _, err := e.Run(WordCountJob(), [][]byte{[]byte("héllo héllo\tworld\n\n  ")})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out["héllo"] != "2" || out["world"] != "1" {
+		t.Fatalf("got %v", out)
+	}
+	// K-means mapper skips malformed lines rather than failing.
+	km := KMeansMapper{Centroids: []Point{{0, 0}}}
+	emitted := 0
+	km.Map([]byte("not numbers\n1.0\n2.0 3.0\n"), func(k, v string) { emitted++ })
+	if emitted != 1 {
+		t.Fatalf("k-means mapper emitted %d, want 1", emitted)
+	}
+	if !strings.HasPrefix(KMeansJob([]Point{{1, 2}}).Name, "k-means") {
+		t.Fatal("k-means job name malformed")
+	}
+}

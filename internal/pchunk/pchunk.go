@@ -1,0 +1,190 @@
+// Package pchunk is the host-only parallel content-based chunker — the
+// paper's pthreads baseline (§5.1). It divides the input into
+// fixed-size regions, runs the Rabin chunking algorithm on each region
+// in parallel (SPMD), and merges neighboring results; each worker warms
+// its sliding window from the preceding Window−1 bytes, so the merged
+// boundaries are bit-identical to the sequential reference.
+//
+// Two allocation strategies mirror the paper's malloc-vs-Hoard
+// comparison: Shared funnels every boundary record through one
+// lock-guarded arena (the serialization that made the authors adopt
+// Hoard), PerWorker gives each worker a private arena merged at the
+// end.
+package pchunk
+
+import (
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+
+	"shredder/internal/chunker"
+	"shredder/internal/rabin"
+)
+
+// Allocator selects the allocation strategy for boundary records.
+type Allocator int
+
+const (
+	// Shared appends every boundary to a single mutex-guarded arena,
+	// modeling glibc malloc's serialization under concurrency.
+	Shared Allocator = iota
+	// PerWorker gives each worker its own arena (Hoard-style), merged
+	// after the parallel phase.
+	PerWorker
+)
+
+func (a Allocator) String() string {
+	if a == PerWorker {
+		return "per-worker"
+	}
+	return "shared"
+}
+
+// Parallel chunks byte streams using multiple goroutines. It is safe
+// for concurrent use.
+type Parallel struct {
+	chk     *chunker.Chunker
+	workers int
+	alloc   Allocator
+}
+
+// New returns a parallel chunker over c with the given worker count
+// (0 means GOMAXPROCS) and allocation strategy.
+func New(c *chunker.Chunker, workers int, alloc Allocator) (*Parallel, error) {
+	if c == nil {
+		return nil, fmt.Errorf("pchunk: nil chunker")
+	}
+	if workers < 0 {
+		return nil, fmt.Errorf("pchunk: negative worker count")
+	}
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Parallel{chk: c, workers: workers, alloc: alloc}, nil
+}
+
+// Workers returns the configured parallelism.
+func (p *Parallel) Workers() int { return p.workers }
+
+// boundary pairs a cut position with its fingerprint.
+type boundary struct {
+	pos int64
+	fp  rabin.Poly
+}
+
+// Boundaries computes every raw content-defined boundary of data in
+// parallel. The result equals chunker.Chunker.Boundaries(data).
+func (p *Parallel) Boundaries(data []byte) ([]int64, []rabin.Poly) {
+	bs := p.scan(data)
+	cuts := make([]int64, len(bs))
+	fps := make([]rabin.Poly, len(bs))
+	for i, b := range bs {
+		cuts[i] = b.pos
+		fps[i] = b.fp
+	}
+	return cuts, fps
+}
+
+// Split chunks data with min/max limits applied, equal to the
+// sequential Chunker.Split.
+func (p *Parallel) Split(data []byte) []chunker.Chunk {
+	cuts, fps := p.Boundaries(data)
+	return p.chk.ApplyLimits(cuts, fps, int64(len(data)))
+}
+
+func (p *Parallel) scan(data []byte) []boundary {
+	n := len(data)
+	if n == 0 {
+		return nil
+	}
+	workers := p.workers
+	if workers > n {
+		workers = n
+	}
+	region := (n + workers - 1) / workers
+	tab := p.chk.Table()
+	win := tab.Size()
+
+	switch p.alloc {
+	case Shared:
+		// One arena, one lock: every append contends, as with malloc.
+		var mu sync.Mutex
+		var arena []boundary
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			lo, hi := wi*region, (wi+1)*region
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				p.scanRegion(data, lo, hi, tab, win, func(b boundary) {
+					mu.Lock()
+					arena = append(arena, b)
+					mu.Unlock()
+				})
+			}(lo, hi)
+		}
+		wg.Wait()
+		// Workers interleave, so the shared arena needs a final sort to
+		// restore stream order (part of the merge step in §5.1).
+		sort.Slice(arena, func(i, j int) bool { return arena[i].pos < arena[j].pos })
+		return arena
+
+	case PerWorker:
+		arenas := make([][]boundary, workers)
+		var wg sync.WaitGroup
+		for wi := 0; wi < workers; wi++ {
+			lo, hi := wi*region, (wi+1)*region
+			if hi > n {
+				hi = n
+			}
+			if lo >= hi {
+				continue
+			}
+			wg.Add(1)
+			go func(wi, lo, hi int) {
+				defer wg.Done()
+				var local []boundary
+				p.scanRegion(data, lo, hi, tab, win, func(b boundary) {
+					local = append(local, b)
+				})
+				arenas[wi] = local
+			}(wi, lo, hi)
+		}
+		wg.Wait()
+		var out []boundary
+		for _, a := range arenas {
+			out = append(out, a...)
+		}
+		return out
+
+	default:
+		panic("pchunk: unknown allocator")
+	}
+}
+
+// scanRegion evaluates positions [lo, hi) with a window warmed from the
+// preceding win-1 bytes (the small overlap near partition boundaries
+// that §2.1 describes).
+func (p *Parallel) scanRegion(data []byte, lo, hi int, tab *rabin.Table, win int, emit func(boundary)) {
+	w := rabin.NewWindow(tab)
+	warm := lo - (win - 1)
+	if warm < 0 {
+		warm = 0
+	}
+	for i := warm; i < lo; i++ {
+		w.Slide(data[i])
+	}
+	for i := lo; i < hi; i++ {
+		fp := w.Slide(data[i])
+		if w.Full() && p.chk.IsBoundary(fp) {
+			emit(boundary{pos: int64(i) + 1, fp: fp})
+		}
+	}
+}

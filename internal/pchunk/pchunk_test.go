@@ -1,0 +1,147 @@
+package pchunk
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shredder/internal/chunker"
+)
+
+func testData(seed int64, n int) []byte {
+	d := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(d)
+	return d
+}
+
+func mustChunker(t testing.TB, p chunker.Params) *chunker.Chunker {
+	t.Helper()
+	c, err := chunker.New(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return c
+}
+
+func TestNewValidation(t *testing.T) {
+	c := mustChunker(t, chunker.DefaultParams())
+	if _, err := New(nil, 4, Shared); err == nil {
+		t.Fatal("expected error for nil chunker")
+	}
+	if _, err := New(c, -1, Shared); err == nil {
+		t.Fatal("expected error for negative workers")
+	}
+	p, err := New(c, 0, Shared)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.Workers() < 1 {
+		t.Fatal("zero workers must default to GOMAXPROCS")
+	}
+}
+
+func TestMatchesSequentialBothAllocators(t *testing.T) {
+	c := mustChunker(t, chunker.DefaultParams())
+	data := testData(1, 1<<20+31)
+	want := c.Boundaries(data)
+	for _, alloc := range []Allocator{Shared, PerWorker} {
+		for _, workers := range []int{1, 2, 3, 7, 16} {
+			p, err := New(c, workers, alloc)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, fps := p.Boundaries(data)
+			if len(got) != len(want) {
+				t.Fatalf("%v/%d workers: %d boundaries, want %d", alloc, workers, len(got), len(want))
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("%v/%d workers: boundary %d = %d, want %d", alloc, workers, i, got[i], want[i])
+				}
+				if !c.IsBoundary(fps[i]) {
+					t.Fatalf("%v/%d workers: fingerprint %d not a boundary value", alloc, workers, i)
+				}
+			}
+		}
+	}
+}
+
+func TestSplitMatchesSequentialWithLimits(t *testing.T) {
+	params := chunker.DefaultParams()
+	params.MinSize = 1024
+	params.MaxSize = 16384
+	c := mustChunker(t, params)
+	data := testData(2, 1<<20)
+	want := c.Split(data)
+	p, _ := New(c, 8, PerWorker)
+	got := p.Split(data)
+	if len(got) != len(want) {
+		t.Fatalf("%d chunks, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].Offset != want[i].Offset || got[i].Length != want[i].Length {
+			t.Fatalf("chunk %d mismatch", i)
+		}
+	}
+}
+
+func TestEmptyAndTiny(t *testing.T) {
+	c := mustChunker(t, chunker.DefaultParams())
+	p, _ := New(c, 8, PerWorker)
+	if cuts, _ := p.Boundaries(nil); len(cuts) != 0 {
+		t.Fatal("empty input produced boundaries")
+	}
+	// Fewer bytes than workers.
+	data := testData(3, 5)
+	if cuts, _ := p.Boundaries(data); len(cuts) != len(c.Boundaries(data)) {
+		t.Fatal("tiny input mismatch")
+	}
+	ch := p.Split(data)
+	if len(ch) != 1 || ch[0].Length != 5 {
+		t.Fatalf("tiny split: %+v", ch)
+	}
+}
+
+func TestQuickEquivalence(t *testing.T) {
+	c := mustChunker(t, chunker.DefaultParams())
+	p, _ := New(c, 5, Shared)
+	f := func(data []byte) bool {
+		got, _ := p.Boundaries(data)
+		want := c.Boundaries(data)
+		if len(got) != len(want) {
+			return false
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAllocatorString(t *testing.T) {
+	if Shared.String() == PerWorker.String() {
+		t.Fatal("allocator strings collide")
+	}
+}
+
+// The allocator ablation: the per-worker (Hoard-like) arena avoids the
+// shared lock. This is a real concurrency effect, so benchmark rather
+// than assert wall-clock in tests.
+func BenchmarkSharedAllocator(b *testing.B)    { benchAlloc(b, Shared) }
+func BenchmarkPerWorkerAllocator(b *testing.B) { benchAlloc(b, PerWorker) }
+
+func benchAlloc(b *testing.B, alloc Allocator) {
+	c := mustChunker(b, chunker.DefaultParams())
+	p, _ := New(c, 0, alloc)
+	data := testData(4, 8<<20)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		p.Boundaries(data)
+	}
+}

@@ -1,0 +1,123 @@
+// Package pcie models the DMA data path between host memory and GPU
+// device memory over PCIe, reproducing the behaviour Shredder measures
+// in Figure 3: transfers from pinned (page-locked) host memory go
+// straight to the DMA engine and saturate at small buffer sizes, while
+// transfers from pageable memory are staged through an internal bounce
+// buffer and carry a large per-transfer setup cost, saturating only in
+// the tens of megabytes.
+package pcie
+
+import (
+	"fmt"
+	"time"
+)
+
+// Direction of a transfer.
+type Direction int
+
+const (
+	// HostToDevice moves data into GPU global memory.
+	HostToDevice Direction = iota
+	// DeviceToHost moves results back to host memory.
+	DeviceToHost
+)
+
+func (d Direction) String() string {
+	if d == HostToDevice {
+		return "host-to-device"
+	}
+	return "device-to-host"
+}
+
+// BufferKind describes the host-side memory the DMA reads or writes.
+type BufferKind int
+
+const (
+	// Pageable memory can be swapped out; the driver must stage the
+	// transfer through an internal pinned bounce buffer.
+	Pageable BufferKind = iota
+	// Pinned (page-locked) memory is DMA-able directly and supports
+	// asynchronous copies (cudaMemcpyAsync in the paper).
+	Pinned
+)
+
+func (k BufferKind) String() string {
+	if k == Pinned {
+		return "pinned"
+	}
+	return "pageable"
+}
+
+// Model holds the calibrated link parameters. The bandwidth asymptotes
+// are the paper's measured values (§4.1.1: 5.406 GB/s host-to-device,
+// 5.129 GB/s device-to-host); the setup costs are calibrated so that
+// pinned transfers saturate around 256 KB and pageable transfers around
+// 32 MB, as in Figure 3.
+type Model struct {
+	// H2DBandwidth and D2HBandwidth are the peak link bandwidths in
+	// bytes per second.
+	H2DBandwidth float64
+	D2HBandwidth float64
+	// PinnedSetup is the fixed DMA launch cost from pinned memory.
+	PinnedSetup time.Duration
+	// PageableSetup is the fixed cost of a pageable transfer (driver
+	// entry, bounce-buffer bookkeeping, page faults).
+	PageableSetup time.Duration
+	// PageableOverhead is the fractional per-byte penalty of staging
+	// through the bounce buffer (the staging memcpy mostly overlaps the
+	// DMA, costing only a few percent at large sizes).
+	PageableOverhead float64
+}
+
+// Default returns the calibrated C2050/PCIe-gen2 model.
+func Default() Model {
+	return Model{
+		H2DBandwidth:     5.406e9,
+		D2HBandwidth:     5.129e9,
+		PinnedSetup:      8 * time.Microsecond,
+		PageableSetup:    200 * time.Microsecond,
+		PageableOverhead: 0.05,
+	}
+}
+
+// Validate checks the model for consistency.
+func (m Model) Validate() error {
+	if m.H2DBandwidth <= 0 || m.D2HBandwidth <= 0 {
+		return fmt.Errorf("pcie: bandwidths must be positive")
+	}
+	if m.PinnedSetup < 0 || m.PageableSetup < 0 || m.PageableOverhead < 0 {
+		return fmt.Errorf("pcie: negative overhead")
+	}
+	return nil
+}
+
+// TransferTime returns the modeled wall time of moving n bytes in the
+// given direction from/to the given kind of host buffer.
+func (m Model) TransferTime(n int64, dir Direction, kind BufferKind) time.Duration {
+	if n <= 0 {
+		return 0
+	}
+	bw := m.H2DBandwidth
+	if dir == DeviceToHost {
+		bw = m.D2HBandwidth
+	}
+	secs := float64(n) / bw
+	switch kind {
+	case Pinned:
+		return m.PinnedSetup + time.Duration(secs*1e9)
+	default:
+		secs *= 1 + m.PageableOverhead
+		return m.PageableSetup + time.Duration(secs*1e9)
+	}
+}
+
+// Bandwidth returns the effective throughput (bytes/second) for a
+// transfer of n bytes, i.e. n divided by TransferTime. This is the
+// quantity plotted in Figure 3.
+func (m Model) Bandwidth(n int64, dir Direction, kind BufferKind) float64 {
+	t := m.TransferTime(n, dir, kind)
+	if t <= 0 {
+		return 0
+	}
+	return float64(n) / t.Seconds()
+}

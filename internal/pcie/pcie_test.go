@@ -1,0 +1,101 @@
+package pcie
+
+import (
+	"testing"
+	"time"
+)
+
+func TestValidate(t *testing.T) {
+	if err := Default().Validate(); err != nil {
+		t.Fatal(err)
+	}
+	m := Default()
+	m.H2DBandwidth = 0
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for zero bandwidth")
+	}
+	m = Default()
+	m.PageableOverhead = -1
+	if err := m.Validate(); err == nil {
+		t.Fatal("expected error for negative overhead")
+	}
+}
+
+func TestTransferTimeMonotone(t *testing.T) {
+	m := Default()
+	var prev time.Duration
+	for n := int64(4 << 10); n <= 64<<20; n *= 2 {
+		d := m.TransferTime(n, HostToDevice, Pinned)
+		if d <= prev {
+			t.Fatalf("transfer time not increasing at %d bytes", n)
+		}
+		prev = d
+	}
+}
+
+func TestPinnedSaturatesEarly(t *testing.T) {
+	// Figure 3: pinned throughput saturates around 256 KB — at that
+	// size it must already exceed 80% of peak.
+	m := Default()
+	bw := m.Bandwidth(256<<10, HostToDevice, Pinned)
+	if bw < 0.8*m.H2DBandwidth {
+		t.Fatalf("pinned bandwidth at 256KB = %.2f GB/s, want >= 80%% of peak", bw/1e9)
+	}
+	// While at 4 KB it is far from peak (small transfers are expensive).
+	if small := m.Bandwidth(4<<10, HostToDevice, Pinned); small > 0.5*m.H2DBandwidth {
+		t.Fatalf("pinned bandwidth at 4KB = %.2f GB/s, unexpectedly high", small/1e9)
+	}
+}
+
+func TestPageableSaturatesLate(t *testing.T) {
+	m := Default()
+	// At 256 KB pageable is still way below peak...
+	if bw := m.Bandwidth(256<<10, HostToDevice, Pageable); bw > 0.5*m.H2DBandwidth {
+		t.Fatalf("pageable bandwidth at 256KB = %.2f GB/s, unexpectedly high", bw/1e9)
+	}
+	// ...but by 32 MB it has saturated (>= 85% of its own asymptote).
+	asymptote := m.H2DBandwidth / (1 + m.PageableOverhead)
+	if bw := m.Bandwidth(32<<20, HostToDevice, Pageable); bw < 0.85*asymptote {
+		t.Fatalf("pageable bandwidth at 32MB = %.2f GB/s, want >= 85%% of asymptote", bw/1e9)
+	}
+}
+
+func TestLargeBuffersKindsConverge(t *testing.T) {
+	// Figure 3 highlight (iii): for large buffers the pinned/pageable
+	// difference is not significant (within ~10%).
+	m := Default()
+	pg := m.Bandwidth(64<<20, HostToDevice, Pageable)
+	pn := m.Bandwidth(64<<20, HostToDevice, Pinned)
+	if pn/pg > 1.15 {
+		t.Fatalf("pinned/pageable at 64MB = %.3f, want <= 1.15", pn/pg)
+	}
+}
+
+func TestDirectionAsymmetry(t *testing.T) {
+	// H2D peak (5.406) is higher than D2H (5.129), as measured in §4.1.1.
+	m := Default()
+	h2d := m.Bandwidth(64<<20, HostToDevice, Pinned)
+	d2h := m.Bandwidth(64<<20, DeviceToHost, Pinned)
+	if h2d <= d2h {
+		t.Fatalf("H2D %.3f GB/s not above D2H %.3f GB/s", h2d/1e9, d2h/1e9)
+	}
+}
+
+func TestZeroBytes(t *testing.T) {
+	m := Default()
+	if m.TransferTime(0, HostToDevice, Pinned) != 0 {
+		t.Fatal("zero-byte transfer should cost nothing")
+	}
+	if m.Bandwidth(0, HostToDevice, Pinned) != 0 {
+		t.Fatal("zero-byte bandwidth should be zero")
+	}
+}
+
+func TestStrings(t *testing.T) {
+	if HostToDevice.String() == DeviceToHost.String() {
+		t.Fatal("direction strings collide")
+	}
+	if Pinned.String() == Pageable.String() {
+		t.Fatal("buffer kind strings collide")
+	}
+}

@@ -1,0 +1,173 @@
+// Package rabin implements Rabin fingerprinting over GF(2) polynomials
+// (Rabin, 1981), the fingerprinting scheme Shredder uses for
+// content-based chunking. A w-byte window is interpreted as a polynomial
+// over GF(2) and reduced modulo an irreducible polynomial; the remainder
+// is the fingerprint. The package provides both the raw polynomial
+// arithmetic (including irreducibility testing, so callers can derive
+// their own moduli) and a table-driven rolling window that slides one
+// byte at a time in O(1).
+package rabin
+
+import (
+	"errors"
+	"math/bits"
+)
+
+// Poly is a polynomial over GF(2) with coefficients packed into a
+// uint64; bit i holds the coefficient of x^i. The zero value is the
+// zero polynomial.
+type Poly uint64
+
+// DefaultPolynomial is an irreducible polynomial of degree 53, the same
+// degree class used by LBFS-style chunkers. Irreducibility is verified
+// by TestDefaultPolynomialIrreducible.
+const DefaultPolynomial Poly = 0x3DA3358B4DC173
+
+// Degree returns the degree of p, or -1 for the zero polynomial.
+func (p Poly) Degree() int {
+	return bits.Len64(uint64(p)) - 1
+}
+
+// Add returns p + q over GF(2), which is XOR. Subtraction is identical.
+func (p Poly) Add(q Poly) Poly { return p ^ q }
+
+// Mod returns p mod m using polynomial long division over GF(2).
+// It panics if m is zero.
+func (p Poly) Mod(m Poly) Poly {
+	if m == 0 {
+		panic("rabin: modulus is the zero polynomial")
+	}
+	dm := m.Degree()
+	for d := p.Degree(); d >= dm; d = p.Degree() {
+		p ^= m << uint(d-dm)
+	}
+	return p
+}
+
+// Div returns the quotient of p / m over GF(2). It panics if m is zero.
+func (p Poly) Div(m Poly) Poly {
+	if m == 0 {
+		panic("rabin: division by the zero polynomial")
+	}
+	var q Poly
+	dm := m.Degree()
+	for d := p.Degree(); d >= dm; d = p.Degree() {
+		shift := uint(d - dm)
+		q |= 1 << shift
+		p ^= m << shift
+	}
+	return q
+}
+
+// MulMod returns (p * q) mod m without overflowing 64 bits, by reducing
+// after every shift. It panics if m is zero or if p is not already
+// reduced modulo m.
+func MulMod(p, q, m Poly) Poly {
+	if m == 0 {
+		panic("rabin: modulus is the zero polynomial")
+	}
+	if p.Degree() >= m.Degree() {
+		p = p.Mod(m)
+	}
+	var r Poly
+	dm := m.Degree()
+	for q != 0 {
+		if q&1 != 0 {
+			r ^= p
+		}
+		q >>= 1
+		p <<= 1
+		if p.Degree() == dm {
+			p ^= m
+		}
+	}
+	return r
+}
+
+// GCD returns the greatest common divisor of p and q over GF(2).
+func GCD(p, q Poly) Poly {
+	for q != 0 {
+		p, q = q, p.Mod(q)
+	}
+	return p
+}
+
+// powX2k returns x^(2^k) mod m via repeated squaring of x.
+func powX2k(k int, m Poly) Poly {
+	r := Poly(2).Mod(m) // the polynomial "x"
+	for i := 0; i < k; i++ {
+		r = MulMod(r, r, m)
+	}
+	return r
+}
+
+// Irreducible reports whether p is irreducible over GF(2), using
+// Rabin's irreducibility test: p of degree n is irreducible iff
+// x^(2^n) ≡ x (mod p) and gcd(x^(2^(n/q)) − x, p) = 1 for every prime
+// divisor q of n.
+func Irreducible(p Poly) bool {
+	n := p.Degree()
+	if n <= 0 {
+		return false
+	}
+	if n == 1 {
+		return true
+	}
+	if p&1 == 0 {
+		return false // divisible by x
+	}
+	x := Poly(2)
+	if powX2k(n, p) != x.Mod(p) {
+		return false
+	}
+	for _, q := range primeDivisors(n) {
+		h := powX2k(n/q, p) ^ x
+		if GCD(h.Mod(p), p).Degree() > 0 {
+			return false
+		}
+	}
+	return true
+}
+
+func primeDivisors(n int) []int {
+	var ps []int
+	for d := 2; d*d <= n; d++ {
+		if n%d == 0 {
+			ps = append(ps, d)
+			for n%d == 0 {
+				n /= d
+			}
+		}
+	}
+	if n > 1 {
+		ps = append(ps, n)
+	}
+	return ps
+}
+
+// ErrNoPolynomial is returned by DerivePolynomial when no irreducible
+// polynomial is found within the search budget.
+var ErrNoPolynomial = errors.New("rabin: no irreducible polynomial found")
+
+// DerivePolynomial deterministically derives an irreducible polynomial
+// of the given degree from a seed, by scanning candidates produced by a
+// simple xorshift generator. Degree must be in [8, 62] so the rolling
+// window arithmetic cannot overflow.
+func DerivePolynomial(seed uint64, degree int) (Poly, error) {
+	if degree < 8 || degree > 62 {
+		return 0, errors.New("rabin: polynomial degree must be in [8, 62]")
+	}
+	s := seed | 1
+	for i := 0; i < 1<<16; i++ {
+		// xorshift64
+		s ^= s << 13
+		s ^= s >> 7
+		s ^= s << 17
+		p := Poly(s) & (1<<uint(degree) - 1)
+		p |= 1<<uint(degree) | 1 // force exact degree and a constant term
+		if Irreducible(p) {
+			return p, nil
+		}
+	}
+	return 0, ErrNoPolynomial
+}

@@ -1,0 +1,308 @@
+package rabin
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestDegree(t *testing.T) {
+	cases := []struct {
+		p    Poly
+		want int
+	}{
+		{0, -1},
+		{1, 0},
+		{2, 1},
+		{3, 1},
+		{0x8, 3},
+		{DefaultPolynomial, 53},
+		{1 << 62, 62},
+	}
+	for _, c := range cases {
+		if got := c.p.Degree(); got != c.want {
+			t.Errorf("Degree(%#x) = %d, want %d", uint64(c.p), got, c.want)
+		}
+	}
+}
+
+func TestModBasics(t *testing.T) {
+	// x^3 + x + 1 is irreducible of degree 3; x^3 mod it = x + 1.
+	m := Poly(0b1011)
+	if got := Poly(0b1000).Mod(m); got != 0b011 {
+		t.Fatalf("x^3 mod (x^3+x+1) = %#b, want 0b011", got)
+	}
+	// Anything mod itself is zero.
+	if got := m.Mod(m); got != 0 {
+		t.Fatalf("m mod m = %#b, want 0", got)
+	}
+	// Degree of remainder is always below degree of modulus.
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 1000; i++ {
+		p := Poly(rng.Uint64())
+		r := p.Mod(DefaultPolynomial)
+		if r.Degree() >= DefaultPolynomial.Degree() {
+			t.Fatalf("remainder degree %d >= modulus degree", r.Degree())
+		}
+	}
+}
+
+func TestDivModIdentity(t *testing.T) {
+	// p = q·m + r must hold, where q·m is carry-less multiplication.
+	f := func(pv, mv uint64) bool {
+		p := Poly(pv)
+		m := Poly(mv) | (1 << 40) // ensure nonzero with bounded degree
+		m &= 1<<41 - 1
+		q := p.Div(m)
+		r := p.Mod(m)
+		// Recompute q·m by shift-and-xor (no overflow: deg q + deg m < 64
+		// because deg q = deg p − deg m).
+		var prod Poly
+		for i := 0; i < 64; i++ {
+			if q&(1<<uint(i)) != 0 {
+				prod ^= m << uint(i)
+			}
+		}
+		return prod^r == p
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMulModProperties(t *testing.T) {
+	m := DefaultPolynomial
+	// Commutative, and multiplying by 1 is identity.
+	f := func(av, bv uint64) bool {
+		a := Poly(av).Mod(m)
+		b := Poly(bv).Mod(m)
+		if MulMod(a, b, m) != MulMod(b, a, m) {
+			return false
+		}
+		return MulMod(a, 1, m) == a
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+	// Distributive over addition (XOR).
+	g := func(av, bv, cv uint64) bool {
+		a := Poly(av).Mod(m)
+		b := Poly(bv).Mod(m)
+		c := Poly(cv).Mod(m)
+		return MulMod(a, b^c, m) == MulMod(a, b, m)^MulMod(a, c, m)
+	}
+	if err := quick.Check(g, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestGCD(t *testing.T) {
+	// gcd(p, 0) = p, gcd with self = self.
+	if GCD(0b1011, 0) != 0b1011 {
+		t.Fatal("gcd(p, 0) != p")
+	}
+	if GCD(0b1011, 0b1011) != 0b1011 {
+		t.Fatal("gcd(p, p) != p")
+	}
+	// (x+1)^2 = x^2+1; gcd(x^2+1, x+1) = x+1.
+	if GCD(0b101, 0b11) != 0b11 {
+		t.Fatalf("gcd(x^2+1, x+1) = %#b, want x+1", GCD(0b101, 0b11))
+	}
+}
+
+func TestIrreducible(t *testing.T) {
+	irreducibles := []Poly{
+		0b10,               // x
+		0b11,               // x + 1
+		0b111,              // x^2 + x + 1
+		0b1011,             // x^3 + x + 1
+		0b1101,             // x^3 + x^2 + 1
+		0b10011,            // x^4 + x + 1
+		0x11B,              // AES polynomial, degree 8
+		DefaultPolynomial,  // degree 53
+		0xbfe6b8a5bf378d83, // LBFS polynomial, degree 63
+	}
+	for _, p := range irreducibles {
+		if !Irreducible(p) {
+			t.Errorf("Irreducible(%#x) = false, want true", uint64(p))
+		}
+	}
+	reducibles := []Poly{
+		0,
+		1,      // degree 0
+		0b100,  // x^2 = x·x
+		0b101,  // x^2+1 = (x+1)^2
+		0b110,  // x^2+x = x(x+1)
+		0b1111, // (x+1)(x^2+x+1)
+		0x10000001,
+	}
+	for _, p := range reducibles {
+		if Irreducible(p) {
+			t.Errorf("Irreducible(%#x) = true, want false", uint64(p))
+		}
+	}
+}
+
+func TestDerivePolynomial(t *testing.T) {
+	for _, deg := range []int{8, 16, 31, 53, 62} {
+		p, err := DerivePolynomial(42, deg)
+		if err != nil {
+			t.Fatalf("DerivePolynomial(42, %d): %v", deg, err)
+		}
+		if p.Degree() != deg {
+			t.Fatalf("derived polynomial degree = %d, want %d", p.Degree(), deg)
+		}
+		if !Irreducible(p) {
+			t.Fatalf("derived polynomial %#x is reducible", uint64(p))
+		}
+	}
+	// Deterministic for the same seed.
+	a, _ := DerivePolynomial(7, 53)
+	b, _ := DerivePolynomial(7, 53)
+	if a != b {
+		t.Fatal("DerivePolynomial not deterministic")
+	}
+	if _, err := DerivePolynomial(1, 7); err == nil {
+		t.Fatal("expected error for degree < 8")
+	}
+	if _, err := DerivePolynomial(1, 63); err == nil {
+		t.Fatal("expected error for degree > 62")
+	}
+}
+
+func TestWindowMatchesDirectFingerprint(t *testing.T) {
+	tab := NewTable(DefaultPolynomial, 48)
+	rng := rand.New(rand.NewSource(2))
+	data := make([]byte, 4096)
+	rng.Read(data)
+
+	w := NewWindow(tab)
+	for i, b := range data {
+		got := w.Slide(b)
+		lo := i + 1 - tab.Size()
+		if lo < 0 {
+			lo = 0
+		}
+		want := tab.Fingerprint(data[lo : i+1])
+		if got != want {
+			t.Fatalf("at offset %d: rolling %#x != direct %#x", i, got, want)
+		}
+	}
+}
+
+func TestWindowPositionIndependence(t *testing.T) {
+	// The fingerprint after sliding past a full window depends only on
+	// the last Size bytes, not on anything before them. This is the
+	// property that makes parallel chunking possible.
+	tab := NewTable(DefaultPolynomial, 16)
+	rng := rand.New(rand.NewSource(3))
+	tail := make([]byte, 16)
+	rng.Read(tail)
+
+	digest := func(prefix []byte) Poly {
+		w := NewWindow(tab)
+		for _, b := range prefix {
+			w.Slide(b)
+		}
+		var d Poly
+		for _, b := range tail {
+			d = w.Slide(b)
+		}
+		return d
+	}
+
+	base := digest(nil)
+	for trial := 0; trial < 50; trial++ {
+		prefix := make([]byte, rng.Intn(200))
+		rng.Read(prefix)
+		if got := digest(prefix); got != base {
+			t.Fatalf("digest depends on prefix: %#x != %#x", got, base)
+		}
+	}
+}
+
+func TestWindowReset(t *testing.T) {
+	tab := NewTable(DefaultPolynomial, 8)
+	w := NewWindow(tab)
+	data := []byte("hello, world — rabin")
+	var first Poly
+	for _, b := range data {
+		first = w.Slide(b)
+	}
+	w.Reset()
+	if w.Digest() != 0 || w.Full() {
+		t.Fatal("Reset did not clear window state")
+	}
+	var second Poly
+	for _, b := range data {
+		second = w.Slide(b)
+	}
+	if first != second {
+		t.Fatalf("after Reset, digests differ: %#x vs %#x", first, second)
+	}
+}
+
+func TestWindowFull(t *testing.T) {
+	tab := NewTable(DefaultPolynomial, 4)
+	w := NewWindow(tab)
+	for i := 0; i < 3; i++ {
+		w.Slide(byte(i))
+		if w.Full() {
+			t.Fatalf("window reported full after %d bytes", i+1)
+		}
+	}
+	w.Slide(3)
+	if !w.Full() {
+		t.Fatal("window not full after Size bytes")
+	}
+}
+
+func TestWindowQuickAgainstDirect(t *testing.T) {
+	tab := NewTable(DefaultPolynomial, 48)
+	f := func(data []byte) bool {
+		if len(data) < tab.Size() {
+			return true
+		}
+		w := NewWindow(tab)
+		for _, b := range data {
+			w.Slide(b)
+		}
+		return w.Digest() == tab.Fingerprint(data[len(data)-tab.Size():])
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestNewTablePanics(t *testing.T) {
+	for _, tc := range []struct {
+		pol  Poly
+		size int
+	}{
+		{0xFF, 48}, // degree 7 too small
+		{DefaultPolynomial, 0},
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("NewTable(%#x, %d) did not panic", uint64(tc.pol), tc.size)
+				}
+			}()
+			NewTable(tc.pol, tc.size)
+		}()
+	}
+}
+
+func BenchmarkWindowSlide(b *testing.B) {
+	tab := NewTable(DefaultPolynomial, 48)
+	w := NewWindow(tab)
+	data := make([]byte, 1<<20)
+	rand.New(rand.NewSource(4)).Read(data)
+	b.SetBytes(int64(len(data)))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		for _, c := range data {
+			w.Slide(c)
+		}
+	}
+}

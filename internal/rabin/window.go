@@ -1,0 +1,120 @@
+package rabin
+
+// Window is a rolling Rabin fingerprint over a fixed-size window of
+// bytes. Sliding the window forward by one byte is O(1) using two
+// precomputed 256-entry tables. Window is not safe for concurrent use;
+// each goroutine (or simulated GPU lane) owns its own Window, sharing
+// the immutable Table.
+type Window struct {
+	tab    *Table
+	buf    []byte
+	pos    int
+	filled int
+	digest Poly
+}
+
+// Table holds the precomputed slide tables for one (polynomial, window
+// size) pair. A Table is immutable after construction and safe to share
+// across any number of Windows.
+type Table struct {
+	pol  Poly
+	size int
+	deg  uint
+	mask Poly
+	// mod[b] = (Poly(b) << deg) mod pol, so that appending a byte needs
+	// one shift, one mask and one XOR.
+	mod [256]Poly
+	// out[b] = (Poly(b) · x^(8·(size−1))) mod pol, the contribution of
+	// the byte leaving the window.
+	out [256]Poly
+}
+
+// NewTable builds the slide tables for the given polynomial and window
+// size in bytes. It panics if pol has degree < 9 (the top byte of the
+// shifted digest must fit below bit 63) or if size < 1.
+func NewTable(pol Poly, size int) *Table {
+	if pol.Degree() < 9 || pol.Degree() > 62 {
+		panic("rabin: polynomial degree must be in [9, 62]")
+	}
+	if size < 1 {
+		panic("rabin: window size must be at least 1")
+	}
+	t := &Table{pol: pol, size: size}
+	t.deg = uint(pol.Degree())
+	t.mask = 1<<t.deg - 1
+	for b := 0; b < 256; b++ {
+		t.mod[b] = (Poly(b) << t.deg).Mod(pol)
+	}
+	for b := 0; b < 256; b++ {
+		d := Poly(b).Mod(pol)
+		for i := 0; i < size-1; i++ {
+			d = t.append(d, 0)
+		}
+		t.out[b] = d
+	}
+	return t
+}
+
+// Polynomial returns the modulus the table was built for.
+func (t *Table) Polynomial() Poly { return t.pol }
+
+// Size returns the window size in bytes.
+func (t *Table) Size() int { return t.size }
+
+// append multiplies d by x^8, adds b, and reduces mod t.pol. d must
+// already be reduced.
+func (t *Table) append(d Poly, b byte) Poly {
+	top := d >> (t.deg - 8) // d is reduced, so top < 256
+	return (d<<8|Poly(b))&t.mask ^ t.mod[top]
+}
+
+// Fingerprint returns the fingerprint of data directly, as if a window
+// of len(data) had been slid over it. It is the reference the rolling
+// implementation is tested against.
+func (t *Table) Fingerprint(data []byte) Poly {
+	var d Poly
+	for _, b := range data {
+		d = t.append(d, b)
+	}
+	return d
+}
+
+// NewWindow returns a rolling window over t, initially empty.
+func NewWindow(t *Table) *Window {
+	return &Window{tab: t, buf: make([]byte, t.size)}
+}
+
+// Reset returns the window to its initial empty state.
+func (w *Window) Reset() {
+	w.digest = 0
+	w.pos = 0
+	w.filled = 0
+	for i := range w.buf {
+		w.buf[i] = 0
+	}
+}
+
+// Slide pushes b into the window, evicting the oldest byte once the
+// window is full, and returns the fingerprint of the current window
+// contents.
+func (w *Window) Slide(b byte) Poly {
+	old := w.buf[w.pos]
+	w.buf[w.pos] = b
+	w.pos++
+	if w.pos == len(w.buf) {
+		w.pos = 0
+	}
+	if w.filled < len(w.buf) {
+		w.filled++
+	} else {
+		w.digest ^= w.tab.out[old]
+	}
+	w.digest = w.tab.append(w.digest, b)
+	return w.digest
+}
+
+// Digest returns the fingerprint of the current window contents.
+func (w *Window) Digest() Poly { return w.digest }
+
+// Full reports whether the window has seen at least Size bytes.
+func (w *Window) Full() bool { return w.filled == len(w.buf) }

@@ -1,0 +1,182 @@
+// Package redelim implements protocol-independent network redundancy
+// elimination — the middlebox application the paper names as future
+// work (§9, citing EndRE and SIGCOMM'08 packet caches). A sender-side
+// middlebox chunks the byte stream with content-defined boundaries and
+// replaces chunks the receiver already holds with short references; the
+// receiver-side middlebox reconstructs the original stream.
+//
+// Both ends maintain size-bounded caches with identical FIFO eviction;
+// because the channel is reliable and ordered, the caches stay
+// synchronized and a reference is only ever emitted for a chunk the
+// receiver still holds.
+package redelim
+
+import (
+	"errors"
+	"fmt"
+
+	"shredder/internal/chunker"
+	"shredder/internal/dedup"
+)
+
+// RefWireBytes is the on-wire size of a reference message: the chunk
+// hash plus framing.
+const RefWireBytes = 36
+
+// LiteralHeaderBytes is the framing overhead of a literal chunk.
+const LiteralHeaderBytes = 4
+
+// Message is one unit on the wire: either a literal chunk or a
+// reference to one the receiver caches.
+type Message struct {
+	// Ref marks a reference message.
+	Ref bool
+	// Hash identifies the chunk (always set).
+	Hash dedup.Hash
+	// Data carries the chunk bytes for literal messages.
+	Data []byte
+}
+
+// WireBytes returns the modeled on-wire size of the message.
+func (m Message) WireBytes() int64 {
+	if m.Ref {
+		return RefWireBytes
+	}
+	return LiteralHeaderBytes + int64(len(m.Data))
+}
+
+// Stats tracks elimination effectiveness at the sender.
+type Stats struct {
+	// BytesIn is the original stream volume.
+	BytesIn int64
+	// BytesOnWire is what was actually sent (literals + references).
+	BytesOnWire int64
+	// Chunks and RefChunks count totals and eliminated chunks.
+	Chunks    int64
+	RefChunks int64
+}
+
+// Savings returns the fraction of bytes eliminated (0..1).
+func (s Stats) Savings() float64 {
+	if s.BytesIn == 0 {
+		return 0
+	}
+	saved := s.BytesIn - s.BytesOnWire
+	if saved < 0 {
+		return 0
+	}
+	return float64(saved) / float64(s.BytesIn)
+}
+
+// cache is the FIFO chunk cache shared (by construction) between the
+// two middleboxes.
+type cache struct {
+	capacity int
+	entries  map[dedup.Hash][]byte
+	order    []dedup.Hash
+}
+
+func newCache(capacity int) *cache {
+	return &cache{capacity: capacity, entries: make(map[dedup.Hash][]byte)}
+}
+
+// add inserts h (idempotently); data may be nil on the sender side,
+// which only needs membership.
+func (c *cache) add(h dedup.Hash, data []byte) {
+	if _, ok := c.entries[h]; ok {
+		return
+	}
+	if len(c.order) >= c.capacity {
+		oldest := c.order[0]
+		c.order = c.order[1:]
+		delete(c.entries, oldest)
+	}
+	c.entries[h] = data
+	c.order = append(c.order, h)
+}
+
+func (c *cache) get(h dedup.Hash) ([]byte, bool) {
+	d, ok := c.entries[h]
+	return d, ok
+}
+
+// Sender is the upstream middlebox.
+type Sender struct {
+	chk   *chunker.Chunker
+	cache *cache
+	stats Stats
+}
+
+// Receiver is the downstream middlebox.
+type Receiver struct {
+	cache *cache
+}
+
+// NewPair builds a synchronized sender/receiver pair. capacity is the
+// shared cache size in chunks.
+func NewPair(params chunker.Params, capacity int) (*Sender, *Receiver, error) {
+	if capacity < 1 {
+		return nil, nil, errors.New("redelim: cache capacity must be positive")
+	}
+	chk, err := chunker.New(params)
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Sender{chk: chk, cache: newCache(capacity)},
+		&Receiver{cache: newCache(capacity)}, nil
+}
+
+// Encode chunks payload and emits literal or reference messages,
+// updating the sender cache exactly as the receiver will.
+func (s *Sender) Encode(payload []byte) []Message {
+	chunks := s.chk.Split(payload)
+	msgs := make([]Message, 0, len(chunks))
+	for _, c := range chunks {
+		data := payload[c.Offset:c.End()]
+		h := dedup.Sum(data)
+		s.stats.Chunks++
+		s.stats.BytesIn += c.Length
+		if _, ok := s.cache.get(h); ok {
+			m := Message{Ref: true, Hash: h}
+			s.stats.RefChunks++
+			s.stats.BytesOnWire += m.WireBytes()
+			msgs = append(msgs, m)
+			// Re-adding refreshes nothing under FIFO; membership only.
+			continue
+		}
+		cp := make([]byte, len(data))
+		copy(cp, data)
+		m := Message{Hash: h, Data: cp}
+		s.stats.BytesOnWire += m.WireBytes()
+		s.cache.add(h, nil)
+		msgs = append(msgs, m)
+	}
+	return msgs
+}
+
+// Stats returns the sender's running statistics.
+func (s *Sender) Stats() Stats { return s.stats }
+
+// Decode reconstructs the original payload from messages, updating the
+// receiver cache in lock-step with the sender.
+func (r *Receiver) Decode(msgs []Message) ([]byte, error) {
+	var out []byte
+	for i, m := range msgs {
+		if m.Ref {
+			data, ok := r.cache.get(m.Hash)
+			if !ok {
+				return nil, fmt.Errorf("redelim: message %d references unknown chunk %x", i, m.Hash[:8])
+			}
+			out = append(out, data...)
+			continue
+		}
+		if dedup.Sum(m.Data) != m.Hash {
+			return nil, fmt.Errorf("redelim: message %d payload does not match its hash", i)
+		}
+		cp := make([]byte, len(m.Data))
+		copy(cp, m.Data)
+		r.cache.add(m.Hash, cp)
+		out = append(out, m.Data...)
+	}
+	return out, nil
+}

@@ -1,0 +1,193 @@
+package redelim
+
+import (
+	"bytes"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shredder/internal/chunker"
+	"shredder/internal/workload"
+)
+
+func params() chunker.Params {
+	p := chunker.DefaultParams()
+	p.MaskBits = 11 // ~2 KB chunks, packet-train scale
+	p.Marker = 1<<11 - 1
+	p.MinSize = 256
+	p.MaxSize = 8 << 10
+	return p
+}
+
+func newPair(t testing.TB, capacity int) (*Sender, *Receiver) {
+	t.Helper()
+	s, r, err := NewPair(params(), capacity)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return s, r
+}
+
+func TestNewPairValidation(t *testing.T) {
+	if _, _, err := NewPair(params(), 0); err == nil {
+		t.Fatal("expected error for zero capacity")
+	}
+	bad := params()
+	bad.Window = 0
+	if _, _, err := NewPair(bad, 10); err == nil {
+		t.Fatal("expected error for bad chunking params")
+	}
+}
+
+func TestRoundTrip(t *testing.T) {
+	s, r := newPair(t, 1<<16)
+	for i := 0; i < 5; i++ {
+		payload := workload.Random(int64(i), 64<<10)
+		got, err := r.Decode(s.Encode(payload))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("payload %d corrupted", i)
+		}
+	}
+}
+
+func TestRedundancyEliminated(t *testing.T) {
+	s, r := newPair(t, 1<<16)
+	payload := workload.Random(9, 256<<10)
+	// First transmission: all literal.
+	if _, err := r.Decode(s.Encode(payload)); err != nil {
+		t.Fatal(err)
+	}
+	before := s.Stats()
+	if before.RefChunks != 0 {
+		t.Fatalf("cold cache produced %d refs", before.RefChunks)
+	}
+	// Retransmission: almost everything eliminated.
+	got, err := r.Decode(s.Encode(payload))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, payload) {
+		t.Fatal("retransmission corrupted")
+	}
+	after := s.Stats()
+	refs := after.RefChunks - before.RefChunks
+	chunks := after.Chunks - before.Chunks
+	if refs != chunks {
+		t.Fatalf("retransmission: %d of %d chunks eliminated", refs, chunks)
+	}
+	if after.Savings() < 0.45 {
+		t.Fatalf("overall savings %.2f, want ~0.5 after one repeat", after.Savings())
+	}
+}
+
+func TestPartialRedundancy(t *testing.T) {
+	s, r := newPair(t, 1<<16)
+	base := workload.Random(10, 128<<10)
+	if _, err := r.Decode(s.Encode(base)); err != nil {
+		t.Fatal(err)
+	}
+	// 10% changed: most chunks still eliminated.
+	edited := workload.MutateClusteredReplace(base, 11, 10, 2)
+	before := s.Stats()
+	got, err := r.Decode(s.Encode(edited))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, edited) {
+		t.Fatal("edited payload corrupted")
+	}
+	after := s.Stats()
+	frac := float64(after.RefChunks-before.RefChunks) / float64(after.Chunks-before.Chunks)
+	if frac < 0.6 {
+		t.Fatalf("only %.0f%% of chunks eliminated after 10%% edit", frac*100)
+	}
+}
+
+func TestCacheEvictionStaysSynchronized(t *testing.T) {
+	// A tiny cache forces constant eviction; sender must never emit a
+	// reference the receiver cannot resolve.
+	s, r := newPair(t, 8)
+	rng := rand.New(rand.NewSource(12))
+	history := make([][]byte, 0, 8)
+	for i := 0; i < 200; i++ {
+		var payload []byte
+		if len(history) > 0 && rng.Intn(2) == 0 {
+			payload = history[rng.Intn(len(history))] // resend something old
+		} else {
+			payload = workload.Random(int64(1000+i), 4<<10)
+			history = append(history, payload)
+			if len(history) > 8 {
+				history = history[1:]
+			}
+		}
+		got, err := r.Decode(s.Encode(payload))
+		if err != nil {
+			t.Fatalf("iteration %d: %v", i, err)
+		}
+		if !bytes.Equal(got, payload) {
+			t.Fatalf("iteration %d: corrupted", i)
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownRef(t *testing.T) {
+	_, r := newPair(t, 16)
+	msg := Message{Ref: true}
+	if _, err := r.Decode([]Message{msg}); err == nil {
+		t.Fatal("expected error for unknown reference")
+	}
+}
+
+func TestDecodeRejectsCorruptLiteral(t *testing.T) {
+	s, r := newPair(t, 16)
+	msgs := s.Encode(workload.Random(13, 8<<10))
+	// Corrupt a literal payload.
+	for i := range msgs {
+		if !msgs[i].Ref {
+			msgs[i].Data[0] ^= 0xFF
+			break
+		}
+	}
+	if _, err := r.Decode(msgs); err == nil {
+		t.Fatal("expected error for corrupted literal")
+	}
+}
+
+func TestQuickRoundTrip(t *testing.T) {
+	s, r := newPair(t, 1<<12)
+	f := func(payload []byte) bool {
+		if len(payload) == 0 {
+			return true
+		}
+		got, err := r.Decode(s.Encode(payload))
+		return err == nil && bytes.Equal(got, payload)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestStatsZero(t *testing.T) {
+	var st Stats
+	if st.Savings() != 0 {
+		t.Fatal("empty stats should save nothing")
+	}
+	st = Stats{BytesIn: 10, BytesOnWire: 20}
+	if st.Savings() != 0 {
+		t.Fatal("negative savings must clamp to zero")
+	}
+}
+
+func TestMessageWireBytes(t *testing.T) {
+	ref := Message{Ref: true}
+	if ref.WireBytes() != RefWireBytes {
+		t.Fatal("ref wire size")
+	}
+	lit := Message{Data: make([]byte, 100)}
+	if lit.WireBytes() != 104 {
+		t.Fatal("literal wire size")
+	}
+}

@@ -1,0 +1,111 @@
+// Package sim provides a small deterministic discrete-event simulation
+// engine: an event queue with a virtual clock, single-server FIFO
+// resources, and counting-token pools. The GPU, PCIe and host models
+// are built on it; because all Shredder timing figures come from this
+// engine, runs are exactly reproducible regardless of the real
+// machine's speed.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"time"
+)
+
+// Time is an absolute simulated timestamp, in nanoseconds since the
+// start of the simulation.
+type Time int64
+
+// Duration converts a simulated time span into a time.Duration.
+func (t Time) Duration() time.Duration { return time.Duration(t) }
+
+func (t Time) String() string { return time.Duration(t).String() }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventQueue []event
+
+func (q eventQueue) Len() int { return len(q) }
+func (q eventQueue) Less(i, j int) bool {
+	if q[i].at != q[j].at {
+		return q[i].at < q[j].at
+	}
+	return q[i].seq < q[j].seq
+}
+func (q eventQueue) Swap(i, j int)       { q[i], q[j] = q[j], q[i] }
+func (q *eventQueue) Push(x interface{}) { *q = append(*q, x.(event)) }
+func (q *eventQueue) Pop() interface{} {
+	old := *q
+	n := len(old)
+	e := old[n-1]
+	*q = old[:n-1]
+	return e
+}
+
+// Engine is a discrete-event scheduler. The zero value is ready to use.
+// Engine is not safe for concurrent use; a simulation runs on a single
+// goroutine.
+type Engine struct {
+	now Time
+	seq uint64
+	q   eventQueue
+}
+
+// Now returns the current simulated time.
+func (e *Engine) Now() Time { return e.now }
+
+// Schedule runs fn at absolute time at. Scheduling in the past panics:
+// it always indicates a modeling bug, and silently clamping would skew
+// results.
+func (e *Engine) Schedule(at Time, fn func()) {
+	if at < e.now {
+		panic(fmt.Sprintf("sim: scheduling at %v before now %v", at, e.now))
+	}
+	e.seq++
+	heap.Push(&e.q, event{at: at, seq: e.seq, fn: fn})
+}
+
+// After runs fn d from now. Negative d panics.
+func (e *Engine) After(d time.Duration, fn func()) {
+	if d < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", d))
+	}
+	e.Schedule(e.now+Time(d), fn)
+}
+
+// Step executes the earliest pending event, advancing the clock, and
+// reports whether an event ran.
+func (e *Engine) Step() bool {
+	if len(e.q) == 0 {
+		return false
+	}
+	ev := heap.Pop(&e.q).(event)
+	e.now = ev.at
+	ev.fn()
+	return true
+}
+
+// Run executes events until none remain and returns the final time.
+func (e *Engine) Run() Time {
+	for e.Step() {
+	}
+	return e.now
+}
+
+// RunUntil executes events with timestamps <= t, then sets the clock to
+// t (if it has not advanced past it).
+func (e *Engine) RunUntil(t Time) {
+	for len(e.q) > 0 && e.q[0].at <= t {
+		e.Step()
+	}
+	if e.now < t {
+		e.now = t
+	}
+}
+
+// Pending returns the number of queued events.
+func (e *Engine) Pending() int { return len(e.q) }

@@ -1,0 +1,101 @@
+package sim
+
+import "time"
+
+// Resource is a single-server FIFO queue with deterministic service
+// times: a submitted job starts when the server frees up and completes
+// service time later. It models one pipeline stage (the SAN reader, the
+// DMA engine, the GPU, the store thread).
+type Resource struct {
+	e         *Engine
+	name      string
+	busyUntil Time
+	busyTotal Time
+	jobs      int
+}
+
+// NewResource returns a resource attached to e.
+func NewResource(e *Engine, name string) *Resource {
+	return &Resource{e: e, name: name}
+}
+
+// Name returns the resource's label.
+func (r *Resource) Name() string { return r.name }
+
+// Submit enqueues a job with the given service time. done, if non-nil,
+// runs at the job's completion with its start and finish times.
+func (r *Resource) Submit(service time.Duration, done func(start, finish Time)) {
+	if service < 0 {
+		panic("sim: negative service time")
+	}
+	start := r.e.Now()
+	if r.busyUntil > start {
+		start = r.busyUntil
+	}
+	finish := start + Time(service)
+	r.busyUntil = finish
+	r.busyTotal += Time(service)
+	r.jobs++
+	r.e.Schedule(finish, func() {
+		if done != nil {
+			done(start, finish)
+		}
+	})
+}
+
+// BusyTotal returns the cumulative service time of all submitted jobs.
+func (r *Resource) BusyTotal() time.Duration { return r.busyTotal.Duration() }
+
+// Jobs returns the number of jobs submitted.
+func (r *Resource) Jobs() int { return r.jobs }
+
+// Utilization returns busy time divided by the elapsed time horizon.
+func (r *Resource) Utilization(horizon Time) float64 {
+	if horizon <= 0 {
+		return 0
+	}
+	return float64(r.busyTotal) / float64(horizon)
+}
+
+// Tokens is a counting semaphore used to bound how many buffers are
+// admitted into a pipeline (the paper varies this from 2 to 4 in
+// Figure 9). Waiters are granted tokens in FIFO order.
+type Tokens struct {
+	e       *Engine
+	free    int
+	waiters []func()
+}
+
+// NewTokens returns a pool holding n tokens.
+func NewTokens(e *Engine, n int) *Tokens {
+	if n < 1 {
+		panic("sim: token pool needs at least one token")
+	}
+	return &Tokens{e: e, free: n}
+}
+
+// Acquire invokes fn once a token is available; immediately (but still
+// via the event queue, to preserve deterministic ordering) if one is
+// free now.
+func (t *Tokens) Acquire(fn func()) {
+	if t.free > 0 {
+		t.free--
+		t.e.Schedule(t.e.Now(), fn)
+		return
+	}
+	t.waiters = append(t.waiters, fn)
+}
+
+// Release returns a token, waking the oldest waiter if any.
+func (t *Tokens) Release() {
+	if len(t.waiters) > 0 {
+		fn := t.waiters[0]
+		t.waiters = t.waiters[1:]
+		t.e.Schedule(t.e.Now(), fn)
+		return
+	}
+	t.free++
+}
+
+// Free returns the number of tokens currently available.
+func (t *Tokens) Free() int { return t.free }

@@ -1,0 +1,259 @@
+package sim
+
+import (
+	"testing"
+	"time"
+)
+
+func TestEngineOrdering(t *testing.T) {
+	var e Engine
+	var got []int
+	e.After(30*time.Millisecond, func() { got = append(got, 3) })
+	e.After(10*time.Millisecond, func() { got = append(got, 1) })
+	e.After(20*time.Millisecond, func() { got = append(got, 2) })
+	end := e.Run()
+	if end != Time(30*time.Millisecond) {
+		t.Fatalf("final time %v, want 30ms", end)
+	}
+	if len(got) != 3 || got[0] != 1 || got[1] != 2 || got[2] != 3 {
+		t.Fatalf("execution order %v", got)
+	}
+}
+
+func TestEngineSameTimeFIFO(t *testing.T) {
+	var e Engine
+	var got []int
+	for i := 0; i < 10; i++ {
+		i := i
+		e.After(time.Millisecond, func() { got = append(got, i) })
+	}
+	e.Run()
+	for i, v := range got {
+		if v != i {
+			t.Fatalf("events at equal time ran out of order: %v", got)
+		}
+	}
+}
+
+func TestEngineNestedScheduling(t *testing.T) {
+	var e Engine
+	var hits int
+	e.After(time.Millisecond, func() {
+		e.After(time.Millisecond, func() {
+			hits++
+			if e.Now() != Time(2*time.Millisecond) {
+				t.Errorf("nested event at %v, want 2ms", e.Now())
+			}
+		})
+	})
+	e.Run()
+	if hits != 1 {
+		t.Fatal("nested event did not run")
+	}
+}
+
+func TestEngineMonotoneClock(t *testing.T) {
+	var e Engine
+	last := Time(-1)
+	for i := 0; i < 100; i++ {
+		d := time.Duration((i*37)%50) * time.Microsecond
+		e.After(d, func() {
+			if e.Now() < last {
+				t.Errorf("clock went backwards: %v after %v", e.Now(), last)
+			}
+			last = e.Now()
+		})
+	}
+	e.Run()
+}
+
+func TestSchedulePastPanics(t *testing.T) {
+	var e Engine
+	e.After(time.Millisecond, func() {
+		defer func() {
+			if recover() == nil {
+				t.Error("scheduling in the past did not panic")
+			}
+		}()
+		e.Schedule(0, func() {})
+	})
+	e.Run()
+}
+
+func TestRunUntil(t *testing.T) {
+	var e Engine
+	ran := 0
+	e.After(time.Millisecond, func() { ran++ })
+	e.After(3*time.Millisecond, func() { ran++ })
+	e.RunUntil(Time(2 * time.Millisecond))
+	if ran != 1 {
+		t.Fatalf("ran %d events, want 1", ran)
+	}
+	if e.Now() != Time(2*time.Millisecond) {
+		t.Fatalf("clock %v, want 2ms", e.Now())
+	}
+	if e.Pending() != 1 {
+		t.Fatalf("pending %d, want 1", e.Pending())
+	}
+}
+
+func TestResourceFIFOSerialization(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "gpu")
+	var finishes []Time
+	// Three jobs of 10ms submitted at time zero must finish at 10, 20, 30.
+	for i := 0; i < 3; i++ {
+		r.Submit(10*time.Millisecond, func(start, finish Time) {
+			finishes = append(finishes, finish)
+		})
+	}
+	e.Run()
+	want := []Time{Time(10 * time.Millisecond), Time(20 * time.Millisecond), Time(30 * time.Millisecond)}
+	for i := range want {
+		if finishes[i] != want[i] {
+			t.Fatalf("finish[%d] = %v, want %v", i, finishes[i], want[i])
+		}
+	}
+	if r.BusyTotal() != 30*time.Millisecond {
+		t.Fatalf("busy total %v, want 30ms", r.BusyTotal())
+	}
+	if r.Jobs() != 3 {
+		t.Fatalf("jobs %d, want 3", r.Jobs())
+	}
+}
+
+func TestResourceIdleGap(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "dma")
+	var firstFinish, secondStart Time
+	r.Submit(5*time.Millisecond, func(_, f Time) {
+		firstFinish = f
+		// Second job submitted after a 10ms gap: starts when submitted,
+		// not immediately after job one.
+		e.After(10*time.Millisecond, func() {
+			r.Submit(time.Millisecond, func(s, _ Time) { secondStart = s })
+		})
+	})
+	e.Run()
+	if secondStart != firstFinish+Time(10*time.Millisecond) {
+		t.Fatalf("second start %v, want %v", secondStart, firstFinish+Time(10*time.Millisecond))
+	}
+	if got := r.Utilization(e.Now()); got <= 0 || got > 1 {
+		t.Fatalf("utilization %v out of range", got)
+	}
+}
+
+func TestTwoResourcesOverlap(t *testing.T) {
+	// Transfer and kernel as separate servers: with two buffers in
+	// flight the makespan is transfer + N·kernel when kernel dominates —
+	// the double-buffering effect from Figure 4/5.
+	var e Engine
+	transfer := NewResource(&e, "transfer")
+	kernel := NewResource(&e, "kernel")
+	const n = 4
+	tT, tK := 2*time.Millisecond, 8*time.Millisecond
+	for i := 0; i < n; i++ {
+		transfer.Submit(tT, func(_, _ Time) {
+			kernel.Submit(tK, nil)
+		})
+	}
+	end := e.Run()
+	want := Time(tT + n*tK) // first copy, then kernel back-to-back
+	if end != want {
+		t.Fatalf("makespan %v, want %v", end, want)
+	}
+}
+
+func TestTokensBlockAndWake(t *testing.T) {
+	var e Engine
+	tok := NewTokens(&e, 2)
+	var order []int
+	acquire := func(id int) {
+		tok.Acquire(func() {
+			order = append(order, id)
+			e.After(10*time.Millisecond, tok.Release)
+		})
+	}
+	for i := 0; i < 5; i++ {
+		acquire(i)
+	}
+	e.Run()
+	if len(order) != 5 {
+		t.Fatalf("granted %d tokens, want 5", len(order))
+	}
+	for i, v := range order {
+		if v != i {
+			t.Fatalf("grants out of FIFO order: %v", order)
+		}
+	}
+	if tok.Free() != 2 {
+		t.Fatalf("free tokens %d, want 2", tok.Free())
+	}
+}
+
+func TestTokensPanicsOnZero(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("NewTokens(0) did not panic")
+		}
+	}()
+	var e Engine
+	NewTokens(&e, 0)
+}
+
+func TestNegativeServicePanics(t *testing.T) {
+	var e Engine
+	r := NewResource(&e, "x")
+	defer func() {
+		if recover() == nil {
+			t.Fatal("negative service time did not panic")
+		}
+	}()
+	r.Submit(-time.Millisecond, nil)
+}
+
+func TestPipelineBoundedByTokens(t *testing.T) {
+	// Classic 4-stage pipeline: with k tokens, k buffers are in flight;
+	// speedup over serial grows with k up to sum/max of stage times.
+	// sum = 16ms, max = 6ms: with 2 tokens the rate is sum/2 = 8ms per
+	// buffer, with 3+ it reaches the 6ms bottleneck stage.
+	stage := []time.Duration{5 * time.Millisecond, 4 * time.Millisecond, 6 * time.Millisecond, time.Millisecond}
+	run := func(tokens, buffers int) Time {
+		var e Engine
+		rs := make([]*Resource, len(stage))
+		for i := range rs {
+			rs[i] = NewResource(&e, "s")
+		}
+		tok := NewTokens(&e, tokens)
+		for b := 0; b < buffers; b++ {
+			tok.Acquire(func() {
+				rs[0].Submit(stage[0], func(_, _ Time) {
+					rs[1].Submit(stage[1], func(_, _ Time) {
+						rs[2].Submit(stage[2], func(_, _ Time) {
+							rs[3].Submit(stage[3], func(_, _ Time) {
+								tok.Release()
+							})
+						})
+					})
+				})
+			})
+		}
+		return e.Run()
+	}
+	serial := run(1, 8)
+	full := run(4, 8)
+	if serial != Time(8*16*time.Millisecond) {
+		t.Fatalf("serial makespan %v, want 128ms", serial)
+	}
+	// Fully pipelined: dominated by the 6ms stage (plus ramp-in/out).
+	speedup := float64(serial) / float64(full)
+	if speedup < 2.0 || speedup > 16.0/6.0 {
+		t.Fatalf("4-token speedup %.2f, want in (2.0, 2.67]", speedup)
+	}
+	if run(2, 8) >= serial {
+		t.Fatal("2 tokens not faster than serial")
+	}
+	if full >= run(2, 8) {
+		t.Fatal("4 tokens not faster than 2")
+	}
+}

@@ -1,0 +1,121 @@
+// Package stats provides the small formatting and aggregation helpers
+// the benchmark harness uses to print paper-style tables.
+package stats
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// Table renders rows with aligned columns, in the style of the paper's
+// tables.
+type Table struct {
+	// Title is printed above the table.
+	Title string
+	cols  []string
+	rows  [][]string
+}
+
+// NewTable returns a table with the given column headers.
+func NewTable(title string, cols ...string) *Table {
+	return &Table{Title: title, cols: cols}
+}
+
+// AddRow appends one row; cells beyond the column count are dropped,
+// missing cells render empty.
+func (t *Table) AddRow(cells ...string) {
+	row := make([]string, len(t.cols))
+	for i := range row {
+		if i < len(cells) {
+			row[i] = cells[i]
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// String renders the table.
+func (t *Table) String() string {
+	width := make([]int, len(t.cols))
+	for i, c := range t.cols {
+		width[i] = len(c)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if len(c) > width[i] {
+				width[i] = len(c)
+			}
+		}
+	}
+	var b strings.Builder
+	if t.Title != "" {
+		b.WriteString(t.Title)
+		b.WriteByte('\n')
+	}
+	line := func(cells []string) {
+		for i, c := range cells {
+			if i > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", width[i], c)
+		}
+		b.WriteByte('\n')
+	}
+	line(t.cols)
+	total := len(t.cols)*2 - 2
+	for _, w := range width {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total))
+	b.WriteByte('\n')
+	for _, r := range t.rows {
+		line(r)
+	}
+	return b.String()
+}
+
+// Bytes formats a byte count with binary units.
+func Bytes(n int64) string {
+	switch {
+	case n >= 1<<30:
+		return fmt.Sprintf("%.1fGiB", float64(n)/(1<<30))
+	case n >= 1<<20:
+		return fmt.Sprintf("%.0fMiB", float64(n)/(1<<20))
+	case n >= 1<<10:
+		return fmt.Sprintf("%.0fKiB", float64(n)/(1<<10))
+	default:
+		return fmt.Sprintf("%dB", n)
+	}
+}
+
+// GBps formats a bytes/second rate in GB/s (decimal, as the paper
+// does).
+func GBps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f GB/s", bytesPerSec/1e9)
+}
+
+// Gbps formats a bytes/second rate in gigabits/second (Figure 18's
+// unit).
+func Gbps(bytesPerSec float64) string {
+	return fmt.Sprintf("%.2f Gbps", bytesPerSec*8/1e9)
+}
+
+// Ms formats a duration in milliseconds with two decimals.
+func Ms(d time.Duration) string {
+	return fmt.Sprintf("%.2f ms", float64(d)/float64(time.Millisecond))
+}
+
+// Speedup formats a ratio.
+func Speedup(x float64) string { return fmt.Sprintf("%.2fx", x) }
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	var s float64
+	for _, x := range xs {
+		s += x
+	}
+	return s / float64(len(xs))
+}

@@ -1,0 +1,64 @@
+package stats
+
+import (
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestTableRendering(t *testing.T) {
+	tb := NewTable("Table X: demo", "Size", "Value")
+	tb.AddRow("16M", "1.5")
+	tb.AddRow("256M", "24.0")
+	out := tb.String()
+	if !strings.Contains(out, "Table X: demo") {
+		t.Fatal("missing title")
+	}
+	lines := strings.Split(strings.TrimRight(out, "\n"), "\n")
+	if len(lines) != 5 { // title, header, rule, 2 rows
+		t.Fatalf("%d lines: %q", len(lines), out)
+	}
+	// Columns align: "Value" starts at the same offset in header and rows.
+	hdr := lines[1]
+	row := lines[3]
+	if strings.Index(hdr, "Value") != strings.Index(row, "1.5") {
+		t.Fatalf("columns misaligned:\n%s", out)
+	}
+}
+
+func TestTableRaggedRows(t *testing.T) {
+	tb := NewTable("", "A", "B")
+	tb.AddRow("x")           // short
+	tb.AddRow("y", "z", "w") // long, extra dropped
+	out := tb.String()
+	if strings.Contains(out, "w") {
+		t.Fatal("extra cell not dropped")
+	}
+}
+
+func TestFormatters(t *testing.T) {
+	cases := map[string]string{
+		Bytes(512):                  "512B",
+		Bytes(4 << 10):              "4KiB",
+		Bytes(32 << 20):             "32MiB",
+		Bytes(3 << 30):              "3.0GiB",
+		GBps(5.406e9):               "5.41 GB/s",
+		Gbps(1.25e9):                "10.00 Gbps",
+		Ms(1500 * time.Microsecond): "1.50 ms",
+		Speedup(5.21):               "5.21x",
+	}
+	for got, want := range cases {
+		if got != want {
+			t.Errorf("got %q, want %q", got, want)
+		}
+	}
+}
+
+func TestMean(t *testing.T) {
+	if Mean(nil) != 0 {
+		t.Fatal("mean of empty should be 0")
+	}
+	if m := Mean([]float64{1, 2, 3}); m != 2 {
+		t.Fatalf("mean = %f", m)
+	}
+}

@@ -1,0 +1,71 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestMutateClusteredReplaceAccuracy(t *testing.T) {
+	data := Random(90, 1<<20)
+	for _, pct := range []float64{1, 5, 25} {
+		mod := MutateClusteredReplace(data, 91, pct, 4)
+		if len(mod) != len(data) {
+			t.Fatal("length changed")
+		}
+		frac := ChangedFraction(data, mod) * 100
+		if frac < pct*0.7 || frac > pct*1.4 {
+			t.Fatalf("requested %v%%, measured %.2f%%", pct, frac)
+		}
+	}
+}
+
+func TestMutateClusteredIsLocalized(t *testing.T) {
+	// The point of clustering: with 4 regions at 5%, at least half of
+	// the 64 KB-aligned blocks must be completely untouched — the
+	// property that lets content-defined splits survive.
+	data := Random(92, 1<<20)
+	mod := MutateClusteredReplace(data, 93, 5, 4)
+	const block = 64 << 10
+	untouched := 0
+	blocks := 0
+	for off := 0; off+block <= len(data); off += block {
+		blocks++
+		if bytes.Equal(data[off:off+block], mod[off:off+block]) {
+			untouched++
+		}
+	}
+	if untouched < blocks/2 {
+		t.Fatalf("only %d of %d blocks untouched; edits not localized", untouched, blocks)
+	}
+	// Contrast: scattered MutateReplace touches nearly everything.
+	scattered := MutateReplace(data, 93, 5)
+	untouchedScattered := 0
+	for off := 0; off+block <= len(data); off += block {
+		if bytes.Equal(data[off:off+block], scattered[off:off+block]) {
+			untouchedScattered++
+		}
+	}
+	if untouchedScattered >= untouched {
+		t.Fatalf("scattered edits (%d untouched) not worse than clustered (%d)",
+			untouchedScattered, untouched)
+	}
+}
+
+func TestMutateClusteredEdgeCases(t *testing.T) {
+	data := Random(94, 1024)
+	if !bytes.Equal(MutateClusteredReplace(data, 1, 0, 4), data) {
+		t.Fatal("0%% changed data")
+	}
+	if !bytes.Equal(MutateClusteredReplace(data, 1, 5, 0), data) {
+		t.Fatal("zero regions changed data")
+	}
+	if len(MutateClusteredReplace(nil, 1, 5, 4)) != 0 {
+		t.Fatal("nil input")
+	}
+	// Deterministic.
+	a := MutateClusteredReplace(data, 7, 10, 3)
+	b := MutateClusteredReplace(data, 7, 10, 3)
+	if !bytes.Equal(a, b) {
+		t.Fatal("not deterministic")
+	}
+}

@@ -1,0 +1,312 @@
+// Package workload generates deterministic synthetic data sets for the
+// experiments: random streams, text corpora for the MapReduce
+// applications, mutation operators that change a controlled percentage
+// of an input (Figure 15's x-axis), and segmented VM images with a
+// similarity table (the paper's §7.3 backup emulation).
+package workload
+
+import (
+	"encoding/binary"
+	"math/rand"
+)
+
+// Random returns n pseudo-random bytes derived from seed.
+func Random(seed int64, n int) []byte {
+	d := make([]byte, n)
+	rand.New(rand.NewSource(seed)).Read(d)
+	return d
+}
+
+// words is a small vocabulary for text generation; frequencies follow a
+// rough Zipf shape via the skewed picker below.
+var words = []string{
+	"the", "of", "and", "to", "in", "a", "is", "that", "for", "it",
+	"storage", "data", "chunk", "gpu", "kernel", "memory", "backup",
+	"incremental", "pipeline", "buffer", "transfer", "bandwidth",
+	"fingerprint", "window", "marker", "boundary", "dedup", "stream",
+	"cloud", "compute", "system", "paper", "result", "thread", "warp",
+}
+
+// Text returns about n bytes of newline-delimited word records,
+// suitable for word count and co-occurrence jobs. Lines have 6–12
+// words. Deterministic in seed.
+func Text(seed int64, n int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, 0, n+64)
+	for len(out) < n {
+		lineLen := 6 + rng.Intn(7)
+		for i := 0; i < lineLen; i++ {
+			if i > 0 {
+				out = append(out, ' ')
+			}
+			out = append(out, pick(rng)...)
+		}
+		out = append(out, '\n')
+	}
+	return out[:n]
+}
+
+// pick draws a word with a Zipf-ish skew: low indices are much more
+// likely.
+func pick(rng *rand.Rand) string {
+	// P(i) ∝ 1/(i+1): invert a uniform draw over the harmonic CDF
+	// approximately by squaring.
+	u := rng.Float64()
+	idx := int(u * u * float64(len(words)))
+	if idx >= len(words) {
+		idx = len(words) - 1
+	}
+	return words[idx]
+}
+
+// Points returns n 2-D points clustered around k centers, encoded as
+// newline-delimited "x y" records for the k-means application.
+func Points(seed int64, n, k int) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	centers := make([][2]float64, k)
+	for i := range centers {
+		centers[i] = [2]float64{rng.Float64() * 1000, rng.Float64() * 1000}
+	}
+	var out []byte
+	for i := 0; i < n; i++ {
+		c := centers[rng.Intn(k)]
+		x := c[0] + rng.NormFloat64()*15
+		y := c[1] + rng.NormFloat64()*15
+		out = appendFixed(out, x)
+		out = append(out, ' ')
+		out = appendFixed(out, y)
+		out = append(out, '\n')
+	}
+	return out
+}
+
+// appendFixed formats a float with 2 decimals without fmt (hot path).
+func appendFixed(b []byte, f float64) []byte {
+	if f < 0 {
+		b = append(b, '-')
+		f = -f
+	}
+	whole := int64(f)
+	frac := int64((f - float64(whole)) * 100)
+	b = appendInt(b, whole)
+	b = append(b, '.')
+	if frac < 10 {
+		b = append(b, '0')
+	}
+	return appendInt(b, frac)
+}
+
+func appendInt(b []byte, v int64) []byte {
+	if v == 0 {
+		return append(b, '0')
+	}
+	var tmp [20]byte
+	i := len(tmp)
+	for v > 0 {
+		i--
+		tmp[i] = byte('0' + v%10)
+		v /= 10
+	}
+	return append(b, tmp[i:]...)
+}
+
+// MutateReplace overwrites pct percent of data in scattered
+// record-sized blocks, returning a new slice of the same length. This
+// models in-place updates (e.g. changed rows of a crawl).
+func MutateReplace(data []byte, seed int64, pct float64) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if pct <= 0 || len(data) == 0 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const block = 512
+	target := int(float64(len(data)) * pct / 100)
+	for changed := 0; changed < target; {
+		off := rng.Intn(len(out))
+		n := block
+		if off+n > len(out) {
+			n = len(out) - off
+		}
+		rng.Read(out[off : off+n])
+		changed += n
+	}
+	return out
+}
+
+// MutateClusteredReplace overwrites pct percent of data confined to
+// `regions` contiguous runs, returning a new slice of the same length.
+// This is the paper's notion of "p% incremental changes": edits are
+// localized (new log records, changed rows in a few files), so most
+// content-defined splits survive intact. Scattered fine-grained edits
+// (MutateReplace) instead touch almost every split, which is the
+// adversarial case for any incremental system.
+func MutateClusteredReplace(data []byte, seed int64, pct float64, regions int) []byte {
+	out := make([]byte, len(data))
+	copy(out, data)
+	if pct <= 0 || len(data) == 0 || regions < 1 {
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	target := int(float64(len(data)) * pct / 100)
+	per := target / regions
+	if per < 1 {
+		per = 1
+	}
+	// One run per equal zone, so runs never overlap and the requested
+	// percentage is met exactly (up to rounding).
+	zone := len(out) / regions
+	if zone < 1 {
+		zone = 1
+	}
+	for r := 0; r < regions; r++ {
+		lo := r * zone
+		hi := lo + zone
+		if r == regions-1 || hi > len(out) {
+			hi = len(out)
+		}
+		if lo >= hi {
+			break
+		}
+		n := per
+		if n >= hi-lo {
+			rng.Read(out[lo:hi])
+			continue
+		}
+		off := lo + rng.Intn(hi-lo-n)
+		rng.Read(out[off : off+n])
+	}
+	return out
+}
+
+// MutateInsert inserts pct percent of new content at random positions,
+// in record-sized pieces; the result is longer than the input. This is
+// the append/insert pattern content-defined chunking exists for.
+func MutateInsert(data []byte, seed int64, pct float64) []byte {
+	if pct <= 0 || len(data) == 0 {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const block = 512
+	target := int(float64(len(data)) * pct / 100)
+	cuts := target/block + 1
+	out := make([]byte, 0, len(data)+target+block)
+	prev := 0
+	for i := 0; i < cuts; i++ {
+		pos := prev + rng.Intn(len(data)-prev+1)
+		out = append(out, data[prev:pos]...)
+		ins := make([]byte, block)
+		rng.Read(ins)
+		out = append(out, ins...)
+		prev = pos
+	}
+	out = append(out, data[prev:]...)
+	return out
+}
+
+// MutateDelete removes pct percent of the input in record-sized pieces.
+func MutateDelete(data []byte, seed int64, pct float64) []byte {
+	if pct <= 0 || len(data) == 0 {
+		out := make([]byte, len(data))
+		copy(out, data)
+		return out
+	}
+	rng := rand.New(rand.NewSource(seed))
+	const block = 512
+	target := int(float64(len(data)) * pct / 100)
+	out := make([]byte, 0, len(data))
+	skipAt := make(map[int]bool)
+	for removed := 0; removed < target; removed += block {
+		skipAt[rng.Intn(len(data)/block+1)] = true
+	}
+	for off := 0; off < len(data); off += block {
+		end := off + block
+		if end > len(data) {
+			end = len(data)
+		}
+		if !skipAt[off/block] {
+			out = append(out, data[off:end]...)
+		}
+	}
+	return out
+}
+
+// Image is the master VM image of the §7.3 emulation: segments of
+// SegSize bytes, with a per-segment probability of being replaced in a
+// snapshot (the image similarity table).
+type Image struct {
+	// SegSize is the segment granularity.
+	SegSize int
+	// Master is the base image content.
+	Master []byte
+	// Similarity holds one replacement probability per segment.
+	Similarity []float64
+}
+
+// NewImage builds a master image of n bytes with uniform per-segment
+// replacement probability prob.
+func NewImage(seed int64, n, segSize int, prob float64) *Image {
+	segs := (n + segSize - 1) / segSize
+	sim := make([]float64, segs)
+	for i := range sim {
+		sim[i] = prob
+	}
+	return &Image{
+		SegSize:    segSize,
+		Master:     Random(seed, n),
+		Similarity: sim,
+	}
+}
+
+// Snapshot generates one VM snapshot: each segment is replaced by fresh
+// content with its similarity-table probability. Deterministic in seed.
+func (im *Image) Snapshot(seed int64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]byte, len(im.Master))
+	copy(out, im.Master)
+	for s, prob := range im.Similarity {
+		if rng.Float64() >= prob {
+			continue
+		}
+		lo := s * im.SegSize
+		hi := lo + im.SegSize
+		if hi > len(out) {
+			hi = len(out)
+		}
+		// Fresh deterministic content for this segment.
+		var seedBytes [8]byte
+		binary.LittleEndian.PutUint64(seedBytes[:], uint64(seed)^uint64(s)*0x9E3779B97F4A7C15)
+		fill := rand.New(rand.NewSource(int64(binary.LittleEndian.Uint64(seedBytes[:]))))
+		fill.Read(out[lo:hi])
+	}
+	return out
+}
+
+// ChangedFraction reports the fraction of bytes that differ between two
+// equal-length buffers.
+func ChangedFraction(a, b []byte) float64 {
+	if len(a) == 0 {
+		return 0
+	}
+	n := len(a)
+	if len(b) < n {
+		n = len(b)
+	}
+	diff := 0
+	for i := 0; i < n; i++ {
+		if a[i] != b[i] {
+			diff++
+		}
+	}
+	diff += len(a) - n + maxInt(len(b)-n, 0)
+	return float64(diff) / float64(maxInt(len(a), len(b)))
+}
+
+func maxInt(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

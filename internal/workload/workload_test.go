@@ -1,0 +1,146 @@
+package workload
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+func TestRandomDeterministic(t *testing.T) {
+	a := Random(7, 1024)
+	b := Random(7, 1024)
+	if !bytes.Equal(a, b) {
+		t.Fatal("Random not deterministic")
+	}
+	c := Random(8, 1024)
+	if bytes.Equal(a, c) {
+		t.Fatal("different seeds gave identical data")
+	}
+}
+
+func TestTextShape(t *testing.T) {
+	data := Text(1, 10000)
+	if len(data) != 10000 {
+		t.Fatalf("length %d, want 10000", len(data))
+	}
+	lines := strings.Split(strings.TrimRight(string(Text(1, 5000)), "\n"), "\n")
+	for _, l := range lines[:len(lines)-1] { // last line may be truncated
+		n := len(strings.Fields(l))
+		if n < 6 || n > 12 {
+			t.Fatalf("line has %d words: %q", n, l)
+		}
+	}
+	if !bytes.Equal(Text(3, 2000), Text(3, 2000)) {
+		t.Fatal("Text not deterministic")
+	}
+}
+
+func TestPointsParseable(t *testing.T) {
+	data := Points(2, 100, 4)
+	lines := strings.Split(strings.TrimRight(string(data), "\n"), "\n")
+	if len(lines) != 100 {
+		t.Fatalf("%d lines, want 100", len(lines))
+	}
+	for _, l := range lines {
+		parts := strings.Fields(l)
+		if len(parts) != 2 {
+			t.Fatalf("bad point record %q", l)
+		}
+		for _, p := range parts {
+			if _, err := strconv.ParseFloat(p, 64); err != nil {
+				t.Fatalf("unparseable coordinate %q: %v", p, err)
+			}
+		}
+	}
+}
+
+func TestMutateReplace(t *testing.T) {
+	data := Random(3, 1<<20)
+	for _, pct := range []float64{1, 5, 25} {
+		mod := MutateReplace(data, 42, pct)
+		if len(mod) != len(data) {
+			t.Fatal("replace changed length")
+		}
+		frac := ChangedFraction(data, mod) * 100
+		if frac < pct*0.8 || frac > pct*2.5 {
+			t.Fatalf("requested %v%% change, measured %.2f%%", pct, frac)
+		}
+	}
+	zero := MutateReplace(data, 42, 0)
+	if !bytes.Equal(zero, data) {
+		t.Fatal("0%% mutation changed data")
+	}
+	// Mutation must not alias the input.
+	mod := MutateReplace(data, 1, 5)
+	mod[0] ^= 1
+	if data[0] == mod[0] && &data[0] == &mod[0] {
+		t.Fatal("mutation aliases input")
+	}
+}
+
+func TestMutateInsertDelete(t *testing.T) {
+	data := Random(4, 1<<18)
+	ins := MutateInsert(data, 5, 10)
+	if len(ins) <= len(data) {
+		t.Fatal("insert did not grow data")
+	}
+	grow := float64(len(ins)-len(data)) / float64(len(data)) * 100
+	if grow < 8 || grow > 13 {
+		t.Fatalf("insert grew by %.1f%%, want ~10%%", grow)
+	}
+	del := MutateDelete(data, 6, 10)
+	if len(del) >= len(data) {
+		t.Fatal("delete did not shrink data")
+	}
+	shrink := float64(len(data)-len(del)) / float64(len(data)) * 100
+	if shrink < 5 || shrink > 15 {
+		t.Fatalf("delete shrank by %.1f%%, want ~10%%", shrink)
+	}
+	if !bytes.Equal(MutateInsert(data, 5, 10), ins) {
+		t.Fatal("insert not deterministic")
+	}
+}
+
+func TestImageSnapshot(t *testing.T) {
+	im := NewImage(1, 1<<20, 4096, 0.1)
+	snapA := im.Snapshot(100)
+	snapB := im.Snapshot(100)
+	if !bytes.Equal(snapA, snapB) {
+		t.Fatal("snapshot not deterministic")
+	}
+	if len(snapA) != len(im.Master) {
+		t.Fatal("snapshot length differs from master")
+	}
+	frac := ChangedFraction(im.Master, snapA)
+	if frac < 0.03 || frac > 0.25 {
+		t.Fatalf("10%% segment-change probability changed %.1f%% of bytes", frac*100)
+	}
+	// Probability 0 must change nothing; probability 1 nearly all.
+	still := NewImage(2, 1<<18, 4096, 0)
+	if !bytes.Equal(still.Snapshot(5), still.Master) {
+		t.Fatal("prob 0 changed content")
+	}
+	churn := NewImage(3, 1<<18, 4096, 1)
+	if f := ChangedFraction(churn.Master, churn.Snapshot(5)); f < 0.9 {
+		t.Fatalf("prob 1 changed only %.1f%%", f*100)
+	}
+}
+
+func TestChangedFraction(t *testing.T) {
+	if ChangedFraction(nil, nil) != 0 {
+		t.Fatal("empty inputs")
+	}
+	a := []byte{1, 2, 3, 4}
+	if f := ChangedFraction(a, a); f != 0 {
+		t.Fatalf("identical: %f", f)
+	}
+	b := []byte{1, 2, 0, 4}
+	if f := ChangedFraction(a, b); f != 0.25 {
+		t.Fatalf("one of four: %f", f)
+	}
+	// Length mismatch counts as change.
+	if f := ChangedFraction(a, a[:2]); f != 0.5 {
+		t.Fatalf("length mismatch: %f", f)
+	}
+}

@@ -4,6 +4,12 @@
 // CPU baseline, and reports per-snapshot bandwidth and dedup.
 //
 //	backupsim [-image MiB] [-snapshots N] [-prob p] [-engine gpu|cpu] [-seed N]
+//
+// With -server it instead acts as a shredderd client: the same image
+// series is streamed over TCP to the daemon, which chunks and dedups it
+// server-side and reports per-stream statistics.
+//
+//	backupsim -server host:9323 [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
 package main
 
 import (
@@ -12,6 +18,7 @@ import (
 	"os"
 
 	"shredder/internal/backup"
+	"shredder/internal/ingest"
 	"shredder/internal/stats"
 	"shredder/internal/workload"
 )
@@ -22,7 +29,25 @@ func main() {
 	prob := flag.Float64("prob", 0.1, "per-segment change probability")
 	engineName := flag.String("engine", "gpu", "chunking engine: gpu or cpu")
 	seed := flag.Int64("seed", 7, "workload seed")
+	server := flag.String("server", "", "shredderd address; when set, stream to the service instead of simulating locally")
+	name := flag.String("name", "vm", "stream name prefix in service mode")
 	flag.Parse()
+
+	if *server != "" {
+		// Chunking happens server-side in service mode; an explicit
+		// -engine would be silently meaningless, so reject it.
+		engineSet := false
+		flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
+		if engineSet {
+			fmt.Fprintln(os.Stderr, "backupsim: -engine has no effect with -server (the daemon chunks server-side)")
+			os.Exit(2)
+		}
+		if err := runClient(*server, *name, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	engine := backup.ShredderGPU
 	if *engineName == "cpu" {
@@ -36,6 +61,41 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backupsim:", err)
 		os.Exit(1)
 	}
+}
+
+// runClient streams the image series to a shredderd daemon and verifies
+// every stream restores byte-exactly over the wire.
+func runClient(addr, prefix string, size, snapshots int, prob float64, seed int64) error {
+	c, err := ingest.Dial(addr)
+	if err != nil {
+		return err
+	}
+	defer c.Close()
+	im := workload.NewImage(seed, size, 64<<10, prob)
+
+	push := func(name string, data []byte) error {
+		st, err := c.BackupBytes(name, data)
+		if err != nil {
+			return err
+		}
+		if err := c.Verify(name, data); err != nil {
+			return err
+		}
+		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx, restore verified; store %s stored of %s (%.2fx)\n",
+			name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(),
+			stats.Bytes(st.Store.StoredBytes), stats.Bytes(st.Store.LogicalBytes), st.Store.Ratio())
+		return nil
+	}
+
+	if err := push(prefix+"-master", im.Master); err != nil {
+		return err
+	}
+	for i := 1; i <= snapshots; i++ {
+		if err := push(fmt.Sprintf("%s-snapshot-%d", prefix, i), im.Snapshot(seed+int64(i))); err != nil {
+			return err
+		}
+	}
+	return nil
 }
 
 func run(size, snapshots int, prob float64, engine backup.Engine, seed int64) error {

@@ -1,0 +1,58 @@
+// Command shredderd is the Shredder ingest daemon: a consolidated
+// chunk-and-dedup service (§7's cloud-backup server, made concurrent).
+// Clients stream raw data over TCP; the daemon chunks each stream with
+// the Shredder pipeline, dedups it in batches against a sharded
+// fingerprint index shared by every session, and reports per-stream
+// dedup statistics. cmd/backupsim -server is a ready-made client.
+//
+//	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB] [-quiet]
+package main
+
+import (
+	"flag"
+	"fmt"
+	"log"
+	"net"
+	"os"
+
+	"shredder/internal/ingest"
+	"shredder/internal/stats"
+)
+
+func main() {
+	addr := flag.String("addr", ":9323", "TCP listen address")
+	shards := flag.Int("shards", 16, "store shard count (power of two)")
+	batch := flag.Int("batch", 64, "chunks per has/put batch")
+	buffer := flag.Int("buffer", 4, "per-session pipeline buffer in MiB")
+	quiet := flag.Bool("quiet", false, "suppress per-stream logging")
+	flag.Parse()
+
+	cfg := ingest.DefaultConfig()
+	cfg.Shards = *shards
+	cfg.BatchSize = *batch
+	cfg.Shredder.BufferSize = *buffer << 20
+	if !*quiet {
+		cfg.OnStream = func(name string, st ingest.StreamStats) {
+			log.Printf("stream %q: %s in %d chunks, %d dup, ratio %.2fx; store ratio %.2fx",
+				name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks,
+				st.DedupRatio(), st.Store.Ratio())
+		}
+	}
+
+	srv, err := ingest.NewServer(cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shredderd:", err)
+		os.Exit(1)
+	}
+	l, err := net.Listen("tcp", *addr)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shredderd:", err)
+		os.Exit(1)
+	}
+	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers)",
+		l.Addr(), *shards, *batch, *buffer)
+	if err := srv.Serve(l); err != nil {
+		fmt.Fprintln(os.Stderr, "shredderd:", err)
+		os.Exit(1)
+	}
+}

@@ -12,12 +12,22 @@
 //     has no GPU; see DESIGN.md for the substitution argument)
 //   - internal/core — the Shredder pipeline itself
 //   - internal/pchunk, internal/dedup — the pthreads baseline and the
-//     dedup store
+//     single-goroutine reference dedup store
+//   - internal/shardstore — the sharded, lock-striped, concurrency-safe
+//     chunk store (byte-identical semantics to internal/dedup, asserted
+//     differentially)
+//   - internal/ingest — the streaming ingest service layer: a
+//     length-prefixed binary protocol over net.Conn, a server that
+//     chunks client streams with the core pipeline and dedups them in
+//     batches against one shared shardstore, and the matching client
 //   - internal/hdfs, internal/mapreduce, internal/backup — the two
-//     case studies (Inc-HDFS + Incoop, cloud backup)
+//     case studies (Inc-HDFS + Incoop, cloud backup); backup.Service
+//     runs the multi-VM experiment through the service path
 //   - internal/experiments — regenerates every table and figure
 //
-// The benchmarks in bench_test.go wrap internal/experiments so that
-// `go test -bench=.` reproduces the paper's entire evaluation; the
-// cmd/shredbench binary prints the same tables interactively.
+// The cmd/shredderd binary serves the ingest protocol over TCP and
+// cmd/backupsim -server is its client. The benchmarks in bench_test.go
+// wrap internal/experiments so that `go test -bench=.` reproduces the
+// paper's entire evaluation; the cmd/shredbench binary prints the same
+// tables interactively.
 package shredder

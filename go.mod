@@ -1,0 +1,3 @@
+module shredder
+
+go 1.24

@@ -1,0 +1,98 @@
+package backup
+
+import (
+	"fmt"
+	"net"
+	"sync"
+
+	"shredder/internal/dedup"
+	"shredder/internal/ingest"
+)
+
+// Service runs the consolidated backup through the shredderd service
+// layer instead of the in-process store: the same chunking parameters
+// as Server, but matching and storage happen in a sharded
+// concurrency-safe store behind the ingest protocol, so many VM
+// streams can be backed up at once. Chunk boundaries are bit-identical
+// to the in-process path, so the dedup accounting is too.
+type Service struct {
+	srv *ingest.Server
+}
+
+// NewService builds the service-path backup server with the given
+// shard count (0 means the shardstore default).
+func NewService(cfg Config, shards int) (*Service, error) {
+	if err := cfg.Validate(); err != nil {
+		return nil, err
+	}
+	sc := cfg.Shredder
+	sc.Chunking = cfg.Chunking
+	srv, err := ingest.NewServer(ingest.Config{Shards: shards, Shredder: sc})
+	if err != nil {
+		return nil, err
+	}
+	return &Service{srv: srv}, nil
+}
+
+// Ingest exposes the underlying ingest server (to serve real TCP
+// listeners).
+func (s *Service) Ingest() *ingest.Server { return s.srv }
+
+// SiteStats mirrors Server.SiteStats for the service path.
+func (s *Service) SiteStats() dedup.Stats { return s.srv.Store().Stats() }
+
+// Dial opens one client session over an in-memory pipe. Tests and
+// same-process experiments use this; production clients dial the
+// shredderd daemon over TCP instead.
+func (s *Service) Dial() *ingest.Client {
+	cend, send := net.Pipe()
+	go func() {
+		defer send.Close()
+		_ = s.srv.ServeConn(send)
+	}()
+	return ingest.NewClient(cend)
+}
+
+// VMResult is one stream's outcome in a MultiVM run.
+type VMResult struct {
+	Name  string
+	Stats ingest.StreamStats
+}
+
+// MultiVM runs the §7.2 consolidated multi-VM experiment through the
+// service path: every image is backed up on its own concurrent client
+// session and verified to restore byte-exactly. Results come back in
+// input order.
+func (s *Service) MultiVM(names []string, images [][]byte) ([]VMResult, error) {
+	if len(names) != len(images) {
+		return nil, fmt.Errorf("backup: %d names for %d images", len(names), len(images))
+	}
+	results := make([]VMResult, len(names))
+	errs := make([]error, len(names))
+	var wg sync.WaitGroup
+	for i := range names {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			c := s.Dial()
+			defer c.Close()
+			st, err := c.BackupBytes(names[i], images[i])
+			if err != nil {
+				errs[i] = fmt.Errorf("backup %q: %w", names[i], err)
+				return
+			}
+			if err := c.Verify(names[i], images[i]); err != nil {
+				errs[i] = fmt.Errorf("verify %q: %w", names[i], err)
+				return
+			}
+			results[i] = VMResult{Name: names[i], Stats: *st}
+		}(i)
+	}
+	wg.Wait()
+	for _, err := range errs {
+		if err != nil {
+			return nil, err
+		}
+	}
+	return results, nil
+}

@@ -1,0 +1,63 @@
+package backup
+
+import (
+	"fmt"
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+// TestServiceMultiVM runs the cross-VM dedup experiment through the
+// shredderd service path (concurrent sessions over net.Pipe) and
+// checks it against the in-process Server on the same images: same
+// dedup totals, same cross-VM sharing, byte-exact restores (asserted
+// inside MultiVM).
+func TestServiceMultiVM(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shredder.BufferSize = 2 << 20
+	cfg.BufferSize = 2 << 20
+
+	golden := workload.NewImage(100, 8<<20, 64<<10, 0.05)
+	names := []string{"golden"}
+	images := [][]byte{golden.Master}
+	for vm := 1; vm <= 4; vm++ {
+		names = append(names, fmt.Sprintf("vm-%d", vm))
+		images = append(images, golden.Snapshot(int64(vm)))
+	}
+
+	svc, err := NewService(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := svc.MultiVM(names, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, r := range results {
+		if r.Stats.Bytes != int64(len(images[i])) {
+			t.Fatalf("stream %q saw %d bytes, want %d", r.Name, r.Stats.Bytes, len(images[i]))
+		}
+	}
+
+	// In-process ground truth: the original single-threaded Server.
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range names {
+		if _, err := srv.Backup(names[i], images[i], ShredderGPU); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	got, want := svc.SiteStats(), srv.SiteStats()
+	// Concurrent interleaving cannot change the totals: same chunks,
+	// same logical and stored bytes, same unique count.
+	if got.LogicalBytes != want.LogicalBytes || got.Chunks != want.Chunks ||
+		got.StoredBytes != want.StoredBytes || got.UniqueChunks != want.UniqueChunks {
+		t.Fatalf("service path stats %+v, in-process path %+v", got, want)
+	}
+	if got.Ratio() < 3 {
+		t.Fatalf("service-path dedup ratio %.2f, want > 3 for standardized images", got.Ratio())
+	}
+}

@@ -1,0 +1,165 @@
+package ingest
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+)
+
+// Client speaks the ingest protocol over one connection. It is not
+// safe for concurrent use: a session runs one operation at a time
+// (open several clients for parallel streams — that is the point of
+// the sharded server).
+type Client struct {
+	conn      net.Conn
+	br        *bufio.Reader
+	bw        *bufio.Writer
+	buf       []byte
+	frameSize int
+}
+
+// NewClient wraps an established connection (TCP, unix socket,
+// net.Pipe, ...).
+func NewClient(conn net.Conn) *Client {
+	return &Client{
+		conn:      conn,
+		br:        bufio.NewReaderSize(conn, 256<<10),
+		bw:        bufio.NewWriterSize(conn, 256<<10),
+		frameSize: DefaultFrameSize,
+	}
+}
+
+// Dial connects to a shredderd server at addr.
+func Dial(addr string) (*Client, error) {
+	conn, err := net.Dial("tcp", addr)
+	if err != nil {
+		return nil, err
+	}
+	return NewClient(conn), nil
+}
+
+// Close terminates the session.
+func (c *Client) Close() error { return c.conn.Close() }
+
+// Backup streams r to the server under the given name and returns the
+// server's dedup statistics for the stream.
+func (c *Client) Backup(name string, r io.Reader) (*StreamStats, error) {
+	if err := writeFrame(c.bw, MsgBegin, []byte(name)); err != nil {
+		return nil, err
+	}
+	if cap(c.buf) < c.frameSize {
+		c.buf = make([]byte, c.frameSize)
+	}
+	buf := c.buf[:c.frameSize]
+	for {
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			if werr := writeFrame(c.bw, MsgData, buf[:n]); werr != nil {
+				return nil, werr
+			}
+			// Keep the transport moving: net.Pipe and small TCP windows
+			// need the server consuming while we produce.
+			if ferr := c.bw.Flush(); ferr != nil {
+				return nil, ferr
+			}
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := writeFrame(c.bw, MsgEnd, nil); err != nil {
+		return nil, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return nil, err
+	}
+	c.keep(payload)
+	switch typ {
+	case MsgStats:
+		st, err := decodeStreamStats(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &st, nil
+	case MsgError:
+		return nil, fmt.Errorf("ingest: server: %s", payload)
+	default:
+		return nil, fmt.Errorf("ingest: unexpected reply type %d", typ)
+	}
+}
+
+// BackupBytes is Backup over an in-memory image.
+func (c *Client) BackupBytes(name string, data []byte) (*StreamStats, error) {
+	return c.Backup(name, bytes.NewReader(data))
+}
+
+// Restore streams a previously backed-up name from the server into w,
+// returning the byte count.
+func (c *Client) Restore(name string, w io.Writer) (int64, error) {
+	if err := writeFrame(c.bw, MsgRestore, []byte(name)); err != nil {
+		return 0, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return 0, err
+	}
+	var total int64
+	for {
+		typ, payload, err := readFrame(c.br, c.buf)
+		if err != nil {
+			return total, err
+		}
+		c.keep(payload)
+		switch typ {
+		case MsgData:
+			n, werr := w.Write(payload)
+			total += int64(n)
+			if werr != nil {
+				return total, werr
+			}
+		case MsgEnd:
+			return total, nil
+		case MsgError:
+			return total, fmt.Errorf("ingest: server: %s", payload)
+		default:
+			return total, fmt.Errorf("ingest: unexpected frame type %d during restore", typ)
+		}
+	}
+}
+
+// RestoreBytes is Restore into memory.
+func (c *Client) RestoreBytes(name string) ([]byte, error) {
+	var out bytes.Buffer
+	if _, err := c.Restore(name, &out); err != nil {
+		return nil, err
+	}
+	return out.Bytes(), nil
+}
+
+// Verify restores name and checks it against original byte-for-byte.
+func (c *Client) Verify(name string, original []byte) error {
+	got, err := c.RestoreBytes(name)
+	if err != nil {
+		return err
+	}
+	if !bytes.Equal(got, original) {
+		return errors.New("ingest: restored stream differs from original")
+	}
+	return nil
+}
+
+// keep retains a grown frame buffer for reuse.
+func (c *Client) keep(payload []byte) {
+	if cap(payload) > cap(c.buf) {
+		c.buf = payload[:cap(payload)]
+	}
+}

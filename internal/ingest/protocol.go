@@ -1,0 +1,153 @@
+// Package ingest implements the Shredder service layer: a streaming
+// chunk-and-dedup server (the shredderd daemon) and its client, talking
+// a length-prefixed binary protocol over any net.Conn. Clients stream
+// raw bytes; the server runs them through the core.Shredder chunking
+// pipeline, hashes each chunk, and dedups it in batched put rounds
+// against a sharded shardstore.Store shared by all sessions (each
+// round answers has-or-put per chunk under one stripe lock per shard),
+// returning per-stream dedup statistics. This is the consolidation point of the
+// paper's §7 cloud-backup case study — many clients, one fingerprint
+// index — made concurrent.
+//
+// Wire format: every frame is a 1-byte type, a 4-byte big-endian
+// payload length, then the payload. A backup session is
+//
+//	C→S  Begin(name) Data* End
+//	S→C  Stats | Error
+//
+// and a restore session is
+//
+//	C→S  Restore(name)
+//	S→C  Data* End | Error
+//
+// Frames from concurrent clients are never interleaved: each session
+// owns its connection.
+package ingest
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"io"
+
+	"shredder/internal/dedup"
+)
+
+// Frame types.
+const (
+	// MsgBegin opens a backup stream; the payload is the stream name.
+	MsgBegin byte = iota + 1
+	// MsgData carries raw stream bytes (either direction).
+	MsgData
+	// MsgEnd terminates a sequence of MsgData frames.
+	MsgEnd
+	// MsgStats is the server's reply to a completed backup stream; the
+	// payload is an encoded StreamStats.
+	MsgStats
+	// MsgRestore asks the server to stream a named recipe back.
+	MsgRestore
+	// MsgError carries an error message and aborts the operation.
+	MsgError
+)
+
+// MaxFrame bounds a single frame payload; a peer announcing more is
+// corrupt (or hostile) and the connection is dropped.
+const MaxFrame = 16 << 20
+
+// DefaultFrameSize is the data payload size clients cut streams into.
+const DefaultFrameSize = 1 << 20
+
+const headerSize = 5
+
+// writeFrame emits one frame.
+func writeFrame(w io.Writer, typ byte, payload []byte) error {
+	if len(payload) > MaxFrame {
+		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(payload))
+	}
+	var hdr [headerSize]byte
+	hdr[0] = typ
+	binary.BigEndian.PutUint32(hdr[1:], uint32(len(payload)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(payload)
+	return err
+}
+
+// readFrame reads one frame, reusing buf for the payload when it is
+// large enough. The returned slice aliases buf (or a fresh allocation)
+// and is valid until the next call with the same buf.
+func readFrame(r io.Reader, buf []byte) (byte, []byte, error) {
+	var hdr [headerSize]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return 0, nil, err
+	}
+	n := binary.BigEndian.Uint32(hdr[1:])
+	if n > MaxFrame {
+		return 0, nil, fmt.Errorf("ingest: frame of %d bytes exceeds limit", n)
+	}
+	if int(n) > cap(buf) {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		return 0, nil, err
+	}
+	return hdr[0], buf, nil
+}
+
+// StreamStats summarizes one backed-up stream as seen by the server.
+type StreamStats struct {
+	// Bytes, Chunks, DupChunks and UniqueBytes describe this stream
+	// alone: what arrived, how the pipeline cut it, and how much of it
+	// was new to the store.
+	Bytes       int64
+	Chunks      int64
+	DupChunks   int64
+	UniqueBytes int64
+	// Store is the aggregate statistics of the shared store at the
+	// moment the stream completed (all sessions, all streams so far).
+	Store dedup.Stats
+}
+
+// DedupRatio returns this stream's logical-over-unique factor, 0 when
+// the stream stored nothing new (fully duplicate).
+func (s StreamStats) DedupRatio() float64 {
+	if s.UniqueBytes == 0 {
+		return 0
+	}
+	return float64(s.Bytes) / float64(s.UniqueBytes)
+}
+
+const statsWireSize = 9 * 8
+
+// encode serializes the stats for a MsgStats payload.
+func (s StreamStats) encode() []byte {
+	out := make([]byte, statsWireSize)
+	for i, v := range []int64{
+		s.Bytes, s.Chunks, s.DupChunks, s.UniqueBytes,
+		s.Store.LogicalBytes, s.Store.StoredBytes,
+		s.Store.Chunks, s.Store.UniqueChunks, s.Store.IndexHits,
+	} {
+		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
+	}
+	return out
+}
+
+// decodeStreamStats parses a MsgStats payload.
+func decodeStreamStats(p []byte) (StreamStats, error) {
+	if len(p) != statsWireSize {
+		return StreamStats{}, errors.New("ingest: malformed stats payload")
+	}
+	f := make([]int64, 9)
+	for i := range f {
+		f[i] = int64(binary.BigEndian.Uint64(p[i*8:]))
+	}
+	return StreamStats{
+		Bytes: f[0], Chunks: f[1], DupChunks: f[2], UniqueBytes: f[3],
+		Store: dedup.Stats{
+			LogicalBytes: f[4], StoredBytes: f[5],
+			Chunks: f[6], UniqueChunks: f[7], IndexHits: f[8],
+		},
+	}, nil
+}

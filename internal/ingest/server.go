@@ -1,0 +1,293 @@
+package ingest
+
+import (
+	"bufio"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+
+	"shredder/internal/chunker"
+	"shredder/internal/core"
+	"shredder/internal/shardstore"
+)
+
+// Config parameterizes the ingest server.
+type Config struct {
+	// Shards and ContainerSize configure the shared shardstore
+	// (0 means the shardstore defaults).
+	Shards        int
+	ContainerSize int64
+	// Shredder configures the per-session chunking pipeline. Each
+	// session owns one core.Shredder (the pipeline handles one stream
+	// at a time); sessions run concurrently against the shared store.
+	Shredder core.Config
+	// BatchSize is how many chunks the server accumulates before one
+	// batched has/put round against the store (0 means 64). Larger
+	// batches amortize stripe locking; smaller ones bound latency.
+	BatchSize int
+	// OnStream, when set, is called after each completed backup stream
+	// (the daemon uses it for logging). It may be called from multiple
+	// session goroutines at once.
+	OnStream func(name string, st StreamStats)
+}
+
+// DefaultConfig returns a service configuration: the paper's
+// full-optimization pipeline with backup-study chunk limits, 4 MB
+// buffers (per session), and 16 shards.
+func DefaultConfig() Config {
+	sc := core.DefaultConfig()
+	sc.BufferSize = 4 << 20
+	sc.Chunking.MaskBits = 12
+	sc.Chunking.Marker = 1<<12 - 1
+	sc.Chunking.MinSize = 2 << 10
+	sc.Chunking.MaxSize = 32 << 10
+	return Config{Shards: 16, Shredder: sc, BatchSize: 64}
+}
+
+// Server chunks and dedups client streams against one shared sharded
+// store. All exported methods are safe for concurrent use; each
+// connection is one session and sessions run independently.
+type Server struct {
+	cfg   Config
+	store *shardstore.Store
+
+	mu      sync.Mutex
+	recipes map[string]shardstore.Recipe
+}
+
+// NewServer builds a server around a fresh store.
+func NewServer(cfg Config) (*Server, error) {
+	if cfg.BatchSize < 0 {
+		return nil, errors.New("ingest: negative batch size")
+	}
+	if cfg.BatchSize == 0 {
+		cfg.BatchSize = 64
+	}
+	// Fail fast on a bad pipeline config rather than on first session.
+	if _, err := core.New(cfg.Shredder); err != nil {
+		return nil, err
+	}
+	store, err := shardstore.New(cfg.Shards, cfg.ContainerSize)
+	if err != nil {
+		return nil, err
+	}
+	return &Server{
+		cfg:     cfg,
+		store:   store,
+		recipes: make(map[string]shardstore.Recipe),
+	}, nil
+}
+
+// Store exposes the shared chunk store (for stats and tests).
+func (s *Server) Store() *shardstore.Store { return s.store }
+
+// Recipe returns the recorded recipe for a completed stream.
+func (s *Server) Recipe(name string) (shardstore.Recipe, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	r, ok := s.recipes[name]
+	return r, ok
+}
+
+// Serve accepts connections until the listener closes, running each
+// session on its own goroutine. It returns the accept error (which is
+// net.ErrClosed after a clean shutdown).
+func (s *Server) Serve(l net.Listener) error {
+	for {
+		conn, err := l.Accept()
+		if err != nil {
+			return err
+		}
+		go func() {
+			defer conn.Close()
+			_ = s.ServeConn(conn)
+		}()
+	}
+}
+
+// ServeConn runs one client session to completion: any number of
+// backup and restore operations, until the peer disconnects. Each
+// session gets its own chunking pipeline; the store is shared.
+func (s *Server) ServeConn(conn net.Conn) error {
+	shred, err := core.New(s.cfg.Shredder)
+	if err != nil {
+		return err
+	}
+	br := bufio.NewReaderSize(conn, 256<<10)
+	bw := bufio.NewWriterSize(conn, 256<<10)
+	var buf []byte
+	for {
+		typ, payload, rerr := readFrame(br, buf)
+		if rerr == io.EOF {
+			return nil
+		}
+		if rerr != nil {
+			return rerr
+		}
+		buf = payload[:cap(payload)]
+		switch typ {
+		case MsgBegin:
+			if err := s.handleBackup(string(payload), shred, br, bw); err != nil {
+				return err
+			}
+		case MsgRestore:
+			if err := s.handleRestore(string(payload), bw); err != nil {
+				return err
+			}
+		default:
+			_ = writeFrame(bw, MsgError, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
+			_ = bw.Flush()
+			return fmt.Errorf("ingest: unexpected frame type %d", typ)
+		}
+	}
+}
+
+// streamReader adapts the session's incoming Data frames into an
+// io.Reader for the chunking pipeline, stopping at the End frame.
+type streamReader struct {
+	r     *bufio.Reader
+	buf   []byte // frame buffer, reused across frames
+	frame []byte // unconsumed tail of the current Data payload
+	done  bool
+}
+
+func (sr *streamReader) Read(p []byte) (int, error) {
+	for len(sr.frame) == 0 {
+		if sr.done {
+			return 0, io.EOF
+		}
+		typ, payload, err := readFrame(sr.r, sr.buf)
+		if err != nil {
+			return 0, err
+		}
+		if cap(payload) > cap(sr.buf) {
+			sr.buf = payload[:cap(payload)]
+		}
+		switch typ {
+		case MsgData:
+			sr.frame = payload
+		case MsgEnd:
+			sr.done = true
+			return 0, io.EOF
+		default:
+			return 0, fmt.Errorf("ingest: unexpected frame type %d inside stream", typ)
+		}
+	}
+	n := copy(p, sr.frame)
+	sr.frame = sr.frame[n:]
+	return n, nil
+}
+
+// drain consumes the remainder of a stream after a server-side error so
+// the client can finish writing and read our Error frame (required for
+// unbuffered transports like net.Pipe).
+func (sr *streamReader) drain() {
+	for !sr.done {
+		if _, err := sr.Read(make([]byte, 64<<10)); err != nil {
+			return
+		}
+	}
+}
+
+// handleBackup runs one stream through chunking, batched dedup and
+// recipe recording, then replies with the stream's stats.
+func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer) error {
+	sr := &streamReader{r: br}
+	st, recipe, err := s.ingest(shred, sr)
+	if err != nil {
+		// Best-effort: let the client finish writing (net.Pipe has no
+		// buffer) and hand it the error before the session dies.
+		sr.drain()
+		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr == nil {
+			_ = bw.Flush()
+		}
+		return err
+	}
+	s.mu.Lock()
+	s.recipes[name] = recipe
+	s.mu.Unlock()
+	st.Store = s.store.Stats()
+	if s.cfg.OnStream != nil {
+		s.cfg.OnStream(name, st)
+	}
+	if err := writeFrame(bw, MsgStats, st.encode()); err != nil {
+		return err
+	}
+	return bw.Flush()
+}
+
+// ingest chunks one stream and dedups it against the shared store in
+// BatchSize batches, returning the stream stats and its recipe.
+func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardstore.Recipe, error) {
+	var st StreamStats
+	var recipe shardstore.Recipe
+	batch := make([][]byte, 0, s.cfg.BatchSize)
+	flush := func() {
+		if len(batch) == 0 {
+			return
+		}
+		refs, dup := s.store.PutBatch(batch)
+		recipe = append(recipe, refs...)
+		for i, c := range batch {
+			st.Chunks++
+			st.Bytes += int64(len(c))
+			if dup[i] {
+				st.DupChunks++
+			} else {
+				st.UniqueBytes += int64(len(c))
+			}
+		}
+		batch = batch[:0]
+	}
+	_, err := shred.ChunkReader(r, func(c chunker.Chunk, data []byte) error {
+		// data is a view into the pipeline's reused buffer: copy before
+		// holding it across the batch boundary.
+		batch = append(batch, append([]byte(nil), data...))
+		if len(batch) >= s.cfg.BatchSize {
+			flush()
+		}
+		return nil
+	})
+	if err != nil {
+		return StreamStats{}, nil, err
+	}
+	flush()
+	return st, recipe, nil
+}
+
+// handleRestore streams a recorded recipe back as Data frames.
+func (s *Server) handleRestore(name string, bw *bufio.Writer) error {
+	recipe, ok := s.Recipe(name)
+	if !ok {
+		if err := writeFrame(bw, MsgError, []byte(fmt.Sprintf("no stream named %q", name))); err != nil {
+			return err
+		}
+		return bw.Flush()
+	}
+	for _, ref := range recipe {
+		data, err := s.store.Get(ref)
+		if err != nil {
+			_ = writeFrame(bw, MsgError, []byte(err.Error()))
+			return bw.Flush()
+		}
+		// Frame boundaries need not align to chunks: split oversized
+		// chunks (possible when the pipeline runs without a MaxSize)
+		// so a recorded stream can always be restored.
+		for len(data) > 0 {
+			n := len(data)
+			if n > DefaultFrameSize {
+				n = DefaultFrameSize
+			}
+			if err := writeFrame(bw, MsgData, data[:n]); err != nil {
+				return err
+			}
+			data = data[n:]
+		}
+	}
+	if err := writeFrame(bw, MsgEnd, nil); err != nil {
+		return err
+	}
+	return bw.Flush()
+}

@@ -1,0 +1,326 @@
+// Package shardstore implements a sharded, lock-striped, concurrency-
+// safe content-addressed chunk store: the service-grade successor to
+// the single-goroutine dedup.Store. The fingerprint space is split into
+// N independent shards keyed by a hash prefix; each shard owns its own
+// index, container set and reference counts behind its own lock, so
+// concurrent sessions ingesting into disjoint regions of the hash space
+// never contend. Aggregate statistics are maintained with atomics and
+// are exact whenever the store is quiescent.
+//
+// Semantics are byte-identical to dedup.Store: the same sequence of
+// Put calls classifies exactly the same chunks as duplicates, produces
+// the same aggregate Stats, and reconstructs streams byte-exactly.
+// With a single shard the packing (container/offset/length of every
+// ref) is identical to dedup.Store as well; the differential test in
+// this package asserts both properties.
+package shardstore
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+
+	"shredder/internal/dedup"
+)
+
+// Hash is a chunk fingerprint (re-exported so callers need not import
+// dedup just for the type).
+type Hash = dedup.Hash
+
+// Ref locates a stored chunk: a shard, a container within the shard,
+// and a byte range within the container.
+type Ref struct {
+	Shard     int
+	Container int
+	Offset    int64
+	Length    int64
+}
+
+// Recipe is the ordered list of refs that reconstructs one stream.
+type Recipe []Ref
+
+// MaxShards bounds the shard count; 1024 shards of independent maps is
+// far past the point of diminishing returns for in-memory indexes.
+const MaxShards = 1024
+
+// shard is one stripe of the store. All fields but the immutable idx
+// are guarded by mu.
+type shard struct {
+	mu            sync.RWMutex
+	idx           int // this shard's position in Store.shards
+	containerSize int64
+	containers    [][]byte
+	index         map[Hash]Ref
+	refcount      map[Hash]int64
+}
+
+// Store is a sharded deduplicating chunk store. All methods are safe
+// for concurrent use by any number of goroutines.
+type Store struct {
+	shards []*shard
+	mask   uint32
+
+	// Aggregate statistics, maintained atomically.
+	logical atomic.Int64
+	stored  atomic.Int64
+	chunks  atomic.Int64
+	unique  atomic.Int64
+	hits    atomic.Int64
+}
+
+// New returns an empty store with the given shard count (a power of two
+// in [1, MaxShards]; 0 means 16) and container size (0 means
+// dedup.DefaultContainerSize).
+func New(shards int, containerSize int64) (*Store, error) {
+	if shards == 0 {
+		shards = 16
+	}
+	if shards < 1 || shards > MaxShards {
+		return nil, fmt.Errorf("shardstore: shard count %d outside [1, %d]", shards, MaxShards)
+	}
+	if shards&(shards-1) != 0 {
+		return nil, fmt.Errorf("shardstore: shard count %d is not a power of two", shards)
+	}
+	if containerSize < 0 {
+		return nil, errors.New("shardstore: negative container size")
+	}
+	if containerSize == 0 {
+		containerSize = dedup.DefaultContainerSize
+	}
+	s := &Store{shards: make([]*shard, shards), mask: uint32(shards - 1)}
+	for i := range s.shards {
+		s.shards[i] = &shard{
+			idx:           i,
+			containerSize: containerSize,
+			index:         make(map[Hash]Ref),
+			refcount:      make(map[Hash]int64),
+		}
+	}
+	return s, nil
+}
+
+// NumShards returns the shard count.
+func (s *Store) NumShards() int { return len(s.shards) }
+
+// shardFor maps a fingerprint to its shard by high-order prefix.
+func (s *Store) shardFor(h Hash) *shard {
+	return s.shards[binary.BigEndian.Uint32(h[:4])&s.mask]
+}
+
+// Put stores one chunk, returning its location and whether it was a
+// duplicate of existing content.
+func (s *Store) Put(data []byte) (Ref, bool) {
+	return s.PutHashed(dedup.Sum(data), data)
+}
+
+// PutHashed stores one chunk whose fingerprint the caller has already
+// computed — the entry point for protocols that ship hashes ahead of
+// data (client-side matching), and the primitive Put builds on.
+func (s *Store) PutHashed(h Hash, data []byte) (Ref, bool) {
+	sh := s.shardFor(h)
+	sh.mu.Lock()
+	ref, dup := sh.put(h, data)
+	sh.mu.Unlock()
+	s.account(int64(len(data)), dup)
+	return ref, dup
+}
+
+// account updates the aggregate counters for one stored chunk.
+func (s *Store) account(n int64, dup bool) {
+	s.chunks.Add(1)
+	s.logical.Add(n)
+	if dup {
+		s.hits.Add(1)
+	} else {
+		s.unique.Add(1)
+		s.stored.Add(n)
+	}
+}
+
+// put is the single-shard insert; the caller holds sh.mu.
+func (sh *shard) put(h Hash, data []byte) (Ref, bool) {
+	if ref, ok := sh.index[h]; ok {
+		sh.refcount[h]++
+		return ref, true
+	}
+	ref := sh.append(data)
+	sh.index[h] = ref
+	sh.refcount[h] = 1
+	return ref, false
+}
+
+// append packs data into the shard's open container, identical to
+// dedup.Store.append. Containers are append-only: bytes at an occupied
+// offset are never rewritten, so refs handed out remain valid views.
+func (sh *shard) append(data []byte) Ref {
+	if len(sh.containers) == 0 || int64(len(sh.containers[len(sh.containers)-1]))+int64(len(data)) > sh.containerSize {
+		sh.containers = append(sh.containers, make([]byte, 0, sh.containerSize))
+	}
+	ci := len(sh.containers) - 1
+	c := sh.containers[ci]
+	ref := Ref{Shard: sh.idx, Container: ci, Offset: int64(len(c)), Length: int64(len(data))}
+	sh.containers[ci] = append(c, data...)
+	return ref
+}
+
+// Has reports whether a chunk with fingerprint h is already stored —
+// the Matching step (§2.1, step 3) — without writing anything.
+func (s *Store) Has(h Hash) (Ref, bool) {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	ref, ok := sh.index[h]
+	sh.mu.RUnlock()
+	return ref, ok
+}
+
+// HasBatch answers one Matching query per fingerprint, grouping the
+// queries by shard so each stripe lock is taken at most once.
+func (s *Store) HasBatch(hs []Hash) []bool {
+	out := make([]bool, len(hs))
+	s.byShard(hs, func(sh *shard, idxs []int) {
+		sh.mu.RLock()
+		for _, i := range idxs {
+			_, out[i] = sh.index[hs[i]]
+		}
+		sh.mu.RUnlock()
+	})
+	return out
+}
+
+// PutBatch stores a batch of chunks in order, grouping the inserts by
+// shard so each stripe lock is taken at most once per batch. Refs and
+// duplicate flags come back in input order. The classification is
+// identical to calling Put sequentially: a chunk repeated within the
+// batch maps to the same shard and is seen there in input order.
+func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool) {
+	refs := make([]Ref, len(chunks))
+	dup := make([]bool, len(chunks))
+	hs := make([]Hash, len(chunks))
+	for i, c := range chunks {
+		hs[i] = dedup.Sum(c)
+	}
+	var logical, stored int64
+	var dups, uniques int64
+	s.byShard(hs, func(sh *shard, idxs []int) {
+		sh.mu.Lock()
+		for _, i := range idxs {
+			refs[i], dup[i] = sh.put(hs[i], chunks[i])
+			logical += int64(len(chunks[i]))
+			if dup[i] {
+				dups++
+			} else {
+				uniques++
+				stored += int64(len(chunks[i]))
+			}
+		}
+		sh.mu.Unlock()
+	})
+	s.chunks.Add(int64(len(chunks)))
+	s.logical.Add(logical)
+	s.hits.Add(dups)
+	s.unique.Add(uniques)
+	s.stored.Add(stored)
+	return refs, dup
+}
+
+// byShard partitions hash indices by destination shard and invokes fn
+// once per non-empty shard, preserving input order within each group.
+func (s *Store) byShard(hs []Hash, fn func(sh *shard, idxs []int)) {
+	if len(hs) == 0 {
+		return
+	}
+	groups := make(map[uint32][]int, len(s.shards))
+	for i, h := range hs {
+		si := binary.BigEndian.Uint32(h[:4]) & s.mask
+		groups[si] = append(groups[si], i)
+	}
+	for si, idxs := range groups {
+		fn(s.shards[si], idxs)
+	}
+}
+
+// Get returns the bytes of a stored chunk. The returned slice is a
+// read-only view into the shard's container and stays valid because
+// containers are append-only.
+func (s *Store) Get(ref Ref) ([]byte, error) {
+	if ref.Shard < 0 || ref.Shard >= len(s.shards) {
+		return nil, fmt.Errorf("shardstore: shard %d out of range", ref.Shard)
+	}
+	sh := s.shards[ref.Shard]
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	if ref.Container < 0 || ref.Container >= len(sh.containers) {
+		return nil, fmt.Errorf("shardstore: container %d out of range in shard %d", ref.Container, ref.Shard)
+	}
+	c := sh.containers[ref.Container]
+	if ref.Offset < 0 || ref.Length < 0 || ref.Offset+ref.Length > int64(len(c)) {
+		return nil, fmt.Errorf("shardstore: ref %+v outside container", ref)
+	}
+	return c[ref.Offset : ref.Offset+ref.Length : ref.Offset+ref.Length], nil
+}
+
+// Stats returns the aggregate statistics. Each field is maintained
+// atomically; when the store is quiescent the snapshot is exact and
+// equal to what dedup.Store would report for the same inputs.
+func (s *Store) Stats() dedup.Stats {
+	return dedup.Stats{
+		LogicalBytes: s.logical.Load(),
+		StoredBytes:  s.stored.Load(),
+		Chunks:       s.chunks.Load(),
+		UniqueChunks: s.unique.Load(),
+		IndexHits:    s.hits.Load(),
+	}
+}
+
+// Containers returns the total number of containers across all shards.
+func (s *Store) Containers() int {
+	total := 0
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		total += len(sh.containers)
+		sh.mu.RUnlock()
+	}
+	return total
+}
+
+// Refcount returns the current reference count for a fingerprint.
+func (s *Store) Refcount(h Hash) int64 {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	n := sh.refcount[h]
+	sh.mu.RUnlock()
+	return n
+}
+
+// WriteStream stores an already-chunked stream, returning its recipe
+// and the number of duplicate chunks.
+func (s *Store) WriteStream(chunks [][]byte) (Recipe, int) {
+	refs, dup := s.PutBatch(chunks)
+	dups := 0
+	for _, d := range dup {
+		if d {
+			dups++
+		}
+	}
+	return Recipe(refs), dups
+}
+
+// Reconstruct concatenates a recipe's chunks back into the original
+// stream.
+func (s *Store) Reconstruct(r Recipe) ([]byte, error) {
+	var total int64
+	for _, ref := range r {
+		total += ref.Length
+	}
+	out := make([]byte, 0, total)
+	for _, ref := range r {
+		data, err := s.Get(ref)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, data...)
+	}
+	return out, nil
+}

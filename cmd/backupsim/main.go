@@ -10,15 +10,25 @@
 // server-side and reports per-stream statistics.
 //
 //	backupsim -server host:9323 [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
+//
+// With -data it simulates a server restart: the series is ingested by
+// an in-process shredderd backed by a durable data directory
+// (internal/persist), the store is closed, reopened from disk, and
+// every stream is verified to restore byte-exactly with the dedup
+// statistics preserved.
+//
+//	backupsim -data DIR [-fsync policy] [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
 package main
 
 import (
 	"flag"
 	"fmt"
+	"net"
 	"os"
 
 	"shredder/internal/backup"
 	"shredder/internal/ingest"
+	"shredder/internal/persist"
 	"shredder/internal/stats"
 	"shredder/internal/workload"
 )
@@ -30,19 +40,34 @@ func main() {
 	engineName := flag.String("engine", "gpu", "chunking engine: gpu or cpu")
 	seed := flag.Int64("seed", 7, "workload seed")
 	server := flag.String("server", "", "shredderd address; when set, stream to the service instead of simulating locally")
+	data := flag.String("data", "", "data directory; when set, run the durable server-restart round-trip locally")
+	fsyncFlag := flag.String("fsync", "always", "fsync policy with -data: always, never, interval[=D], or a duration")
 	name := flag.String("name", "vm", "stream name prefix in service mode")
 	flag.Parse()
 
-	if *server != "" {
+	if *server != "" || *data != "" {
 		// Chunking happens server-side in service mode; an explicit
 		// -engine would be silently meaningless, so reject it.
 		engineSet := false
 		flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
 		if engineSet {
-			fmt.Fprintln(os.Stderr, "backupsim: -engine has no effect with -server (the daemon chunks server-side)")
+			fmt.Fprintln(os.Stderr, "backupsim: -engine has no effect with -server/-data (the daemon chunks server-side)")
 			os.Exit(2)
 		}
+	}
+	if *server != "" && *data != "" {
+		fmt.Fprintln(os.Stderr, "backupsim: -server and -data are mutually exclusive")
+		os.Exit(2)
+	}
+	if *server != "" {
 		if err := runClient(*server, *name, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *data != "" {
+		if err := runRestart(*data, *fsyncFlag, *name, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
@@ -96,6 +121,88 @@ func runClient(addr, prefix string, size, snapshots int, prob float64, seed int6
 		}
 	}
 	return nil
+}
+
+// runRestart is the durability round-trip: ingest the series into an
+// in-process persist-backed server, close the store (simulating a
+// daemon restart), reopen it from the data directory, and verify every
+// stream restores byte-exactly with the dedup statistics preserved.
+func runRestart(dir, fsyncStr, prefix string, size, snapshots int, prob float64, seed int64) error {
+	policy, err := persist.ParseFsyncPolicy(fsyncStr)
+	if err != nil {
+		return err
+	}
+	opts := persist.Options{Fsync: policy}
+	im := workload.NewImage(seed, size, 64<<10, prob)
+	streams := map[string][]byte{prefix + "-master": im.Master}
+	order := []string{prefix + "-master"}
+	for i := 1; i <= snapshots; i++ {
+		n := fmt.Sprintf("%s-snapshot-%d", prefix, i)
+		streams[n] = im.Snapshot(seed + int64(i))
+		order = append(order, n)
+	}
+
+	// Phase 1: ingest everything through the service path, then close.
+	store, err := persist.OpenStore(dir, opts)
+	if err != nil {
+		return err
+	}
+	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	if err != nil {
+		store.Close()
+		return err
+	}
+	c := dialInProcess(srv)
+	for _, n := range order {
+		st, err := c.BackupBytes(n, streams[n])
+		if err != nil {
+			store.Close()
+			return err
+		}
+		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx\n",
+			n, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio())
+	}
+	c.Close()
+	before := store.Stats()
+	if err := store.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("closed store: %s stored of %s logical (%.2fx); restarting from %s\n",
+		stats.Bytes(before.StoredBytes), stats.Bytes(before.LogicalBytes), before.Ratio(), dir)
+
+	// Phase 2: reopen from disk and verify.
+	store, err = persist.OpenStore(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer store.Close()
+	if after := store.Stats(); after != before {
+		return fmt.Errorf("recovered stats %+v differ from pre-restart %+v", after, before)
+	}
+	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	if err != nil {
+		return err
+	}
+	c = dialInProcess(srv)
+	defer c.Close()
+	for _, n := range order {
+		if err := c.Verify(n, streams[n]); err != nil {
+			return fmt.Errorf("after restart, %s: %w", n, err)
+		}
+	}
+	fmt.Printf("restart verified: %d streams restored byte-exactly, stats preserved %+v\n",
+		len(order), before)
+	return nil
+}
+
+// dialInProcess connects a client to the server over an in-memory pipe.
+func dialInProcess(srv *ingest.Server) *ingest.Client {
+	cend, send := net.Pipe()
+	go func() {
+		defer send.Close()
+		_ = srv.ServeConn(send)
+	}()
+	return ingest.NewClient(cend)
 }
 
 func run(size, snapshots int, prob float64, engine backup.Engine, seed int64) error {

@@ -5,17 +5,32 @@
 // fingerprint index shared by every session, and reports per-stream
 // dedup statistics. cmd/backupsim -server is a ready-made client.
 //
-//	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB] [-quiet]
+// With -data the store is durable: container bytes and a per-shard
+// write-ahead log live under the data directory (internal/persist),
+// recipes are committed before a stream is acknowledged, and a restart
+// recovers the full index, refcounts, recipes and statistics. -fsync
+// picks the durability/throughput trade-off. SIGINT/SIGTERM drain
+// active sessions and flush the store before exiting.
+//
+//	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB]
+//	          [-data DIR] [-fsync always|never|interval[=D]]
+//	          [-grace D] [-quiet]
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"log"
 	"net"
 	"os"
+	"os/signal"
+	"syscall"
+	"time"
 
 	"shredder/internal/ingest"
+	"shredder/internal/persist"
+	"shredder/internal/shardstore"
 	"shredder/internal/stats"
 )
 
@@ -24,6 +39,10 @@ func main() {
 	shards := flag.Int("shards", 16, "store shard count (power of two)")
 	batch := flag.Int("batch", 64, "chunks per has/put batch")
 	buffer := flag.Int("buffer", 4, "per-session pipeline buffer in MiB")
+	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
+	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
+	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
+	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for active sessions")
 	quiet := flag.Bool("quiet", false, "suppress per-stream logging")
 	flag.Parse()
 
@@ -39,20 +58,68 @@ func main() {
 		}
 	}
 
-	srv, err := ingest.NewServer(cfg)
+	var store *shardstore.Store
+	if *data != "" {
+		policy, err := persist.ParseFsyncPolicy(*fsyncFlag)
+		if err != nil {
+			fatal(err)
+		}
+		// Only pin the shard count when -shards was given explicitly:
+		// an existing data dir fixed it in its manifest, and restarting
+		// without the original flag must just adopt it.
+		shardsOpt := 0
+		flag.Visit(func(f *flag.Flag) {
+			if f.Name == "shards" {
+				shardsOpt = *shards
+			}
+		})
+		store, err = persist.OpenStore(*data, persist.Options{Shards: shardsOpt, Fsync: policy, VerifyOnRecover: *scrub})
+		if err != nil {
+			fatal(err)
+		}
+		*shards = store.NumShards()
+		st := store.Stats()
+		log.Printf("shredderd: recovered %s in %d chunks (%d streams) from %s [fsync %s]",
+			stats.Bytes(st.StoredBytes), st.UniqueChunks, len(store.RecipeNames()), *data, policy)
+	} else {
+		var err error
+		store, err = shardstore.New(*shards, 0)
+		if err != nil {
+			fatal(err)
+		}
+	}
+	srv, err := ingest.NewServerWithStore(cfg, store)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shredderd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
 	l, err := net.Listen("tcp", *addr)
 	if err != nil {
-		fmt.Fprintln(os.Stderr, "shredderd:", err)
-		os.Exit(1)
+		fatal(err)
 	}
+
+	sig := make(chan os.Signal, 1)
+	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
+	go func() {
+		s := <-sig
+		log.Printf("shredderd: caught %v, draining sessions", s)
+		l.Close()
+	}()
+
 	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers)",
 		l.Addr(), *shards, *batch, *buffer)
-	if err := srv.Serve(l); err != nil {
-		fmt.Fprintln(os.Stderr, "shredderd:", err)
-		os.Exit(1)
+	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
+		fatal(err)
 	}
+	srv.Shutdown(*grace)
+	if err := store.Close(); err != nil {
+		fatal(err)
+	}
+	st := store.Stats()
+	log.Printf("shredderd: shut down cleanly; %s stored of %s logical (%.2fx)",
+		stats.Bytes(st.StoredBytes), stats.Bytes(st.LogicalBytes), st.Ratio())
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "shredderd:", err)
+	os.Exit(1)
 }

@@ -15,7 +15,12 @@
 //     single-goroutine reference dedup store
 //   - internal/shardstore — the sharded, lock-striped, concurrency-safe
 //     chunk store (byte-identical semantics to internal/dedup, asserted
-//     differentially)
+//     differentially), with a pluggable backing: in-memory by default,
+//     durable via internal/persist
+//   - internal/persist — the durable backing: per-shard append-only
+//     container files plus a length+CRC-framed write-ahead log,
+//     configurable fsync policy, and crash-recoverable replay that
+//     tolerates a torn final record
 //   - internal/ingest — the streaming ingest service layer: a
 //     length-prefixed binary protocol over net.Conn, a server that
 //     chunks client streams with the core pipeline and dedups them in
@@ -25,8 +30,10 @@
 //     runs the multi-VM experiment through the service path
 //   - internal/experiments — regenerates every table and figure
 //
-// The cmd/shredderd binary serves the ingest protocol over TCP and
-// cmd/backupsim -server is its client. The benchmarks in bench_test.go
+// The cmd/shredderd binary serves the ingest protocol over TCP (with
+// -data it is durable and restartable; SIGTERM drains and flushes) and
+// cmd/backupsim -server is its client (-data instead runs the
+// restart round-trip locally). The benchmarks in bench_test.go
 // wrap internal/experiments so that `go test -bench=.` reproduces the
 // paper's entire evaluation; the cmd/shredbench binary prints the same
 // tables interactively.

@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"sync"
+	"time"
 
 	"shredder/internal/chunker"
 	"shredder/internal/core"
@@ -48,17 +49,33 @@ func DefaultConfig() Config {
 
 // Server chunks and dedups client streams against one shared sharded
 // store. All exported methods are safe for concurrent use; each
-// connection is one session and sessions run independently.
+// connection is one session and sessions run independently. Stream
+// recipes are recorded in the store itself, so a durably-backed store
+// (internal/persist) carries them across a restart.
 type Server struct {
 	cfg   Config
 	store *shardstore.Store
 
-	mu      sync.Mutex
-	recipes map[string]shardstore.Recipe
+	// Sessions spawned by Serve, tracked for Shutdown.
+	connMu sync.Mutex
+	conns  map[net.Conn]struct{}
+	wg     sync.WaitGroup
 }
 
-// NewServer builds a server around a fresh store.
+// NewServer builds a server around a fresh in-memory store.
 func NewServer(cfg Config) (*Server, error) {
+	store, err := shardstore.New(cfg.Shards, cfg.ContainerSize)
+	if err != nil {
+		return nil, err
+	}
+	return NewServerWithStore(cfg, store)
+}
+
+// NewServerWithStore builds a server on an existing store — the way to
+// serve a durable store reopened from a data directory (cfg.Shards and
+// cfg.ContainerSize are ignored; the store's backing fixed them). The
+// caller keeps ownership of the store and closes it after Shutdown.
+func NewServerWithStore(cfg Config, store *shardstore.Store) (*Server, error) {
 	if cfg.BatchSize < 0 {
 		return nil, errors.New("ingest: negative batch size")
 	}
@@ -69,14 +86,10 @@ func NewServer(cfg Config) (*Server, error) {
 	if _, err := core.New(cfg.Shredder); err != nil {
 		return nil, err
 	}
-	store, err := shardstore.New(cfg.Shards, cfg.ContainerSize)
-	if err != nil {
-		return nil, err
-	}
 	return &Server{
-		cfg:     cfg,
-		store:   store,
-		recipes: make(map[string]shardstore.Recipe),
+		cfg:   cfg,
+		store: store,
+		conns: make(map[net.Conn]struct{}),
 	}, nil
 }
 
@@ -85,10 +98,7 @@ func (s *Server) Store() *shardstore.Store { return s.store }
 
 // Recipe returns the recorded recipe for a completed stream.
 func (s *Server) Recipe(name string) (shardstore.Recipe, bool) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	r, ok := s.recipes[name]
-	return r, ok
+	return s.store.Recipe(name)
 }
 
 // Serve accepts connections until the listener closes, running each
@@ -100,11 +110,55 @@ func (s *Server) Serve(l net.Listener) error {
 		if err != nil {
 			return err
 		}
+		s.track(conn)
 		go func() {
-			defer conn.Close()
+			defer s.untrack(conn)
 			_ = s.ServeConn(conn)
 		}()
 	}
+}
+
+func (s *Server) track(conn net.Conn) {
+	s.wg.Add(1)
+	s.connMu.Lock()
+	s.conns[conn] = struct{}{}
+	s.connMu.Unlock()
+}
+
+func (s *Server) untrack(conn net.Conn) {
+	conn.Close()
+	s.connMu.Lock()
+	delete(s.conns, conn)
+	s.connMu.Unlock()
+	s.wg.Done()
+}
+
+// Shutdown drains the sessions Serve spawned: it waits up to grace for
+// them to finish on their own, force-closes any stragglers, and waits
+// for the rest. The caller closes the listener first (which makes
+// Serve return) and the store afterwards. grace <= 0 force-closes
+// immediately.
+func (s *Server) Shutdown(grace time.Duration) {
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	if grace > 0 {
+		t := time.NewTimer(grace)
+		defer t.Stop()
+		select {
+		case <-done:
+			return
+		case <-t.C:
+		}
+	}
+	s.connMu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.connMu.Unlock()
+	<-done
 }
 
 // ServeConn runs one client session to completion: any number of
@@ -192,10 +246,16 @@ func (sr *streamReader) drain() {
 }
 
 // handleBackup runs one stream through chunking, batched dedup and
-// recipe recording, then replies with the stream's stats.
+// recipe recording, then replies with the stream's stats. The recipe
+// is committed (durably, when the store's backing is) before the
+// MsgStats ack goes out: a stream the client saw acknowledged survives
+// a server restart.
 func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer) error {
 	sr := &streamReader{r: br}
 	st, recipe, err := s.ingest(shred, sr)
+	if err == nil {
+		err = s.store.CommitRecipe(name, recipe)
+	}
 	if err != nil {
 		// Best-effort: let the client finish writing (net.Pipe has no
 		// buffer) and hand it the error before the session dies.
@@ -205,9 +265,6 @@ func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reade
 		}
 		return err
 	}
-	s.mu.Lock()
-	s.recipes[name] = recipe
-	s.mu.Unlock()
 	st.Store = s.store.Stats()
 	if s.cfg.OnStream != nil {
 		s.cfg.OnStream(name, st)
@@ -224,11 +281,14 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 	var st StreamStats
 	var recipe shardstore.Recipe
 	batch := make([][]byte, 0, s.cfg.BatchSize)
-	flush := func() {
+	flush := func() error {
 		if len(batch) == 0 {
-			return
+			return nil
 		}
-		refs, dup := s.store.PutBatch(batch)
+		refs, dup, err := s.store.PutBatch(batch)
+		if err != nil {
+			return err
+		}
 		recipe = append(recipe, refs...)
 		for i, c := range batch {
 			st.Chunks++
@@ -240,20 +300,23 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 			}
 		}
 		batch = batch[:0]
+		return nil
 	}
 	_, err := shred.ChunkReader(r, func(c chunker.Chunk, data []byte) error {
 		// data is a view into the pipeline's reused buffer: copy before
 		// holding it across the batch boundary.
 		batch = append(batch, append([]byte(nil), data...))
 		if len(batch) >= s.cfg.BatchSize {
-			flush()
+			return flush()
 		}
 		return nil
 	})
 	if err != nil {
 		return StreamStats{}, nil, err
 	}
-	flush()
+	if err := flush(); err != nil {
+		return StreamStats{}, nil, err
+	}
 	return st, recipe, nil
 }
 

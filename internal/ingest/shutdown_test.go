@@ -1,0 +1,84 @@
+package ingest
+
+import (
+	"errors"
+	"net"
+	"testing"
+	"time"
+
+	"shredder/internal/workload"
+)
+
+// TestServeShutdownDrains runs a real listener, completes a backup
+// over TCP, closes the listener and asserts Shutdown returns once the
+// (already finished) sessions are drained and Serve reports
+// net.ErrClosed — the daemon's clean-exit sequence.
+func TestServeShutdownDrains(t *testing.T) {
+	srv, err := NewServer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	serveErr := make(chan error, 1)
+	go func() { serveErr <- srv.Serve(l) }()
+
+	c, err := Dial(l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := workload.Random(3, 256<<10)
+	if _, err := c.BackupBytes("s", data); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Verify("s", data); err != nil {
+		t.Fatal(err)
+	}
+	c.Close()
+
+	l.Close()
+	if err := <-serveErr; !errors.Is(err, net.ErrClosed) {
+		t.Fatalf("Serve returned %v, want net.ErrClosed", err)
+	}
+	done := make(chan struct{})
+	go func() { srv.Shutdown(5 * time.Second); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not drain")
+	}
+}
+
+// TestShutdownForceClosesIdleSession asserts the grace timeout: an
+// idle connected client would block a drain forever, so Shutdown must
+// force-close it and still return.
+func TestShutdownForceClosesIdleSession(t *testing.T) {
+	srv, err := NewServer(DefaultConfig())
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	// Give Serve a moment to accept and start the session.
+	time.Sleep(50 * time.Millisecond)
+	l.Close()
+
+	done := make(chan struct{})
+	go func() { srv.Shutdown(100 * time.Millisecond); close(done) }()
+	select {
+	case <-done:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown hung on an idle session")
+	}
+}

@@ -1,0 +1,335 @@
+// Package persist is the durable backing for shardstore.Store: an
+// on-disk, crash-recoverable persistence layer for the shredderd
+// dedup service. Each shard of the fingerprint space owns a directory
+// holding append-only container files (the chunk bytes) and a
+// write-ahead log journaling every index mutation — inserts, refcount
+// deltas — as length+CRC-framed records; stream recipes are journaled
+// in a store-level log with the same codec. Opening an existing data
+// directory replays the logs against the container bytes actually on
+// disk, tolerating a torn final record (the tail past the last clean
+// record is truncated away, files land back on a consistent boundary),
+// and rebuilds exactly the index, refcounts, recipes and Stats the
+// store had at the journal's horizon.
+//
+// Durability is governed by an FsyncPolicy: FsyncAlways makes every
+// acknowledged batch and recipe commit crash-durable, FsyncInterval
+// bounds the loss window with a background fsync loop, FsyncNever
+// leaves it to the page cache (still safe against process death).
+//
+// Layout of a data directory:
+//
+//	<dir>/MANIFEST          shard count + container size, fixed at creation
+//	<dir>/recipes.wal       store-level recipe journal
+//	<dir>/shard-0000/wal    per-shard write-ahead log
+//	<dir>/shard-0000/c-000000.dat
+//	<dir>/shard-0000/c-000001.dat ...
+package persist
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"time"
+
+	"shredder/internal/dedup"
+	"shredder/internal/shardstore"
+)
+
+// Options configures a data directory. On first open they fix the
+// layout (and are written to MANIFEST); on reopen zero values adopt
+// the manifest and non-zero values must match it.
+type Options struct {
+	// Shards is the shard count (a power of two in [1,
+	// shardstore.MaxShards]; 0 means 16 on creation, manifest value on
+	// reopen).
+	Shards int
+	// ContainerSize caps each container file (0 means
+	// dedup.DefaultContainerSize on creation, manifest value on reopen).
+	ContainerSize int64
+	// Fsync is the durability policy (zero value is FsyncAlways).
+	Fsync FsyncPolicy
+	// VerifyOnRecover re-hashes every chunk during recovery and treats
+	// a fingerprint mismatch like a torn record (replay stops there and
+	// the tail is cut). This catches container bytes the filesystem
+	// lost in ways a size check cannot see (e.g. zero-filled pages
+	// after power loss under relaxed fsync), at the cost of reading and
+	// hashing every stored byte at open.
+	VerifyOnRecover bool
+}
+
+// Backing is the durable shardstore.Backing rooted at one data
+// directory. Obtain one with Open, hand it to shardstore.Open (or use
+// OpenStore for both), and Close it when done — Close flushes and
+// fsyncs everything regardless of policy, so a clean shutdown is
+// always fully durable.
+type Backing struct {
+	dir    string
+	opts   Options
+	shards []*diskShard
+
+	rmu         sync.Mutex
+	recipeLog   *os.File
+	recipeSize  int64
+	recipeDirty bool
+	recipes     map[string]shardstore.Recipe
+
+	tickStop chan struct{}
+	tickDone chan struct{}
+
+	closeMu sync.Mutex
+	closed  bool
+}
+
+const (
+	manifestName  = "MANIFEST"
+	recipeLogName = "recipes.wal"
+)
+
+// Open creates or reopens a data directory.
+func Open(dir string, opts Options) (*Backing, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, err
+	}
+	adopted, err := loadOrCreateManifest(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	opts.Shards, opts.ContainerSize = adopted.Shards, adopted.ContainerSize
+	b := &Backing{dir: dir, opts: opts, shards: make([]*diskShard, opts.Shards)}
+	always := opts.Fsync.Mode == FsyncAlways
+	for i := range b.shards {
+		b.shards[i] = newDiskShard(dir, i, opts.ContainerSize, always, opts.VerifyOnRecover)
+	}
+	if err := b.openRecipes(); err != nil {
+		return nil, err
+	}
+	if opts.Fsync.Mode == FsyncInterval {
+		iv := opts.Fsync.Interval
+		if iv <= 0 {
+			iv = DefaultFsyncInterval
+		}
+		b.tickStop = make(chan struct{})
+		b.tickDone = make(chan struct{})
+		go b.fsyncLoop(iv)
+	}
+	return b, nil
+}
+
+// OpenStore opens the data directory and a store on top of it in one
+// step, closing the backing if recovery fails.
+func OpenStore(dir string, opts Options) (*shardstore.Store, error) {
+	b, err := Open(dir, opts)
+	if err != nil {
+		return nil, err
+	}
+	st, err := shardstore.Open(b)
+	if err != nil {
+		b.Close()
+		return nil, err
+	}
+	return st, nil
+}
+
+// loadOrCreateManifest reads the manifest, creating it (atomically,
+// via rename) on first open, and reconciles it with the options.
+func loadOrCreateManifest(dir string, opts Options) (Options, error) {
+	path := filepath.Join(dir, manifestName)
+	raw, err := os.ReadFile(path)
+	switch {
+	case err == nil:
+		var version, shards int
+		var containerSize int64
+		if _, serr := fmt.Sscanf(string(raw), "shredder-persist v%d\nshards %d\ncontainer-size %d\n",
+			&version, &shards, &containerSize); serr != nil {
+			return Options{}, fmt.Errorf("persist: malformed manifest %s: %v", path, serr)
+		}
+		if version != 1 {
+			return Options{}, fmt.Errorf("persist: manifest version %d not supported", version)
+		}
+		if opts.Shards != 0 && opts.Shards != shards {
+			return Options{}, fmt.Errorf("persist: data dir has %d shards, options ask for %d", shards, opts.Shards)
+		}
+		if opts.ContainerSize != 0 && opts.ContainerSize != containerSize {
+			return Options{}, fmt.Errorf("persist: data dir has container size %d, options ask for %d", containerSize, opts.ContainerSize)
+		}
+		return Options{Shards: shards, ContainerSize: containerSize}, nil
+	case os.IsNotExist(err):
+		if opts.Shards == 0 {
+			opts.Shards = 16
+		}
+		if opts.Shards < 1 || opts.Shards > shardstore.MaxShards || opts.Shards&(opts.Shards-1) != 0 {
+			return Options{}, fmt.Errorf("persist: shard count %d is not a power of two in [1, %d]", opts.Shards, shardstore.MaxShards)
+		}
+		if opts.ContainerSize < 0 {
+			return Options{}, fmt.Errorf("persist: negative container size %d", opts.ContainerSize)
+		}
+		if opts.ContainerSize == 0 {
+			opts.ContainerSize = dedup.DefaultContainerSize
+		}
+		body := fmt.Sprintf("shredder-persist v1\nshards %d\ncontainer-size %d\n", opts.Shards, opts.ContainerSize)
+		tmp := path + ".tmp"
+		if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
+			return Options{}, err
+		}
+		if err := os.Rename(tmp, path); err != nil {
+			return Options{}, err
+		}
+		if err := syncDir(dir); err != nil {
+			return Options{}, err
+		}
+		return opts, nil
+	default:
+		return Options{}, err
+	}
+}
+
+// openRecipes opens the recipe journal and replays it, truncating a
+// torn tail just like a shard WAL.
+func (b *Backing) openRecipes() error {
+	path := filepath.Join(b.dir, recipeLogName)
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		f.Close()
+		return err
+	}
+	recipes := make(map[string]shardstore.Recipe)
+	clean, _ := scanRecords(raw, func(body []byte) error {
+		if len(body) == 0 || body[0] != recRecipe {
+			return errTornRecord
+		}
+		name, r, derr := decodeRecipe(body)
+		if derr != nil {
+			return errTornRecord
+		}
+		recipes[name] = r
+		return nil
+	})
+	if int64(clean) < int64(len(raw)) {
+		if err := f.Truncate(int64(clean)); err != nil {
+			f.Close()
+			return err
+		}
+	}
+	b.recipeLog = f
+	b.recipeSize = int64(clean)
+	b.recipes = recipes
+	return nil
+}
+
+// NumShards reports the manifest's shard count.
+func (b *Backing) NumShards() int { return len(b.shards) }
+
+// Shard returns stripe i's backing.
+func (b *Backing) Shard(i int) shardstore.ShardBacking { return b.shards[i] }
+
+// CommitRecipe journals one named recipe; under FsyncAlways it is
+// crash-durable before the call returns. A recipe too large to frame
+// is rejected up front — recovery would read an oversized record as a
+// torn tail, silently dropping it and every recipe after it.
+func (b *Backing) CommitRecipe(name string, r shardstore.Recipe) error {
+	body := encodeRecipe(name, r)
+	if len(body) > maxRecordSize {
+		return fmt.Errorf("persist: recipe %q encodes to %d bytes, over the %d-byte record limit", name, len(body), maxRecordSize)
+	}
+	rec := appendRecord(nil, body)
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if b.recipeLog == nil {
+		return errClosed
+	}
+	if _, err := b.recipeLog.WriteAt(rec, b.recipeSize); err != nil {
+		return err
+	}
+	b.recipeSize += int64(len(rec))
+	b.recipeDirty = true
+	if b.opts.Fsync.Mode == FsyncAlways {
+		return b.syncRecipesLocked()
+	}
+	return nil
+}
+
+func (b *Backing) syncRecipesLocked() error {
+	if !b.recipeDirty {
+		return nil
+	}
+	if err := b.recipeLog.Sync(); err != nil {
+		return err
+	}
+	b.recipeDirty = false
+	return nil
+}
+
+// Recipes returns the recipes replayed at open time.
+func (b *Backing) Recipes() (map[string]shardstore.Recipe, error) {
+	return b.recipes, nil
+}
+
+// Sync flushes and fsyncs every shard and the recipe journal.
+func (b *Backing) Sync() error {
+	var first error
+	for _, sh := range b.shards {
+		if err := sh.sync(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.rmu.Lock()
+	if b.recipeLog != nil {
+		if err := b.syncRecipesLocked(); err != nil && first == nil {
+			first = err
+		}
+	}
+	b.rmu.Unlock()
+	return first
+}
+
+// fsyncLoop is the FsyncInterval background loop.
+func (b *Backing) fsyncLoop(every time.Duration) {
+	defer close(b.tickDone)
+	t := time.NewTicker(every)
+	defer t.Stop()
+	for {
+		select {
+		case <-b.tickStop:
+			return
+		case <-t.C:
+			_ = b.Sync()
+		}
+	}
+}
+
+// Close flushes, fsyncs and releases everything. A closed backing's
+// store must not be used further. Close is idempotent.
+func (b *Backing) Close() error {
+	b.closeMu.Lock()
+	defer b.closeMu.Unlock()
+	if b.closed {
+		return nil
+	}
+	b.closed = true
+	if b.tickStop != nil {
+		close(b.tickStop)
+		<-b.tickDone
+	}
+	err := b.Sync()
+	for _, sh := range b.shards {
+		if cerr := sh.close(); err == nil {
+			err = cerr
+		}
+	}
+	b.rmu.Lock()
+	if b.recipeLog != nil {
+		if cerr := b.recipeLog.Close(); err == nil {
+			err = cerr
+		}
+		b.recipeLog = nil
+	}
+	b.rmu.Unlock()
+	return err
+}
+
+var _ shardstore.Backing = (*Backing)(nil)

@@ -1,0 +1,378 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"sync"
+
+	"shredder/internal/dedup"
+	"shredder/internal/shardstore"
+)
+
+// diskShard is one stripe of the durable backing: an append-only set
+// of container files plus a write-ahead log, both under
+// <data>/shard-NNNN/. Chunk bytes are written to the open container
+// first, then the index insert is journaled, so a WAL record never
+// survives a crash that lost its bytes without recovery noticing (the
+// record's range falls past the container's end and replay stops
+// there).
+type diskShard struct {
+	id            int
+	dir           string
+	containerSize int64
+	always        bool // FsyncAlways: fsync at every Commit
+	verify        bool // re-hash every chunk during Recover
+
+	mu         sync.Mutex // guards all fields below
+	wal        *os.File
+	walSize    int64  // bytes durably framed so far
+	walBuf     []byte // records staged since the last Commit
+	walDirty   bool   // WAL has writes not yet fsynced
+	containers []*containerFile
+	recovered  bool
+}
+
+// containerFile is one append-only container on disk.
+type containerFile struct {
+	f     *os.File
+	size  int64
+	dirty bool // has writes not yet fsynced
+}
+
+const (
+	walName         = "wal"
+	containerFormat = "c-%06d.dat"
+)
+
+func newDiskShard(dir string, id int, containerSize int64, always, verify bool) *diskShard {
+	return &diskShard{
+		id:            id,
+		dir:           filepath.Join(dir, fmt.Sprintf("shard-%04d", id)),
+		containerSize: containerSize,
+		always:        always,
+		verify:        verify,
+	}
+}
+
+// Recover opens the shard's files and replays the WAL against them:
+// inserts are validated against the container bytes actually on disk,
+// a torn or inconsistent tail is cut off (WAL truncated to the last
+// clean record, containers truncated to the last journaled byte), and
+// fn is called once per surviving index entry.
+func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refcount int64) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.recovered {
+		return fmt.Errorf("persist: shard %d recovered twice", s.id)
+	}
+	s.recovered = true
+	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	if err := s.openContainers(); err != nil {
+		return err
+	}
+	wal, err := os.OpenFile(filepath.Join(s.dir, walName), os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
+		return err
+	}
+	s.wal = wal
+	raw, err := os.ReadFile(filepath.Join(s.dir, walName))
+	if err != nil {
+		return err
+	}
+
+	index := make(map[shardstore.Hash]shardstore.Ref)
+	refcount := make(map[shardstore.Hash]int64)
+	// watermarks[i] is the highest journaled byte of container i; bytes
+	// past it were written but never made it into the surviving WAL
+	// prefix, so they are cut off below.
+	watermarks := make([]int64, len(s.containers))
+	clean, err := scanRecords(raw, func(body []byte) error {
+		if len(body) == 0 {
+			return errTornRecord
+		}
+		switch body[0] {
+		case recInsert:
+			h, ci, off, length, derr := decodeInsert(body)
+			if derr != nil {
+				return errTornRecord
+			}
+			if ci < 0 || ci >= len(s.containers) || off < 0 || length < 0 ||
+				off+length > s.containers[ci].size {
+				// The record refers to bytes that never reached the
+				// container file: the tail of history is lost.
+				return errTornRecord
+			}
+			if _, dup := index[h]; dup {
+				return errTornRecord
+			}
+			if s.verify {
+				// Re-hash the chunk: catches bytes the filesystem lost
+				// in ways the size check cannot see (zero-filled pages
+				// after power loss under relaxed fsync).
+				buf := make([]byte, length)
+				if _, rerr := s.containers[ci].f.ReadAt(buf, off); rerr != nil {
+					return errTornRecord
+				}
+				if dedup.Sum(buf) != h {
+					return errTornRecord
+				}
+			}
+			index[h] = shardstore.Ref{Shard: s.id, Container: ci, Offset: off, Length: length}
+			refcount[h] = 1
+			if off+length > watermarks[ci] {
+				watermarks[ci] = off + length
+			}
+		case recRefDelta:
+			h, delta, derr := decodeRefDelta(body)
+			if derr != nil {
+				return errTornRecord
+			}
+			if _, ok := index[h]; !ok {
+				return errTornRecord
+			}
+			refcount[h] += delta
+			if refcount[h] < 1 {
+				// A future GC decrement released the entry; the bytes
+				// stay until compaction reclaims them.
+				delete(index, h)
+				delete(refcount, h)
+			}
+		default:
+			return errTornRecord
+		}
+		return nil
+	})
+	if err != nil {
+		return err
+	}
+	if int64(clean) < int64(len(raw)) {
+		if err := s.wal.Truncate(int64(clean)); err != nil {
+			return err
+		}
+	}
+	s.walSize = int64(clean)
+	for i, cf := range s.containers {
+		if cf.size > watermarks[i] {
+			if err := cf.f.Truncate(watermarks[i]); err != nil {
+				return err
+			}
+			cf.size = watermarks[i]
+		}
+	}
+	for h, ref := range index {
+		if err := fn(h, ref, refcount[h]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// openContainers opens every existing container file in order,
+// verifying the sequence c-000000, c-000001, ... is contiguous.
+func (s *diskShard) openContainers() error {
+	entries, err := os.ReadDir(s.dir)
+	if err != nil {
+		return err
+	}
+	var names []string
+	for _, e := range entries {
+		var n int
+		if !e.IsDir() {
+			if _, err := fmt.Sscanf(e.Name(), containerFormat, &n); err == nil {
+				names = append(names, e.Name())
+			}
+		}
+	}
+	sort.Strings(names)
+	for i, name := range names {
+		if want := fmt.Sprintf(containerFormat, i); name != want {
+			return fmt.Errorf("persist: shard %d containers not contiguous: have %s, want %s", s.id, name, want)
+		}
+		f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR, 0o644)
+		if err != nil {
+			return err
+		}
+		st, err := f.Stat()
+		if err != nil {
+			f.Close()
+			return err
+		}
+		s.containers = append(s.containers, &containerFile{f: f, size: st.Size()})
+	}
+	return nil
+}
+
+// Append packs data into the open container (rolling when full) and
+// stages the insert record; both become durable at the next Commit
+// under the shard's fsync policy.
+func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	cur := len(s.containers) - 1
+	if cur < 0 || s.containers[cur].size+int64(len(data)) > s.containerSize {
+		f, err := os.OpenFile(
+			filepath.Join(s.dir, fmt.Sprintf(containerFormat, len(s.containers))),
+			os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+		if err != nil {
+			return 0, 0, err
+		}
+		if s.always {
+			if err := syncDir(s.dir); err != nil {
+				f.Close()
+				return 0, 0, err
+			}
+		}
+		s.containers = append(s.containers, &containerFile{f: f})
+		cur = len(s.containers) - 1
+	}
+	cf := s.containers[cur]
+	if _, err := cf.f.WriteAt(data, cf.size); err != nil {
+		// cf.size is not advanced: the partial bytes sit past the
+		// watermark and are invisible to reads and recovery.
+		return 0, 0, err
+	}
+	off := cf.size
+	cf.size += int64(len(data))
+	cf.dirty = true
+	s.walBuf = appendRecord(s.walBuf, encodeInsert(h, cur, off, int64(len(data))))
+	return cur, off, nil
+}
+
+// LogRefDelta stages a refcount-change record.
+func (s *diskShard) LogRefDelta(h shardstore.Hash, delta int64) error {
+	s.mu.Lock()
+	s.walBuf = appendRecord(s.walBuf, encodeRefDelta(h, delta))
+	s.mu.Unlock()
+	return nil
+}
+
+// Commit writes the staged WAL records through to the kernel and, under
+// FsyncAlways, fsyncs the dirty container files and the WAL (data
+// before journal, so a synced record always has its bytes).
+func (s *diskShard) Commit() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if s.always {
+		return s.fsyncLocked()
+	}
+	return nil
+}
+
+// flushLocked writes staged records to the WAL file.
+func (s *diskShard) flushLocked() error {
+	if len(s.walBuf) == 0 {
+		return nil
+	}
+	if _, err := s.wal.WriteAt(s.walBuf, s.walSize); err != nil {
+		// walSize is not advanced: the next flush rewrites the region
+		// and recovery ignores any torn tail it may have left.
+		return err
+	}
+	s.walSize += int64(len(s.walBuf))
+	s.walBuf = s.walBuf[:0]
+	s.walDirty = true
+	return nil
+}
+
+// fsyncLocked syncs every dirty file, containers first.
+func (s *diskShard) fsyncLocked() error {
+	for _, cf := range s.containers {
+		if cf.dirty {
+			if err := cf.f.Sync(); err != nil {
+				return err
+			}
+			cf.dirty = false
+		}
+	}
+	if s.walDirty {
+		if err := s.wal.Sync(); err != nil {
+			return err
+		}
+		s.walDirty = false
+	}
+	return nil
+}
+
+// sync flushes and fsyncs everything (the interval ticker, Sync and
+// Close path).
+func (s *diskShard) sync() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	return s.fsyncLocked()
+}
+
+// Read returns the bytes at a stored location via positional read.
+func (s *diskShard) Read(container int, offset, length int64) ([]byte, error) {
+	s.mu.Lock()
+	if container < 0 || container >= len(s.containers) {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("persist: shard %d container %d out of range", s.id, container)
+	}
+	cf := s.containers[container]
+	if offset < 0 || length < 0 || offset+length > cf.size {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("persist: shard %d range [%d, %d) outside container %d", s.id, offset, offset+length, container)
+	}
+	s.mu.Unlock()
+	buf := make([]byte, length)
+	if _, err := cf.f.ReadAt(buf, offset); err != nil {
+		return nil, err
+	}
+	return buf, nil
+}
+
+// Containers reports how many containers the shard has opened.
+func (s *diskShard) Containers() int {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return len(s.containers)
+}
+
+// close syncs and releases the shard's files.
+func (s *diskShard) close() error {
+	err := s.sync()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, cf := range s.containers {
+		if cerr := cf.f.Close(); err == nil {
+			err = cerr
+		}
+	}
+	s.containers = nil
+	if s.wal != nil {
+		if cerr := s.wal.Close(); err == nil {
+			err = cerr
+		}
+		s.wal = nil
+	}
+	return err
+}
+
+// syncDir fsyncs a directory so a just-created file's entry is durable.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
+}
+
+var _ shardstore.ShardBacking = (*diskShard)(nil)
+
+// errClosed reports use after Close.
+var errClosed = errors.New("persist: backing is closed")

@@ -1,0 +1,226 @@
+package persist
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/crc32"
+
+	"shredder/internal/shardstore"
+)
+
+// The write-ahead log is a flat sequence of framed records:
+//
+//	u32 body length | u32 CRC-32C of body | body
+//
+// (big-endian). The body's first byte is the record type, the rest is
+// the type-specific payload. Integers inside payloads are varints.
+// The framing is what makes replay safe: a crash can tear the final
+// record (short header, short body, or a CRC that does not match the
+// bytes that made it to disk), and the scanner detects all three,
+// keeps the clean prefix, and reports where it ends so the file can be
+// truncated back to a record boundary.
+
+// Record types.
+const (
+	// recInsert journals one index insert in a shard WAL: a chunk
+	// fingerprint and the container location its bytes were packed at.
+	recInsert byte = iota + 1
+	// recRefDelta journals a reference-count change for an existing
+	// entry (+1 per duplicate hit; GC will journal decrements).
+	recRefDelta
+	// recRecipe journals one named stream recipe in the store-level
+	// recipe log.
+	recRecipe
+)
+
+// recHeaderSize frames every record: u32 body length + u32 CRC-32C.
+const recHeaderSize = 8
+
+// maxRecordSize bounds a single record body. The largest legitimate
+// record is a recipe for a huge stream; 64 MiB of refs is ~2M chunks
+// per stream, far beyond anything the ingest layer produces.
+const maxRecordSize = 64 << 20
+
+var crcTable = crc32.MakeTable(crc32.Castagnoli)
+
+// errTornRecord marks the clean end of a WAL: the bytes past this
+// point are an incomplete or corrupt final record, not usable state.
+var errTornRecord = errors.New("persist: torn WAL record")
+
+// appendRecord frames body onto dst.
+func appendRecord(dst, body []byte) []byte {
+	var hdr [recHeaderSize]byte
+	binary.BigEndian.PutUint32(hdr[0:4], uint32(len(body)))
+	binary.BigEndian.PutUint32(hdr[4:8], crc32.Checksum(body, crcTable))
+	return append(append(dst, hdr[:]...), body...)
+}
+
+// readRecord decodes the record at the front of p, returning its body
+// and total framed size. It returns errTornRecord when p holds only a
+// prefix of a record or the CRC does not match.
+func readRecord(p []byte) (body []byte, size int, err error) {
+	if len(p) < recHeaderSize {
+		return nil, 0, errTornRecord
+	}
+	n := binary.BigEndian.Uint32(p[0:4])
+	if n > maxRecordSize {
+		return nil, 0, errTornRecord
+	}
+	size = recHeaderSize + int(n)
+	if len(p) < size {
+		return nil, 0, errTornRecord
+	}
+	body = p[recHeaderSize:size]
+	if crc32.Checksum(body, crcTable) != binary.BigEndian.Uint32(p[4:8]) {
+		return nil, 0, errTornRecord
+	}
+	return body, size, nil
+}
+
+// scanRecords walks every intact record in p in order, calling fn with
+// each body. It returns the length of the clean prefix: the offset the
+// file should be truncated to if anything past it is torn. fn may
+// reject a record (replay found it inconsistent with the containers on
+// disk); scanning stops there and the record is excluded from the
+// prefix, exactly as if it were torn.
+func scanRecords(p []byte, fn func(body []byte) error) (clean int, err error) {
+	off := 0
+	for off < len(p) {
+		body, size, rerr := readRecord(p[off:])
+		if rerr != nil {
+			return off, nil
+		}
+		if ferr := fn(body); ferr != nil {
+			if errors.Is(ferr, errTornRecord) {
+				return off, nil
+			}
+			return off, ferr
+		}
+		off += size
+	}
+	return off, nil
+}
+
+// --- typed payloads ---
+
+// encodeInsert journals h stored at (container, offset, length). The
+// shard is implied by which shard's WAL holds the record.
+func encodeInsert(h shardstore.Hash, container int, offset, length int64) []byte {
+	body := make([]byte, 0, 1+len(h)+3*binary.MaxVarintLen64)
+	body = append(body, recInsert)
+	body = append(body, h[:]...)
+	body = binary.AppendUvarint(body, uint64(container))
+	body = binary.AppendUvarint(body, uint64(offset))
+	body = binary.AppendUvarint(body, uint64(length))
+	return body
+}
+
+func decodeInsert(body []byte) (h shardstore.Hash, container int, offset, length int64, err error) {
+	p := body[1:]
+	if len(p) < len(h) {
+		return h, 0, 0, 0, fmt.Errorf("persist: insert record body %d bytes, need %d", len(body), 1+len(h))
+	}
+	copy(h[:], p)
+	p = p[len(h):]
+	var u [3]uint64
+	for i := range u {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return h, 0, 0, 0, errors.New("persist: insert record truncated varint")
+		}
+		u[i] = v
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return h, 0, 0, 0, errors.New("persist: insert record trailing bytes")
+	}
+	return h, int(u[0]), int64(u[1]), int64(u[2]), nil
+}
+
+// encodeRefDelta journals a refcount change for h.
+func encodeRefDelta(h shardstore.Hash, delta int64) []byte {
+	body := make([]byte, 0, 1+len(h)+binary.MaxVarintLen64)
+	body = append(body, recRefDelta)
+	body = append(body, h[:]...)
+	body = binary.AppendVarint(body, delta)
+	return body
+}
+
+func decodeRefDelta(body []byte) (h shardstore.Hash, delta int64, err error) {
+	p := body[1:]
+	if len(p) < len(h) {
+		return h, 0, fmt.Errorf("persist: refdelta record body %d bytes, need %d", len(body), 1+len(h))
+	}
+	copy(h[:], p)
+	p = p[len(h):]
+	v, n := binary.Varint(p)
+	if n <= 0 || len(p) != n {
+		return h, 0, errors.New("persist: refdelta record malformed varint")
+	}
+	return h, v, nil
+}
+
+// encodeRecipe journals one named recipe: name, ref count, then each
+// ref as four varints (shard, container, offset, length).
+func encodeRecipe(name string, r shardstore.Recipe) []byte {
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(name)+len(r)*4*binary.MaxVarintLen64)
+	body = append(body, recRecipe)
+	body = binary.AppendUvarint(body, uint64(len(name)))
+	body = append(body, name...)
+	body = binary.AppendUvarint(body, uint64(len(r)))
+	for _, ref := range r {
+		body = binary.AppendUvarint(body, uint64(ref.Shard))
+		body = binary.AppendUvarint(body, uint64(ref.Container))
+		body = binary.AppendUvarint(body, uint64(ref.Offset))
+		body = binary.AppendUvarint(body, uint64(ref.Length))
+	}
+	return body
+}
+
+func decodeRecipe(body []byte) (string, shardstore.Recipe, error) {
+	p := body[1:]
+	uvarint := func() (uint64, error) {
+		v, n := binary.Uvarint(p)
+		if n <= 0 {
+			return 0, errors.New("persist: recipe record truncated varint")
+		}
+		p = p[n:]
+		return v, nil
+	}
+	nameLen, err := uvarint()
+	if err != nil {
+		return "", nil, err
+	}
+	if nameLen > uint64(len(p)) {
+		return "", nil, errors.New("persist: recipe record truncated name")
+	}
+	name := string(p[:nameLen])
+	p = p[nameLen:]
+	count, err := uvarint()
+	if err != nil {
+		return "", nil, err
+	}
+	if count > uint64(len(p)) { // each ref takes ≥ 4 bytes; cheap bound
+		return "", nil, errors.New("persist: recipe record implausible ref count")
+	}
+	r := make(shardstore.Recipe, 0, count)
+	for i := uint64(0); i < count; i++ {
+		var f [4]uint64
+		for j := range f {
+			if f[j], err = uvarint(); err != nil {
+				return "", nil, err
+			}
+		}
+		r = append(r, shardstore.Ref{
+			Shard:     int(f[0]),
+			Container: int(f[1]),
+			Offset:    int64(f[2]),
+			Length:    int64(f[3]),
+		})
+	}
+	if len(p) != 0 {
+		return "", nil, errors.New("persist: recipe record trailing bytes")
+	}
+	return name, r, nil
+}

@@ -1,0 +1,58 @@
+package shardstore
+
+// Backing is the pluggable storage layer behind a Store: it owns the
+// chunk bytes (container packing) and whatever durability machinery the
+// implementation provides. The Store keeps the fingerprint index and
+// reference counts in memory in front of it; a durable backing
+// (internal/persist) journals every index mutation to a write-ahead log
+// so Open can hand the maps back after a restart, while MemoryBacking
+// journals nothing and recovers nothing.
+//
+// A Backing is used by exactly one Store. The Store serializes all
+// calls to one ShardBacking behind that shard's stripe lock, but
+// different shards' backings are called concurrently, and Sync/Close
+// may overlap shard calls (a durable backing must tolerate that).
+type Backing interface {
+	// NumShards reports how many shards the backing was laid out for; a
+	// Store opened on it has exactly this many stripes.
+	NumShards() int
+	// Shard returns the backing for stripe i in [0, NumShards).
+	Shard(i int) ShardBacking
+	// CommitRecipe durably records a named stream recipe. The Store
+	// keeps its own in-memory recipe map; the backing only needs to
+	// guarantee Recipes returns the same set after a reopen.
+	CommitRecipe(name string, r Recipe) error
+	// Recipes returns the recipes recovered at open time (nil when the
+	// backing is fresh or non-durable).
+	Recipes() (map[string]Recipe, error)
+	// Sync forces everything written so far to durable media.
+	Sync() error
+	// Close flushes and releases the backing. The Store must not be
+	// used afterwards.
+	Close() error
+}
+
+// ShardBacking is one stripe of a Backing: an append-only container
+// set plus the journal of index mutations applied to it. Recover must
+// be called once, before any other method (Store.Open does this).
+type ShardBacking interface {
+	// Recover replays the shard's durable state, calling fn once per
+	// live index entry with its final reference count. A fresh or
+	// non-durable shard calls fn zero times.
+	Recover(fn func(h Hash, ref Ref, refcount int64) error) error
+	// Append stores chunk bytes, packing them into the shard's open
+	// container (rolling to a new one when full), and journals the
+	// index insert for h. It returns where the bytes landed.
+	Append(h Hash, data []byte) (container int, offset int64, err error)
+	// LogRefDelta journals a reference-count change for an existing
+	// entry (+1 per duplicate hit today; GC will log decrements).
+	LogRefDelta(h Hash, delta int64) error
+	// Commit marks the end of one batch of Append/LogRefDelta calls:
+	// the backing flushes its journal, honoring its fsync policy.
+	Commit() error
+	// Read returns the bytes at a stored location. The slice must stay
+	// valid after return (containers are append-only).
+	Read(container int, offset, length int64) ([]byte, error)
+	// Containers reports how many containers the shard has opened.
+	Containers() int
+}

@@ -7,6 +7,12 @@
 // never contend. Aggregate statistics are maintained with atomics and
 // are exact whenever the store is quiescent.
 //
+// Chunk bytes live behind a pluggable Backing: MemoryBacking keeps
+// containers in RAM (the default, via New), while internal/persist
+// backs them with on-disk container files plus a per-shard write-ahead
+// log, so Open rebuilds the exact index, refcounts, recipes and Stats
+// after a restart.
+//
 // Semantics are byte-identical to dedup.Store: the same sequence of
 // Put calls classifies exactly the same chunks as duplicates, produces
 // the same aggregate Stats, and reconstructs streams byte-exactly.
@@ -17,8 +23,8 @@ package shardstore
 
 import (
 	"encoding/binary"
-	"errors"
 	"fmt"
+	"sort"
 	"sync"
 	"sync/atomic"
 
@@ -46,21 +52,25 @@ type Recipe []Ref
 const MaxShards = 1024
 
 // shard is one stripe of the store. All fields but the immutable idx
-// are guarded by mu.
+// and back handle are guarded by mu.
 type shard struct {
-	mu            sync.RWMutex
-	idx           int // this shard's position in Store.shards
-	containerSize int64
-	containers    [][]byte
-	index         map[Hash]Ref
-	refcount      map[Hash]int64
+	mu       sync.RWMutex
+	idx      int // this shard's position in Store.shards
+	back     ShardBacking
+	index    map[Hash]Ref
+	refcount map[Hash]int64
 }
 
 // Store is a sharded deduplicating chunk store. All methods are safe
 // for concurrent use by any number of goroutines.
 type Store struct {
-	shards []*shard
-	mask   uint32
+	backing Backing
+	shards  []*shard
+	mask    uint32
+
+	// Recipes recorded via CommitRecipe, keyed by stream name.
+	rmu     sync.RWMutex
+	recipes map[string]Recipe
 
 	// Aggregate statistics, maintained atomically.
 	logical atomic.Int64
@@ -70,34 +80,64 @@ type Store struct {
 	hits    atomic.Int64
 }
 
-// New returns an empty store with the given shard count (a power of two
-// in [1, MaxShards]; 0 means 16) and container size (0 means
-// dedup.DefaultContainerSize).
+// New returns an empty in-memory store with the given shard count (a
+// power of two in [1, MaxShards]; 0 means 16) and container size (0
+// means dedup.DefaultContainerSize).
 func New(shards int, containerSize int64) (*Store, error) {
-	if shards == 0 {
-		shards = 16
+	b, err := NewMemoryBacking(shards, containerSize)
+	if err != nil {
+		return nil, err
 	}
-	if shards < 1 || shards > MaxShards {
-		return nil, fmt.Errorf("shardstore: shard count %d outside [1, %d]", shards, MaxShards)
+	return Open(b)
+}
+
+// Open builds a store on a backing, replaying the backing's recovered
+// state (index entries, refcounts, recipes) into memory and deriving
+// the aggregate Stats from it. On a fresh backing this is an empty
+// store; on a reopened durable backing it is exactly the store that
+// was closed: same duplicate classification, same refs, same Stats.
+func Open(b Backing) (*Store, error) {
+	n := b.NumShards()
+	if n < 1 || n > MaxShards || n&(n-1) != 0 {
+		return nil, fmt.Errorf("shardstore: backing has invalid shard count %d", n)
 	}
-	if shards&(shards-1) != 0 {
-		return nil, fmt.Errorf("shardstore: shard count %d is not a power of two", shards)
-	}
-	if containerSize < 0 {
-		return nil, errors.New("shardstore: negative container size")
-	}
-	if containerSize == 0 {
-		containerSize = dedup.DefaultContainerSize
-	}
-	s := &Store{shards: make([]*shard, shards), mask: uint32(shards - 1)}
+	s := &Store{backing: b, shards: make([]*shard, n), mask: uint32(n - 1)}
 	for i := range s.shards {
-		s.shards[i] = &shard{
-			idx:           i,
-			containerSize: containerSize,
-			index:         make(map[Hash]Ref),
-			refcount:      make(map[Hash]int64),
+		sh := &shard{
+			idx:      i,
+			back:     b.Shard(i),
+			index:    make(map[Hash]Ref),
+			refcount: make(map[Hash]int64),
 		}
+		err := sh.back.Recover(func(h Hash, ref Ref, rc int64) error {
+			if rc < 1 {
+				return fmt.Errorf("shardstore: shard %d recovered refcount %d for %x", i, rc, h[:8])
+			}
+			ref.Shard = i
+			sh.index[h] = ref
+			sh.refcount[h] = rc
+			// Every counter is derivable from the recovered entries: one
+			// unique insert plus rc-1 duplicate hits of ref.Length bytes.
+			s.unique.Add(1)
+			s.stored.Add(ref.Length)
+			s.chunks.Add(rc)
+			s.logical.Add(rc * ref.Length)
+			s.hits.Add(rc - 1)
+			return nil
+		})
+		if err != nil {
+			return nil, fmt.Errorf("shardstore: recover shard %d: %w", i, err)
+		}
+		s.shards[i] = sh
 	}
+	recipes, err := b.Recipes()
+	if err != nil {
+		return nil, fmt.Errorf("shardstore: recover recipes: %w", err)
+	}
+	if recipes == nil {
+		recipes = make(map[string]Recipe)
+	}
+	s.recipes = recipes
 	return s, nil
 }
 
@@ -110,21 +150,32 @@ func (s *Store) shardFor(h Hash) *shard {
 }
 
 // Put stores one chunk, returning its location and whether it was a
-// duplicate of existing content.
-func (s *Store) Put(data []byte) (Ref, bool) {
+// duplicate of existing content. A non-nil error means the backing
+// rejected the write (impossible for MemoryBacking).
+func (s *Store) Put(data []byte) (Ref, bool, error) {
 	return s.PutHashed(dedup.Sum(data), data)
 }
 
 // PutHashed stores one chunk whose fingerprint the caller has already
 // computed — the entry point for protocols that ship hashes ahead of
-// data (client-side matching), and the primitive Put builds on.
-func (s *Store) PutHashed(h Hash, data []byte) (Ref, bool) {
+// data (client-side matching), and the primitive Put builds on. Like
+// PutBatch, a chunk that was applied stays applied (and accounted)
+// even when the backing's Commit then fails — the aggregate Stats must
+// keep matching the index a restart would recover.
+func (s *Store) PutHashed(h Hash, data []byte) (Ref, bool, error) {
 	sh := s.shardFor(h)
 	sh.mu.Lock()
-	ref, dup := sh.put(h, data)
+	ref, dup, err := sh.put(h, data)
+	var cerr error
+	if err == nil {
+		cerr = sh.back.Commit()
+	}
 	sh.mu.Unlock()
+	if err != nil {
+		return Ref{}, false, err
+	}
 	s.account(int64(len(data)), dup)
-	return ref, dup
+	return ref, dup, cerr
 }
 
 // account updates the aggregate counters for one stored chunk.
@@ -140,29 +191,22 @@ func (s *Store) account(n int64, dup bool) {
 }
 
 // put is the single-shard insert; the caller holds sh.mu.
-func (sh *shard) put(h Hash, data []byte) (Ref, bool) {
+func (sh *shard) put(h Hash, data []byte) (Ref, bool, error) {
 	if ref, ok := sh.index[h]; ok {
+		if err := sh.back.LogRefDelta(h, 1); err != nil {
+			return Ref{}, false, err
+		}
 		sh.refcount[h]++
-		return ref, true
+		return ref, true, nil
 	}
-	ref := sh.append(data)
+	ci, off, err := sh.back.Append(h, data)
+	if err != nil {
+		return Ref{}, false, err
+	}
+	ref := Ref{Shard: sh.idx, Container: ci, Offset: off, Length: int64(len(data))}
 	sh.index[h] = ref
 	sh.refcount[h] = 1
-	return ref, false
-}
-
-// append packs data into the shard's open container, identical to
-// dedup.Store.append. Containers are append-only: bytes at an occupied
-// offset are never rewritten, so refs handed out remain valid views.
-func (sh *shard) append(data []byte) Ref {
-	if len(sh.containers) == 0 || int64(len(sh.containers[len(sh.containers)-1]))+int64(len(data)) > sh.containerSize {
-		sh.containers = append(sh.containers, make([]byte, 0, sh.containerSize))
-	}
-	ci := len(sh.containers) - 1
-	c := sh.containers[ci]
-	ref := Ref{Shard: sh.idx, Container: ci, Offset: int64(len(c)), Length: int64(len(data))}
-	sh.containers[ci] = append(c, data...)
-	return ref
+	return ref, false, nil
 }
 
 // Has reports whether a chunk with fingerprint h is already stored —
@@ -179,12 +223,13 @@ func (s *Store) Has(h Hash) (Ref, bool) {
 // queries by shard so each stripe lock is taken at most once.
 func (s *Store) HasBatch(hs []Hash) []bool {
 	out := make([]bool, len(hs))
-	s.byShard(hs, func(sh *shard, idxs []int) {
+	_ = s.byShard(hs, func(sh *shard, idxs []int) error {
 		sh.mu.RLock()
 		for _, i := range idxs {
 			_, out[i] = sh.index[hs[i]]
 		}
 		sh.mu.RUnlock()
+		return nil
 	})
 	return out
 }
@@ -193,8 +238,10 @@ func (s *Store) HasBatch(hs []Hash) []bool {
 // shard so each stripe lock is taken at most once per batch. Refs and
 // duplicate flags come back in input order. The classification is
 // identical to calling Put sequentially: a chunk repeated within the
-// batch maps to the same shard and is seen there in input order.
-func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool) {
+// batch maps to the same shard and is seen there in input order. On a
+// backing error the batch stops early: chunks already applied stay
+// applied (and accounted), the rest of the refs are zero.
+func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool, error) {
 	refs := make([]Ref, len(chunks))
 	dup := make([]bool, len(chunks))
 	hs := make([]Hash, len(chunks))
@@ -202,11 +249,17 @@ func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool) {
 		hs[i] = dedup.Sum(c)
 	}
 	var logical, stored int64
-	var dups, uniques int64
-	s.byShard(hs, func(sh *shard, idxs []int) {
+	var chunksN, dups, uniques int64
+	err := s.byShard(hs, func(sh *shard, idxs []int) error {
 		sh.mu.Lock()
+		defer sh.mu.Unlock()
 		for _, i := range idxs {
-			refs[i], dup[i] = sh.put(hs[i], chunks[i])
+			var perr error
+			refs[i], dup[i], perr = sh.put(hs[i], chunks[i])
+			if perr != nil {
+				return perr
+			}
+			chunksN++
 			logical += int64(len(chunks[i]))
 			if dup[i] {
 				dups++
@@ -215,21 +268,22 @@ func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool) {
 				stored += int64(len(chunks[i]))
 			}
 		}
-		sh.mu.Unlock()
+		return sh.back.Commit()
 	})
-	s.chunks.Add(int64(len(chunks)))
+	s.chunks.Add(chunksN)
 	s.logical.Add(logical)
 	s.hits.Add(dups)
 	s.unique.Add(uniques)
 	s.stored.Add(stored)
-	return refs, dup
+	return refs, dup, err
 }
 
 // byShard partitions hash indices by destination shard and invokes fn
 // once per non-empty shard, preserving input order within each group.
-func (s *Store) byShard(hs []Hash, fn func(sh *shard, idxs []int)) {
+// It stops at the first error.
+func (s *Store) byShard(hs []Hash, fn func(sh *shard, idxs []int) error) error {
 	if len(hs) == 0 {
-		return
+		return nil
 	}
 	groups := make(map[uint32][]int, len(s.shards))
 	for i, h := range hs {
@@ -237,13 +291,17 @@ func (s *Store) byShard(hs []Hash, fn func(sh *shard, idxs []int)) {
 		groups[si] = append(groups[si], i)
 	}
 	for si, idxs := range groups {
-		fn(s.shards[si], idxs)
+		if err := fn(s.shards[si], idxs); err != nil {
+			return err
+		}
 	}
+	return nil
 }
 
 // Get returns the bytes of a stored chunk. The returned slice is a
-// read-only view into the shard's container and stays valid because
-// containers are append-only.
+// read-only view (for MemoryBacking, into the shard's container; for a
+// durable backing, a fresh read) and stays valid because containers
+// are append-only.
 func (s *Store) Get(ref Ref) ([]byte, error) {
 	if ref.Shard < 0 || ref.Shard >= len(s.shards) {
 		return nil, fmt.Errorf("shardstore: shard %d out of range", ref.Shard)
@@ -251,14 +309,7 @@ func (s *Store) Get(ref Ref) ([]byte, error) {
 	sh := s.shards[ref.Shard]
 	sh.mu.RLock()
 	defer sh.mu.RUnlock()
-	if ref.Container < 0 || ref.Container >= len(sh.containers) {
-		return nil, fmt.Errorf("shardstore: container %d out of range in shard %d", ref.Container, ref.Shard)
-	}
-	c := sh.containers[ref.Container]
-	if ref.Offset < 0 || ref.Length < 0 || ref.Offset+ref.Length > int64(len(c)) {
-		return nil, fmt.Errorf("shardstore: ref %+v outside container", ref)
-	}
-	return c[ref.Offset : ref.Offset+ref.Length : ref.Offset+ref.Length], nil
+	return sh.back.Read(ref.Container, ref.Offset, ref.Length)
 }
 
 // Stats returns the aggregate statistics. Each field is maintained
@@ -279,7 +330,7 @@ func (s *Store) Containers() int {
 	total := 0
 	for _, sh := range s.shards {
 		sh.mu.RLock()
-		total += len(sh.containers)
+		total += sh.back.Containers()
 		sh.mu.RUnlock()
 	}
 	return total
@@ -296,15 +347,51 @@ func (s *Store) Refcount(h Hash) int64 {
 
 // WriteStream stores an already-chunked stream, returning its recipe
 // and the number of duplicate chunks.
-func (s *Store) WriteStream(chunks [][]byte) (Recipe, int) {
-	refs, dup := s.PutBatch(chunks)
+func (s *Store) WriteStream(chunks [][]byte) (Recipe, int, error) {
+	refs, dup, err := s.PutBatch(chunks)
+	if err != nil {
+		return nil, 0, err
+	}
 	dups := 0
 	for _, d := range dup {
 		if d {
 			dups++
 		}
 	}
-	return Recipe(refs), dups
+	return Recipe(refs), dups, nil
+}
+
+// CommitRecipe records a named stream recipe, durably if the backing
+// is. A recommitted name replaces the previous recipe (the chunks it
+// referenced stay stored; GC is a future concern).
+func (s *Store) CommitRecipe(name string, r Recipe) error {
+	if err := s.backing.CommitRecipe(name, r); err != nil {
+		return err
+	}
+	s.rmu.Lock()
+	s.recipes[name] = r
+	s.rmu.Unlock()
+	return nil
+}
+
+// Recipe returns the recorded recipe for a stream name.
+func (s *Store) Recipe(name string) (Recipe, bool) {
+	s.rmu.RLock()
+	r, ok := s.recipes[name]
+	s.rmu.RUnlock()
+	return r, ok
+}
+
+// RecipeNames returns every recorded stream name, sorted.
+func (s *Store) RecipeNames() []string {
+	s.rmu.RLock()
+	names := make([]string, 0, len(s.recipes))
+	for n := range s.recipes {
+		names = append(names, n)
+	}
+	s.rmu.RUnlock()
+	sort.Strings(names)
+	return names
 }
 
 // Reconstruct concatenates a recipe's chunks back into the original
@@ -324,3 +411,11 @@ func (s *Store) Reconstruct(r Recipe) ([]byte, error) {
 	}
 	return out, nil
 }
+
+// Sync forces everything written so far onto durable media (a no-op
+// for MemoryBacking).
+func (s *Store) Sync() error { return s.backing.Sync() }
+
+// Close flushes and releases the backing. The store must not be used
+// afterwards.
+func (s *Store) Close() error { return s.backing.Close() }

@@ -12,8 +12,12 @@ import (
 )
 
 // putAll stores chunks one batch, returning the refs.
-func putAll(s *Store, chunks [][]byte) []Ref {
-	refs, _ := s.PutBatch(chunks)
+func putAll(t testing.TB, s *Store, chunks [][]byte) []Ref {
+	t.Helper()
+	refs, _, err := s.PutBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
 	return refs
 }
 
@@ -59,7 +63,10 @@ func TestDifferentialAgainstDedupStore(t *testing.T) {
 			var gotRecipe Recipe
 			for i, c := range chunks {
 				rr, rdup := ref.Put(c)
-				gr, gdup := got.Put(c)
+				gr, gdup, perr := got.Put(c)
+				if perr != nil {
+					t.Fatal(perr)
+				}
 				if rdup != gdup {
 					t.Fatalf("chunk %d: dup=%v, dedup.Store says %v", i, gdup, rdup)
 				}
@@ -99,7 +106,7 @@ func TestSingleShardPackingIdentical(t *testing.T) {
 	}
 	for i, c := range chunks {
 		rr, _ := ref.Put(c)
-		gr, _ := got.Put(c)
+		gr, _, _ := got.Put(c)
 		if gr.Shard != 0 || gr.Container != rr.Container || gr.Offset != rr.Offset || gr.Length != rr.Length {
 			t.Fatalf("chunk %d: ref %+v, dedup.Store packs %+v", i, gr, rr)
 		}
@@ -127,13 +134,16 @@ func TestBatchMatchesSequential(t *testing.T) {
 	var seqDups int
 	seqRefs := make([]Ref, len(chunks))
 	for i, c := range chunks {
-		r, dup := seq.Put(c)
+		r, dup, _ := seq.Put(c)
 		seqRefs[i] = r
 		if dup {
 			seqDups++
 		}
 	}
-	batRefs, batDup := bat.PutBatch(chunks)
+	batRefs, batDup, err := bat.PutBatch(chunks)
+	if err != nil {
+		t.Fatal(err)
+	}
 	batDups := 0
 	for _, d := range batDup {
 		if d {
@@ -191,7 +201,7 @@ func TestConcurrentPut(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for _, c := range streams[w] {
-				ref, _ := store.Put(c)
+				ref, _, _ := store.Put(c)
 				recipes[w] = append(recipes[w], ref)
 			}
 		}(w)
@@ -240,7 +250,7 @@ func TestConcurrentMixed(t *testing.T) {
 		t.Fatal(err)
 	}
 	chunks := corpus(t, 5, 512<<10, 0)
-	seedRefs := putAll(store, chunks[:len(chunks)/2])
+	seedRefs := putAll(t, store, chunks[:len(chunks)/2])
 	var readers, writers sync.WaitGroup
 	stop := make(chan struct{})
 	for r := 0; r < 4; r++ {
@@ -317,7 +327,7 @@ func TestGetOutOfRange(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ref, _ := s.Put([]byte("hello"))
+	ref, _, _ := s.Put([]byte("hello"))
 	for _, bad := range []Ref{
 		{Shard: -1},
 		{Shard: 99},

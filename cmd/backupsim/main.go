@@ -7,9 +7,11 @@
 //
 // With -server it instead acts as a shredderd client: the same image
 // series is streamed over TCP to the daemon, which chunks and dedups it
-// server-side and reports per-stream statistics.
+// server-side and reports per-stream statistics. -chunker negotiates
+// the session's chunking engine (fastcdc, or the server-default rabin).
 //
-//	backupsim -server host:9323 [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
+//	backupsim -server host:9323 [-chunker rabin|fastcdc] [-avg KiB]
+//	          [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
 //
 // With -data it simulates a server restart: the series is ingested by
 // an in-process shredderd backed by a durable data directory
@@ -27,6 +29,7 @@ import (
 	"os"
 
 	"shredder/internal/backup"
+	"shredder/internal/chunk"
 	"shredder/internal/ingest"
 	"shredder/internal/persist"
 	"shredder/internal/stats"
@@ -43,6 +46,8 @@ func main() {
 	data := flag.String("data", "", "data directory; when set, run the durable server-restart round-trip locally")
 	fsyncFlag := flag.String("fsync", "always", "fsync policy with -data: always, never, interval[=D], or a duration")
 	name := flag.String("name", "vm", "stream name prefix in service mode")
+	chunkerName := flag.String("chunker", "rabin", "chunking engine to negotiate with -server/-data: rabin (no negotiation, server default) or fastcdc")
+	avgKiB := flag.Int("avg", 4, "fastcdc target chunk size in KiB (power of two), with -chunker=fastcdc")
 	flag.Parse()
 
 	if *server != "" || *data != "" {
@@ -59,15 +64,24 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backupsim: -server and -data are mutually exclusive")
 		os.Exit(2)
 	}
+	spec, err := sessionSpec(*chunkerName, *avgKiB<<10)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "backupsim:", err)
+		os.Exit(2)
+	}
+	if spec != nil && *server == "" && *data == "" {
+		fmt.Fprintln(os.Stderr, "backupsim: -chunker only applies with -server/-data (the local simulation is the paper's GPU Rabin study)")
+		os.Exit(2)
+	}
 	if *server != "" {
-		if err := runClient(*server, *name, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+		if err := runClient(*server, *name, spec, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *data != "" {
-		if err := runRestart(*data, *fsyncFlag, *name, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+		if err := runRestart(*data, *fsyncFlag, *name, spec, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
@@ -88,14 +102,49 @@ func main() {
 	}
 }
 
+// sessionSpec maps the -chunker/-avg flags to the spec to negotiate,
+// or nil for the legacy no-negotiation session.
+func sessionSpec(algoName string, avg int) (*chunk.Spec, error) {
+	algo, err := chunk.ParseAlgo(algoName)
+	if err != nil {
+		return nil, err
+	}
+	if algo == chunk.AlgoRabin {
+		return nil, nil // server default; skip negotiation entirely
+	}
+	spec := chunk.FastCDCSpec(avg)
+	if err := spec.Validate(); err != nil {
+		return nil, err
+	}
+	return &spec, nil
+}
+
+// negotiateIfSet proposes spec on the session when one was requested.
+func negotiateIfSet(c *ingest.Client, spec *chunk.Spec) error {
+	if spec == nil {
+		return nil
+	}
+	accepted, err := c.Negotiate(*spec)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("negotiated %s engine (avg %s, min %s, max %s)\n",
+		accepted.Algo, stats.Bytes(int64(accepted.AvgSize)),
+		stats.Bytes(int64(accepted.MinSize)), stats.Bytes(int64(accepted.MaxSize)))
+	return nil
+}
+
 // runClient streams the image series to a shredderd daemon and verifies
 // every stream restores byte-exactly over the wire.
-func runClient(addr, prefix string, size, snapshots int, prob float64, seed int64) error {
+func runClient(addr, prefix string, spec *chunk.Spec, size, snapshots int, prob float64, seed int64) error {
 	c, err := ingest.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
+	if err := negotiateIfSet(c, spec); err != nil {
+		return err
+	}
 	im := workload.NewImage(seed, size, 64<<10, prob)
 
 	push := func(name string, data []byte) error {
@@ -127,7 +176,7 @@ func runClient(addr, prefix string, size, snapshots int, prob float64, seed int6
 // in-process persist-backed server, close the store (simulating a
 // daemon restart), reopen it from the data directory, and verify every
 // stream restores byte-exactly with the dedup statistics preserved.
-func runRestart(dir, fsyncStr, prefix string, size, snapshots int, prob float64, seed int64) error {
+func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, size, snapshots int, prob float64, seed int64) error {
 	policy, err := persist.ParseFsyncPolicy(fsyncStr)
 	if err != nil {
 		return err
@@ -153,6 +202,10 @@ func runRestart(dir, fsyncStr, prefix string, size, snapshots int, prob float64,
 		return err
 	}
 	c := dialInProcess(srv)
+	if err := negotiateIfSet(c, spec); err != nil {
+		store.Close()
+		return err
+	}
 	for _, n := range order {
 		st, err := c.BackupBytes(n, streams[n])
 		if err != nil {

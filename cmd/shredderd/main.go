@@ -12,7 +12,12 @@
 // picks the durability/throughput trade-off. SIGINT/SIGTERM drain
 // active sessions and flush the store before exiting.
 //
+// The chunking engine is negotiated per session: clients that send a
+// spec get it (any engine the build knows), clients that don't get the
+// server default, selectable with -chunker/-avg/-minchunk/-maxchunk.
+//
 //	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB]
+//	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
 //	          [-data DIR] [-fsync always|never|interval[=D]]
 //	          [-grace D] [-quiet]
 package main
@@ -22,12 +27,14 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"math/bits"
 	"net"
 	"os"
 	"os/signal"
 	"syscall"
 	"time"
 
+	"shredder/internal/chunk"
 	"shredder/internal/ingest"
 	"shredder/internal/persist"
 	"shredder/internal/shardstore"
@@ -39,6 +46,10 @@ func main() {
 	shards := flag.Int("shards", 16, "store shard count (power of two)")
 	batch := flag.Int("batch", 64, "chunks per has/put batch")
 	buffer := flag.Int("buffer", 4, "per-session pipeline buffer in MiB")
+	chunkerName := flag.String("chunker", "rabin", "default chunking engine for sessions that skip negotiation: rabin or fastcdc")
+	avgKiB := flag.Int("avg", 4, "target average chunk size in KiB (power of two)")
+	minKiB := flag.Int("minchunk", 0, "minimum chunk size in KiB (0: engine default)")
+	maxKiB := flag.Int("maxchunk", 0, "maximum chunk size in KiB (0: engine default)")
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
 	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
 	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
@@ -50,6 +61,23 @@ func main() {
 	cfg.Shards = *shards
 	cfg.BatchSize = *batch
 	cfg.Shredder.BufferSize = *buffer << 20
+	// Only replace the default engine when a chunking flag was given:
+	// the stock configuration must stay byte-identical for existing
+	// deployments.
+	chunkingSet := false
+	flag.Visit(func(f *flag.Flag) {
+		switch f.Name {
+		case "chunker", "avg", "minchunk", "maxchunk":
+			chunkingSet = true
+		}
+	})
+	if chunkingSet {
+		spec, err := buildSpec(*chunkerName, *avgKiB<<10, *minKiB<<10, *maxKiB<<10)
+		if err != nil {
+			fatal(err)
+		}
+		cfg.Shredder.Chunking = spec
+	}
 	if !*quiet {
 		cfg.OnStream = func(name string, st ingest.StreamStats) {
 			log.Printf("stream %q: %s in %d chunks, %d dup, ratio %.2fx; store ratio %.2fx",
@@ -105,8 +133,8 @@ func main() {
 		l.Close()
 	}()
 
-	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers)",
-		l.Addr(), *shards, *batch, *buffer)
+	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers, default engine %s)",
+		l.Addr(), *shards, *batch, *buffer, cfg.Shredder.Chunking.Algo)
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		fatal(err)
 	}
@@ -122,4 +150,40 @@ func main() {
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "shredderd:", err)
 	os.Exit(1)
+}
+
+// buildSpec maps the chunking flags to a chunk.Spec. Sizes are bytes;
+// 0 means the engine's derived default.
+func buildSpec(algoName string, avg, min, max int) (chunk.Spec, error) {
+	algo, err := chunk.ParseAlgo(algoName)
+	if err != nil {
+		return chunk.Spec{}, err
+	}
+	if avg < 2 || avg&(avg-1) != 0 {
+		return chunk.Spec{}, fmt.Errorf("average chunk size %d is not a power of two", avg)
+	}
+	switch algo {
+	case chunk.AlgoFastCDC:
+		spec := chunk.FastCDCSpec(avg)
+		if min != 0 {
+			spec.MinSize = min
+		}
+		if max != 0 {
+			spec.MaxSize = max
+		}
+		return spec, spec.Validate()
+	default:
+		spec := chunk.DefaultSpec()
+		spec.MaskBits = bits.Len(uint(avg)) - 1 // expected chunk size 2^mask
+		spec.Marker = 1<<uint(spec.MaskBits) - 1
+		spec.MinSize = min
+		if min == 0 {
+			spec.MinSize = avg / 2
+		}
+		spec.MaxSize = max
+		if max == 0 {
+			spec.MaxSize = avg * 8
+		}
+		return spec, spec.Validate()
+	}
 }

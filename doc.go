@@ -7,6 +7,12 @@
 //
 //   - internal/rabin, internal/chunker — Rabin fingerprinting and the
 //     sequential content-defined chunking reference
+//   - internal/chunk — the algorithm-agnostic chunking-engine API: a
+//     serializable, wire-encodable Spec (algorithm + parameters), an
+//     Engine interface with whole-buffer Split and an incremental
+//     streaming feed, a Rabin adapter over internal/chunker, and a
+//     FastCDC engine (gear hashing, normalized chunking); engines are
+//     differentially tested for Split/stream agreement
 //   - internal/gpu, internal/pcie, internal/hostmem, internal/host,
 //     internal/sim — the simulated device/host substrate (this machine
 //     has no GPU; see DESIGN.md for the substitution argument)
@@ -22,7 +28,10 @@
 //     configurable fsync policy, and crash-recoverable replay that
 //     tolerates a torn final record
 //   - internal/ingest — the streaming ingest service layer: a
-//     length-prefixed binary protocol over net.Conn, a server that
+//     length-prefixed binary protocol over net.Conn with per-session
+//     chunking-engine negotiation (Hello/Accept frames carrying a
+//     chunk.Spec; non-negotiating legacy clients keep the Rabin
+//     defaults byte-for-byte), typed protocol errors, a server that
 //     chunks client streams with the core pipeline and dedups them in
 //     batches against one shared shardstore, and the matching client
 //   - internal/hdfs, internal/mapreduce, internal/backup — the two

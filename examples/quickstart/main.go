@@ -7,7 +7,7 @@ import (
 	"fmt"
 	"log"
 
-	"shredder/internal/chunker"
+	"shredder/internal/chunk"
 	"shredder/internal/core"
 	"shredder/internal/stats"
 	"shredder/internal/workload"
@@ -26,8 +26,8 @@ func main() {
 	// 64 MB of synthetic data stands in for a SAN stream.
 	data := workload.Random(1, 64<<20)
 
-	var first []chunker.Chunk
-	report, err := shred.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+	var first []chunk.Chunk
+	report, err := shred.ChunkBytes(data, func(c chunk.Chunk, payload []byte) error {
 		if len(first) < 5 {
 			first = append(first, c)
 		}
@@ -48,6 +48,6 @@ func main() {
 		report.Stage.Kernel.Round(1e6), report.Stage.Store.Round(1e6))
 	fmt.Println("first chunks:")
 	for _, c := range first {
-		fmt.Printf("  offset %9d length %6d cut=%#x\n", c.Offset, c.Length, uint64(c.Cut))
+		fmt.Printf("  offset %9d length %6d cut=%#x\n", c.Offset, c.Length, c.Fingerprint)
 	}
 }

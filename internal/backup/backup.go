@@ -19,6 +19,7 @@ import (
 	"fmt"
 	"time"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 	"shredder/internal/core"
 	"shredder/internal/dedup"
@@ -91,7 +92,7 @@ func DefaultConfig() Config {
 	p.MinSize = 2 << 10
 	p.MaxSize = 32 << 10
 	score := core.DefaultConfig()
-	score.Chunking = p
+	score.Chunking = chunk.RabinSpec(p)
 	// Smaller buffers than the pure-chunking pipeline: backup images
 	// arrive snapshot by snapshot and the deeper pipeline hides the
 	// index/network stages behind chunking.
@@ -174,7 +175,7 @@ func NewServer(cfg Config) (*Server, error) {
 	if err != nil {
 		return nil, err
 	}
-	cfg.Shredder.Chunking = cfg.Chunking
+	cfg.Shredder.Chunking = chunk.RabinSpec(cfg.Chunking)
 	shred, err := core.New(cfg.Shredder)
 	if err != nil {
 		return nil, err

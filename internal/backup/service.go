@@ -5,6 +5,7 @@ import (
 	"net"
 	"sync"
 
+	"shredder/internal/chunk"
 	"shredder/internal/dedup"
 	"shredder/internal/ingest"
 )
@@ -26,7 +27,7 @@ func NewService(cfg Config, shards int) (*Service, error) {
 		return nil, err
 	}
 	sc := cfg.Shredder
-	sc.Chunking = cfg.Chunking
+	sc.Chunking = chunk.RabinSpec(cfg.Chunking)
 	srv, err := ingest.NewServer(ingest.Config{Shards: shards, Shredder: sc})
 	if err != nil {
 		return nil, err

@@ -1,0 +1,73 @@
+package chunk
+
+import (
+	"testing"
+)
+
+// BenchmarkEngineSplit measures raw single-core chunking throughput of
+// each engine over the same 8 MB buffer — the per-byte cost the
+// Rabin-vs-FastCDC trade is about.
+func BenchmarkEngineSplit(b *testing.B) {
+	data := randomData(30, 8<<20)
+	limited := DefaultSpec()
+	limited.MaskBits = 12
+	limited.Marker = 1<<12 - 1
+	limited.MinSize = 2 << 10
+	limited.MaxSize = 32 << 10
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"rabin", limited},
+		{"fastcdc", FastCDCSpec(4 << 10)},
+	} {
+		e, err := New(tc.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				if got := e.Split(data); len(got) == 0 {
+					b.Fatal("no chunks")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkEngineStream measures the incremental-feed path with 1 MB
+// writes (the ingest frame size).
+func BenchmarkEngineStream(b *testing.B) {
+	data := randomData(31, 8<<20)
+	for _, tc := range []struct {
+		name string
+		spec Spec
+	}{
+		{"rabin", DefaultSpec()},
+		{"fastcdc", FastCDCSpec(4 << 10)},
+	} {
+		e, err := New(tc.spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		b.Run(tc.name, func(b *testing.B) {
+			b.SetBytes(int64(len(data)))
+			for i := 0; i < b.N; i++ {
+				s := e.Stream(func(Chunk, []byte) error { return nil })
+				for off := 0; off < len(data); off += 1 << 20 {
+					end := off + 1<<20
+					if end > len(data) {
+						end = len(data)
+					}
+					if _, err := s.Write(data[off:end]); err != nil {
+						b.Fatal(err)
+					}
+				}
+				if err := s.Close(); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -1,0 +1,235 @@
+package chunk
+
+import (
+	"errors"
+	"fmt"
+	"math/bits"
+)
+
+// FastCDC limits: the mask construction needs a few bits of headroom on
+// both sides of the 64-bit gear hash, and chunks below ~64 bytes defeat
+// the point of content-defined boundaries.
+const (
+	fastcdcMinAvg = 256
+	fastcdcMaxAvg = 1 << 26
+	fastcdcMinMin = 64
+	fastcdcMaxMax = 1 << 30
+	maxNormalize  = 3
+)
+
+// FastCDCSpec returns a FastCDC Spec with the conventional derived
+// bounds: min = avg/4, max = avg*4, normalization level 2.
+func FastCDCSpec(avgSize int) Spec {
+	return Spec{
+		Algo:          AlgoFastCDC,
+		AvgSize:       avgSize,
+		MinSize:       avgSize / 4,
+		MaxSize:       avgSize * 4,
+		Normalization: 2,
+	}
+}
+
+func validateFastCDC(s Spec) error {
+	if s.AvgSize < fastcdcMinAvg || s.AvgSize > fastcdcMaxAvg {
+		return fmt.Errorf("chunk: fastcdc avg size %d outside [%d, %d]", s.AvgSize, fastcdcMinAvg, fastcdcMaxAvg)
+	}
+	if s.AvgSize&(s.AvgSize-1) != 0 {
+		return fmt.Errorf("chunk: fastcdc avg size %d is not a power of two", s.AvgSize)
+	}
+	if s.MinSize < fastcdcMinMin {
+		return fmt.Errorf("chunk: fastcdc min size %d below %d", s.MinSize, fastcdcMinMin)
+	}
+	if s.MaxSize > fastcdcMaxMax {
+		return fmt.Errorf("chunk: fastcdc max size %d above %d", s.MaxSize, fastcdcMaxMax)
+	}
+	if s.MinSize > s.AvgSize || s.AvgSize > s.MaxSize {
+		return fmt.Errorf("chunk: fastcdc sizes must satisfy min %d <= avg %d <= max %d",
+			s.MinSize, s.AvgSize, s.MaxSize)
+	}
+	if s.MinSize == s.MaxSize {
+		return errors.New("chunk: fastcdc min size equals max size")
+	}
+	if s.Normalization < 0 || s.Normalization > maxNormalize {
+		return fmt.Errorf("chunk: fastcdc normalization %d outside [0, %d]", s.Normalization, maxNormalize)
+	}
+	return nil
+}
+
+// FastCDC is a gear-hash content-defined chunker with normalized
+// chunking: below the target size the boundary test uses a stricter
+// mask (log2(avg)+normalization bits), past it a looser one
+// (log2(avg)-normalization bits), concentrating the size distribution
+// around the target. Bytes before MinSize are skipped entirely — the
+// sub-minimum cut-point skip that, together with the one-add rolling
+// hash, makes FastCDC several times faster per byte than the Rabin
+// sliding window.
+type FastCDC struct {
+	spec          Spec
+	min, avg, max int
+	maskS, maskL  uint64
+	gear          [256]uint64
+}
+
+var _ Engine = (*FastCDC)(nil)
+
+func newFastCDC(s Spec) (*FastCDC, error) {
+	log2 := bits.TrailingZeros(uint(s.AvgSize))
+	e := &FastCDC{
+		spec:  s,
+		min:   s.MinSize,
+		avg:   s.AvgSize,
+		max:   s.MaxSize,
+		maskS: highMask(log2 + s.Normalization),
+		maskL: highMask(log2 - s.Normalization),
+		gear:  gearTable(s.Seed),
+	}
+	return e, nil
+}
+
+// highMask selects the n high-order bits of the gear hash. The gear
+// update (fp = fp<<1 + gear[b]) accumulates its entropy toward the top
+// of the word, so that is where the boundary test must look.
+func highMask(n int) uint64 {
+	return ^uint64(0) << (64 - n)
+}
+
+// gearTable derives the 256-entry gear table from seed with the
+// splitmix64 generator: fully deterministic, so every party using the
+// same Seed cuts identical boundaries; seed 0 is the canonical shared
+// table.
+func gearTable(seed uint64) [256]uint64 {
+	const golden = 0x9E3779B97F4A7C15
+	var t [256]uint64
+	x := seed
+	for i := range t {
+		x += golden
+		z := x
+		z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9
+		z = (z ^ (z >> 27)) * 0x94D049BB133111EB
+		t[i] = z ^ (z >> 31)
+	}
+	return t
+}
+
+// Spec returns the configuration the engine was built from.
+func (e *FastCDC) Spec() Spec { return e.spec }
+
+// cut returns the length of the first chunk of data, assuming data
+// begins at a chunk boundary, plus the gear hash at a content-defined
+// boundary. It is a pure function of data[:min(len(data), MaxSize)],
+// which is what makes Split and the incremental Stream agree: the
+// stream only cuts once it has buffered MaxSize bytes (so the view
+// cannot grow) or the stream has ended (so it cannot either).
+func (e *FastCDC) cut(data []byte) (n int, fp uint64, forced bool) {
+	if len(data) <= e.min {
+		return len(data), 0, true
+	}
+	limit := len(data)
+	if limit > e.max {
+		limit = e.max
+	}
+	normal := e.avg
+	if normal > limit {
+		normal = limit
+	}
+	i := e.min
+	for ; i < normal; i++ {
+		fp = fp<<1 + e.gear[data[i]]
+		if fp&e.maskS == 0 {
+			return i + 1, fp, false
+		}
+	}
+	for ; i < limit; i++ {
+		fp = fp<<1 + e.gear[data[i]]
+		if fp&e.maskL == 0 {
+			return i + 1, fp, false
+		}
+	}
+	return limit, 0, true
+}
+
+// Split cuts data into chunks. The concatenation of the returned
+// chunks always reproduces data exactly.
+func (e *FastCDC) Split(data []byte) []Chunk {
+	var out []Chunk
+	off := int64(0)
+	for len(data) > 0 {
+		n, fp, forced := e.cut(data)
+		out = append(out, Chunk{Offset: off, Length: int64(n), Fingerprint: fp, Forced: forced})
+		off += int64(n)
+		data = data[n:]
+	}
+	return out
+}
+
+// fastcdcStream buffers at most MaxSize + one write's worth of bytes
+// and cuts as soon as a full MaxSize view is available, so its chunks
+// are identical to Split over the concatenated writes. Consumed chunks
+// advance a head cursor; the buffer is compacted once per Write, not
+// once per chunk, keeping the feed linear in stream length.
+type fastcdcStream struct {
+	e      *FastCDC
+	emit   EmitFunc
+	buf    []byte
+	head   int   // index of the first unconsumed byte in buf
+	start  int64 // absolute stream offset of buf[head]
+	closed bool
+	err    error
+}
+
+// Stream returns an incremental FastCDC feed.
+func (e *FastCDC) Stream(emit EmitFunc) Stream {
+	return &fastcdcStream{e: e, emit: emit}
+}
+
+func (s *fastcdcStream) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.closed {
+		return 0, errors.New("chunk: write after Close")
+	}
+	if s.head > 0 {
+		s.buf = s.buf[:copy(s.buf, s.buf[s.head:])]
+		s.head = 0
+	}
+	s.buf = append(s.buf, p...)
+	for len(s.buf)-s.head >= s.e.max {
+		n, fp, forced := s.e.cut(s.buf[s.head:])
+		if err := s.flush(n, fp, forced); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+func (s *fastcdcStream) flush(n int, fp uint64, forced bool) error {
+	c := Chunk{Offset: s.start, Length: int64(n), Fingerprint: fp, Forced: forced}
+	if err := s.emit(c, s.buf[s.head:s.head+n]); err != nil {
+		s.err = err
+		return err
+	}
+	s.head += n
+	s.start += int64(n)
+	return nil
+}
+
+// Close cuts the buffered tail. It is idempotent.
+func (s *fastcdcStream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	for len(s.buf)-s.head > 0 {
+		n, fp, forced := s.e.cut(s.buf[s.head:])
+		if err := s.flush(n, fp, forced); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (s *fastcdcStream) Offset() int64 { return s.start + int64(len(s.buf)-s.head) }

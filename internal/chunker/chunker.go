@@ -8,6 +8,11 @@
 // host chunker (package pchunk) and the GPU chunking kernel (package
 // gpu) are required to produce byte-identical boundaries, and their
 // tests assert that against this package.
+//
+// Code above the algorithm — the core pipeline, the ingest service —
+// should not use this package directly: package chunk defines the
+// algorithm-agnostic engine API and wraps this implementation as its
+// Rabin engine (chunk.RabinSpec lifts a Params into a chunk.Spec).
 package chunker
 
 import (

@@ -24,6 +24,7 @@ import (
 	"fmt"
 	"time"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 	"shredder/internal/gpu"
 	"shredder/internal/host"
@@ -101,8 +102,15 @@ type Config struct {
 	// SAN adapter DMAs straight into device memory, eliminating the
 	// host staging transfer. Requires a pinned-memory mode (not Basic).
 	GPUDirect bool
-	// Chunking configures the content-defined chunking parameters.
-	Chunking chunker.Params
+	// Chunking selects and configures the content-defined chunking
+	// engine. AlgoRabin runs on the modeled GPU kernel exactly as
+	// before; any other engine runs on the host CPU, with the kernel
+	// stage modeled by HostChunkBps.
+	Chunking chunk.Spec
+	// HostChunkBps is the modeled host-side chunking rate (bytes/sec)
+	// for engines the GPU cannot offload (FastCDC). 0 means 2 GB/s,
+	// roughly one core's gear-hash throughput.
+	HostChunkBps float64
 	// Kernel configures the device and its chunking kernel.
 	Kernel gpu.KernelConfig
 	// PCIe models the host/device link.
@@ -123,7 +131,7 @@ func DefaultConfig() Config {
 		Mode:             StreamsCoalesced,
 		BufferSize:       32 << 20,
 		PipelineDepth:    4,
-		Chunking:         chunker.DefaultParams(),
+		Chunking:         chunk.DefaultSpec(),
 		Kernel:           gpu.DefaultKernelConfig(),
 		PCIe:             pcie.Default(),
 		IO:               host.DefaultIO(),
@@ -152,6 +160,9 @@ func (c Config) Validate() error {
 	if err := c.Chunking.Validate(); err != nil {
 		return err
 	}
+	if c.HostChunkBps < 0 {
+		return errors.New("core: negative host chunking rate")
+	}
 	if err := c.PCIe.Validate(); err != nil {
 		return err
 	}
@@ -159,14 +170,17 @@ func (c Config) Validate() error {
 		return err
 	}
 	// Device memory must hold the in-flight buffers (twin buffers for
-	// the double-buffered modes).
-	inFlight := int64(c.BufferSize)
-	if c.Mode != Basic {
-		inFlight *= 2
-	}
-	if inFlight > c.Kernel.Spec.GlobalMemBytes {
-		return fmt.Errorf("core: %d bytes of in-flight buffers exceed device memory %d",
-			inFlight, c.Kernel.Spec.GlobalMemBytes)
+	// the double-buffered modes). Host-side engines never leave host
+	// memory, so the constraint does not apply to them.
+	if c.Chunking.Algo == chunk.AlgoRabin {
+		inFlight := int64(c.BufferSize)
+		if c.Mode != Basic {
+			inFlight *= 2
+		}
+		if inFlight > c.Kernel.Spec.GlobalMemBytes {
+			return fmt.Errorf("core: %d bytes of in-flight buffers exceed device memory %d",
+				inFlight, c.Kernel.Spec.GlobalMemBytes)
+		}
 	}
 	return nil
 }
@@ -205,7 +219,10 @@ type Report struct {
 // Shredder is the chunking service. Create one with New; it is safe
 // for sequential reuse across streams (one stream at a time).
 type Shredder struct {
-	cfg     Config
+	cfg Config
+	eng chunk.Engine
+	// chk and kernel are set only for the Rabin engine — the one the
+	// GPU can offload. Other engines chunk on the host.
 	chk     *chunker.Chunker
 	kernel  *gpu.Kernel
 	ring    *hostmem.Ring
@@ -218,21 +235,30 @@ func New(cfg Config) (*Shredder, error) {
 	if err := cfg.Validate(); err != nil {
 		return nil, err
 	}
-	chk, err := chunker.New(cfg.Chunking)
+	if cfg.HostChunkBps == 0 {
+		cfg.HostChunkBps = 2e9
+	}
+	eng, err := chunk.New(cfg.Chunking)
 	if err != nil {
 		return nil, err
 	}
-	kern, err := gpu.NewKernel(cfg.Kernel, chk)
-	if err != nil {
-		return nil, err
+	s := &Shredder{cfg: cfg, eng: eng}
+	if rb, ok := eng.(*chunk.Rabin); ok {
+		s.chk = rb.Chunker()
+		kern, err := gpu.NewKernel(cfg.Kernel, s.chk)
+		if err != nil {
+			return nil, err
+		}
+		s.kernel = kern
 	}
-	devices := cfg.Devices
-	if devices == 0 {
-		devices = 1
+	s.devices = cfg.Devices
+	if s.devices == 0 {
+		s.devices = 1
 	}
-	s := &Shredder{cfg: cfg, chk: chk, kernel: kern, devices: devices}
-	if cfg.Mode == Basic {
+	if cfg.Mode == Basic || s.chk == nil {
 		// One reusable pageable staging buffer, allocated at startup.
+		// Host-side engines never DMA, so they use plain pageable
+		// memory too — no pinned ring to allocate or account for.
 		s.setup = cfg.Mem.PageableAllocTime(int64(cfg.BufferSize))
 	} else {
 		regions := cfg.RingRegions
@@ -254,9 +280,14 @@ func New(cfg Config) (*Shredder, error) {
 // Config returns the configuration the Shredder was built with.
 func (s *Shredder) Config() Config { return s.cfg }
 
-// Chunker exposes the underlying sequential chunker (shared parameters
-// and fingerprint tables).
+// Engine exposes the chunking engine the pipeline cuts with.
+func (s *Shredder) Engine() chunk.Engine { return s.eng }
+
+// Chunker exposes the underlying sequential Rabin chunker (shared
+// parameters and fingerprint tables). It is nil for engines the GPU
+// cannot offload.
 func (s *Shredder) Chunker() *chunker.Chunker { return s.chk }
 
 // Kernel exposes the GPU kernel model (for experiments and ablations).
+// It is nil for host-side engines.
 func (s *Shredder) Kernel() *gpu.Kernel { return s.kernel }

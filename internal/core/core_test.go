@@ -6,6 +6,7 @@ import (
 	"testing"
 	"time"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 )
 
@@ -76,8 +77,8 @@ func TestChunksMatchSequentialReference(t *testing.T) {
 	want := ref.Split(data)
 	for _, mode := range []Mode{Basic, Streams, StreamsCoalesced} {
 		s := newShredder(t, func(c *Config) { c.Mode = mode })
-		var got []chunker.Chunk
-		rep, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+		var got []chunk.Chunk
+		rep, err := s.ChunkBytes(data, func(c chunk.Chunk, payload []byte) error {
 			got = append(got, c)
 			if !bytes.Equal(payload, data[c.Offset:c.End()]) {
 				t.Fatalf("mode %v: payload mismatch at chunk %d", mode, len(got)-1)
@@ -109,9 +110,9 @@ func TestMinMaxAcrossBuffers(t *testing.T) {
 	data := testData(2, 3<<20+777)
 	ref, _ := chunker.New(p)
 	want := ref.Split(data)
-	s := newShredder(t, func(c *Config) { c.Chunking = p })
-	var got []chunker.Chunk
-	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+	s := newShredder(t, func(c *Config) { c.Chunking = chunk.RabinSpec(p) })
+	var got []chunk.Chunk
+	if _, err := s.ChunkBytes(data, func(c chunk.Chunk, _ []byte) error {
 		got = append(got, c)
 		return nil
 	}); err != nil {
@@ -131,10 +132,10 @@ func TestMinMaxAcrossBuffers(t *testing.T) {
 func TestBufferSizeInvariance(t *testing.T) {
 	// Chunk results must not depend on the device buffer size.
 	data := testData(3, 2<<20+99)
-	collect := func(bufSize int) []chunker.Chunk {
+	collect := func(bufSize int) []chunk.Chunk {
 		s := newShredder(t, func(c *Config) { c.BufferSize = bufSize })
-		var got []chunker.Chunk
-		if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+		var got []chunk.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunk.Chunk, _ []byte) error {
 			got = append(got, c)
 			return nil
 		}); err != nil {
@@ -164,8 +165,8 @@ func TestEmptyAndTinyStreams(t *testing.T) {
 	if rep.Chunks != 0 || rep.Bytes != 0 || rep.SimTime != 0 {
 		t.Fatalf("empty stream: %+v", rep)
 	}
-	var got []chunker.Chunk
-	rep, err = s.ChunkBytes([]byte{42}, func(c chunker.Chunk, d []byte) error {
+	var got []chunk.Chunk
+	rep, err = s.ChunkBytes([]byte{42}, func(c chunk.Chunk, d []byte) error {
 		got = append(got, c)
 		if len(d) != 1 || d[0] != 42 {
 			t.Fatal("payload wrong")
@@ -280,7 +281,7 @@ func TestPipelineDepthSpeedsUp(t *testing.T) {
 func TestCallbackErrorPropagates(t *testing.T) {
 	s := newShredder(t, nil)
 	sentinel := bytes.ErrTooLarge
-	_, err := s.ChunkBytes(testData(9, 1<<20), func(chunker.Chunk, []byte) error {
+	_, err := s.ChunkBytes(testData(9, 1<<20), func(chunk.Chunk, []byte) error {
 		return sentinel
 	})
 	if err != sentinel {

@@ -5,6 +5,7 @@ import (
 	"io"
 	"testing"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 )
 
@@ -71,8 +72,8 @@ func (r *trickleReader) Read(p []byte) (int, error) {
 func TestTrickleReader(t *testing.T) {
 	data := testData(60, 64<<10)
 	s := newShredder(t, func(c *Config) { c.BufferSize = 16 << 10 })
-	var got []chunker.Chunk
-	rep, err := s.ChunkReader(&trickleReader{data: data}, func(c chunker.Chunk, _ []byte) error {
+	var got []chunk.Chunk
+	rep, err := s.ChunkReader(&trickleReader{data: data}, func(c chunk.Chunk, _ []byte) error {
 		got = append(got, c)
 		return nil
 	})
@@ -82,7 +83,7 @@ func TestTrickleReader(t *testing.T) {
 	if rep.Bytes != int64(len(data)) {
 		t.Fatalf("bytes %d, want %d", rep.Bytes, len(data))
 	}
-	ref, _ := chunker.New(s.Config().Chunking)
+	ref, _ := chunker.New(s.Config().Chunking.RabinParams())
 	want := ref.Split(data)
 	if len(got) != len(want) {
 		t.Fatalf("%d chunks, want %d", len(got), len(want))
@@ -98,7 +99,7 @@ func TestCallbackErrorMidStreamStops(t *testing.T) {
 	s := newShredder(t, nil)
 	sentinel := errors.New("application back-pressure")
 	emitted := 0
-	_, err := s.ChunkBytes(testData(61, 4<<20), func(chunker.Chunk, []byte) error {
+	_, err := s.ChunkBytes(testData(61, 4<<20), func(chunk.Chunk, []byte) error {
 		emitted++
 		if emitted == 3 {
 			return sentinel
@@ -119,10 +120,10 @@ func TestShredderSequentialReuse(t *testing.T) {
 	s := newShredder(t, nil)
 	a := testData(62, 2<<20)
 	b := testData(63, 2<<20)
-	ref, _ := chunker.New(s.Config().Chunking)
+	ref, _ := chunker.New(s.Config().Chunking.RabinParams())
 	for run, data := range [][]byte{a, b, a} {
-		var got []chunker.Chunk
-		if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+		var got []chunk.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunk.Chunk, _ []byte) error {
 			got = append(got, c)
 			return nil
 		}); err != nil {

@@ -1,0 +1,124 @@
+package core
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/chunk"
+)
+
+func fastcdcConfig(mutate func(*Config)) func(*Config) {
+	return func(c *Config) {
+		c.Chunking = chunk.FastCDCSpec(4 << 10)
+		if mutate != nil {
+			mutate(c)
+		}
+	}
+}
+
+// TestHostEngineMatchesEngineReference: the pipeline running a
+// host-side engine must cut exactly what the engine itself cuts, with
+// payloads intact, regardless of buffer size — the host-path mirror of
+// TestChunksMatchSequentialReference and the spanning tests.
+func TestHostEngineMatchesEngineReference(t *testing.T) {
+	data := testData(70, 5<<20+12345)
+	eng, err := chunk.New(chunk.FastCDCSpec(4 << 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := eng.Split(data)
+	for _, bufSize := range []int{256 << 10, 1 << 20, 3 << 20} {
+		s := newShredder(t, fastcdcConfig(func(c *Config) { c.BufferSize = bufSize }))
+		if s.Chunker() != nil || s.Kernel() != nil {
+			t.Fatal("host engine must not build a GPU kernel")
+		}
+		var got []chunk.Chunk
+		rep, err := s.ChunkBytes(data, func(c chunk.Chunk, payload []byte) error {
+			got = append(got, c)
+			if !bytes.Equal(payload, data[c.Offset:c.End()]) {
+				t.Fatalf("payload mismatch at offset %d", c.Offset)
+			}
+			return nil
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(got) != len(want) {
+			t.Fatalf("buffer %d: %d chunks, want %d", bufSize, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("buffer %d chunk %d: %+v != %+v", bufSize, i, got[i], want[i])
+			}
+		}
+		if rep.Chunks != len(want) || rep.Bytes != int64(len(data)) {
+			t.Fatalf("report %d chunks / %d bytes", rep.Chunks, rep.Bytes)
+		}
+	}
+}
+
+// TestHostEngineReport: the simulated report stays coherent on the
+// host path — positive throughput, busy kernel stage (the CPU gear
+// hash), and no PCIe transfer time.
+func TestHostEngineReport(t *testing.T) {
+	s := newShredder(t, fastcdcConfig(nil))
+	rep, err := s.ChunkBytes(testData(71, 4<<20), nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rep.Throughput <= 0 || rep.SimTime <= 0 {
+		t.Fatalf("degenerate report: %+v", rep)
+	}
+	if rep.Stage.Kernel <= 0 {
+		t.Fatal("host chunking stage reported no busy time")
+	}
+	if rep.Stage.Transfer != 0 {
+		t.Fatalf("host path reported PCIe transfer time %v", rep.Stage.Transfer)
+	}
+	if rep.BankConflicts != 0 {
+		t.Fatal("host path reported GPU bank conflicts")
+	}
+}
+
+// TestHostEngineSequentialReuse: stream state must not leak between
+// runs on the host path either.
+func TestHostEngineSequentialReuse(t *testing.T) {
+	s := newShredder(t, fastcdcConfig(nil))
+	eng, _ := chunk.New(chunk.FastCDCSpec(4 << 10))
+	a := testData(72, 2<<20)
+	b := testData(73, 1<<20+999)
+	for run, data := range [][]byte{a, b, a} {
+		var got []chunk.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunk.Chunk, _ []byte) error {
+			got = append(got, c)
+			return nil
+		}); err != nil {
+			t.Fatal(err)
+		}
+		want := eng.Split(data)
+		if len(got) != len(want) {
+			t.Fatalf("run %d: %d chunks, want %d", run, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("run %d chunk %d mismatch", run, i)
+			}
+		}
+	}
+}
+
+// TestHostEngineValidationSkipsDeviceChecks: a FastCDC config must not
+// be rejected for exceeding GPU device memory it never uses.
+func TestHostEngineValidationSkipsDeviceChecks(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Chunking = chunk.FastCDCSpec(4 << 10)
+	cfg.BufferSize = 2 << 30 // would overflow the C2050's memory
+	if err := cfg.Validate(); err != nil {
+		t.Fatalf("host engine hit device-memory validation: %v", err)
+	}
+	rabin := DefaultConfig()
+	rabin.BufferSize = 2 << 30
+	if err := rabin.Validate(); err == nil {
+		t.Fatal("rabin config escaped device-memory validation")
+	}
+}

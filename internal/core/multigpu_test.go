@@ -3,7 +3,7 @@ package core
 import (
 	"testing"
 
-	"shredder/internal/chunker"
+	"shredder/internal/chunk"
 )
 
 func TestMultiGPUValidation(t *testing.T) {
@@ -27,14 +27,14 @@ func TestMultiGPUValidation(t *testing.T) {
 
 func TestMultiGPUFunctionalUnchanged(t *testing.T) {
 	data := testData(30, 3<<20+7)
-	collect := func(devices int) []chunker.Chunk {
+	collect := func(devices int) []chunk.Chunk {
 		s := newShredder(t, func(c *Config) {
 			c.Devices = devices
 			c.PipelineDepth = 4 * devices
 			c.RingRegions = 4 * devices
 		})
-		var got []chunker.Chunk
-		if _, err := s.ChunkBytes(data, func(c chunker.Chunk, _ []byte) error {
+		var got []chunk.Chunk
+		if _, err := s.ChunkBytes(data, func(c chunk.Chunk, _ []byte) error {
 			got = append(got, c)
 			return nil
 		}); err != nil {

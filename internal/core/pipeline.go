@@ -4,9 +4,8 @@ import (
 	"io"
 	"time"
 
-	"shredder/internal/chunker"
+	"shredder/internal/chunk"
 	"shredder/internal/pcie"
-	"shredder/internal/rabin"
 	"shredder/internal/sim"
 )
 
@@ -18,10 +17,10 @@ import (
 type limiter struct {
 	min, max int64
 	start    int64
-	emit     func(chunker.Chunk) error
+	emit     func(chunk.Chunk) error
 }
 
-func newLimiter(p chunker.Params, emit func(chunker.Chunk) error) *limiter {
+func newLimiter(p chunk.Spec, emit func(chunk.Chunk) error) *limiter {
 	min := int64(p.MinSize)
 	if min == 0 {
 		min = 1
@@ -29,14 +28,14 @@ func newLimiter(p chunker.Params, emit func(chunker.Chunk) error) *limiter {
 	return &limiter{min: min, max: int64(p.MaxSize), emit: emit}
 }
 
-func (l *limiter) cut(end int64, fp rabin.Poly, forced bool) error {
-	c := chunker.Chunk{Offset: l.start, Length: end - l.start, Cut: fp, Forced: forced}
+func (l *limiter) cut(end int64, fp uint64, forced bool) error {
+	c := chunk.Chunk{Offset: l.start, Length: end - l.start, Fingerprint: fp, Forced: forced}
 	l.start = end
 	return l.emit(c)
 }
 
 // push consumes one raw boundary (global end-exclusive offset).
-func (l *limiter) push(b int64, fp rabin.Poly) error {
+func (l *limiter) push(b int64, fp uint64) error {
 	if l.max > 0 {
 		for b-l.start > l.max {
 			if err := l.cut(l.start+l.max, 0, true); err != nil {
@@ -74,17 +73,27 @@ type bufferStats struct {
 
 // ChunkBytes runs the pipeline over an in-memory stream. See
 // ChunkReader.
-func (s *Shredder) ChunkBytes(data []byte, emit chunker.EmitFunc) (*Report, error) {
+func (s *Shredder) ChunkBytes(data []byte, emit chunk.EmitFunc) (*Report, error) {
 	return s.ChunkReader(&sliceReader{data: data}, emit)
 }
 
 // ChunkReader streams r through the Shredder pipeline: the stream is
-// cut into BufferSize device buffers, each buffer is chunked by the GPU
-// kernel (functionally real, bit-identical to the sequential
-// reference), limits are applied by the Store thread, and each final
-// chunk is upcalled through emit together with its bytes (emit may be
-// nil). The returned report carries the simulated pipeline timing.
-func (s *Shredder) ChunkReader(r io.Reader, emit chunker.EmitFunc) (*Report, error) {
+// cut into BufferSize buffers, each buffer is chunked by the engine —
+// on the modeled GPU kernel for Rabin (functionally real, bit-identical
+// to the sequential reference), on the host for other engines — limits
+// are applied, and each final chunk is upcalled through emit together
+// with its bytes (emit may be nil). The returned report carries the
+// simulated pipeline timing.
+func (s *Shredder) ChunkReader(r io.Reader, emit chunk.EmitFunc) (*Report, error) {
+	if s.chk == nil {
+		return s.hostChunkReader(r, emit)
+	}
+	return s.kernelChunkReader(r, emit)
+}
+
+// kernelChunkReader is the GPU path: raw boundaries from the kernel,
+// min/max applied by the Store-thread limiter.
+func (s *Shredder) kernelChunkReader(r io.Reader, emit chunk.EmitFunc) (*Report, error) {
 	src := r
 	kmode := s.cfg.Mode.KernelMode()
 	win := s.cfg.Chunking.Window
@@ -95,7 +104,7 @@ func (s *Shredder) ChunkReader(r io.Reader, emit chunker.EmitFunc) (*Report, err
 	var pendingStart int64
 	keepPayload := emit != nil
 	chunks := 0
-	lim := newLimiter(s.cfg.Chunking, func(c chunker.Chunk) error {
+	lim := newLimiter(s.cfg.Chunking, func(c chunk.Chunk) error {
 		chunks++
 		if !keepPayload {
 			return nil
@@ -139,7 +148,7 @@ func (s *Shredder) ChunkReader(r io.Reader, emit chunker.EmitFunc) (*Report, err
 					continue // belongs to the previous buffer
 				}
 				st.boundaries++
-				if perr := lim.push(scanBase+b, res.Fingerprints[i]); perr != nil {
+				if perr := lim.push(scanBase+b, uint64(res.Fingerprints[i])); perr != nil {
 					return nil, perr
 				}
 			}
@@ -174,21 +183,72 @@ func (s *Shredder) ChunkReader(r io.Reader, emit chunker.EmitFunc) (*Report, err
 		return nil, err
 	}
 	// Account the tail cut to the final buffer's stats.
-	if len(stats) > 0 {
-		last := &stats[len(stats)-1]
-		// chunks counted so far may have grown by finish(); recompute.
-		counted := 0
-		for _, st := range stats {
-			counted += st.chunks
-		}
-		last.chunks += chunks - counted
-	}
+	attributeTail(stats, chunks)
 
 	rep := s.simulate(stats)
 	rep.Bytes = total
 	rep.Chunks = chunks
 	rep.BankConflicts = conflicts
 	return rep, nil
+}
+
+// hostChunkReader is the CPU path for engines the GPU cannot offload:
+// the engine's own incremental stream cuts final chunks directly (it
+// applies its min/max itself), and the pipeline model charges the
+// kernel stage at the host chunking rate.
+func (s *Shredder) hostChunkReader(r io.Reader, emit chunk.EmitFunc) (*Report, error) {
+	chunks := 0
+	stm := s.eng.Stream(func(c chunk.Chunk, data []byte) error {
+		chunks++
+		if emit != nil {
+			return emit(c, data)
+		}
+		return nil
+	})
+
+	buf := make([]byte, s.cfg.BufferSize)
+	var stats []bufferStats
+	var total int64
+	for {
+		n, err := io.ReadFull(r, buf)
+		if n > 0 {
+			before := chunks
+			if _, werr := stm.Write(buf[:n]); werr != nil {
+				return nil, werr
+			}
+			total += int64(n)
+			cut := chunks - before
+			stats = append(stats, bufferStats{bytes: int64(n), boundaries: cut, chunks: cut})
+		}
+		if err == io.EOF || err == io.ErrUnexpectedEOF {
+			break
+		}
+		if err != nil {
+			return nil, err
+		}
+	}
+	if err := stm.Close(); err != nil {
+		return nil, err
+	}
+	attributeTail(stats, chunks)
+
+	rep := s.simulate(stats)
+	rep.Bytes = total
+	rep.Chunks = chunks
+	return rep, nil
+}
+
+// attributeTail accounts chunks cut after the last buffer was scanned
+// (the stream-tail flush) to the final buffer's stats.
+func attributeTail(stats []bufferStats, chunks int) {
+	if len(stats) == 0 {
+		return
+	}
+	counted := 0
+	for _, st := range stats {
+		counted += st.chunks
+	}
+	stats[len(stats)-1].chunks += chunks - counted
 }
 
 // sliceReader is a tiny io.Reader over a byte slice (avoids importing
@@ -223,7 +283,9 @@ func (s *Shredder) simulate(stats []bufferStats) *Report {
 	reader := sim.NewResource(&e, "reader")
 	store := sim.NewResource(&e, "store")
 	// One PCIe slot and one kernel queue per device (§5.2: one or more
-	// GPUs as co-processors); buffers round-robin across devices.
+	// GPUs as co-processors); buffers round-robin across devices. The
+	// host path keeps the same shape with a single "device" (the CPU
+	// chunking stage) and no PCIe transfers.
 	transfers := make([]*sim.Resource, s.devices)
 	kernels := make([]*sim.Resource, s.devices)
 	for d := 0; d < s.devices; d++ {
@@ -239,19 +301,25 @@ func (s *Shredder) simulate(stats []bufferStats) *Report {
 
 	kind := s.cfg.Mode.BufferKind()
 	kmode := s.cfg.Mode.KernelMode()
+	hostPath := s.kernel == nil
 
 	for i := range stats {
 		st := stats[i]
 		dev := i % s.devices
 		readT := s.cfg.IO.ReadTime(st.bytes)
-		xferT := s.cfg.PCIe.TransferTime(st.bytes, pcie.HostToDevice, kind)
-		if s.cfg.GPUDirect {
-			// The SAN adapter DMAs straight into device memory; only a
-			// doorbell write remains on the transfer path.
-			xferT = time.Microsecond
+		var xferT, kernT time.Duration
+		if hostPath {
+			kernT = time.Duration(float64(st.bytes) / s.cfg.HostChunkBps * 1e9)
+		} else {
+			xferT = s.cfg.PCIe.TransferTime(st.bytes, pcie.HostToDevice, kind)
+			if s.cfg.GPUDirect {
+				// The SAN adapter DMAs straight into device memory; only a
+				// doorbell write remains on the transfer path.
+				xferT = time.Microsecond
+			}
+			kernT = s.kernel.EstimateTime(st.bytes, kmode)
 		}
-		kernT := s.kernel.EstimateTime(st.bytes, kmode)
-		storeT := s.storeTime(st)
+		storeT := s.storeTime(st, hostPath)
 		tokens.Acquire(func() {
 			reader.Submit(readT, func(_, _ sim.Time) {
 				transfers[dev].Submit(xferT, func(_, _ sim.Time) {
@@ -285,11 +353,14 @@ func (s *Shredder) simulate(stats []bufferStats) *Report {
 }
 
 // storeTime models the Store thread's work for one buffer: the
-// device-to-host DMA of the boundary array, the min/max adjustment and
-// the per-chunk upcalls.
-func (s *Shredder) storeTime(st bufferStats) time.Duration {
-	boundsBytes := int64(st.boundaries) * 8
-	d := s.cfg.PCIe.TransferTime(boundsBytes, pcie.DeviceToHost, s.cfg.Mode.BufferKind())
+// device-to-host DMA of the boundary array (GPU path only), the
+// min/max adjustment and the per-chunk upcalls.
+func (s *Shredder) storeTime(st bufferStats, hostPath bool) time.Duration {
+	var d time.Duration
+	if !hostPath {
+		boundsBytes := int64(st.boundaries) * 8
+		d = s.cfg.PCIe.TransferTime(boundsBytes, pcie.DeviceToHost, s.cfg.Mode.BufferKind())
+	}
 	d += time.Duration(float64(st.chunks) * s.cfg.UpcallNsPerChunk)
 	return d
 }

@@ -4,6 +4,7 @@ import (
 	"bytes"
 	"testing"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 )
 
@@ -19,15 +20,15 @@ func TestChunkSpanningManyBuffers(t *testing.T) {
 	data := testData(90, 5<<20)
 	s := newShredder(t, func(c *Config) {
 		c.BufferSize = 256 << 10 // chunks span up to 8 buffers
-		c.Chunking = p
+		c.Chunking = chunk.RabinSpec(p)
 	})
 	ref, err := chunker.New(p)
 	if err != nil {
 		t.Fatal(err)
 	}
 	want := ref.Split(data)
-	var got []chunker.Chunk
-	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+	var got []chunk.Chunk
+	if _, err := s.ChunkBytes(data, func(c chunk.Chunk, payload []byte) error {
 		got = append(got, c)
 		if !bytes.Equal(payload, data[c.Offset:c.End()]) {
 			t.Fatalf("payload mismatch for chunk at %d (spans buffers)", c.Offset)
@@ -65,10 +66,10 @@ func TestNoMaxUnboundedPending(t *testing.T) {
 	data := testData(91, 4<<20)
 	s := newShredder(t, func(c *Config) {
 		c.BufferSize = 512 << 10
-		c.Chunking = p
+		c.Chunking = chunk.RabinSpec(p)
 	})
 	var total int64
-	if _, err := s.ChunkBytes(data, func(c chunker.Chunk, payload []byte) error {
+	if _, err := s.ChunkBytes(data, func(c chunk.Chunk, payload []byte) error {
 		total += int64(len(payload))
 		return nil
 	}); err != nil {

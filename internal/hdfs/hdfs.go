@@ -14,9 +14,11 @@ import (
 	"errors"
 	"fmt"
 
+	"shredder/internal/chunk"
 	"shredder/internal/chunker"
 	"shredder/internal/core"
 	"shredder/internal/dedup"
+	"shredder/internal/rabin"
 )
 
 // BlockID identifies a block by content.
@@ -271,8 +273,11 @@ func (c *Client) CopyFromLocalGPU(name string, data []byte) (*UploadReport, erro
 		return nil, errors.New("hdfs: client has no Shredder attached")
 	}
 	var chunks []chunker.Chunk
-	srep, err := c.shred.ChunkBytes(data, func(ch chunker.Chunk, _ []byte) error {
-		chunks = append(chunks, ch)
+	srep, err := c.shred.ChunkBytes(data, func(ch chunk.Chunk, _ []byte) error {
+		chunks = append(chunks, chunker.Chunk{
+			Offset: ch.Offset, Length: ch.Length,
+			Cut: rabin.Poly(ch.Fingerprint), Forced: ch.Forced,
+		})
 		return nil
 	})
 	if err != nil {

@@ -5,6 +5,7 @@ import (
 	"sync"
 	"testing"
 
+	"shredder/internal/chunk"
 	"shredder/internal/workload"
 )
 
@@ -63,5 +64,42 @@ func BenchmarkIngestSingleStream(b *testing.B) {
 		if _, err := c.BackupBytes(fmt.Sprintf("i%d", n), img); err != nil {
 			b.Fatal(err)
 		}
+	}
+}
+
+// BenchmarkIngestChunkers is the Rabin-vs-FastCDC number on the
+// trajectory: one session streaming 4 MB images through the full
+// service path (frames, chunking pipeline, batched dedup, durable-less
+// store), per negotiated engine. The chunking engine is the only
+// variable.
+func BenchmarkIngestChunkers(b *testing.B) {
+	const imageSize = 4 << 20
+	for _, tc := range []struct {
+		name string
+		spec chunk.Spec
+	}{
+		{"rabin", chunk.Spec{}}, // zero spec: skip negotiation, server default
+		{"fastcdc", chunk.FastCDCSpec(4 << 10)},
+	} {
+		b.Run(tc.name, func(b *testing.B) {
+			srv, err := NewServer(testConfig(16))
+			if err != nil {
+				b.Fatal(err)
+			}
+			c := startSession(b, srv)
+			if tc.spec.Algo != 0 {
+				if _, err := c.Negotiate(tc.spec); err != nil {
+					b.Fatal(err)
+				}
+			}
+			img := workload.Random(77, imageSize)
+			b.SetBytes(imageSize)
+			b.ResetTimer()
+			for n := 0; n < b.N; n++ {
+				if _, err := c.BackupBytes(fmt.Sprintf("i%d", n), img); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
 }

@@ -4,9 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
-	"fmt"
 	"io"
 	"net"
+
+	"shredder/internal/chunk"
 )
 
 // Client speaks the ingest protocol over one connection. It is not
@@ -43,6 +44,41 @@ func Dial(addr string) (*Client, error) {
 
 // Close terminates the session.
 func (c *Client) Close() error { return c.conn.Close() }
+
+// Negotiate proposes a chunking engine for this session and returns
+// the spec the server accepted. Call it before the first Backup;
+// sessions that never negotiate get the server's default (Rabin)
+// engine, wire-compatible with pre-negotiation servers. A server that
+// rejects the spec — or predates negotiation entirely and answers the
+// unknown frame with an error — surfaces as *NegotiationError.
+func (c *Client) Negotiate(spec chunk.Spec) (chunk.Spec, error) {
+	if err := spec.Validate(); err != nil {
+		return chunk.Spec{}, err
+	}
+	if err := writeFrame(c.bw, MsgHello, encodeHello(ProtocolVersion, spec)); err != nil {
+		return chunk.Spec{}, err
+	}
+	if err := c.bw.Flush(); err != nil {
+		return chunk.Spec{}, err
+	}
+	typ, payload, err := readFrame(c.br, c.buf)
+	if err != nil {
+		return chunk.Spec{}, err
+	}
+	c.keep(payload)
+	switch typ {
+	case MsgAccept:
+		_, accepted, err := decodeHello(payload)
+		if err != nil {
+			return chunk.Spec{}, err
+		}
+		return accepted, nil
+	case MsgError:
+		return chunk.Spec{}, &NegotiationError{Reason: string(payload)}
+	default:
+		return chunk.Spec{}, &UnexpectedFrameError{Type: typ, Context: "hello reply"}
+	}
+}
 
 // Backup streams r to the server under the given name and returns the
 // server's dedup statistics for the stream.
@@ -92,9 +128,9 @@ func (c *Client) Backup(name string, r io.Reader) (*StreamStats, error) {
 		}
 		return &st, nil
 	case MsgError:
-		return nil, fmt.Errorf("ingest: server: %s", payload)
+		return nil, &RemoteError{Msg: string(payload)}
 	default:
-		return nil, fmt.Errorf("ingest: unexpected reply type %d", typ)
+		return nil, &UnexpectedFrameError{Type: typ, Context: "backup reply"}
 	}
 }
 
@@ -129,9 +165,9 @@ func (c *Client) Restore(name string, w io.Writer) (int64, error) {
 		case MsgEnd:
 			return total, nil
 		case MsgError:
-			return total, fmt.Errorf("ingest: server: %s", payload)
+			return total, &RemoteError{Msg: string(payload)}
 		default:
-			return total, fmt.Errorf("ingest: unexpected frame type %d during restore", typ)
+			return total, &UnexpectedFrameError{Type: typ, Context: "restore stream"}
 		}
 	}
 }

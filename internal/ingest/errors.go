@@ -1,0 +1,77 @@
+package ingest
+
+import (
+	"fmt"
+)
+
+// The protocol's error taxonomy. Every failure the wire can produce is
+// wrapped in one of these types so callers can distinguish a hostile
+// frame from a vanished peer from a rejected negotiation with
+// errors.As, instead of pattern-matching message strings or getting a
+// raw io.EOF.
+
+// FrameSizeError reports a frame whose announced or attempted payload
+// exceeds the protocol limit. A peer announcing such a frame is
+// corrupt (or hostile) and the connection is dropped.
+type FrameSizeError struct {
+	// Type is the frame type byte (0 when the violation was caught
+	// before a type was known).
+	Type byte
+	// Size is the offending payload length; Limit is the maximum.
+	Size, Limit int64
+}
+
+func (e *FrameSizeError) Error() string {
+	return fmt.Sprintf("ingest: frame type %d of %d bytes exceeds %d-byte limit", e.Type, e.Size, e.Limit)
+}
+
+// UnexpectedFrameError reports a frame type that is invalid in the
+// protocol state it arrived in (e.g. Data outside a stream, or a type
+// this server does not know at all).
+type UnexpectedFrameError struct {
+	// Type is the offending frame type byte.
+	Type byte
+	// Context names the protocol state, e.g. "session" or "backup stream".
+	Context string
+}
+
+func (e *UnexpectedFrameError) Error() string {
+	return fmt.Sprintf("ingest: unexpected frame type %d in %s", e.Type, e.Context)
+}
+
+// TruncatedError reports a connection that ended mid-frame or
+// mid-stream: the peer vanished at a point where the protocol promised
+// more bytes.
+type TruncatedError struct {
+	// Context says what was being read, including the frame type and
+	// length when known.
+	Context string
+	// Cause is the underlying read error.
+	Cause error
+}
+
+func (e *TruncatedError) Error() string {
+	return fmt.Sprintf("ingest: connection truncated reading %s: %v", e.Context, e.Cause)
+}
+
+func (e *TruncatedError) Unwrap() error { return e.Cause }
+
+// NegotiationError reports a rejected session negotiation: an
+// unsupported protocol version, an unknown or invalid chunking spec,
+// or a server-side policy refusal. The server sends the reason in a
+// MsgError reply; the client surfaces it in this type.
+type NegotiationError struct {
+	Reason string
+}
+
+func (e *NegotiationError) Error() string {
+	return "ingest: negotiation rejected: " + e.Reason
+}
+
+// RemoteError carries an error message the peer sent in a MsgError
+// frame during an operation.
+type RemoteError struct {
+	Msg string
+}
+
+func (e *RemoteError) Error() string { return "ingest: server: " + e.Msg }

@@ -1,0 +1,197 @@
+package ingest
+
+import (
+	"bytes"
+	"encoding/binary"
+	"errors"
+	"io"
+	"strings"
+	"testing"
+
+	"shredder/internal/workload"
+)
+
+// TestReadFrameTyped exercises readFrame's error taxonomy directly.
+func TestReadFrameTyped(t *testing.T) {
+	// Clean EOF on a frame boundary stays bare io.EOF (the session
+	// loop's clean-disconnect signal).
+	if _, _, err := readFrame(bytes.NewReader(nil), nil); err != io.EOF {
+		t.Fatalf("empty reader: %v, want io.EOF", err)
+	}
+
+	// Partial header → TruncatedError.
+	_, _, err := readFrame(bytes.NewReader([]byte{MsgData, 0}), nil)
+	var te *TruncatedError
+	if !errors.As(err, &te) || !strings.Contains(te.Context, "header") {
+		t.Fatalf("partial header: %v", err)
+	}
+
+	// Oversized announcement → FrameSizeError carrying type and length.
+	var hdr [headerSize]byte
+	hdr[0] = MsgData
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrame+1)
+	_, _, err = readFrame(bytes.NewReader(hdr[:]), nil)
+	var fe *FrameSizeError
+	if !errors.As(err, &fe) {
+		t.Fatalf("oversized frame: %v", err)
+	}
+	if fe.Type != MsgData || fe.Size != MaxFrame+1 || fe.Limit != MaxFrame {
+		t.Fatalf("FrameSizeError fields: %+v", fe)
+	}
+
+	// Truncated payload → TruncatedError naming the frame type and the
+	// promised length, wrapping io.ErrUnexpectedEOF.
+	binary.BigEndian.PutUint32(hdr[1:], 100)
+	short := append(hdr[:], []byte("only ten b")...)
+	_, _, err = readFrame(bytes.NewReader(short), nil)
+	if !errors.As(err, &te) {
+		t.Fatalf("truncated payload: %v", err)
+	}
+	if !errors.Is(err, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated payload does not unwrap to ErrUnexpectedEOF: %v", err)
+	}
+	if !strings.Contains(te.Context, "frame type 2") || !strings.Contains(te.Context, "100 bytes") {
+		t.Fatalf("context %q lacks frame type/length", te.Context)
+	}
+}
+
+// TestWriteFrameOversized: the writer refuses to announce an illegal
+// frame with the same typed error.
+func TestWriteFrameOversized(t *testing.T) {
+	err := writeFrame(io.Discard, MsgData, make([]byte, MaxFrame+1))
+	var fe *FrameSizeError
+	if !errors.As(err, &fe) || fe.Size != MaxFrame+1 {
+		t.Fatalf("writeFrame: %v", err)
+	}
+}
+
+// TestUnknownTopLevelFrame: an unknown frame type at session level is
+// a typed UnexpectedFrameError on the server and a MsgError reply on
+// the wire.
+func TestUnknownTopLevelFrame(t *testing.T) {
+	srv, err := NewServer(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, br, errc := rawSession(t, srv)
+	if err := writeFrame(conn, 0xEE, nil); err != nil {
+		t.Fatal(err)
+	}
+	typ, reply, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError || !strings.Contains(string(reply), "frame type 238") {
+		t.Fatalf("reply %d %q", typ, reply)
+	}
+	conn.Close()
+	var ue *UnexpectedFrameError
+	serr := <-errc
+	if !errors.As(serr, &ue) || ue.Type != 0xEE || ue.Context != "session" {
+		t.Fatalf("server error = %v", serr)
+	}
+}
+
+// TestUnknownFrameInsideStream: a stray frame type inside a backup
+// stream aborts the stream with a typed error; the client sees the
+// server's MsgError.
+func TestUnknownFrameInsideStream(t *testing.T) {
+	srv, err := NewServer(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, br, errc := rawSession(t, srv)
+	if err := writeFrame(conn, MsgBegin, []byte("s")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, MsgData, workload.Random(1, 1024)); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, MsgStats, nil); err != nil { // client may not send Stats
+		t.Fatal(err)
+	}
+	typ, reply, err := readFrame(br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if typ != MsgError || !strings.Contains(string(reply), "backup stream") {
+		t.Fatalf("reply %d %q", typ, reply)
+	}
+	conn.Close()
+	var ue *UnexpectedFrameError
+	serr := <-errc
+	if !errors.As(serr, &ue) || ue.Type != MsgStats || ue.Context != "backup stream" {
+		t.Fatalf("server error = %v", serr)
+	}
+}
+
+// TestStreamTruncatedBeforeEnd: a peer that disconnects cleanly
+// between Data frames — but before End — must NOT be treated as a
+// complete stream. The server fails the backup with a TruncatedError
+// and records nothing.
+func TestStreamTruncatedBeforeEnd(t *testing.T) {
+	srv, err := NewServer(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _, errc := rawSession(t, srv)
+	if err := writeFrame(conn, MsgBegin, []byte("cutoff")); err != nil {
+		t.Fatal(err)
+	}
+	if err := writeFrame(conn, MsgData, workload.Random(2, 64<<10)); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close() // vanish without MsgEnd
+
+	serr := <-errc
+	var te *TruncatedError
+	if !errors.As(serr, &te) {
+		t.Fatalf("server error = %v, want TruncatedError", serr)
+	}
+	if !errors.Is(serr, io.ErrUnexpectedEOF) {
+		t.Fatalf("truncated stream does not unwrap to ErrUnexpectedEOF: %v", serr)
+	}
+	if _, ok := srv.Recipe("cutoff"); ok {
+		t.Fatal("truncated stream was committed as a recipe")
+	}
+}
+
+// TestOversizedFrameMidStreamDropsSession: announcing an over-limit
+// Data frame inside a stream kills the session with FrameSizeError.
+func TestOversizedFrameMidStreamDropsSession(t *testing.T) {
+	srv, err := NewServer(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	conn, _, errc := rawSession(t, srv)
+	if err := writeFrame(conn, MsgBegin, []byte("hostile")); err != nil {
+		t.Fatal(err)
+	}
+	var hdr [headerSize]byte
+	hdr[0] = MsgData
+	binary.BigEndian.PutUint32(hdr[1:], MaxFrame+7)
+	if _, err := conn.Write(hdr[:]); err != nil {
+		t.Fatal(err)
+	}
+	conn.Close()
+	serr := <-errc
+	var fe *FrameSizeError
+	if !errors.As(serr, &fe) || fe.Size != MaxFrame+7 {
+		t.Fatalf("server error = %v, want FrameSizeError", serr)
+	}
+}
+
+// TestRemoteErrorSurfacesTyped: a server-side failure reaches the
+// client as *RemoteError.
+func TestRemoteErrorSurfacesTyped(t *testing.T) {
+	srv, err := NewServer(testConfig(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := startSession(t, srv)
+	_, err = c.Restore("no-such-stream", io.Discard)
+	var re *RemoteError
+	if !errors.As(err, &re) || !strings.Contains(re.Msg, "no-such-stream") {
+		t.Fatalf("restore of missing stream: %v", err)
+	}
+}

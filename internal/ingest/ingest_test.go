@@ -37,7 +37,7 @@ func startSession(t testing.TB, srv *Server) *Client {
 // chunker + dedup.Store path — the pre-service ground truth.
 func inProcessStats(t *testing.T, cfg Config, streams [][]byte) dedup.Stats {
 	t.Helper()
-	chk, err := chunker.New(cfg.Shredder.Chunking)
+	chk, err := chunker.New(cfg.Shredder.Chunking.RabinParams())
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -10,18 +10,26 @@
 // index — made concurrent.
 //
 // Wire format: every frame is a 1-byte type, a 4-byte big-endian
-// payload length, then the payload. A backup session is
+// payload length, then the payload. A session optionally opens with a
+// negotiation exchange selecting the chunking engine,
+//
+//	C→S  Hello(version, spec)
+//	S→C  Accept(version, spec) | Error
+//
+// after which a backup operation is
 //
 //	C→S  Begin(name) Data* End
 //	S→C  Stats | Error
 //
-// and a restore session is
+// and a restore operation is
 //
 //	C→S  Restore(name)
 //	S→C  Data* End | Error
 //
-// Frames from concurrent clients are never interleaved: each session
-// owns its connection.
+// Clients that skip the Hello get the server's default engine — the
+// Rabin configuration earlier protocol revisions hardwired — so legacy
+// sessions are byte-for-byte unchanged. Frames from concurrent clients
+// are never interleaved: each session owns its connection.
 package ingest
 
 import (
@@ -30,6 +38,7 @@ import (
 	"fmt"
 	"io"
 
+	"shredder/internal/chunk"
 	"shredder/internal/dedup"
 )
 
@@ -48,7 +57,18 @@ const (
 	MsgRestore
 	// MsgError carries an error message and aborts the operation.
 	MsgError
+	// MsgHello proposes a session configuration: a 1-byte protocol
+	// version followed by a wire-encoded chunk.Spec.
+	MsgHello
+	// MsgAccept is the server's ack of a MsgHello; the payload echoes
+	// the accepted version and spec.
+	MsgAccept
 )
+
+// ProtocolVersion is the revision of the wire protocol this package
+// speaks; it rides in every Hello so mismatched peers fail with a
+// typed error instead of a parse failure.
+const ProtocolVersion byte = 2
 
 // MaxFrame bounds a single frame payload; a peer announcing more is
 // corrupt (or hostile) and the connection is dropped.
@@ -62,7 +82,7 @@ const headerSize = 5
 // writeFrame emits one frame.
 func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if len(payload) > MaxFrame {
-		return fmt.Errorf("ingest: frame of %d bytes exceeds limit", len(payload))
+		return &FrameSizeError{Type: typ, Size: int64(len(payload)), Limit: MaxFrame}
 	}
 	var hdr [headerSize]byte
 	hdr[0] = typ
@@ -70,30 +90,65 @@ func writeFrame(w io.Writer, typ byte, payload []byte) error {
 	if _, err := w.Write(hdr[:]); err != nil {
 		return err
 	}
+	if len(payload) == 0 {
+		// Skip the empty write: net.Pipe synchronizes even zero-length
+		// writes with a reader, which would block a frame like End.
+		return nil
+	}
 	_, err := w.Write(payload)
 	return err
 }
 
 // readFrame reads one frame, reusing buf for the payload when it is
 // large enough. The returned slice aliases buf (or a fresh allocation)
-// and is valid until the next call with the same buf.
+// and is valid until the next call with the same buf. A clean
+// connection close on a frame boundary returns bare io.EOF; every
+// other failure comes back typed (FrameSizeError, TruncatedError).
 func readFrame(r io.Reader, buf []byte) (byte, []byte, error) {
 	var hdr [headerSize]byte
 	if _, err := io.ReadFull(r, hdr[:]); err != nil {
-		return 0, nil, err
+		if err == io.EOF {
+			return 0, nil, io.EOF
+		}
+		return 0, nil, &TruncatedError{Context: "frame header", Cause: err}
 	}
 	n := binary.BigEndian.Uint32(hdr[1:])
 	if n > MaxFrame {
-		return 0, nil, fmt.Errorf("ingest: frame of %d bytes exceeds limit", n)
+		return 0, nil, &FrameSizeError{Type: hdr[0], Size: int64(n), Limit: MaxFrame}
 	}
 	if int(n) > cap(buf) {
 		buf = make([]byte, n)
 	}
 	buf = buf[:n]
 	if _, err := io.ReadFull(r, buf); err != nil {
-		return 0, nil, err
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, &TruncatedError{
+			Context: fmt.Sprintf("frame type %d payload (%d bytes)", hdr[0], n),
+			Cause:   err,
+		}
 	}
 	return hdr[0], buf, nil
+}
+
+// encodeHello builds a MsgHello/MsgAccept payload.
+func encodeHello(version byte, spec chunk.Spec) []byte {
+	return append([]byte{version}, chunk.EncodeSpec(spec)...)
+}
+
+// decodeHello parses a MsgHello/MsgAccept payload. The spec is
+// validated, so an unknown algorithm id or inconsistent sizes surface
+// here as the decode error.
+func decodeHello(p []byte) (byte, chunk.Spec, error) {
+	if len(p) < 1 {
+		return 0, chunk.Spec{}, errors.New("ingest: empty hello payload")
+	}
+	spec, err := chunk.DecodeSpec(p[1:])
+	if err != nil {
+		return p[0], chunk.Spec{}, err
+	}
+	return p[0], spec, nil
 }
 
 // StreamStats summarizes one backed-up stream as seen by the server.

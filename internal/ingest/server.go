@@ -9,7 +9,7 @@ import (
 	"sync"
 	"time"
 
-	"shredder/internal/chunker"
+	"shredder/internal/chunk"
 	"shredder/internal/core"
 	"shredder/internal/shardstore"
 )
@@ -163,12 +163,15 @@ func (s *Server) Shutdown(grace time.Duration) {
 
 // ServeConn runs one client session to completion: any number of
 // backup and restore operations, until the peer disconnects. Each
-// session gets its own chunking pipeline; the store is shared.
+// session gets its own chunking pipeline — the server default until a
+// Hello negotiates a different engine; the store is shared either way.
 func (s *Server) ServeConn(conn net.Conn) error {
-	shred, err := core.New(s.cfg.Shredder)
-	if err != nil {
-		return err
-	}
+	// The session pipeline is built lazily: sessions that negotiate
+	// never pay for the default engine (fingerprint table, kernel
+	// model, staging memory), and restore-only sessions never build
+	// one at all. NewServerWithStore already validated the default
+	// config, so a late core.New failure is exceptional.
+	var shred *core.Shredder
 	br := bufio.NewReaderSize(conn, 256<<10)
 	bw := bufio.NewWriterSize(conn, 256<<10)
 	var buf []byte
@@ -182,7 +185,30 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		}
 		buf = payload[:cap(payload)]
 		switch typ {
+		case MsgHello:
+			ns, spec, nerr := s.negotiate(payload)
+			if nerr != nil {
+				// A rejected negotiation is fatal to the session: the
+				// client's next frames would be cut with an engine it
+				// did not agree to.
+				_ = writeFrame(bw, MsgError, []byte(nerr.Error()))
+				_ = bw.Flush()
+				return nerr
+			}
+			shred = ns
+			if err := writeFrame(bw, MsgAccept, encodeHello(ProtocolVersion, spec)); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
 		case MsgBegin:
+			if shred == nil {
+				var err error
+				if shred, err = core.New(s.cfg.Shredder); err != nil {
+					return err
+				}
+			}
 			if err := s.handleBackup(string(payload), shred, br, bw); err != nil {
 				return err
 			}
@@ -191,11 +217,39 @@ func (s *Server) ServeConn(conn net.Conn) error {
 				return err
 			}
 		default:
-			_ = writeFrame(bw, MsgError, []byte(fmt.Sprintf("unexpected frame type %d", typ)))
+			ferr := &UnexpectedFrameError{Type: typ, Context: "session"}
+			_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
 			_ = bw.Flush()
-			return fmt.Errorf("ingest: unexpected frame type %d", typ)
+			return ferr
 		}
 	}
+}
+
+// negotiate validates a Hello payload and builds the session pipeline
+// it describes. Failures come back as *NegotiationError with the
+// reason the client will see.
+func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, error) {
+	version, spec, err := decodeHello(payload)
+	if err != nil {
+		return nil, chunk.Spec{}, &NegotiationError{Reason: err.Error()}
+	}
+	if version != ProtocolVersion {
+		return nil, chunk.Spec{}, &NegotiationError{
+			Reason: fmt.Sprintf("unsupported protocol version %d (server speaks %d)", version, ProtocolVersion),
+		}
+	}
+	if spec.MaxSize > MaxFrame {
+		return nil, chunk.Spec{}, &NegotiationError{
+			Reason: fmt.Sprintf("max chunk size %d exceeds the %d-byte frame limit", spec.MaxSize, MaxFrame),
+		}
+	}
+	cc := s.cfg.Shredder
+	cc.Chunking = spec
+	shred, err := core.New(cc)
+	if err != nil {
+		return nil, chunk.Spec{}, &NegotiationError{Reason: err.Error()}
+	}
+	return shred, spec, nil
 }
 
 // streamReader adapts the session's incoming Data frames into an
@@ -205,6 +259,10 @@ type streamReader struct {
 	buf   []byte // frame buffer, reused across frames
 	frame []byte // unconsumed tail of the current Data payload
 	done  bool
+	// broken is set when the stream itself violated the protocol
+	// (truncation, bad frame): the connection is desynchronized and
+	// must not be drained further.
+	broken bool
 }
 
 func (sr *streamReader) Read(p []byte) (int, error) {
@@ -214,6 +272,14 @@ func (sr *streamReader) Read(p []byte) (int, error) {
 		}
 		typ, payload, err := readFrame(sr.r, sr.buf)
 		if err != nil {
+			if err == io.EOF {
+				// The peer closed on a frame boundary but never sent
+				// End: the stream is truncated, not complete. A bare
+				// io.EOF here would make the pipeline treat the
+				// partial stream as a successful backup.
+				err = &TruncatedError{Context: "backup stream before End frame", Cause: io.ErrUnexpectedEOF}
+			}
+			sr.broken = true
 			return 0, err
 		}
 		if cap(payload) > cap(sr.buf) {
@@ -226,7 +292,8 @@ func (sr *streamReader) Read(p []byte) (int, error) {
 			sr.done = true
 			return 0, io.EOF
 		default:
-			return 0, fmt.Errorf("ingest: unexpected frame type %d inside stream", typ)
+			sr.broken = true
+			return 0, &UnexpectedFrameError{Type: typ, Context: "backup stream"}
 		}
 	}
 	n := copy(p, sr.frame)
@@ -258,8 +325,13 @@ func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reade
 	}
 	if err != nil {
 		// Best-effort: let the client finish writing (net.Pipe has no
-		// buffer) and hand it the error before the session dies.
-		sr.drain()
+		// buffer) and hand it the error before the session dies. When
+		// the stream itself broke protocol the connection is
+		// desynchronized — draining would block on a peer that may
+		// never send another frame, so abort immediately instead.
+		if !sr.broken {
+			sr.drain()
+		}
 		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr == nil {
 			_ = bw.Flush()
 		}
@@ -302,7 +374,7 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 		batch = batch[:0]
 		return nil
 	}
-	_, err := shred.ChunkReader(r, func(c chunker.Chunk, data []byte) error {
+	_, err := shred.ChunkReader(r, func(c chunk.Chunk, data []byte) error {
 		// data is a view into the pipeline's reused buffer: copy before
 		// holding it across the batch boundary.
 		batch = append(batch, append([]byte(nil), data...))

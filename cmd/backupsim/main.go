@@ -20,13 +20,26 @@
 // statistics preserved.
 //
 //	backupsim -data DIR [-fsync policy] [-image MiB] [-snapshots N] [-prob p] [-seed N] [-name prefix]
+//
+// With -dedup-wire (in -server or -data mode) streams go over the
+// two-phase content-addressed protocol: backupsim chunks locally,
+// ships fingerprints first, uploads only the chunk bodies the daemon
+// is missing, and reports the wire bytes saved per stream.
+//
+// With -wire-bench FILE it instead benchmarks raw vs dedup-wire
+// transfer at 0%/50%/95% snapshot redundancy against an in-process
+// server, verifies every stream restores byte-exactly, and writes the
+// matrix as JSON (wire bytes, throughput) to FILE — the CI artifact
+// BENCH_wire.json.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"net"
 	"os"
+	"time"
 
 	"shredder/internal/backup"
 	"shredder/internal/chunk"
@@ -48,8 +61,21 @@ func main() {
 	name := flag.String("name", "vm", "stream name prefix in service mode")
 	chunkerName := flag.String("chunker", "rabin", "chunking engine to negotiate with -server/-data: rabin (no negotiation, server default) or fastcdc")
 	avgKiB := flag.Int("avg", 4, "fastcdc target chunk size in KiB (power of two), with -chunker=fastcdc")
+	dedupWire := flag.Bool("dedup-wire", false, "with -server/-data: chunk client-side and upload only missing chunk bodies (protocol v3)")
+	wireBench := flag.String("wire-bench", "", "write the raw-vs-dedup wire benchmark (0%/50%/95% redundancy) as JSON to this file and exit")
 	flag.Parse()
 
+	if *wireBench != "" {
+		if *server != "" || *data != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -wire-bench runs in-process and excludes -server/-data")
+			os.Exit(2)
+		}
+		if err := runWireBench(*wireBench, *imageMB<<20, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 	if *server != "" || *data != "" {
 		// Chunking happens server-side in service mode; an explicit
 		// -engine would be silently meaningless, so reject it.
@@ -69,19 +95,19 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backupsim:", err)
 		os.Exit(2)
 	}
-	if spec != nil && *server == "" && *data == "" {
-		fmt.Fprintln(os.Stderr, "backupsim: -chunker only applies with -server/-data (the local simulation is the paper's GPU Rabin study)")
+	if (spec != nil || *dedupWire) && *server == "" && *data == "" {
+		fmt.Fprintln(os.Stderr, "backupsim: -chunker/-dedup-wire only apply with -server/-data (the local simulation is the paper's GPU Rabin study)")
 		os.Exit(2)
 	}
 	if *server != "" {
-		if err := runClient(*server, *name, spec, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+		if err := runClient(*server, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
 		return
 	}
 	if *data != "" {
-		if err := runRestart(*data, *fsyncFlag, *name, spec, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
+		if err := runRestart(*data, *fsyncFlag, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
@@ -119,45 +145,89 @@ func sessionSpec(algoName string, avg int) (*chunk.Spec, error) {
 	return &spec, nil
 }
 
-// negotiateIfSet proposes spec on the session when one was requested.
-func negotiateIfSet(c *ingest.Client, spec *chunk.Spec) error {
-	if spec == nil {
+// negotiateSession proposes spec on the session when one was requested
+// or the dedup-wire path (which always negotiates) is on. For dedup
+// with the default -chunker=rabin it negotiates the server's stock
+// Rabin configuration, so chunk boundaries match what a raw session
+// would produce.
+func negotiateSession(c *ingest.Session, spec *chunk.Spec, dedupWire bool) error {
+	if spec == nil && !dedupWire {
 		return nil
 	}
-	accepted, err := c.Negotiate(*spec)
+	var propose chunk.Spec
+	if spec != nil {
+		propose = *spec
+	} else {
+		propose = ingest.DefaultConfig().Shredder.Chunking
+	}
+	var accepted chunk.Spec
+	var err error
+	if dedupWire {
+		accepted, err = c.NegotiateDedup(propose)
+	} else {
+		accepted, err = c.Negotiate(propose)
+	}
 	if err != nil {
 		return err
 	}
-	fmt.Printf("negotiated %s engine (avg %s, min %s, max %s)\n",
+	mode := "server-chunked"
+	if dedupWire {
+		mode = "dedup-wire (client-chunked, protocol v3)"
+	}
+	fmt.Printf("negotiated %s engine (avg %s, min %s, max %s), %s\n",
 		accepted.Algo, stats.Bytes(int64(accepted.AvgSize)),
-		stats.Bytes(int64(accepted.MinSize)), stats.Bytes(int64(accepted.MaxSize)))
+		stats.Bytes(int64(accepted.MinSize)), stats.Bytes(int64(accepted.MaxSize)), mode)
 	return nil
+}
+
+// pushStream backs one stream up (raw or dedup-wire), verifies the
+// restore, and prints its line, returning the stream stats.
+func pushStream(c *ingest.Session, name string, data []byte, dedupWire bool) (*ingest.StreamStats, error) {
+	var st *ingest.StreamStats
+	var err error
+	if dedupWire {
+		st, err = c.BackupDedupBytes(name, data)
+	} else {
+		st, err = c.BackupBytes(name, data)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if err := c.Verify(name, data); err != nil {
+		return nil, err
+	}
+	wire := ""
+	if st.Wire.Saved() > 0 {
+		wire = fmt.Sprintf(", wire %s of %s (saved %s)",
+			stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes), stats.Bytes(st.Wire.Saved()))
+	}
+	fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx, restore verified%s; store %s stored of %s (%.2fx)\n",
+		name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(), wire,
+		stats.Bytes(st.Store.StoredBytes), stats.Bytes(st.Store.LogicalBytes), st.Store.Ratio())
+	return st, nil
 }
 
 // runClient streams the image series to a shredderd daemon and verifies
 // every stream restores byte-exactly over the wire.
-func runClient(addr, prefix string, spec *chunk.Spec, size, snapshots int, prob float64, seed int64) error {
+func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) error {
 	c, err := ingest.Dial(addr)
 	if err != nil {
 		return err
 	}
 	defer c.Close()
-	if err := negotiateIfSet(c, spec); err != nil {
+	if err := negotiateSession(c, spec, dedupWire); err != nil {
 		return err
 	}
 	im := workload.NewImage(seed, size, 64<<10, prob)
 
+	var logical, wired int64
 	push := func(name string, data []byte) error {
-		st, err := c.BackupBytes(name, data)
+		st, err := pushStream(c, name, data, dedupWire)
 		if err != nil {
 			return err
 		}
-		if err := c.Verify(name, data); err != nil {
-			return err
-		}
-		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx, restore verified; store %s stored of %s (%.2fx)\n",
-			name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(),
-			stats.Bytes(st.Store.StoredBytes), stats.Bytes(st.Store.LogicalBytes), st.Store.Ratio())
+		logical += st.Wire.LogicalBytes
+		wired += st.Wire.WireBytes
 		return nil
 	}
 
@@ -169,6 +239,15 @@ func runClient(addr, prefix string, spec *chunk.Spec, size, snapshots int, prob 
 			return err
 		}
 	}
+	if dedupWire {
+		saved := logical - wired
+		if saved < 0 {
+			// Fingerprint overhead outweighed the dedup on this series.
+			saved = 0
+		}
+		fmt.Printf("series total: %s crossed the wire for %s logical (saved %s)\n",
+			stats.Bytes(wired), stats.Bytes(logical), stats.Bytes(saved))
+	}
 	return nil
 }
 
@@ -176,7 +255,7 @@ func runClient(addr, prefix string, spec *chunk.Spec, size, snapshots int, prob 
 // in-process persist-backed server, close the store (simulating a
 // daemon restart), reopen it from the data directory, and verify every
 // stream restores byte-exactly with the dedup statistics preserved.
-func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, size, snapshots int, prob float64, seed int64) error {
+func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) error {
 	policy, err := persist.ParseFsyncPolicy(fsyncStr)
 	if err != nil {
 		return err
@@ -202,18 +281,27 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, size, snapshots 
 		return err
 	}
 	c := dialInProcess(srv)
-	if err := negotiateIfSet(c, spec); err != nil {
+	if err := negotiateSession(c, spec, dedupWire); err != nil {
 		store.Close()
 		return err
 	}
 	for _, n := range order {
-		st, err := c.BackupBytes(n, streams[n])
+		var st *ingest.StreamStats
+		if dedupWire {
+			st, err = c.BackupDedupBytes(n, streams[n])
+		} else {
+			st, err = c.BackupBytes(n, streams[n])
+		}
 		if err != nil {
 			store.Close()
 			return err
 		}
-		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx\n",
-			n, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio())
+		wire := ""
+		if st.Wire.Saved() > 0 {
+			wire = fmt.Sprintf(", wire %s of %s", stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes))
+		}
+		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx%s\n",
+			n, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(), wire)
 	}
 	c.Close()
 	before := store.Stats()
@@ -249,13 +337,105 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, size, snapshots 
 }
 
 // dialInProcess connects a client to the server over an in-memory pipe.
-func dialInProcess(srv *ingest.Server) *ingest.Client {
+func dialInProcess(srv *ingest.Server) *ingest.Session {
 	cend, send := net.Pipe()
 	go func() {
 		defer send.Close()
 		_ = srv.ServeConn(send)
 	}()
-	return ingest.NewClient(cend)
+	return ingest.NewSession(cend)
+}
+
+// wireBenchRow is one cell of the raw-vs-dedup transfer matrix.
+type wireBenchRow struct {
+	Redundancy    float64 `json:"redundancy"`
+	Mode          string  `json:"mode"`
+	LogicalBytes  int64   `json:"logical_bytes"`
+	WireBytes     int64   `json:"wire_bytes"`
+	ChunksSent    int64   `json:"chunks_sent"`
+	ChunksSkipped int64   `json:"chunks_skipped"`
+	Seconds       float64 `json:"seconds"`
+	MBPerS        float64 `json:"mb_per_s"`
+}
+
+// runWireBench measures what the two-phase protocol keeps off the
+// wire: for each snapshot redundancy level, a master image and one
+// snapshot are pushed to a fresh in-process server in raw mode and in
+// dedup-wire mode (same stock Rabin spec, so boundaries and dedup
+// accounting match), every stream is verified to restore byte-exactly,
+// and the snapshot's wire cost goes into the JSON matrix at path.
+func runWireBench(path string, size int, seed int64) error {
+	var rows []wireBenchRow
+	for _, redundancy := range []float64{0, 0.5, 0.95} {
+		im := workload.NewImage(seed, size, 64<<10, 1-redundancy)
+		snap := im.Snapshot(seed + 1)
+		for _, mode := range []string{"raw", "dedup"} {
+			srv, err := ingest.NewServer(ingest.DefaultConfig())
+			if err != nil {
+				return err
+			}
+			c := dialInProcess(srv)
+			dedupWire := mode == "dedup"
+			if dedupWire {
+				if _, err := c.NegotiateDedup(ingest.DefaultConfig().Shredder.Chunking); err != nil {
+					c.Close()
+					return err
+				}
+			}
+			push := func(name string, data []byte) (*ingest.StreamStats, error) {
+				if dedupWire {
+					return c.BackupDedupBytes(name, data)
+				}
+				return c.BackupBytes(name, data)
+			}
+			if _, err := push("master", im.Master); err != nil {
+				c.Close()
+				return err
+			}
+			start := time.Now()
+			st, err := push("snapshot", snap)
+			if err != nil {
+				c.Close()
+				return err
+			}
+			elapsed := time.Since(start)
+			for name, want := range map[string][]byte{"master": im.Master, "snapshot": snap} {
+				if err := c.Verify(name, want); err != nil {
+					c.Close()
+					return fmt.Errorf("%s %.0f%% redundancy: %w", mode, redundancy*100, err)
+				}
+			}
+			c.Close()
+			rows = append(rows, wireBenchRow{
+				Redundancy:    redundancy,
+				Mode:          mode,
+				LogicalBytes:  st.Wire.LogicalBytes,
+				WireBytes:     st.Wire.WireBytes,
+				ChunksSent:    st.Wire.ChunksSent,
+				ChunksSkipped: st.Wire.ChunksSkipped,
+				Seconds:       elapsed.Seconds(),
+				MBPerS:        float64(st.Wire.LogicalBytes) / (1 << 20) / elapsed.Seconds(),
+			})
+			fmt.Printf("redundancy %.0f%% %-5s: snapshot wire %s of %s (%.1f%%), %d bodies sent, %d skipped\n",
+				redundancy*100, mode, stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
+				float64(st.Wire.WireBytes)/float64(st.Wire.LogicalBytes)*100,
+				st.Wire.ChunksSent, st.Wire.ChunksSkipped)
+		}
+	}
+	out, err := json.MarshalIndent(rows, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	if err := os.WriteFile(path, out, 0o644); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s\n", path)
+	return nil
 }
 
 func run(size, snapshots int, prob float64, engine backup.Engine, seed int64) error {

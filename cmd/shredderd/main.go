@@ -15,9 +15,14 @@
 // The chunking engine is negotiated per session: clients that send a
 // spec get it (any engine the build knows), clients that don't get the
 // server default, selectable with -chunker/-avg/-minchunk/-maxchunk.
+// Protocol-v3 sessions may run two-phase dedup ingest (client-side
+// chunking; only missing chunk bodies cross the wire) — per-stream
+// logging then reports the wire bytes saved; -dedup-wire=false caps
+// the protocol at v2 for operators who want the legacy behavior only.
 //
 //	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB]
 //	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
+//	          [-dedup-wire=true|false]
 //	          [-data DIR] [-fsync always|never|interval[=D]]
 //	          [-grace D] [-quiet]
 package main
@@ -50,6 +55,7 @@ func main() {
 	avgKiB := flag.Int("avg", 4, "target average chunk size in KiB (power of two)")
 	minKiB := flag.Int("minchunk", 0, "minimum chunk size in KiB (0: engine default)")
 	maxKiB := flag.Int("maxchunk", 0, "maximum chunk size in KiB (0: engine default)")
+	dedupWire := flag.Bool("dedup-wire", true, "accept protocol v3 two-phase dedup sessions (client-side chunking, only missing bodies cross the wire); false caps the protocol at v2")
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
 	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
 	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
@@ -78,11 +84,20 @@ func main() {
 		}
 		cfg.Shredder.Chunking = spec
 	}
+	if !*dedupWire {
+		cfg.MaxProtocol = 2
+	}
 	if !*quiet {
 		cfg.OnStream = func(name string, st ingest.StreamStats) {
-			log.Printf("stream %q: %s in %d chunks, %d dup, ratio %.2fx; store ratio %.2fx",
+			wire := ""
+			if saved := st.Wire.Saved(); saved > 0 {
+				wire = fmt.Sprintf("; wire %s of %s (saved %s, %d bodies skipped)",
+					stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
+					stats.Bytes(saved), st.Wire.ChunksSkipped)
+			}
+			log.Printf("stream %q: %s in %d chunks, %d dup, ratio %.2fx; store ratio %.2fx%s",
 				name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks,
-				st.DedupRatio(), st.Store.Ratio())
+				st.DedupRatio(), st.Store.Ratio(), wire)
 		}
 	}
 

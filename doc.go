@@ -29,20 +29,30 @@
 //     tolerates a torn final record
 //   - internal/ingest — the streaming ingest service layer: a
 //     length-prefixed binary protocol over net.Conn with per-session
-//     chunking-engine negotiation (Hello/Accept frames carrying a
-//     chunk.Spec; non-negotiating legacy clients keep the Rabin
-//     defaults byte-for-byte), typed protocol errors, a server that
-//     chunks client streams with the core pipeline and dedups them in
-//     batches against one shared shardstore, and the matching client
+//     negotiation of protocol version and chunking engine
+//     (Hello/Accept frames carrying a chunk.Spec; non-negotiating
+//     legacy clients keep the Rabin defaults byte-for-byte), typed
+//     protocol errors, a server that chunks raw client streams with
+//     the core pipeline and dedups them in batches against one shared
+//     shardstore, and the matching client Session. Protocol version 3
+//     adds two-phase content-addressed ingest — the client chunks
+//     locally, ships HasBatch fingerprint frames, and uploads only
+//     the bodies the server's NeedBatch answer reports missing, the
+//     server pinning every skipped chunk's refcount under the shard
+//     lock inside the lookup — with per-stream WireStats measuring
+//     the bytes the backup-site link was spared
 //   - internal/hdfs, internal/mapreduce, internal/backup — the two
 //     case studies (Inc-HDFS + Incoop, cloud backup); backup.Service
 //     runs the multi-VM experiment through the service path
 //   - internal/experiments — regenerates every table and figure
 //
 // The cmd/shredderd binary serves the ingest protocol over TCP (with
-// -data it is durable and restartable; SIGTERM drains and flushes) and
-// cmd/backupsim -server is its client (-data instead runs the
-// restart round-trip locally). The benchmarks in bench_test.go
+// -data it is durable and restartable; SIGTERM drains and flushes;
+// -dedup-wire=false caps sessions at protocol v2) and cmd/backupsim
+// -server is its client (-data instead runs the restart round-trip
+// locally; -dedup-wire switches either mode to client-side matching;
+// -wire-bench emits the raw-vs-dedup transfer matrix as JSON). The
+// benchmarks in bench_test.go
 // wrap internal/experiments so that `go test -bench=.` reproduces the
 // paper's entire evaluation; the cmd/shredbench binary prints the same
 // tables interactively.

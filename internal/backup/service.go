@@ -45,13 +45,28 @@ func (s *Service) SiteStats() dedup.Stats { return s.srv.Store().Stats() }
 // Dial opens one client session over an in-memory pipe. Tests and
 // same-process experiments use this; production clients dial the
 // shredderd daemon over TCP instead.
-func (s *Service) Dial() *ingest.Client {
+func (s *Service) Dial() *ingest.Session {
 	cend, send := net.Pipe()
 	go func() {
 		defer send.Close()
 		_ = s.srv.ServeConn(send)
 	}()
-	return ingest.NewClient(cend)
+	return ingest.NewSession(cend)
+}
+
+// DialDedup opens a session negotiated for two-phase content-addressed
+// ingest (protocol version 3) with the service's own chunking spec, so
+// BackupDedup cuts bit-identical boundaries to the service's raw path.
+// This is the routing entry point for dedup clients: the paper's
+// backup-site case, where only missing chunk bodies should cross the
+// link.
+func (s *Service) DialDedup() (*ingest.Session, error) {
+	c := s.Dial()
+	if _, err := c.NegotiateDedup(s.srv.Config().Shredder.Chunking); err != nil {
+		c.Close()
+		return nil, err
+	}
+	return c, nil
 }
 
 // VMResult is one stream's outcome in a MultiVM run.
@@ -65,6 +80,18 @@ type VMResult struct {
 // session and verified to restore byte-exactly. Results come back in
 // input order.
 func (s *Service) MultiVM(names []string, images [][]byte) ([]VMResult, error) {
+	return s.multiVM(names, images, false)
+}
+
+// MultiVMDedup is MultiVM over two-phase content-addressed sessions:
+// every VM stream is chunked client-side and only missing chunk bodies
+// cross the (in-memory) wire, so each result's Stats.Wire shows the
+// transfer the backup-site link was spared.
+func (s *Service) MultiVMDedup(names []string, images [][]byte) ([]VMResult, error) {
+	return s.multiVM(names, images, true)
+}
+
+func (s *Service) multiVM(names []string, images [][]byte, dedupWire bool) ([]VMResult, error) {
 	if len(names) != len(images) {
 		return nil, fmt.Errorf("backup: %d names for %d images", len(names), len(images))
 	}
@@ -75,9 +102,23 @@ func (s *Service) MultiVM(names []string, images [][]byte) ([]VMResult, error) {
 		wg.Add(1)
 		go func(i int) {
 			defer wg.Done()
-			c := s.Dial()
+			var c *ingest.Session
+			var err error
+			if dedupWire {
+				if c, err = s.DialDedup(); err != nil {
+					errs[i] = fmt.Errorf("dial dedup for %q: %w", names[i], err)
+					return
+				}
+			} else {
+				c = s.Dial()
+			}
 			defer c.Close()
-			st, err := c.BackupBytes(names[i], images[i])
+			var st *ingest.StreamStats
+			if dedupWire {
+				st, err = c.BackupDedupBytes(names[i], images[i])
+			} else {
+				st, err = c.BackupBytes(names[i], images[i])
+			}
 			if err != nil {
 				errs[i] = fmt.Errorf("backup %q: %w", names[i], err)
 				return

@@ -61,3 +61,62 @@ func TestServiceMultiVM(t *testing.T) {
 		t.Fatalf("service-path dedup ratio %.2f, want > 3 for standardized images", got.Ratio())
 	}
 }
+
+// TestServiceMultiVMDedup routes the multi-VM experiment over
+// two-phase content-addressed sessions: every stream restores
+// byte-exactly (asserted inside MultiVMDedup), the aggregate dedup
+// totals match the raw service path on the same images, and the wire
+// statistics show near-identical snapshots mostly skipped the wire.
+func TestServiceMultiVMDedup(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shredder.BufferSize = 2 << 20
+	cfg.BufferSize = 2 << 20
+
+	golden := workload.NewImage(100, 4<<20, 64<<10, 0.05)
+	names := []string{"golden"}
+	images := [][]byte{golden.Master}
+	for vm := 1; vm <= 3; vm++ {
+		names = append(names, fmt.Sprintf("vm-%d", vm))
+		images = append(images, golden.Snapshot(int64(vm)))
+	}
+
+	dedupSvc, err := NewService(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	results, err := dedupSvc.MultiVMDedup(names, images)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var logical, wired int64
+	for i, r := range results {
+		if r.Stats.Bytes != int64(len(images[i])) {
+			t.Fatalf("stream %q saw %d bytes, want %d", r.Name, r.Stats.Bytes, len(images[i]))
+		}
+		if r.Stats.Wire.ChunksSent+r.Stats.Wire.ChunksSkipped != r.Stats.Chunks {
+			t.Fatalf("stream %q wire accounting %+v vs %d chunks", r.Name, r.Stats.Wire, r.Stats.Chunks)
+		}
+		logical += r.Stats.Wire.LogicalBytes
+		wired += r.Stats.Wire.WireBytes
+	}
+	// Whatever the session interleaving, one VM's worth of unique data
+	// plus churn crosses; the near-identical copies must not.
+	if wired >= logical/2 {
+		t.Fatalf("dedup wire moved %d of %d logical bytes", wired, logical)
+	}
+
+	rawSvc, err := NewService(cfg, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := rawSvc.MultiVM(names, images); err != nil {
+		t.Fatal(err)
+	}
+	raw, dw := rawSvc.SiteStats(), dedupSvc.SiteStats()
+	// Interleaving can shift which stream pays for a chunk, never the
+	// totals.
+	if raw.LogicalBytes != dw.LogicalBytes || raw.Chunks != dw.Chunks ||
+		raw.StoredBytes != dw.StoredBytes || raw.UniqueChunks != dw.UniqueChunks {
+		t.Fatalf("dedup service totals %+v diverge from raw %+v", dw, raw)
+	}
+}

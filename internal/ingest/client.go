@@ -6,26 +6,51 @@ import (
 	"errors"
 	"io"
 	"net"
+	"time"
 
 	"shredder/internal/chunk"
+	"shredder/internal/dedup"
 )
 
-// Client speaks the ingest protocol over one connection. It is not
+// Session speaks the ingest protocol over one connection. It is not
 // safe for concurrent use: a session runs one operation at a time
-// (open several clients for parallel streams — that is the point of
+// (open several sessions for parallel streams — that is the point of
 // the sharded server).
-type Client struct {
+//
+// A fresh Session speaks the legacy raw protocol (version 1: no
+// negotiation, server-default engine). Negotiate upgrades it to
+// version 2 (explicit chunking engine, still server-chunked);
+// NegotiateDedup upgrades it to version 3, after which BackupDedup
+// runs the negotiated engine locally and ships only fingerprints plus
+// missing chunk bodies.
+type Session struct {
 	conn      net.Conn
 	br        *bufio.Reader
 	bw        *bufio.Writer
 	buf       []byte
 	frameSize int
+
+	// version is the negotiated protocol version (0 until a Hello is
+	// accepted: the legacy raw session). spec and eng are set by a
+	// successful negotiation; eng only by NegotiateDedup, which needs
+	// the engine locally.
+	version byte
+	spec    chunk.Spec
+	eng     chunk.Engine
 }
 
-// NewClient wraps an established connection (TCP, unix socket,
+// Client is the session type's historical name.
+type Client = Session
+
+// ErrDedupUnsupported reports a BackupDedup call on a session that has
+// not negotiated protocol version 3 (NegotiateDedup was never called,
+// or the server talked it down).
+var ErrDedupUnsupported = errors.New("ingest: dedup backup requires a version ≥ 3 session (call NegotiateDedup first)")
+
+// NewSession wraps an established connection (TCP, unix socket,
 // net.Pipe, ...).
-func NewClient(conn net.Conn) *Client {
-	return &Client{
+func NewSession(conn net.Conn) *Session {
+	return &Session{
 		conn:      conn,
 		br:        bufio.NewReaderSize(conn, 256<<10),
 		bw:        bufio.NewWriterSize(conn, 256<<10),
@@ -33,45 +58,96 @@ func NewClient(conn net.Conn) *Client {
 	}
 }
 
+// NewClient is NewSession under the type's historical name.
+func NewClient(conn net.Conn) *Session { return NewSession(conn) }
+
 // Dial connects to a shredderd server at addr.
-func Dial(addr string) (*Client, error) {
+func Dial(addr string) (*Session, error) {
 	conn, err := net.Dial("tcp", addr)
 	if err != nil {
 		return nil, err
 	}
-	return NewClient(conn), nil
+	return NewSession(conn), nil
 }
 
 // Close terminates the session.
-func (c *Client) Close() error { return c.conn.Close() }
+func (s *Session) Close() error { return s.conn.Close() }
+
+// Version returns the negotiated protocol version (0 for a legacy
+// session that never sent a Hello).
+func (s *Session) Version() byte { return s.version }
+
+// Spec returns the negotiated chunking spec (zero until a Hello is
+// accepted).
+func (s *Session) Spec() chunk.Spec { return s.spec }
 
 // Negotiate proposes a chunking engine for this session and returns
 // the spec the server accepted. Call it before the first Backup;
 // sessions that never negotiate get the server's default (Rabin)
-// engine, wire-compatible with pre-negotiation servers. A server that
-// rejects the spec — or predates negotiation entirely and answers the
-// unknown frame with an error — surfaces as *NegotiationError.
-func (c *Client) Negotiate(spec chunk.Spec) (chunk.Spec, error) {
-	if err := spec.Validate(); err != nil {
-		return chunk.Spec{}, err
+// engine, wire-compatible with pre-negotiation servers. Negotiate
+// sends a version-2 Hello — byte-identical to a legacy v2 client, so
+// it works against any negotiating server — and leaves the session on
+// the raw (server-chunked) path; use NegotiateDedup for client-side
+// matching. A server that rejects the spec — or predates negotiation
+// entirely and answers the unknown frame with an error — surfaces as
+// *NegotiationError.
+func (s *Session) Negotiate(spec chunk.Spec) (chunk.Spec, error) {
+	return s.negotiate(MinProtocolVersion, spec)
+}
+
+// NegotiateDedup proposes a version-3 session: the client runs spec's
+// engine locally and BackupDedup becomes available. The spec must
+// bound chunk sizes (MaxSize in (0, MaxFrame]) so every chunk body
+// fits one frame. Against a server that only speaks version 2 this
+// fails with a *NegotiationError naming both versions and the session
+// is dead — redial and fall back to Negotiate/Backup.
+func (s *Session) NegotiateDedup(spec chunk.Spec) (chunk.Spec, error) {
+	if spec.MaxSize <= 0 || spec.MaxSize > MaxFrame {
+		return chunk.Spec{}, &NegotiationError{
+			Reason: "dedup sessions need a bounded max chunk size within the frame limit",
+		}
 	}
-	if err := writeFrame(c.bw, MsgHello, encodeHello(ProtocolVersion, spec)); err != nil {
-		return chunk.Spec{}, err
-	}
-	if err := c.bw.Flush(); err != nil {
-		return chunk.Spec{}, err
-	}
-	typ, payload, err := readFrame(c.br, c.buf)
+	accepted, err := s.negotiate(ProtocolVersion, spec)
 	if err != nil {
 		return chunk.Spec{}, err
 	}
-	c.keep(payload)
+	if s.version < 3 {
+		return chunk.Spec{}, &NegotiationError{
+			Reason: "server talked the session down below version 3; dedup backup unavailable",
+		}
+	}
+	eng, err := chunk.New(accepted)
+	if err != nil {
+		return chunk.Spec{}, err
+	}
+	s.eng = eng
+	return accepted, nil
+}
+
+func (s *Session) negotiate(version byte, spec chunk.Spec) (chunk.Spec, error) {
+	if err := spec.Validate(); err != nil {
+		return chunk.Spec{}, err
+	}
+	if err := writeFrame(s.bw, MsgHello, encodeHello(version, spec)); err != nil {
+		return chunk.Spec{}, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return chunk.Spec{}, err
+	}
+	typ, payload, err := readFrame(s.br, s.buf)
+	if err != nil {
+		return chunk.Spec{}, err
+	}
+	s.keep(payload)
 	switch typ {
 	case MsgAccept:
-		_, accepted, err := decodeHello(payload)
+		ver, accepted, err := decodeHello(payload)
 		if err != nil {
 			return chunk.Spec{}, err
 		}
+		s.version = ver
+		s.spec = accepted
+		s.eng = nil
 		return accepted, nil
 	case MsgError:
 		return chunk.Spec{}, &NegotiationError{Reason: string(payload)}
@@ -81,25 +157,29 @@ func (c *Client) Negotiate(spec chunk.Spec) (chunk.Spec, error) {
 }
 
 // Backup streams r to the server under the given name and returns the
-// server's dedup statistics for the stream.
-func (c *Client) Backup(name string, r io.Reader) (*StreamStats, error) {
-	if err := writeFrame(c.bw, MsgBegin, []byte(name)); err != nil {
+// server's dedup statistics for the stream. The whole stream crosses
+// the wire; the server chunks and dedups it (BackupDedup is the
+// bandwidth-saving alternative on version ≥ 3 sessions).
+func (s *Session) Backup(name string, r io.Reader) (*StreamStats, error) {
+	if err := writeFrame(s.bw, MsgBegin, []byte(name)); err != nil {
 		return nil, err
 	}
-	if cap(c.buf) < c.frameSize {
-		c.buf = make([]byte, c.frameSize)
+	if cap(s.buf) < s.frameSize {
+		s.buf = make([]byte, s.frameSize)
 	}
-	buf := c.buf[:c.frameSize]
+	buf := s.buf[:s.frameSize]
+	var logical int64
 	for {
 		n, err := io.ReadFull(r, buf)
 		if n > 0 {
-			if werr := writeFrame(c.bw, MsgData, buf[:n]); werr != nil {
-				return nil, werr
+			logical += int64(n)
+			if werr := writeFrame(s.bw, MsgData, buf[:n]); werr != nil {
+				return nil, s.surfaceRemote("backup", name, werr)
 			}
 			// Keep the transport moving: net.Pipe and small TCP windows
 			// need the server consuming while we produce.
-			if ferr := c.bw.Flush(); ferr != nil {
-				return nil, ferr
+			if ferr := s.bw.Flush(); ferr != nil {
+				return nil, s.surfaceRemote("backup", name, ferr)
 			}
 		}
 		if err == io.EOF || err == io.ErrUnexpectedEOF {
@@ -109,17 +189,134 @@ func (c *Client) Backup(name string, r io.Reader) (*StreamStats, error) {
 			return nil, err
 		}
 	}
-	if err := writeFrame(c.bw, MsgEnd, nil); err != nil {
-		return nil, err
+	if err := writeFrame(s.bw, MsgEnd, nil); err != nil {
+		return nil, s.surfaceRemote("backup", name, err)
 	}
-	if err := c.bw.Flush(); err != nil {
-		return nil, err
+	if err := s.bw.Flush(); err != nil {
+		return nil, s.surfaceRemote("backup", name, err)
 	}
-	typ, payload, err := readFrame(c.br, c.buf)
+	st, err := s.readStats("backup", name)
 	if err != nil {
 		return nil, err
 	}
-	c.keep(payload)
+	if st.Wire == (WireStats{}) {
+		// Legacy (< v3) servers don't report wire statistics: on the
+		// raw path every logical byte crossed as a Data payload, so the
+		// client can fill them exactly.
+		st.Wire = WireStats{LogicalBytes: logical, WireBytes: logical, ChunksSent: st.Chunks}
+	}
+	return st, nil
+}
+
+// Dedup-path batching: one HasBatch round covers up to dedupBatchChunks
+// fingerprints, and the bodies held for a round (pending the server's
+// missing-set answer) are capped at dedupBatchBytes.
+const (
+	dedupBatchChunks = 256
+	dedupBatchBytes  = 4 << 20
+)
+
+// BackupDedup backs up r under name over the two-phase content-
+// addressed protocol: the session's negotiated engine chunks the
+// stream locally, fingerprints go first, and only the chunk bodies the
+// server reports missing are uploaded, followed by a commit the server
+// durably acks. Requires NegotiateDedup. The returned stats carry the
+// server-computed WireStats — the whole point of the exercise.
+func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
+	if s.version < 3 || s.eng == nil {
+		return nil, ErrDedupUnsupported
+	}
+	if err := writeFrame(s.bw, MsgBeginDedup, []byte(name)); err != nil {
+		return nil, err
+	}
+	var (
+		hs     []dedup.Hash
+		bodies [][]byte
+		held   int64
+	)
+	flush := func() error {
+		if len(hs) == 0 {
+			return nil
+		}
+		if err := writeFrame(s.bw, MsgHasBatch, encodeHasBatch(hs)); err != nil {
+			return s.surfaceRemote("dedup backup", name, err)
+		}
+		if err := s.bw.Flush(); err != nil {
+			return s.surfaceRemote("dedup backup", name, err)
+		}
+		typ, payload, err := readFrame(s.br, s.buf)
+		if err != nil {
+			return err
+		}
+		s.keep(payload)
+		var need []int
+		switch typ {
+		case MsgNeedBatch:
+			if need, err = decodeNeedBatch(payload, len(hs)); err != nil {
+				return err
+			}
+		case MsgError:
+			return &RemoteError{Msg: string(payload), Op: "dedup backup", Name: name}
+		default:
+			return &UnexpectedFrameError{Type: typ, Context: "has-batch reply"}
+		}
+		for _, i := range need {
+			if err := writeFrame(s.bw, MsgData, bodies[i]); err != nil {
+				return s.surfaceRemote("dedup backup", name, err)
+			}
+		}
+		if err := s.bw.Flush(); err != nil {
+			return s.surfaceRemote("dedup backup", name, err)
+		}
+		hs, bodies, held = hs[:0], bodies[:0], 0
+		return nil
+	}
+	sink := s.eng.Stream(func(c chunk.Chunk, data []byte) error {
+		// data is a view into the engine's buffer: copy to hold it
+		// until the server's missing-set answer for this round.
+		hs = append(hs, dedup.Sum(data))
+		bodies = append(bodies, append([]byte(nil), data...))
+		held += int64(len(data))
+		if len(hs) >= dedupBatchChunks || held >= dedupBatchBytes {
+			return flush()
+		}
+		return nil
+	})
+	if _, err := io.Copy(sink, r); err != nil {
+		return nil, err
+	}
+	if err := sink.Close(); err != nil {
+		return nil, err
+	}
+	if err := flush(); err != nil {
+		return nil, err
+	}
+	if err := writeFrame(s.bw, MsgCommit, nil); err != nil {
+		return nil, s.surfaceRemote("dedup backup", name, err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return nil, s.surfaceRemote("dedup backup", name, err)
+	}
+	return s.readStats("dedup backup", name)
+}
+
+// BackupBytes is Backup over an in-memory image.
+func (s *Session) BackupBytes(name string, data []byte) (*StreamStats, error) {
+	return s.Backup(name, bytes.NewReader(data))
+}
+
+// BackupDedupBytes is BackupDedup over an in-memory image.
+func (s *Session) BackupDedupBytes(name string, data []byte) (*StreamStats, error) {
+	return s.BackupDedup(name, bytes.NewReader(data))
+}
+
+// readStats consumes the server's end-of-stream reply.
+func (s *Session) readStats(op, name string) (*StreamStats, error) {
+	typ, payload, err := readFrame(s.br, s.buf)
+	if err != nil {
+		return nil, err
+	}
+	s.keep(payload)
 	switch typ {
 	case MsgStats:
 		st, err := decodeStreamStats(payload)
@@ -128,33 +325,48 @@ func (c *Client) Backup(name string, r io.Reader) (*StreamStats, error) {
 		}
 		return &st, nil
 	case MsgError:
-		return nil, &RemoteError{Msg: string(payload)}
+		return nil, &RemoteError{Msg: string(payload), Op: op, Name: name}
 	default:
-		return nil, &UnexpectedFrameError{Type: typ, Context: "backup reply"}
+		return nil, &UnexpectedFrameError{Type: typ, Context: op + " reply"}
 	}
 }
 
-// BackupBytes is Backup over an in-memory image.
-func (c *Client) BackupBytes(name string, data []byte) (*StreamStats, error) {
-	return c.Backup(name, bytes.NewReader(data))
+// surfaceRemote recovers the server's own diagnosis of a broken
+// stream. When the server aborts mid-stream (a store failure, a
+// rejected body) it sends an Error frame and closes; the client's next
+// write then fails with a bare transport error ("closed pipe") and the
+// actual reason would be lost sitting in the receive buffer. Given the
+// write error, try briefly to read that Error frame and return it as a
+// *RemoteError instead; fall back to the write error.
+func (s *Session) surfaceRemote(op, name string, werr error) error {
+	if err := s.conn.SetReadDeadline(time.Now().Add(2 * time.Second)); err != nil {
+		return werr
+	}
+	defer s.conn.SetReadDeadline(time.Time{})
+	typ, payload, err := readFrame(s.br, s.buf)
+	if err != nil || typ != MsgError {
+		return werr
+	}
+	s.keep(payload)
+	return &RemoteError{Msg: string(payload), Op: op, Name: name}
 }
 
 // Restore streams a previously backed-up name from the server into w,
 // returning the byte count.
-func (c *Client) Restore(name string, w io.Writer) (int64, error) {
-	if err := writeFrame(c.bw, MsgRestore, []byte(name)); err != nil {
+func (s *Session) Restore(name string, w io.Writer) (int64, error) {
+	if err := writeFrame(s.bw, MsgRestore, []byte(name)); err != nil {
 		return 0, err
 	}
-	if err := c.bw.Flush(); err != nil {
+	if err := s.bw.Flush(); err != nil {
 		return 0, err
 	}
 	var total int64
 	for {
-		typ, payload, err := readFrame(c.br, c.buf)
+		typ, payload, err := readFrame(s.br, s.buf)
 		if err != nil {
 			return total, err
 		}
-		c.keep(payload)
+		s.keep(payload)
 		switch typ {
 		case MsgData:
 			n, werr := w.Write(payload)
@@ -165,7 +377,7 @@ func (c *Client) Restore(name string, w io.Writer) (int64, error) {
 		case MsgEnd:
 			return total, nil
 		case MsgError:
-			return total, &RemoteError{Msg: string(payload)}
+			return total, &RemoteError{Msg: string(payload), Op: "restore", Name: name}
 		default:
 			return total, &UnexpectedFrameError{Type: typ, Context: "restore stream"}
 		}
@@ -173,17 +385,17 @@ func (c *Client) Restore(name string, w io.Writer) (int64, error) {
 }
 
 // RestoreBytes is Restore into memory.
-func (c *Client) RestoreBytes(name string) ([]byte, error) {
+func (s *Session) RestoreBytes(name string) ([]byte, error) {
 	var out bytes.Buffer
-	if _, err := c.Restore(name, &out); err != nil {
+	if _, err := s.Restore(name, &out); err != nil {
 		return nil, err
 	}
 	return out.Bytes(), nil
 }
 
 // Verify restores name and checks it against original byte-for-byte.
-func (c *Client) Verify(name string, original []byte) error {
-	got, err := c.RestoreBytes(name)
+func (s *Session) Verify(name string, original []byte) error {
+	got, err := s.RestoreBytes(name)
 	if err != nil {
 		return err
 	}
@@ -194,8 +406,8 @@ func (c *Client) Verify(name string, original []byte) error {
 }
 
 // keep retains a grown frame buffer for reuse.
-func (c *Client) keep(payload []byte) {
-	if cap(payload) > cap(c.buf) {
-		c.buf = payload[:cap(payload)]
+func (s *Session) keep(payload []byte) {
+	if cap(payload) > cap(s.buf) {
+		s.buf = payload[:cap(payload)]
 	}
 }

@@ -1,0 +1,94 @@
+package ingest
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/dedup"
+)
+
+// hasBatchSeedCorpus seeds the HasBatch codec fuzzer: empty, single
+// and multi-fingerprint batches plus deliberately misaligned framings.
+// CI runs these as ordinary seed cases via `go test`;
+// `go test -fuzz FuzzHasBatchCodec ./internal/ingest/` explores beyond
+// them.
+func hasBatchSeedCorpus() [][]byte {
+	a, b := dedup.Sum([]byte("a")), dedup.Sum([]byte("b"))
+	return [][]byte{
+		nil,
+		{},
+		encodeHasBatch([]dedup.Hash{a}),
+		encodeHasBatch([]dedup.Hash{a, b, a}),
+		bytes.Repeat([]byte{0xff}, hashSize),
+		bytes.Repeat([]byte{0x00}, hashSize-1),   // misaligned
+		bytes.Repeat([]byte{0xab}, 3*hashSize+7), // misaligned
+	}
+}
+
+// FuzzHasBatchCodec: decodeHasBatch must never panic, must reject
+// exactly the misaligned payloads, and whatever it accepts must
+// re-encode to the identical bytes (the framing is canonical — the
+// server's wire accounting counts payload bytes, so a second encoding
+// of the same batch may not differ).
+func FuzzHasBatchCodec(f *testing.F) {
+	for _, seed := range hasBatchSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		hs, err := decodeHasBatch(in)
+		if len(in)%hashSize != 0 {
+			if err == nil {
+				t.Fatalf("misaligned %d-byte payload accepted", len(in))
+			}
+			return
+		}
+		if err != nil {
+			t.Fatalf("aligned payload rejected: %v", err)
+		}
+		if len(hs) != len(in)/hashSize {
+			t.Fatalf("decoded %d fingerprints from %d bytes", len(hs), len(in))
+		}
+		if out := encodeHasBatch(hs); !bytes.Equal(out, in) && !(len(in) == 0 && len(out) == 0) {
+			t.Fatalf("re-encoding differs:\nin  %x\nout %x", in, out)
+		}
+	})
+}
+
+// FuzzNeedBatchCodec: decodeNeedBatch must never panic for any payload
+// and batch size, must only ever return in-range strictly-ascending
+// indices, and must round-trip its own encoder's output exactly.
+func FuzzNeedBatchCodec(f *testing.F) {
+	seeds := []struct {
+		payload []byte
+		batch   int
+	}{
+		{nil, 0},
+		{encodeNeedBatch(nil), 16},
+		{encodeNeedBatch([]int{0}), 1},
+		{encodeNeedBatch([]int{0, 1, 2, 3}), 4},
+		{encodeNeedBatch([]int{2, 5, 11}), 100},
+		{[]byte{0, 0, 0, 1, 0, 0, 0, 1}, 4},       // duplicate index
+		{[]byte{0, 0, 0, 9}, 4},                   // out of range
+		{[]byte{0xff, 0xff, 0xff, 0xff}, 1 << 20}, // huge index
+		{bytes.Repeat([]byte{0}, 7), 8},           // misaligned
+	}
+	for _, s := range seeds {
+		f.Add(s.payload, s.batch)
+	}
+	f.Fuzz(func(t *testing.T, in []byte, batch int) {
+		idxs, err := decodeNeedBatch(in, batch)
+		if err != nil {
+			return
+		}
+		prev := -1
+		for _, v := range idxs {
+			if v <= prev || v >= batch {
+				t.Fatalf("accepted index %d after %d in batch of %d", v, prev, batch)
+			}
+			prev = v
+		}
+		if out := encodeNeedBatch(idxs); !bytes.Equal(out, in) && !(len(in) == 0 && len(out) == 0) {
+			t.Fatalf("re-encoding differs:\nin  %x\nout %x", in, out)
+		}
+	})
+}

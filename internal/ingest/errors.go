@@ -69,9 +69,23 @@ func (e *NegotiationError) Error() string {
 }
 
 // RemoteError carries an error message the peer sent in a MsgError
-// frame during an operation.
+// frame during an operation. The server's own text (a store failure, a
+// missing recipe, a rejected body) is preserved verbatim in Msg so a
+// daemon-side failure is diagnosable from client output; Op and Name
+// say which operation and stream it struck.
 type RemoteError struct {
+	// Msg is the server's error text, verbatim.
 	Msg string
+	// Op is the client operation ("backup", "dedup backup", "restore";
+	// empty when unknown).
+	Op string
+	// Name is the stream name the operation targeted.
+	Name string
 }
 
-func (e *RemoteError) Error() string { return "ingest: server: " + e.Msg }
+func (e *RemoteError) Error() string {
+	if e.Op == "" {
+		return "ingest: server: " + e.Msg
+	}
+	return fmt.Sprintf("ingest: server failed %s %q: %s", e.Op, e.Name, e.Msg)
+}

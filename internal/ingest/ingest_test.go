@@ -287,18 +287,38 @@ func TestRestoreOversizedChunk(t *testing.T) {
 	}
 }
 
-// TestStatsEncodeDecode round-trips the wire encoding.
+// TestStatsEncodeDecode round-trips the wire encoding in both layouts:
+// the legacy 72-byte payload (which must stay byte-identical and drops
+// the Wire block) and the version-3 payload that carries it.
 func TestStatsEncodeDecode(t *testing.T) {
 	in := StreamStats{
 		Bytes: 1, Chunks: 2, DupChunks: 3, UniqueBytes: 4,
+		Wire:  WireStats{LogicalBytes: 10, WireBytes: 11, ChunksSent: 12, ChunksSkipped: 13},
 		Store: dedup.Stats{LogicalBytes: 5, StoredBytes: 6, Chunks: 7, UniqueChunks: 8, IndexHits: 9},
 	}
-	out, err := decodeStreamStats(in.encode())
+	legacy := in.encode(2)
+	if len(legacy) != statsWireSize {
+		t.Fatalf("legacy payload is %d bytes, want %d", len(legacy), statsWireSize)
+	}
+	out, err := decodeStreamStats(legacy)
+	if err != nil {
+		t.Fatal(err)
+	}
+	wantLegacy := in
+	wantLegacy.Wire = WireStats{}
+	if out != wantLegacy {
+		t.Fatalf("legacy round trip: %+v != %+v", out, wantLegacy)
+	}
+	v3 := in.encode(ProtocolVersion)
+	if len(v3) != statsWireSizeV3 {
+		t.Fatalf("v3 payload is %d bytes, want %d", len(v3), statsWireSizeV3)
+	}
+	out, err = decodeStreamStats(v3)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if in != out {
-		t.Fatalf("round trip: %+v != %+v", out, in)
+		t.Fatalf("v3 round trip: %+v != %+v", out, in)
 	}
 	if _, err := decodeStreamStats(make([]byte, 10)); err == nil {
 		t.Fatal("short payload accepted")

@@ -1,24 +1,36 @@
 // Package ingest implements the Shredder service layer: a streaming
 // chunk-and-dedup server (the shredderd daemon) and its client, talking
-// a length-prefixed binary protocol over any net.Conn. Clients stream
-// raw bytes; the server runs them through the core.Shredder chunking
-// pipeline, hashes each chunk, and dedups it in batched put rounds
-// against a sharded shardstore.Store shared by all sessions (each
-// round answers has-or-put per chunk under one stripe lock per shard),
-// returning per-stream dedup statistics. This is the consolidation point of the
-// paper's §7 cloud-backup case study — many clients, one fingerprint
-// index — made concurrent.
+// a length-prefixed binary protocol over any net.Conn. The protocol is
+// content-addressed: a Session that negotiates protocol version 3 runs
+// the agreed chunking engine locally, ships fingerprint batches first,
+// and uploads only the chunk bodies the server reports missing — the
+// paper's backup-site design, where dedup happens *before* data
+// crosses the constrained link. Legacy sessions stream raw bytes and
+// the server chunks and dedups them server-side, exactly as earlier
+// protocol revisions did. Either way every session dedups against a
+// sharded shardstore.Store shared by all sessions — the consolidation
+// point of the paper's §7 cloud-backup case study, made concurrent.
 //
 // Wire format: every frame is a 1-byte type, a 4-byte big-endian
 // payload length, then the payload. A session optionally opens with a
-// negotiation exchange selecting the chunking engine,
+// negotiation exchange selecting the protocol version and chunking
+// engine,
 //
 //	C→S  Hello(version, spec)
 //	S→C  Accept(version, spec) | Error
 //
-// after which a backup operation is
+// after which a raw (server-chunked) backup operation is
 //
 //	C→S  Begin(name) Data* End
+//	S→C  Stats | Error
+//
+// a two-phase dedup (client-chunked, version ≥ 3) backup operation is
+//
+//	C→S  BeginDedup(name)
+//	     repeat:  C→S  HasBatch(fp...)
+//	              S→C  NeedBatch(indices of missing fps)
+//	              C→S  one Data frame per missing fp, in index order
+//	C→S  Commit
 //	S→C  Stats | Error
 //
 // and a restore operation is
@@ -30,6 +42,17 @@
 // Rabin configuration earlier protocol revisions hardwired — so legacy
 // sessions are byte-for-byte unchanged. Frames from concurrent clients
 // are never interleaved: each session owns its connection.
+//
+// # Version-fallback matrix
+//
+//	v1 client (no Hello)      → v3 server: raw path, byte-identical
+//	v2 client (Hello v2)      → v3 server: Accept v2, raw path, byte-identical
+//	v3 client (Hello v3)      → v3 server: Accept v3, dedup + raw available
+//	v3 client, engine-only    → v2 server: sends Hello v2, indistinguishable
+//	  (Negotiate)                           from a v2 client
+//	v3 client (NegotiateDedup)→ v2 server: typed NegotiationError naming
+//	                            both versions; redial and fall back to
+//	                            Negotiate/Backup
 package ingest
 
 import (
@@ -63,12 +86,33 @@ const (
 	// MsgAccept is the server's ack of a MsgHello; the payload echoes
 	// the accepted version and spec.
 	MsgAccept
+	// MsgBeginDedup opens a client-chunked (two-phase dedup) backup
+	// stream; the payload is the stream name. Requires a version ≥ 3
+	// session.
+	MsgBeginDedup
+	// MsgHasBatch carries a batch of chunk fingerprints (n × 32 bytes)
+	// the client is about to reference, in stream order.
+	MsgHasBatch
+	// MsgNeedBatch is the server's reply to a MsgHasBatch: the
+	// ascending indices (4 bytes each) of the fingerprints it has no
+	// chunk for and whose bodies the client must upload.
+	MsgNeedBatch
+	// MsgCommit ends a dedup backup stream: the server durably records
+	// the recipe and replies with MsgStats.
+	MsgCommit
 )
 
-// ProtocolVersion is the revision of the wire protocol this package
-// speaks; it rides in every Hello so mismatched peers fail with a
-// typed error instead of a parse failure.
-const ProtocolVersion byte = 2
+// ProtocolVersion is the newest protocol revision this package speaks:
+// version 3, which adds content-addressed two-phase dedup ingest
+// (BeginDedup/HasBatch/NeedBatch/Commit). A Hello carries the version
+// the client wants so mismatched peers fail with a typed error instead
+// of a parse failure.
+const ProtocolVersion byte = 3
+
+// MinProtocolVersion is the oldest Hello the server still accepts
+// (version 2, engine negotiation only). Version-1 sessions send no
+// Hello at all.
+const MinProtocolVersion byte = 2
 
 // MaxFrame bounds a single frame payload; a peer announcing more is
 // corrupt (or hostile) and the connection is dropped.
@@ -151,6 +195,92 @@ func decodeHello(p []byte) (byte, chunk.Spec, error) {
 	return p[0], spec, nil
 }
 
+// hashSize is the wire size of one chunk fingerprint.
+const hashSize = len(dedup.Hash{})
+
+// MaxBatchFingerprints bounds one MsgHasBatch (it must fit a frame).
+const MaxBatchFingerprints = MaxFrame / hashSize
+
+// encodeHasBatch packs fingerprints into a MsgHasBatch payload.
+func encodeHasBatch(hs []dedup.Hash) []byte {
+	out := make([]byte, 0, len(hs)*hashSize)
+	for i := range hs {
+		out = append(out, hs[i][:]...)
+	}
+	return out
+}
+
+// decodeHasBatch parses a MsgHasBatch payload. The batch size is
+// implied by the payload length, which must be a whole number of
+// fingerprints.
+func decodeHasBatch(p []byte) ([]dedup.Hash, error) {
+	if len(p)%hashSize != 0 {
+		return nil, fmt.Errorf("ingest: has-batch payload of %d bytes is not a whole number of %d-byte fingerprints", len(p), hashSize)
+	}
+	hs := make([]dedup.Hash, len(p)/hashSize)
+	for i := range hs {
+		copy(hs[i][:], p[i*hashSize:])
+	}
+	return hs, nil
+}
+
+// encodeNeedBatch packs ascending batch indices into a MsgNeedBatch
+// payload.
+func encodeNeedBatch(idxs []int) []byte {
+	out := make([]byte, 4*len(idxs))
+	for i, v := range idxs {
+		binary.BigEndian.PutUint32(out[4*i:], uint32(v))
+	}
+	return out
+}
+
+// decodeNeedBatch parses a MsgNeedBatch payload against the size of
+// the batch it answers: indices must be in range and strictly
+// ascending (so the body upload order is unambiguous and no body is
+// requested twice).
+func decodeNeedBatch(p []byte, batch int) ([]int, error) {
+	if len(p)%4 != 0 {
+		return nil, fmt.Errorf("ingest: need-batch payload of %d bytes is not a whole number of indices", len(p))
+	}
+	idxs := make([]int, len(p)/4)
+	prev := -1
+	for i := range idxs {
+		v := int(binary.BigEndian.Uint32(p[4*i:]))
+		if v <= prev || v >= batch {
+			return nil, fmt.Errorf("ingest: need-batch index %d invalid after %d in a batch of %d", v, prev, batch)
+		}
+		idxs[i] = v
+		prev = v
+	}
+	return idxs, nil
+}
+
+// WireStats measures what one stream actually cost on the wire, the
+// figure the paper's client-side matching exists to shrink. Bytes
+// count frame payloads carrying stream content in the client→server
+// direction: Data bodies plus fingerprint batches (frame headers and
+// the tiny control frames are excluded).
+type WireStats struct {
+	// LogicalBytes is the stream's full size.
+	LogicalBytes int64
+	// WireBytes is what actually crossed: equal to LogicalBytes on the
+	// raw path; fingerprints plus missing bodies on the dedup path.
+	WireBytes int64
+	// ChunksSent counts chunk bodies that crossed the wire;
+	// ChunksSkipped counts chunks resolved by fingerprint alone.
+	ChunksSent    int64
+	ChunksSkipped int64
+}
+
+// Saved returns the bytes the two-phase protocol kept off the wire
+// (zero on the raw path, where fingerprint overhead does not apply).
+func (w WireStats) Saved() int64 {
+	if w.WireBytes >= w.LogicalBytes {
+		return 0
+	}
+	return w.LogicalBytes - w.WireBytes
+}
+
 // StreamStats summarizes one backed-up stream as seen by the server.
 type StreamStats struct {
 	// Bytes, Chunks, DupChunks and UniqueBytes describe this stream
@@ -160,6 +290,11 @@ type StreamStats struct {
 	Chunks      int64
 	DupChunks   int64
 	UniqueBytes int64
+	// Wire measures the stream's transfer cost. On version ≥ 3
+	// sessions the server computes and sends it; on legacy sessions
+	// the client fills it (WireBytes == Bytes) so both modes report
+	// through one struct.
+	Wire WireStats
 	// Store is the aggregate statistics of the shared store at the
 	// moment the stream completed (all sessions, all streams so far).
 	Store dedup.Stats
@@ -174,35 +309,57 @@ func (s StreamStats) DedupRatio() float64 {
 	return float64(s.Bytes) / float64(s.UniqueBytes)
 }
 
-const statsWireSize = 9 * 8
+// statsWireSize is the legacy (≤ v2) MsgStats payload; v3 sessions
+// append the four WireStats fields. Legacy sessions must stay
+// byte-identical, so the extension rides only on sessions that
+// negotiated version 3.
+const (
+	statsWireSize   = 9 * 8
+	statsWireSizeV3 = statsWireSize + 4*8
+)
 
-// encode serializes the stats for a MsgStats payload.
-func (s StreamStats) encode() []byte {
-	out := make([]byte, statsWireSize)
-	for i, v := range []int64{
+// encode serializes the stats for a MsgStats payload. version selects
+// the layout: ≥ 3 appends the WireStats fields, anything lower is the
+// legacy 72-byte payload.
+func (s StreamStats) encode(version byte) []byte {
+	fields := []int64{
 		s.Bytes, s.Chunks, s.DupChunks, s.UniqueBytes,
 		s.Store.LogicalBytes, s.Store.StoredBytes,
 		s.Store.Chunks, s.Store.UniqueChunks, s.Store.IndexHits,
-	} {
+	}
+	if version >= 3 {
+		fields = append(fields,
+			s.Wire.LogicalBytes, s.Wire.WireBytes,
+			s.Wire.ChunksSent, s.Wire.ChunksSkipped)
+	}
+	out := make([]byte, 8*len(fields))
+	for i, v := range fields {
 		binary.BigEndian.PutUint64(out[i*8:], uint64(v))
 	}
 	return out
 }
 
-// decodeStreamStats parses a MsgStats payload.
+// decodeStreamStats parses a MsgStats payload of either layout.
 func decodeStreamStats(p []byte) (StreamStats, error) {
-	if len(p) != statsWireSize {
+	if len(p) != statsWireSize && len(p) != statsWireSizeV3 {
 		return StreamStats{}, errors.New("ingest: malformed stats payload")
 	}
-	f := make([]int64, 9)
+	f := make([]int64, len(p)/8)
 	for i := range f {
 		f[i] = int64(binary.BigEndian.Uint64(p[i*8:]))
 	}
-	return StreamStats{
+	st := StreamStats{
 		Bytes: f[0], Chunks: f[1], DupChunks: f[2], UniqueBytes: f[3],
 		Store: dedup.Stats{
 			LogicalBytes: f[4], StoredBytes: f[5],
 			Chunks: f[6], UniqueChunks: f[7], IndexHits: f[8],
 		},
-	}, nil
+	}
+	if len(f) > 9 {
+		st.Wire = WireStats{
+			LogicalBytes: f[9], WireBytes: f[10],
+			ChunksSent: f[11], ChunksSkipped: f[12],
+		}
+	}
+	return st, nil
 }

@@ -11,6 +11,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/core"
+	"shredder/internal/dedup"
 	"shredder/internal/shardstore"
 )
 
@@ -28,6 +29,11 @@ type Config struct {
 	// batched has/put round against the store (0 means 64). Larger
 	// batches amortize stripe locking; smaller ones bound latency.
 	BatchSize int
+	// MaxProtocol caps the protocol version the server will accept in
+	// a Hello (0 means ProtocolVersion). Setting 2 turns off two-phase
+	// dedup ingest and makes the server behave exactly like a
+	// version-2 build — the shredderd -dedup-wire=false switch.
+	MaxProtocol byte
 	// OnStream, when set, is called after each completed backup stream
 	// (the daemon uses it for logging). It may be called from multiple
 	// session goroutines at once.
@@ -95,6 +101,10 @@ func NewServerWithStore(cfg Config, store *shardstore.Store) (*Server, error) {
 
 // Store exposes the shared chunk store (for stats and tests).
 func (s *Server) Store() *shardstore.Store { return s.store }
+
+// Config returns the server's effective configuration (defaults
+// applied).
+func (s *Server) Config() Config { return s.cfg }
 
 // Recipe returns the recorded recipe for a completed stream.
 func (s *Server) Recipe(name string) (shardstore.Recipe, bool) {
@@ -165,13 +175,17 @@ func (s *Server) Shutdown(grace time.Duration) {
 // backup and restore operations, until the peer disconnects. Each
 // session gets its own chunking pipeline — the server default until a
 // Hello negotiates a different engine; the store is shared either way.
+// A session that negotiates version ≥ 3 may also run two-phase dedup
+// backups, which skip the server pipeline entirely (the client
+// chunked).
 func (s *Server) ServeConn(conn net.Conn) error {
 	// The session pipeline is built lazily: sessions that negotiate
 	// never pay for the default engine (fingerprint table, kernel
-	// model, staging memory), and restore-only sessions never build
-	// one at all. NewServerWithStore already validated the default
-	// config, so a late core.New failure is exceptional.
+	// model, staging memory), and restore-only or dedup-only sessions
+	// never build one at all. NewServerWithStore already validated the
+	// default config, so a late core.New failure is exceptional.
 	var shred *core.Shredder
+	var ver byte // negotiated protocol version; 0 = legacy raw session
 	br := bufio.NewReaderSize(conn, 256<<10)
 	bw := bufio.NewWriterSize(conn, 256<<10)
 	var buf []byte
@@ -186,17 +200,23 @@ func (s *Server) ServeConn(conn net.Conn) error {
 		buf = payload[:cap(payload)]
 		switch typ {
 		case MsgHello:
-			ns, spec, nerr := s.negotiate(payload)
+			ns, spec, nver, nerr := s.negotiate(payload)
 			if nerr != nil {
 				// A rejected negotiation is fatal to the session: the
 				// client's next frames would be cut with an engine it
-				// did not agree to.
-				_ = writeFrame(bw, MsgError, []byte(nerr.Error()))
+				// did not agree to. Send the bare reason — the client
+				// wraps it in its own NegotiationError.
+				reason := nerr.Error()
+				var ne *NegotiationError
+				if errors.As(nerr, &ne) {
+					reason = ne.Reason
+				}
+				_ = writeFrame(bw, MsgError, []byte(reason))
 				_ = bw.Flush()
 				return nerr
 			}
-			shred = ns
-			if err := writeFrame(bw, MsgAccept, encodeHello(ProtocolVersion, spec)); err != nil {
+			shred, ver = ns, nver
+			if err := writeFrame(bw, MsgAccept, encodeHello(ver, spec)); err != nil {
 				return err
 			}
 			if err := bw.Flush(); err != nil {
@@ -209,7 +229,17 @@ func (s *Server) ServeConn(conn net.Conn) error {
 					return err
 				}
 			}
-			if err := s.handleBackup(string(payload), shred, br, bw); err != nil {
+			if err := s.handleBackup(string(payload), ver, shred, br, bw); err != nil {
+				return err
+			}
+		case MsgBeginDedup:
+			if ver < 3 {
+				ferr := &UnexpectedFrameError{Type: typ, Context: "session below protocol version 3"}
+				_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
+				_ = bw.Flush()
+				return ferr
+			}
+			if err := s.handleDedupBackup(string(payload), ver, br, bw); err != nil {
 				return err
 			}
 		case MsgRestore:
@@ -226,30 +256,42 @@ func (s *Server) ServeConn(conn net.Conn) error {
 }
 
 // negotiate validates a Hello payload and builds the session pipeline
-// it describes. Failures come back as *NegotiationError with the
-// reason the client will see.
-func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, error) {
+// it describes, returning the pipeline, the accepted spec and the
+// agreed protocol version. Failures come back as *NegotiationError
+// with the reason the client will see.
+func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, error) {
 	version, spec, err := decodeHello(payload)
 	if err != nil {
-		return nil, chunk.Spec{}, &NegotiationError{Reason: err.Error()}
+		return nil, chunk.Spec{}, 0, &NegotiationError{Reason: err.Error()}
 	}
-	if version != ProtocolVersion {
-		return nil, chunk.Spec{}, &NegotiationError{
-			Reason: fmt.Sprintf("unsupported protocol version %d (server speaks %d)", version, ProtocolVersion),
+	max := s.cfg.MaxProtocol
+	if max == 0 {
+		max = ProtocolVersion
+	}
+	if version < MinProtocolVersion || version > max {
+		return nil, chunk.Spec{}, 0, &NegotiationError{
+			Reason: fmt.Sprintf("unsupported protocol version %d (server speaks %d)", version, max),
 		}
 	}
 	if spec.MaxSize > MaxFrame {
-		return nil, chunk.Spec{}, &NegotiationError{
+		return nil, chunk.Spec{}, 0, &NegotiationError{
 			Reason: fmt.Sprintf("max chunk size %d exceeds the %d-byte frame limit", spec.MaxSize, MaxFrame),
+		}
+	}
+	if version >= 3 && spec.MaxSize <= 0 {
+		// A dedup client uploads each chunk body as one frame; an
+		// unbounded engine could cut a chunk no frame can carry.
+		return nil, chunk.Spec{}, 0, &NegotiationError{
+			Reason: "dedup sessions need a bounded max chunk size within the frame limit",
 		}
 	}
 	cc := s.cfg.Shredder
 	cc.Chunking = spec
 	shred, err := core.New(cc)
 	if err != nil {
-		return nil, chunk.Spec{}, &NegotiationError{Reason: err.Error()}
+		return nil, chunk.Spec{}, 0, &NegotiationError{Reason: err.Error()}
 	}
-	return shred, spec, nil
+	return shred, spec, version, nil
 }
 
 // streamReader adapts the session's incoming Data frames into an
@@ -317,7 +359,7 @@ func (sr *streamReader) drain() {
 // is committed (durably, when the store's backing is) before the
 // MsgStats ack goes out: a stream the client saw acknowledged survives
 // a server restart.
-func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer) error {
+func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer) error {
 	sr := &streamReader{r: br}
 	st, recipe, err := s.ingest(shred, sr)
 	if err == nil {
@@ -337,14 +379,205 @@ func (s *Server) handleBackup(name string, shred *core.Shredder, br *bufio.Reade
 		}
 		return err
 	}
+	// On the raw path every logical byte crossed the wire as a Data
+	// payload. The Wire block reaches v3 clients in the stats reply;
+	// older clients reconstruct the same numbers locally.
+	st.Wire = WireStats{LogicalBytes: st.Bytes, WireBytes: st.Bytes, ChunksSent: st.Chunks}
 	st.Store = s.store.Stats()
 	if s.cfg.OnStream != nil {
 		s.cfg.OnStream(name, st)
 	}
-	if err := writeFrame(bw, MsgStats, st.encode()); err != nil {
+	if err := writeFrame(bw, MsgStats, st.encode(ver)); err != nil {
 		return err
 	}
 	return bw.Flush()
+}
+
+// handleDedupBackup runs one two-phase content-addressed backup: the
+// client sends fingerprint batches, the server answers each with the
+// indices it is missing and takes a reference on every chunk it
+// already holds — *inside* the answer, under the shard locks, so a
+// chunk the client is told to skip can never be reclaimed out from
+// under the stream — then ingests the uploaded bodies (verifying each
+// against its announced fingerprint before it can poison the
+// content-addressed store), and finally commits the recipe durably
+// before acking with stats. Store and accounting outcomes are
+// identical to the raw path over the same chunk sequence.
+//
+// Failure delivery mirrors the raw path's drain: an application-level
+// failure (store error, rejected body) cannot just fire an Error frame
+// — on an unbuffered transport the client may be blocked writing
+// bodies while we block writing the error. Instead the handler keeps
+// serving the protocol in drain mode (remaining bodies of the broken
+// round are read and discarded, later HasBatches draw an empty
+// NeedBatch so the client uploads nothing more, and no store state is
+// touched) until the Commit turn, whose reply slot carries the error.
+// Protocol violations abort immediately: the connection is
+// desynchronized and draining it could block forever.
+func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *bufio.Writer) error {
+	var st StreamStats
+	var recipe shardstore.Recipe
+	var buf []byte
+	var appErr error // first application failure; drain mode afterwards
+	// abort is for protocol violations: best-effort error frame, die.
+	abort := func(err error) error {
+		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr == nil {
+			_ = bw.Flush()
+		}
+		return err
+	}
+	for {
+		typ, payload, rerr := readFrame(br, buf)
+		if rerr != nil {
+			if rerr == io.EOF {
+				rerr = &TruncatedError{Context: "dedup backup stream before Commit frame", Cause: io.ErrUnexpectedEOF}
+			}
+			return rerr
+		}
+		buf = payload[:cap(payload)]
+		switch typ {
+		case MsgHasBatch:
+			hs, err := decodeHasBatch(payload)
+			if err != nil {
+				return abort(err)
+			}
+			var refs []shardstore.Ref
+			var missing []int
+			if appErr == nil {
+				st.Wire.WireBytes += int64(len(payload))
+				if refs, missing, err = s.store.PinBatch(hs); err != nil {
+					appErr = err
+				}
+			}
+			if appErr != nil {
+				// Draining: tell the client we need nothing so it keeps
+				// its bodies and reaches Commit, where the error waits.
+				if err := writeFrame(bw, MsgNeedBatch, nil); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				continue
+			}
+			// Account the pinned (duplicate) chunks now; missing ones
+			// are accounted as their bodies arrive.
+			st.Wire.ChunksSkipped += int64(len(hs) - len(missing))
+			mi := 0
+			for i := range hs {
+				if mi < len(missing) && missing[mi] == i {
+					mi++
+					continue
+				}
+				st.Chunks++
+				st.DupChunks++
+				st.Bytes += refs[i].Length
+			}
+			if err := writeFrame(bw, MsgNeedBatch, encodeNeedBatch(missing)); err != nil {
+				return err
+			}
+			if err := bw.Flush(); err != nil {
+				return err
+			}
+			// Collect the missing bodies, in index order, ingesting in
+			// store-batch-sized groups so memory stays bounded no
+			// matter how large a batch the client announced. After a
+			// failure the round's remaining bodies are still read (the
+			// client already committed to sending them) but discarded.
+			group := make([][]byte, 0, s.cfg.BatchSize)
+			groupHs := make([]shardstore.Hash, 0, s.cfg.BatchSize)
+			groupIdx := make([]int, 0, s.cfg.BatchSize)
+			flushGroup := func() error {
+				if len(group) == 0 {
+					return nil
+				}
+				prefs, pdup, err := s.store.PutHashedBatch(groupHs, group)
+				if err != nil {
+					return err
+				}
+				for j, i := range groupIdx {
+					refs[i] = prefs[j]
+					st.Chunks++
+					st.Bytes += int64(len(group[j]))
+					if pdup[j] {
+						// Another session stored it between our answer
+						// and the upload: the body crossed the wire but
+						// the store deduped it.
+						st.DupChunks++
+					} else {
+						st.UniqueBytes += int64(len(group[j]))
+					}
+				}
+				group, groupHs, groupIdx = group[:0], groupHs[:0], groupIdx[:0]
+				return nil
+			}
+			for _, i := range missing {
+				btyp, body, err := readFrame(br, buf)
+				if err != nil {
+					if err == io.EOF {
+						err = &TruncatedError{Context: "dedup backup body upload", Cause: io.ErrUnexpectedEOF}
+					}
+					return err
+				}
+				buf = body[:cap(body)]
+				if btyp != MsgData {
+					return abort(&UnexpectedFrameError{Type: btyp, Context: "dedup body upload"})
+				}
+				if appErr != nil {
+					continue
+				}
+				if dedup.Sum(body) != hs[i] {
+					// A body that does not hash to its announced
+					// fingerprint would be stored under the wrong
+					// address and corrupt every stream referencing it.
+					appErr = fmt.Errorf("ingest: uploaded body for batch index %d does not match its fingerprint", i)
+					continue
+				}
+				st.Wire.WireBytes += int64(len(body))
+				st.Wire.ChunksSent++
+				group = append(group, append([]byte(nil), body...))
+				groupHs = append(groupHs, hs[i])
+				groupIdx = append(groupIdx, i)
+				if len(group) >= s.cfg.BatchSize {
+					if err := flushGroup(); err != nil {
+						appErr = err
+					}
+				}
+			}
+			if appErr == nil {
+				if err := flushGroup(); err != nil {
+					appErr = err
+				}
+			}
+			if appErr == nil {
+				recipe = append(recipe, refs...)
+			}
+		case MsgCommit:
+			if appErr == nil {
+				appErr = s.store.CommitRecipe(name, recipe)
+			}
+			if appErr != nil {
+				if err := writeFrame(bw, MsgError, []byte(appErr.Error())); err != nil {
+					return err
+				}
+				if err := bw.Flush(); err != nil {
+					return err
+				}
+				return appErr
+			}
+			st.Wire.LogicalBytes = st.Bytes
+			st.Store = s.store.Stats()
+			if s.cfg.OnStream != nil {
+				s.cfg.OnStream(name, st)
+			}
+			if err := writeFrame(bw, MsgStats, st.encode(ver)); err != nil {
+				return err
+			}
+			return bw.Flush()
+		default:
+			return abort(&UnexpectedFrameError{Type: typ, Context: "dedup backup stream"})
+		}
+	}
 }
 
 // ingest chunks one stream and dedups it against the shared store in

@@ -26,6 +26,7 @@
 package persist
 
 import (
+	"encoding/binary"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -226,6 +227,21 @@ func (b *Backing) NumShards() int { return len(b.shards) }
 
 // Shard returns stripe i's backing.
 func (b *Backing) Shard(i int) shardstore.ShardBacking { return b.shards[i] }
+
+// Missing reports which fingerprints no shard has a chunk for, as
+// ascending indices into hs: the entries recovered at open plus every
+// Append since — the same answer a Store on this backing gives.
+func (b *Backing) Missing(hs []shardstore.Hash) []int {
+	mask := uint32(len(b.shards) - 1)
+	missing := make([]int, 0, len(hs))
+	for i := range hs {
+		sh := b.shards[binary.BigEndian.Uint32(hs[i][:4])&mask]
+		if !sh.has(hs[i]) {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
 
 // CommitRecipe journals one named recipe; under FsyncAlways it is
 // crash-durable before the call returns. A recipe too large to frame

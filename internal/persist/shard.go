@@ -33,6 +33,9 @@ type diskShard struct {
 	walDirty   bool   // WAL has writes not yet fsynced
 	containers []*containerFile
 	recovered  bool
+	// present mirrors the fingerprints with a live index entry
+	// (recovered at open plus appended since), for Backing.Missing.
+	present map[shardstore.Hash]struct{}
 }
 
 // containerFile is one append-only container on disk.
@@ -164,12 +167,22 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 			cf.size = watermarks[i]
 		}
 	}
+	s.present = make(map[shardstore.Hash]struct{}, len(index))
 	for h, ref := range index {
+		s.present[h] = struct{}{}
 		if err := fn(h, ref, refcount[h]); err != nil {
 			return err
 		}
 	}
 	return nil
+}
+
+// has reports whether the shard holds a chunk for h.
+func (s *diskShard) has(h shardstore.Hash) bool {
+	s.mu.Lock()
+	_, ok := s.present[h]
+	s.mu.Unlock()
+	return ok
 }
 
 // openContainers opens every existing container file in order,
@@ -240,6 +253,7 @@ func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
 	cf.size += int64(len(data))
 	cf.dirty = true
 	s.walBuf = appendRecord(s.walBuf, encodeInsert(h, cur, off, int64(len(data))))
+	s.present[h] = struct{}{}
 	return cur, off, nil
 }
 

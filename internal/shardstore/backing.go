@@ -18,6 +18,16 @@ type Backing interface {
 	NumShards() int
 	// Shard returns the backing for stripe i in [0, NumShards).
 	Shard(i int) ShardBacking
+	// Missing reports which of the given fingerprints the backing
+	// holds no chunk for, as ascending indices into hs — the same
+	// answer Store.Missing gives (asserted differentially in tests),
+	// but available without a Store on top, so index-less tooling and
+	// a fingerprint-routing layer can query presence straight off a
+	// backing. It reflects the entries recovered at open plus every
+	// Append since, does its own locking, and is safe to call
+	// concurrently with ongoing writes. (When GC lands, entry removal
+	// must update this set alongside the journal.)
+	Missing(hs []Hash) []int
 	// CommitRecipe durably records a named stream recipe. The Store
 	// keeps its own in-memory recipe map; the backing only needs to
 	// guarantee Recipes returns the same set after a reopen.

@@ -1,8 +1,10 @@
 package shardstore
 
 import (
+	"encoding/binary"
 	"errors"
 	"fmt"
+	"sync"
 
 	"shredder/internal/dedup"
 )
@@ -16,9 +18,15 @@ type MemoryBacking struct {
 }
 
 // memShard is one in-memory stripe: the container slices, append-only.
+// present mirrors the fingerprints appended so far behind its own lock
+// (the container fields are serialized by the Store's stripe lock, but
+// Missing may be called concurrently from outside the Store).
 type memShard struct {
 	containerSize int64
 	containers    [][]byte
+
+	mu      sync.RWMutex
+	present map[Hash]struct{}
 }
 
 // NewMemoryBacking lays out an in-memory backing with the given shard
@@ -42,7 +50,7 @@ func NewMemoryBacking(shards int, containerSize int64) (*MemoryBacking, error) {
 	}
 	b := &MemoryBacking{shards: make([]*memShard, shards)}
 	for i := range b.shards {
-		b.shards[i] = &memShard{containerSize: containerSize}
+		b.shards[i] = &memShard{containerSize: containerSize, present: make(map[Hash]struct{})}
 	}
 	return b, nil
 }
@@ -54,13 +62,33 @@ func (b *MemoryBacking) Recipes() (map[string]Recipe, error) { return nil, nil }
 func (b *MemoryBacking) Sync() error                         { return nil }
 func (b *MemoryBacking) Close() error                        { return nil }
 
+// Missing reports which fingerprints no shard has a chunk for, as
+// ascending indices into hs.
+func (b *MemoryBacking) Missing(hs []Hash) []int {
+	mask := uint32(len(b.shards) - 1)
+	missing := make([]int, 0, len(hs))
+	for i := range hs {
+		m := b.shards[binary.BigEndian.Uint32(hs[i][:4])&mask]
+		m.mu.RLock()
+		_, ok := m.present[hs[i]]
+		m.mu.RUnlock()
+		if !ok {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
 // Recover is a no-op: memory starts empty.
 func (m *memShard) Recover(func(Hash, Ref, int64) error) error { return nil }
 
 // Append packs data into the open container, identical to
 // dedup.Store.append. Containers are append-only: bytes at an occupied
 // offset are never rewritten, so refs handed out remain valid views.
-func (m *memShard) Append(_ Hash, data []byte) (int, int64, error) {
+func (m *memShard) Append(h Hash, data []byte) (int, int64, error) {
+	m.mu.Lock()
+	m.present[h] = struct{}{}
+	m.mu.Unlock()
 	if len(m.containers) == 0 || int64(len(m.containers[len(m.containers)-1]))+int64(len(data)) > m.containerSize {
 		m.containers = append(m.containers, make([]byte, 0, m.containerSize))
 	}

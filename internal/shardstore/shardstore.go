@@ -234,6 +234,73 @@ func (s *Store) HasBatch(hs []Hash) []bool {
 	return out
 }
 
+// Missing is the batched negative Matching query: it returns the
+// ascending indices into hs of the fingerprints the store has no chunk
+// for. It is read-only and racy by nature — a fingerprint reported
+// missing may be inserted by a concurrent session a microsecond later
+// — so the ingest protocol's missing-set answer uses PinBatch instead.
+func (s *Store) Missing(hs []Hash) []int {
+	found := s.HasBatch(hs)
+	missing := make([]int, 0, len(hs))
+	for i, ok := range found {
+		if !ok {
+			missing = append(missing, i)
+		}
+	}
+	return missing
+}
+
+// PinBatch answers a batched Matching query while taking one reference
+// on every fingerprint it answers "present" for, under that shard's
+// stripe lock and journaled like any duplicate hit. This is the
+// primitive behind the ingest protocol's HasBatch: by the time the
+// server tells a client to skip a chunk body, the stream's reference
+// is already counted, so no concurrent reclaim (the future GC) can
+// free the chunk between the answer and the stream's recipe commit.
+// Present fingerprints get their Ref in refs and are accounted exactly
+// like a duplicate Put; absent ones come back as ascending indices in
+// missing with a zero Ref. On a backing error the batch stops early:
+// pins already applied stay applied (and accounted).
+func (s *Store) PinBatch(hs []Hash) (refs []Ref, missing []int, err error) {
+	refs = make([]Ref, len(hs))
+	found := make([]bool, len(hs))
+	var logical, chunksN, dups int64
+	err = s.byShard(hs, func(sh *shard, idxs []int) error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		pinned := false
+		for _, i := range idxs {
+			ref, ok := sh.index[hs[i]]
+			if !ok {
+				continue
+			}
+			if err := sh.back.LogRefDelta(hs[i], 1); err != nil {
+				return err
+			}
+			sh.refcount[hs[i]]++
+			refs[i], found[i] = ref, true
+			chunksN++
+			dups++
+			logical += ref.Length
+			pinned = true
+		}
+		if pinned {
+			return sh.back.Commit()
+		}
+		return nil
+	})
+	s.chunks.Add(chunksN)
+	s.logical.Add(logical)
+	s.hits.Add(dups)
+	missing = make([]int, 0, len(hs))
+	for i, ok := range found {
+		if !ok {
+			missing = append(missing, i)
+		}
+	}
+	return refs, missing, err
+}
+
 // PutBatch stores a batch of chunks in order, grouping the inserts by
 // shard so each stripe lock is taken at most once per batch. Refs and
 // duplicate flags come back in input order. The classification is
@@ -242,12 +309,25 @@ func (s *Store) HasBatch(hs []Hash) []bool {
 // backing error the batch stops early: chunks already applied stay
 // applied (and accounted), the rest of the refs are zero.
 func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool, error) {
-	refs := make([]Ref, len(chunks))
-	dup := make([]bool, len(chunks))
 	hs := make([]Hash, len(chunks))
 	for i, c := range chunks {
 		hs[i] = dedup.Sum(c)
 	}
+	return s.PutHashedBatch(hs, chunks)
+}
+
+// PutHashedBatch is PutBatch for callers that already hold the
+// fingerprints — the ingest server's body-upload path, which hashed
+// every uploaded chunk to verify it against the client's announcement.
+// Each hs[i] MUST be dedup.Sum(chunks[i]); storing under any other
+// address would corrupt every stream that later dedups against it, so
+// callers ingesting untrusted bytes verify first.
+func (s *Store) PutHashedBatch(hs []Hash, chunks [][]byte) ([]Ref, []bool, error) {
+	if len(hs) != len(chunks) {
+		return nil, nil, fmt.Errorf("shardstore: %d fingerprints for %d chunks", len(hs), len(chunks))
+	}
+	refs := make([]Ref, len(chunks))
+	dup := make([]bool, len(chunks))
 	var logical, stored int64
 	var chunksN, dups, uniques int64
 	err := s.byShard(hs, func(sh *shard, idxs []int) error {

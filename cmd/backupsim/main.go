@@ -31,14 +31,27 @@
 // server, verifies every stream restores byte-exactly, and writes the
 // matrix as JSON (wire bytes, throughput) to FILE — the CI artifact
 // BENCH_wire.json.
+//
+// With -retention N it runs the retention scenario against a durable
+// in-process server: N generations of a churning image (-prob per
+// 64 KiB segment) are ingested over the dedup wire, the oldest
+// generation is expired (protocol v3 delete) once the -retain window
+// is full, and the store is compacted after every round
+// (-gc-threshold). Every retained generation is verified byte-exact
+// each round and after a restart, per-round metrics go to -gc-json
+// (the CI artifact BENCH_gc.json), and the run fails if the final
+// disk footprint exceeds -amp-limit (default 1.5x) times the live
+// stored bytes.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"math/rand"
 	"net"
 	"os"
+	"path/filepath"
 	"time"
 
 	"shredder/internal/backup"
@@ -63,7 +76,36 @@ func main() {
 	avgKiB := flag.Int("avg", 4, "fastcdc target chunk size in KiB (power of two), with -chunker=fastcdc")
 	dedupWire := flag.Bool("dedup-wire", false, "with -server/-data: chunk client-side and upload only missing chunk bodies (protocol v3)")
 	wireBench := flag.String("wire-bench", "", "write the raw-vs-dedup wire benchmark (0%/50%/95% redundancy) as JSON to this file and exit")
+	retention := flag.Int("retention", 0, "run the retention scenario: this many generations ingested with the oldest expired and the store compacted each round (uses -data, or a temp dir)")
+	retain := flag.Int("retain", 3, "retention scenario: generations kept live")
+	gcThreshold := flag.Float64("gc-threshold", 0.7, "retention scenario: compact containers whose live fraction is below this after each round")
+	gcJSON := flag.String("gc-json", "", "retention scenario: write per-round GC metrics as JSON to this file (- for stdout)")
+	ampLimit := flag.Float64("amp-limit", 1.5, "retention scenario: fail when final disk bytes exceed this multiple of the live stored bytes (0 disables)")
 	flag.Parse()
+
+	if *retention > 0 {
+		if *server != "" || *wireBench != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -retention runs in-process and excludes -server/-wire-bench")
+			os.Exit(2)
+		}
+		err := runRetention(retentionConfig{
+			dir:       *data,
+			fsync:     *fsyncFlag,
+			gens:      *retention,
+			retain:    *retain,
+			size:      *imageMB << 20,
+			prob:      *prob,
+			threshold: *gcThreshold,
+			ampLimit:  *ampLimit,
+			seed:      *seed,
+			jsonPath:  *gcJSON,
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *wireBench != "" {
 		if *server != "" || *data != "" {
@@ -435,6 +477,231 @@ func runWireBench(path string, size int, seed int64) error {
 		return err
 	}
 	fmt.Printf("wrote %s\n", path)
+	return nil
+}
+
+// retentionConfig parameterizes the retention scenario.
+type retentionConfig struct {
+	dir       string // data directory; empty means a temp dir
+	fsync     string
+	gens      int
+	retain    int
+	size      int
+	prob      float64 // per-segment churn between generations
+	threshold float64 // compaction live-fraction threshold
+	ampLimit  float64 // max allowed disk/live amplification (0: off)
+	seed      int64
+	jsonPath  string
+}
+
+// gcBenchRow is one retention round's metrics — the BENCH_gc.json
+// schema.
+type gcBenchRow struct {
+	Generation     int     `json:"generation"`
+	LiveStreams    int     `json:"live_streams"`
+	LogicalBytes   int64   `json:"logical_bytes"`
+	StoredBytes    int64   `json:"stored_bytes"`
+	DiskBytes      int64   `json:"disk_bytes"`
+	Amplification  float64 `json:"amplification"`
+	FreedBytes     int64   `json:"freed_bytes"`
+	ReclaimedBytes int64   `json:"reclaimed_bytes"`
+	MovedBytes     int64   `json:"moved_bytes"`
+	CompactSecs    float64 `json:"compact_seconds"`
+	CompactMBPerS  float64 `json:"compact_mb_per_s"`
+}
+
+// churn mutates the previous generation: each segment is replaced with
+// fresh random bytes with probability prob — the paper's incremental
+// backup workload, chained so every generation drifts further.
+func churn(prev []byte, seed int64, segSize int, prob float64) []byte {
+	rng := rand.New(rand.NewSource(seed))
+	out := append([]byte(nil), prev...)
+	for off := 0; off < len(out); off += segSize {
+		end := off + segSize
+		if end > len(out) {
+			end = len(out)
+		}
+		if rng.Float64() < prob {
+			copy(out[off:end], workload.Random(seed+int64(off), end-off))
+		}
+	}
+	return out
+}
+
+// diskUsage sums every file under dir.
+func diskUsage(dir string) (int64, error) {
+	var total int64
+	err := filepath.Walk(dir, func(_ string, info os.FileInfo, err error) error {
+		if err != nil {
+			return err
+		}
+		if !info.IsDir() {
+			total += info.Size()
+		}
+		return nil
+	})
+	return total, err
+}
+
+// runRetention is the retention acceptance scenario: N generations are
+// ingested over the v3 dedup wire, the oldest expired (MsgDelete) once
+// the retain window is full, and the store compacted after every
+// round. Every live generation is verified to restore byte-exactly
+// each round and again after a restart, and the run fails if the final
+// on-disk footprint exceeds ampLimit times the live stored bytes — the
+// "disk can only grow" leak this subsystem exists to close.
+func runRetention(cfg retentionConfig) error {
+	policy, err := persist.ParseFsyncPolicy(cfg.fsync)
+	if err != nil {
+		return err
+	}
+	dir := cfg.dir
+	if dir == "" {
+		tmp, err := os.MkdirTemp("", "shredder-retention-*")
+		if err != nil {
+			return err
+		}
+		defer os.RemoveAll(tmp)
+		dir = tmp
+	}
+	// Small containers so liveness is tracked at fine grain: a 256 KiB
+	// container whose snapshots expired goes fully dead quickly.
+	opts := persist.Options{Fsync: policy, ContainerSize: 256 << 10}
+	store, err := persist.OpenStore(dir, opts)
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if store != nil {
+			store.Close()
+		}
+	}()
+	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	if err != nil {
+		return err
+	}
+	c := dialInProcess(srv)
+	defer c.Close()
+	if _, err := c.NegotiateDedup(ingest.DefaultConfig().Shredder.Chunking); err != nil {
+		return err
+	}
+
+	const segSize = 64 << 10
+	type gen struct {
+		name string
+		data []byte
+	}
+	var live []gen
+	var rows []gcBenchRow
+	data := workload.Random(cfg.seed, cfg.size)
+	for g := 1; g <= cfg.gens; g++ {
+		if g > 1 {
+			data = churn(data, cfg.seed+int64(g), segSize, cfg.prob)
+		}
+		name := fmt.Sprintf("gen-%d", g)
+		st, err := c.BackupDedupBytes(name, data)
+		if err != nil {
+			return fmt.Errorf("backup %s: %w", name, err)
+		}
+		live = append(live, gen{name, data})
+
+		var freed int64
+		if len(live) > cfg.retain {
+			oldest := live[0]
+			live = live[1:]
+			ds, err := c.Delete(oldest.name)
+			if err != nil {
+				return fmt.Errorf("delete %s: %w", oldest.name, err)
+			}
+			freed = ds.BytesFreed
+		}
+		start := time.Now()
+		cs, err := store.Compact(cfg.threshold)
+		if err != nil {
+			return fmt.Errorf("compact after %s: %w", name, err)
+		}
+		compactSecs := time.Since(start).Seconds()
+
+		for _, lg := range live {
+			if err := c.Verify(lg.name, lg.data); err != nil {
+				return fmt.Errorf("round %d, %s: %w", g, lg.name, err)
+			}
+		}
+		disk, err := diskUsage(dir)
+		if err != nil {
+			return err
+		}
+		var logical int64
+		for _, lg := range live {
+			logical += int64(len(lg.data))
+		}
+		stored := store.Stats().StoredBytes
+		row := gcBenchRow{
+			Generation:     g,
+			LiveStreams:    len(live),
+			LogicalBytes:   logical,
+			StoredBytes:    stored,
+			DiskBytes:      disk,
+			Amplification:  float64(disk) / float64(stored),
+			FreedBytes:     freed,
+			ReclaimedBytes: cs.ReclaimedBytes,
+			MovedBytes:     cs.MovedBytes,
+			CompactSecs:    compactSecs,
+		}
+		if compactSecs > 0 {
+			row.CompactMBPerS = float64(cs.MovedBytes+cs.ReclaimedBytes) / (1 << 20) / compactSecs
+		}
+		rows = append(rows, row)
+		fmt.Printf("%s: wire %s of %s; live %d streams, %s stored, %s on disk (amp %.2fx); gc freed %s, reclaimed %s\n",
+			name, stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
+			len(live), stats.Bytes(stored), stats.Bytes(disk), row.Amplification,
+			stats.Bytes(freed), stats.Bytes(cs.ReclaimedBytes))
+	}
+
+	// Restart: the retained generations must come back byte-exactly
+	// from the compacted directory.
+	c.Close()
+	if err := store.Close(); err != nil {
+		return err
+	}
+	store, err = persist.OpenStore(dir, opts)
+	if err != nil {
+		return fmt.Errorf("reopen after retention churn: %w", err)
+	}
+	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	if err != nil {
+		return err
+	}
+	c2 := dialInProcess(srv)
+	defer c2.Close()
+	for _, lg := range live {
+		if err := c2.Verify(lg.name, lg.data); err != nil {
+			return fmt.Errorf("after restart, %s: %w", lg.name, err)
+		}
+	}
+	final := rows[len(rows)-1]
+	fmt.Printf("retention done: %d generations, %d retained and restart-verified; final amp %.2fx (%s disk / %s live)\n",
+		cfg.gens, len(live), final.Amplification, stats.Bytes(final.DiskBytes), stats.Bytes(final.StoredBytes))
+
+	if cfg.jsonPath != "" {
+		out, err := json.MarshalIndent(rows, "", "  ")
+		if err != nil {
+			return err
+		}
+		out = append(out, '\n')
+		if cfg.jsonPath == "-" {
+			if _, err := os.Stdout.Write(out); err != nil {
+				return err
+			}
+		} else if err := os.WriteFile(cfg.jsonPath, out, 0o644); err != nil {
+			return err
+		} else {
+			fmt.Printf("wrote %s\n", cfg.jsonPath)
+		}
+	}
+	if cfg.ampLimit > 0 && final.Amplification > cfg.ampLimit {
+		return fmt.Errorf("space amplification %.2fx exceeds the %.2fx limit", final.Amplification, cfg.ampLimit)
+	}
 	return nil
 }
 

@@ -20,10 +20,17 @@
 // logging then reports the wire bytes saved; -dedup-wire=false caps
 // the protocol at v2 for operators who want the legacy behavior only.
 //
+// Retention: v3 sessions can expire streams with the delete op; the
+// recipe is durably tombstoned and its chunk references released
+// before the ack. Space comes back via container compaction — run it
+// in the background with -gc-interval (containers whose live fraction
+// drops below -gc-threshold are rewritten and unlinked, crash-safely).
+//
 //	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB]
 //	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
 //	          [-dedup-wire=true|false]
 //	          [-data DIR] [-fsync always|never|interval[=D]]
+//	          [-gc-interval D] [-gc-threshold F]
 //	          [-grace D] [-quiet]
 package main
 
@@ -59,9 +66,14 @@ func main() {
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
 	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
 	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
+	gcInterval := flag.Duration("gc-interval", 0, "background container-compaction period (0: GC disabled)")
+	gcThreshold := flag.Float64("gc-threshold", 0.5, "compact containers whose live fraction is below this (0: only fully-dead containers)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for active sessions")
 	quiet := flag.Bool("quiet", false, "suppress per-stream logging")
 	flag.Parse()
+	if *gcThreshold < 0 || *gcThreshold > 1 {
+		fatal(fmt.Errorf("gc-threshold %v outside [0, 1]", *gcThreshold))
+	}
 
 	cfg := ingest.DefaultConfig()
 	cfg.Shards = *shards
@@ -88,6 +100,10 @@ func main() {
 		cfg.MaxProtocol = 2
 	}
 	if !*quiet {
+		cfg.OnDelete = func(name string, ds shardstore.DeleteStats) {
+			log.Printf("deleted %q: released %d refs, freed %d chunks (%s reclaimable)",
+				name, ds.ChunksReleased, ds.ChunksFreed, stats.Bytes(ds.BytesFreed))
+		}
 		cfg.OnStream = func(name string, st ingest.StreamStats) {
 			wire := ""
 			if saved := st.Wire.Saved(); saved > 0 {
@@ -148,12 +164,51 @@ func main() {
 		l.Close()
 	}()
 
+	// Background GC: every interval, compact containers whose live
+	// fraction fell below the threshold (retention churn creates them
+	// as clients expire snapshots via the delete op).
+	var gcStop, gcDone chan struct{}
+	if *gcInterval > 0 {
+		gcStop, gcDone = make(chan struct{}), make(chan struct{})
+		go func() {
+			defer close(gcDone)
+			tick := time.NewTicker(*gcInterval)
+			defer tick.Stop()
+			for {
+				select {
+				case <-gcStop:
+					return
+				case <-tick.C:
+					start := time.Now()
+					cs, err := store.Compact(*gcThreshold)
+					if err != nil {
+						// Transient failures (ENOSPC mid-relocate is the
+						// likely one) must not disable GC for the rest of
+						// the process: log and retry next tick.
+						log.Printf("shredderd: gc: %v", err)
+						continue
+					}
+					if cs.Containers > 0 && !*quiet {
+						log.Printf("shredderd: gc reclaimed %s in %d containers (moved %s) in %v",
+							stats.Bytes(cs.ReclaimedBytes), cs.Containers,
+							stats.Bytes(cs.MovedBytes), time.Since(start).Round(time.Millisecond))
+					}
+				}
+			}
+		}()
+		log.Printf("shredderd: gc every %v at live-fraction threshold %.2f", *gcInterval, *gcThreshold)
+	}
+
 	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers, default engine %s)",
 		l.Addr(), *shards, *batch, *buffer, cfg.Shredder.Chunking.Algo)
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		fatal(err)
 	}
 	srv.Shutdown(*grace)
+	if gcStop != nil {
+		close(gcStop)
+		<-gcDone
+	}
 	if err := store.Close(); err != nil {
 		fatal(err)
 	}

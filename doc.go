@@ -20,13 +20,22 @@
 //   - internal/pchunk, internal/dedup — the pthreads baseline and the
 //     single-goroutine reference dedup store
 //   - internal/shardstore — the sharded, lock-striped, concurrency-safe
-//     chunk store (byte-identical semantics to internal/dedup, asserted
-//     differentially), with a pluggable backing: in-memory by default,
-//     durable via internal/persist
+//     chunk store (byte-identical ingest semantics to internal/dedup,
+//     asserted differentially), with a pluggable backing: in-memory by
+//     default, durable via internal/persist. Fully content-addressed:
+//     recipes are fingerprint lists resolved through the index at
+//     restore time, DeleteRecipe releases a recipe's references (and
+//     drops zero-refcount chunks), and Compact rewrites mostly-dead
+//     containers so reclaimed bytes actually return to the OS
 //   - internal/persist — the durable backing: per-shard append-only
-//     container files plus a length+CRC-framed write-ahead log,
-//     configurable fsync policy, and crash-recoverable replay that
-//     tolerates a torn final record
+//     container files plus a length+CRC-framed write-ahead log
+//     (inserts, refcount deltas, compaction relocations), a recipe
+//     journal with tombstones and self-compaction, configurable fsync
+//     policy, and crash-recoverable replay that tolerates a torn
+//     final record. Deletion and compaction are exactly as crash-safe
+//     as ingest: tombstone before release, moved copies before the
+//     WAL checkpoint, checkpoint (atomic rename) before unlink — a
+//     battery of byte-granular truncation tests pins each window
 //   - internal/ingest — the streaming ingest service layer: a
 //     length-prefixed binary protocol over net.Conn with per-session
 //     negotiation of protocol version and chunking engine
@@ -48,10 +57,13 @@
 //
 // The cmd/shredderd binary serves the ingest protocol over TCP (with
 // -data it is durable and restartable; SIGTERM drains and flushes;
-// -dedup-wire=false caps sessions at protocol v2) and cmd/backupsim
-// -server is its client (-data instead runs the restart round-trip
-// locally; -dedup-wire switches either mode to client-side matching;
-// -wire-bench emits the raw-vs-dedup transfer matrix as JSON). The
+// -dedup-wire=false caps sessions at protocol v2; -gc-interval/
+// -gc-threshold run background container compaction for retention
+// churn) and cmd/backupsim -server is its client (-data instead runs
+// the restart round-trip locally; -dedup-wire switches either mode to
+// client-side matching; -wire-bench emits the raw-vs-dedup transfer
+// matrix as JSON; -retention runs the expire-oldest/compact scenario
+// and enforces the 1.5x space-amplification bound). The
 // benchmarks in bench_test.go
 // wrap internal/experiments so that `go test -bench=.` reproduces the
 // paper's entire evaluation; the cmd/shredbench binary prints the same

@@ -8,6 +8,7 @@ import (
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
 	"shredder/internal/ingest"
+	"shredder/internal/shardstore"
 )
 
 // Service runs the consolidated backup through the shredderd service
@@ -67,6 +68,31 @@ func (s *Service) DialDedup() (*ingest.Session, error) {
 		return nil, err
 	}
 	return c, nil
+}
+
+// Expire deletes a backed-up stream through the service path: the
+// recipe is durably tombstoned and its chunk references released, so
+// the freed space is reclaimable by the store's compactor. This is the
+// retention entry point for the consolidated backup site — each
+// snapshot generation expires here when its retention window closes.
+func (s *Service) Expire(name string) (shardstore.DeleteStats, error) {
+	c, err := s.DialDedup()
+	if err != nil {
+		return shardstore.DeleteStats{}, err
+	}
+	defer c.Close()
+	ds, err := c.Delete(name)
+	if err != nil {
+		return shardstore.DeleteStats{}, err
+	}
+	return *ds, nil
+}
+
+// Compact reclaims dead container space in the service's store:
+// containers whose live fraction fell below threshold are rewritten
+// and dropped.
+func (s *Service) Compact(threshold float64) (shardstore.CompactStats, error) {
+	return s.srv.Store().Compact(threshold)
 }
 
 // VMResult is one stream's outcome in a MultiVM run.

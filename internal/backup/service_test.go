@@ -120,3 +120,46 @@ func TestServiceMultiVMDedup(t *testing.T) {
 		t.Fatalf("dedup service totals %+v diverge from raw %+v", dw, raw)
 	}
 }
+
+// TestServiceExpireCompact runs retention through the service path:
+// expiring one VM's snapshot releases its references, compaction
+// shrinks the stored footprint, and the surviving streams restore.
+func TestServiceExpireCompact(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.Shredder.BufferSize = 2 << 20
+	cfg.BufferSize = 2 << 20
+
+	golden := workload.NewImage(100, 2<<20, 64<<10, 0.5)
+	names := []string{"keep", "expire"}
+	images := [][]byte{golden.Snapshot(1), golden.Snapshot(2)}
+	svc, err := NewService(cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := svc.MultiVMDedup(names, images); err != nil {
+		t.Fatal(err)
+	}
+	before := svc.SiteStats()
+	ds, err := svc.Expire("expire")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ChunksFreed == 0 || ds.BytesFreed == 0 {
+		t.Fatalf("expire freed nothing at 50%% churn: %+v", ds)
+	}
+	after := svc.SiteStats()
+	if after.StoredBytes != before.StoredBytes-ds.BytesFreed {
+		t.Fatalf("stored bytes %d, want %d - %d", after.StoredBytes, before.StoredBytes, ds.BytesFreed)
+	}
+	if _, err := svc.Compact(0.9); err != nil {
+		t.Fatal(err)
+	}
+	c := svc.Dial()
+	defer c.Close()
+	if err := c.Verify("keep", images[0]); err != nil {
+		t.Fatalf("retained stream after expire+compact: %v", err)
+	}
+	if _, err := svc.Expire("expire"); err == nil {
+		t.Fatal("second expire of the same name succeeded")
+	}
+}

@@ -10,6 +10,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/shardstore"
 )
 
 // Session speaks the ingest protocol over one connection. It is not
@@ -46,6 +47,10 @@ type Client = Session
 // not negotiated protocol version 3 (NegotiateDedup was never called,
 // or the server talked it down).
 var ErrDedupUnsupported = errors.New("ingest: dedup backup requires a version ≥ 3 session (call NegotiateDedup first)")
+
+// ErrDeleteUnsupported reports a Delete call on a session below
+// protocol version 3 (deletion shipped with the v3 retention ops).
+var ErrDeleteUnsupported = errors.New("ingest: delete requires a version ≥ 3 session (call NegotiateDedup first)")
 
 // NewSession wraps an established connection (TCP, unix socket,
 // net.Pipe, ...).
@@ -349,6 +354,41 @@ func (s *Session) surfaceRemote(op, name string, werr error) error {
 	}
 	s.keep(payload)
 	return &RemoteError{Msg: string(payload), Op: op, Name: name}
+}
+
+// Delete expires a previously backed-up stream on the server: its
+// recipe is durably tombstoned and every chunk reference it held is
+// released, so chunks no retained stream uses become reclaimable by
+// the server's compactor. Requires a version ≥ 3 session
+// (NegotiateDedup). Deleting a name the server has no recipe for comes
+// back as a *RemoteError and the session stays usable.
+func (s *Session) Delete(name string) (*shardstore.DeleteStats, error) {
+	if s.version < 3 {
+		return nil, ErrDeleteUnsupported
+	}
+	if err := writeFrame(s.bw, MsgDelete, []byte(name)); err != nil {
+		return nil, err
+	}
+	if err := s.bw.Flush(); err != nil {
+		return nil, err
+	}
+	typ, payload, err := readFrame(s.br, s.buf)
+	if err != nil {
+		return nil, err
+	}
+	s.keep(payload)
+	switch typ {
+	case MsgDeleteOK:
+		ds, err := decodeDeleteResult(payload)
+		if err != nil {
+			return nil, err
+		}
+		return &ds, nil
+	case MsgError:
+		return nil, &RemoteError{Msg: string(payload), Op: "delete", Name: name}
+	default:
+		return nil, &UnexpectedFrameError{Type: typ, Context: "delete reply"}
+	}
 }
 
 // Restore streams a previously backed-up name from the server into w,

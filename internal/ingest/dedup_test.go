@@ -14,6 +14,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/persist"
 	"shredder/internal/shardstore"
 	"shredder/internal/workload"
 )
@@ -293,6 +294,159 @@ func TestConcurrentDedupOverlap(t *testing.T) {
 	if st := srv.Store().Stats(); st.Chunks != totalChunks || st.UniqueChunks != int64(len(want)) {
 		t.Fatalf("store accounting %+v, want %d chunks / %d unique", st, totalChunks, len(want))
 	}
+}
+
+// TestConcurrentDedupDeleteCompactRace is the retention race battery:
+// several dedup sessions re-upload heavily overlapping images while
+// each expires its previous generation and a GC goroutine compacts
+// continuously — against a durable store. Run under -race this is the
+// locking proof; the final refcounts must equal each chunk's exact
+// occurrence count across the retained recipes (nothing resurrected,
+// nothing lost, nothing leaked), and the store must recover to the
+// same state after a restart.
+func TestConcurrentDedupDeleteCompactRace(t *testing.T) {
+	spec := chunk.FastCDCSpec(4 << 10)
+	dir := t.TempDir()
+	store, err := persist.OpenStore(dir, persist.Options{
+		Shards:        8,
+		ContainerSize: 64 << 10,
+		Fsync:         persist.FsyncPolicy{Mode: persist.FsyncNever},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv, err := NewServerWithStore(testConfig(8), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const workers, gens = 4, 3
+	golden := workload.NewImage(101, 1<<20, 64<<10, 0.03)
+	images := make([][][]byte, workers)
+	for w := range images {
+		images[w] = make([][]byte, gens)
+		for g := range images[w] {
+			// Every image is a light churn of the same golden master:
+			// heavy chunk overlap across workers AND generations, so
+			// deletes constantly race re-uploads of the same hashes.
+			images[w][g] = golden.Snapshot(int64(10*w + g))
+		}
+	}
+
+	var wg sync.WaitGroup
+	errs := make([]error, workers)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := startSession(t, srv)
+			run := func() error {
+				if _, err := c.NegotiateDedup(spec); err != nil {
+					return err
+				}
+				for g := 0; g < gens; g++ {
+					name := fmt.Sprintf("w%d-g%d", w, g)
+					if _, err := c.BackupDedupBytes(name, images[w][g]); err != nil {
+						return fmt.Errorf("backup %s: %w", name, err)
+					}
+					if err := c.Verify(name, images[w][g]); err != nil {
+						return fmt.Errorf("verify %s: %w", name, err)
+					}
+					if g > 0 {
+						old := fmt.Sprintf("w%d-g%d", w, g-1)
+						if _, err := c.Delete(old); err != nil {
+							return fmt.Errorf("delete %s: %w", old, err)
+						}
+					}
+				}
+				return nil
+			}
+			errs[w] = run()
+		}(w)
+	}
+	gcDone := make(chan struct{})
+	gcStop := make(chan struct{})
+	go func() {
+		defer close(gcDone)
+		for {
+			select {
+			case <-gcStop:
+				return
+			default:
+			}
+			if _, err := store.Compact(0.8); err != nil {
+				t.Errorf("compact: %v", err)
+				return
+			}
+		}
+	}()
+	wg.Wait()
+	close(gcStop)
+	<-gcDone
+	for w, err := range errs {
+		if err != nil {
+			t.Fatalf("worker %d: %v", w, err)
+		}
+	}
+	// One final pass now that the churn is over.
+	if _, err := store.Compact(0.8); err != nil {
+		t.Fatal(err)
+	}
+
+	// Exact final refcounts: each chunk's occurrence count across the
+	// retained (last-generation) recipes, and not one hash more.
+	eng, err := chunk.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := make(map[dedup.Hash]int64)
+	var wantChunks int64
+	for w := 0; w < workers; w++ {
+		img := images[w][gens-1]
+		for _, c := range eng.Split(img) {
+			want[dedup.Sum(img[c.Offset:c.End()])]++
+			wantChunks++
+		}
+	}
+	check := func(label string) {
+		t.Helper()
+		for h, n := range want {
+			if got := store.Refcount(h); got != n {
+				t.Fatalf("%s: refcount %x = %d, want %d", label, h[:8], got, n)
+			}
+		}
+		st := store.Stats()
+		if st.UniqueChunks != int64(len(want)) || st.Chunks != wantChunks {
+			t.Fatalf("%s: store accounting %+v, want %d chunks / %d unique", label, st, wantChunks, len(want))
+		}
+		c := startSession(t, srv)
+		defer c.Close()
+		for w := 0; w < workers; w++ {
+			name := fmt.Sprintf("w%d-g%d", w, gens-1)
+			if err := c.Verify(name, images[w][gens-1]); err != nil {
+				t.Fatalf("%s: retained stream %s: %v", label, name, err)
+			}
+		}
+	}
+	check("quiescent")
+
+	// Restart: the churned, compacted store recovers to the same state.
+	statsBefore := store.Stats()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+	store, err = persist.OpenStore(dir, persist.Options{Fsync: persist.FsyncPolicy{Mode: persist.FsyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := store.Stats(); got != statsBefore {
+		t.Fatalf("recovered stats %+v, want %+v", got, statsBefore)
+	}
+	srv, err = NewServerWithStore(testConfig(8), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	check("recovered")
 }
 
 // TestDedupRequiresNegotiation: BackupDedup on a session that never

@@ -33,10 +33,16 @@
 //	C→S  Commit
 //	S→C  Stats | Error
 //
-// and a restore operation is
+// a restore operation is
 //
 //	C→S  Restore(name)
 //	S→C  Data* End | Error
+//
+// and a delete operation (version ≥ 3) — the retention path, which
+// expires a stream and releases its chunk references server-side — is
+//
+//	C→S  Delete(name)
+//	S→C  DeleteOK(stats) | Error
 //
 // Clients that skip the Hello get the server's default engine — the
 // Rabin configuration earlier protocol revisions hardwired — so legacy
@@ -60,9 +66,11 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"math"
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/shardstore"
 )
 
 // Frame types.
@@ -100,6 +108,14 @@ const (
 	// MsgCommit ends a dedup backup stream: the server durably records
 	// the recipe and replies with MsgStats.
 	MsgCommit
+	// MsgDelete asks the server to expire a named stream: the recipe is
+	// durably tombstoned and its chunk references released (chunks
+	// reaching zero references become reclaimable by compaction).
+	// Requires a version ≥ 3 session.
+	MsgDelete
+	// MsgDeleteOK is the server's ack of a MsgDelete; the payload is an
+	// encoded DeleteStats.
+	MsgDeleteOK
 )
 
 // ProtocolVersion is the newest protocol revision this package speaks:
@@ -362,4 +378,37 @@ func decodeStreamStats(p []byte) (StreamStats, error) {
 		}
 	}
 	return st, nil
+}
+
+// encodeDeleteResult packs a MsgDeleteOK payload: the released,
+// freed-entry and freed-byte counts as three uvarints.
+func encodeDeleteResult(ds shardstore.DeleteStats) []byte {
+	out := make([]byte, 0, 3*binary.MaxVarintLen64)
+	out = binary.AppendUvarint(out, uint64(ds.ChunksReleased))
+	out = binary.AppendUvarint(out, uint64(ds.ChunksFreed))
+	out = binary.AppendUvarint(out, uint64(ds.BytesFreed))
+	return out
+}
+
+// decodeDeleteResult parses a MsgDeleteOK payload. The counts are
+// non-negative by construction, and trailing bytes are rejected so the
+// framing stays canonical.
+func decodeDeleteResult(p []byte) (shardstore.DeleteStats, error) {
+	var u [3]uint64
+	for i := range u {
+		v, n := binary.Uvarint(p)
+		if n <= 0 || v > math.MaxInt64 {
+			return shardstore.DeleteStats{}, errors.New("ingest: malformed delete-result payload")
+		}
+		u[i] = v
+		p = p[n:]
+	}
+	if len(p) != 0 {
+		return shardstore.DeleteStats{}, errors.New("ingest: delete-result payload trailing bytes")
+	}
+	return shardstore.DeleteStats{
+		ChunksReleased: int64(u[0]),
+		ChunksFreed:    int64(u[1]),
+		BytesFreed:     int64(u[2]),
+	}, nil
 }

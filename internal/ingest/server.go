@@ -38,6 +38,9 @@ type Config struct {
 	// (the daemon uses it for logging). It may be called from multiple
 	// session goroutines at once.
 	OnStream func(name string, st StreamStats)
+	// OnDelete, when set, is called after each successful MsgDelete
+	// with what the deletion released. Same concurrency caveat.
+	OnDelete func(name string, ds shardstore.DeleteStats)
 }
 
 // DefaultConfig returns a service configuration: the paper's
@@ -242,6 +245,16 @@ func (s *Server) ServeConn(conn net.Conn) error {
 			if err := s.handleDedupBackup(string(payload), ver, br, bw); err != nil {
 				return err
 			}
+		case MsgDelete:
+			if ver < 3 {
+				ferr := &UnexpectedFrameError{Type: typ, Context: "session below protocol version 3"}
+				_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
+				_ = bw.Flush()
+				return ferr
+			}
+			if err := s.handleDelete(string(payload), bw); err != nil {
+				return err
+			}
 		case MsgRestore:
 			if err := s.handleRestore(string(payload), bw); err != nil {
 				return err
@@ -366,6 +379,13 @@ func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *b
 		err = s.store.CommitRecipe(name, recipe)
 	}
 	if err != nil {
+		// The stream dies uncommitted: give back the references the
+		// flushed batches took, so the aborted backup cannot pin its
+		// chunks against reclamation (recipe holds exactly the applied
+		// prefix — ingest returns it on error for this purpose).
+		if len(recipe) > 0 {
+			_, _ = s.store.Release(recipe)
+		}
 		// Best-effort: let the client finish writing (net.Pipe has no
 		// buffer) and hand it the error before the session dies. When
 		// the stream itself broke protocol the connection is
@@ -419,6 +439,20 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 	var recipe shardstore.Recipe
 	var buf []byte
 	var appErr error // first application failure; drain mode afterwards
+	// applied lists every reference this stream has actually taken so
+	// far (pins and stored bodies alike). A stream that dies before its
+	// Commit gives them back — otherwise every aborted backup would pin
+	// its chunks against reclamation forever. Only references known to
+	// be applied are listed: a batch that failed partway is left
+	// counted (a bounded leak, swept by a future fsck) rather than
+	// risk releasing references another stream holds.
+	var applied shardstore.Recipe
+	committed := false
+	defer func() {
+		if !committed && len(applied) > 0 {
+			_, _ = s.store.Release(applied)
+		}
+	}()
 	// abort is for protocol violations: best-effort error frame, die.
 	abort := func(err error) error {
 		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr == nil {
@@ -469,6 +503,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 					mi++
 					continue
 				}
+				applied = append(applied, hs[i])
 				st.Chunks++
 				st.DupChunks++
 				st.Bytes += refs[i].Length
@@ -486,17 +521,16 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			// client already committed to sending them) but discarded.
 			group := make([][]byte, 0, s.cfg.BatchSize)
 			groupHs := make([]shardstore.Hash, 0, s.cfg.BatchSize)
-			groupIdx := make([]int, 0, s.cfg.BatchSize)
 			flushGroup := func() error {
 				if len(group) == 0 {
 					return nil
 				}
-				prefs, pdup, err := s.store.PutHashedBatch(groupHs, group)
+				_, pdup, err := s.store.PutHashedBatch(groupHs, group)
 				if err != nil {
 					return err
 				}
-				for j, i := range groupIdx {
-					refs[i] = prefs[j]
+				applied = append(applied, groupHs...)
+				for j := range group {
 					st.Chunks++
 					st.Bytes += int64(len(group[j]))
 					if pdup[j] {
@@ -508,7 +542,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 						st.UniqueBytes += int64(len(group[j]))
 					}
 				}
-				group, groupHs, groupIdx = group[:0], groupHs[:0], groupIdx[:0]
+				group, groupHs = group[:0], groupHs[:0]
 				return nil
 			}
 			for _, i := range missing {
@@ -537,7 +571,6 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 				st.Wire.ChunksSent++
 				group = append(group, append([]byte(nil), body...))
 				groupHs = append(groupHs, hs[i])
-				groupIdx = append(groupIdx, i)
 				if len(group) >= s.cfg.BatchSize {
 					if err := flushGroup(); err != nil {
 						appErr = err
@@ -550,7 +583,9 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 				}
 			}
 			if appErr == nil {
-				recipe = append(recipe, refs...)
+				// The recipe is content-addressed: the round's
+				// fingerprints in stream order, pinned and uploaded alike.
+				recipe = append(recipe, hs...)
 			}
 		case MsgCommit:
 			if appErr == nil {
@@ -565,6 +600,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 				}
 				return appErr
 			}
+			committed = true
 			st.Wire.LogicalBytes = st.Bytes
 			st.Store = s.store.Stats()
 			if s.cfg.OnStream != nil {
@@ -590,11 +626,15 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 		if len(batch) == 0 {
 			return nil
 		}
-		refs, dup, err := s.store.PutBatch(batch)
+		hs := make([]shardstore.Hash, len(batch))
+		for i, c := range batch {
+			hs[i] = dedup.Sum(c)
+		}
+		_, dup, err := s.store.PutHashedBatch(hs, batch)
 		if err != nil {
 			return err
 		}
-		recipe = append(recipe, refs...)
+		recipe = append(recipe, hs...)
 		for i, c := range batch {
 			st.Chunks++
 			st.Bytes += int64(len(c))
@@ -617,12 +657,42 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 		return nil
 	})
 	if err != nil {
-		return StreamStats{}, nil, err
+		// The partial recipe goes back even on error: it lists exactly
+		// the references the flushed batches applied, which the caller
+		// releases when the stream cannot commit.
+		return StreamStats{}, recipe, err
 	}
 	if err := flush(); err != nil {
-		return StreamStats{}, nil, err
+		return StreamStats{}, recipe, err
 	}
 	return st, recipe, nil
+}
+
+// handleDelete expires one named stream: the recipe is tombstoned
+// durably and its chunk references released before the ack goes out.
+// An unknown name is an application error the session survives (like
+// an unknown restore); a store failure kills the session.
+func (s *Server) handleDelete(name string, bw *bufio.Writer) error {
+	ds, err := s.store.DeleteRecipe(name)
+	if err != nil {
+		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr != nil {
+			return werr
+		}
+		if ferr := bw.Flush(); ferr != nil {
+			return ferr
+		}
+		if errors.Is(err, shardstore.ErrUnknownRecipe) {
+			return nil
+		}
+		return err
+	}
+	if s.cfg.OnDelete != nil {
+		s.cfg.OnDelete(name, ds)
+	}
+	if err := writeFrame(bw, MsgDeleteOK, encodeDeleteResult(ds)); err != nil {
+		return err
+	}
+	return bw.Flush()
 }
 
 // handleRestore streams a recorded recipe back as Data frames.
@@ -634,8 +704,11 @@ func (s *Server) handleRestore(name string, bw *bufio.Writer) error {
 		}
 		return bw.Flush()
 	}
-	for _, ref := range recipe {
-		data, err := s.store.Get(ref)
+	for i, h := range recipe {
+		data, ok, err := s.store.GetByHash(h)
+		if err == nil && !ok {
+			err = fmt.Errorf("stream %q entry %d: no chunk for %x", name, i, h[:8])
+		}
 		if err != nil {
 			_ = writeFrame(bw, MsgError, []byte(err.Error()))
 			return bw.Flush()

@@ -203,14 +203,14 @@ func TestCrashTruncateRecipeLog(t *testing.T) {
 	dir := t.TempDir()
 	opts := Options{Shards: 1}
 	st := openStore(t, dir, opts)
-	ref, _, err := st.Put([]byte("chunk"))
-	if err != nil {
+	if _, _, err := st.Put([]byte("chunk")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CommitRecipe("first", shardstore.Recipe{ref}); err != nil {
+	h := dedup.Sum([]byte("chunk"))
+	if err := st.CommitRecipe("first", shardstore.Recipe{h}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CommitRecipe("second", shardstore.Recipe{ref, ref}); err != nil {
+	if err := st.CommitRecipe("second", shardstore.Recipe{h, h}); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {

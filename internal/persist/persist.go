@@ -73,7 +73,18 @@ type Backing struct {
 	recipeLog   *os.File
 	recipeSize  int64
 	recipeDirty bool
-	recipes     map[string]shardstore.Recipe
+	// recipeFailed is set when a journal rewrite died between closing
+	// the old file and installing the new one: the backing fail-stops
+	// recipe writes with the original fault instead of a bare "closed".
+	recipeFailed error
+	// recipes is the live recipe set (recovered at open, maintained by
+	// CommitRecipe/DeleteRecipe) and rsizes the framed journal bytes
+	// each live name currently occupies; rlive is their running sum —
+	// together they tell the journal compactor how much of the log is
+	// dead without rescanning the map on every commit.
+	recipes map[string]shardstore.Recipe
+	rsizes  map[string]int64
+	rlive   int64
 
 	tickStop chan struct{}
 	tickDone chan struct{}
@@ -85,7 +96,16 @@ type Backing struct {
 const (
 	manifestName  = "MANIFEST"
 	recipeLogName = "recipes.wal"
+	// manifestVersion 2 switched recipes to content-addressed
+	// fingerprint lists (v1 journaled physical refs, which compaction
+	// would invalidate).
+	manifestVersion = 2
 )
+
+// recipeLogSlack is how many dead bytes the recipe journal tolerates
+// before a delete or replace triggers a rewrite: the log is compacted
+// when it exceeds this floor and less than half of it is live.
+const recipeLogSlack = 64 << 10
 
 // Open creates or reopens a data directory.
 func Open(dir string, opts Options) (*Backing, error) {
@@ -145,7 +165,10 @@ func loadOrCreateManifest(dir string, opts Options) (Options, error) {
 			&version, &shards, &containerSize); serr != nil {
 			return Options{}, fmt.Errorf("persist: malformed manifest %s: %v", path, serr)
 		}
-		if version != 1 {
+		if version == 1 {
+			return Options{}, fmt.Errorf("persist: data dir %s is format v1 (location-addressed recipes, predates GC); re-ingest into a fresh directory", dir)
+		}
+		if version != manifestVersion {
 			return Options{}, fmt.Errorf("persist: manifest version %d not supported", version)
 		}
 		if opts.Shards != 0 && opts.Shards != shards {
@@ -168,7 +191,7 @@ func loadOrCreateManifest(dir string, opts Options) (Options, error) {
 		if opts.ContainerSize == 0 {
 			opts.ContainerSize = dedup.DefaultContainerSize
 		}
-		body := fmt.Sprintf("shredder-persist v1\nshards %d\ncontainer-size %d\n", opts.Shards, opts.ContainerSize)
+		body := fmt.Sprintf("shredder-persist v%d\nshards %d\ncontainer-size %d\n", manifestVersion, opts.Shards, opts.ContainerSize)
 		tmp := path + ".tmp"
 		if err := os.WriteFile(tmp, []byte(body), 0o644); err != nil {
 			return Options{}, err
@@ -185,10 +208,16 @@ func loadOrCreateManifest(dir string, opts Options) (Options, error) {
 	}
 }
 
-// openRecipes opens the recipe journal and replays it, truncating a
-// torn tail just like a shard WAL.
+// openRecipes opens the recipe journal and replays it — commits and
+// tombstones, last record per name wins — truncating a torn tail just
+// like a shard WAL.
 func (b *Backing) openRecipes() error {
 	path := filepath.Join(b.dir, recipeLogName)
+	// A leftover compaction temp file means a crash hit before the
+	// atomic rename: the old journal is authoritative.
+	if err := os.Remove(path + ".tmp"); err != nil && !os.IsNotExist(err) {
+		return err
+	}
 	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
 	if err != nil {
 		return err
@@ -199,15 +228,29 @@ func (b *Backing) openRecipes() error {
 		return err
 	}
 	recipes := make(map[string]shardstore.Recipe)
+	rsizes := make(map[string]int64)
 	clean, _ := scanRecords(raw, func(body []byte) error {
-		if len(body) == 0 || body[0] != recRecipe {
+		if len(body) == 0 {
 			return errTornRecord
 		}
-		name, r, derr := decodeRecipe(body)
-		if derr != nil {
+		switch body[0] {
+		case recRecipe:
+			name, r, derr := decodeRecipe(body)
+			if derr != nil {
+				return errTornRecord
+			}
+			recipes[name] = r
+			rsizes[name] = int64(recHeaderSize + len(body))
+		case recRecipeDelete:
+			name, derr := decodeRecipeDelete(body)
+			if derr != nil {
+				return errTornRecord
+			}
+			delete(recipes, name)
+			delete(rsizes, name)
+		default:
 			return errTornRecord
 		}
-		recipes[name] = r
 		return nil
 	})
 	if int64(clean) < int64(len(raw)) {
@@ -219,6 +262,11 @@ func (b *Backing) openRecipes() error {
 	b.recipeLog = f
 	b.recipeSize = int64(clean)
 	b.recipes = recipes
+	b.rsizes = rsizes
+	b.rlive = 0
+	for _, n := range rsizes {
+		b.rlive += n
+	}
 	return nil
 }
 
@@ -252,12 +300,44 @@ func (b *Backing) CommitRecipe(name string, r shardstore.Recipe) error {
 	if len(body) > maxRecordSize {
 		return fmt.Errorf("persist: recipe %q encodes to %d bytes, over the %d-byte record limit", name, len(body), maxRecordSize)
 	}
-	rec := appendRecord(nil, body)
 	b.rmu.Lock()
 	defer b.rmu.Unlock()
+	if err := b.appendRecipeRecordLocked(body); err != nil {
+		return err
+	}
+	b.recipes[name] = r
+	size := int64(recHeaderSize + len(body))
+	b.rlive += size - b.rsizes[name]
+	b.rsizes[name] = size
+	return b.maybeCompactRecipeLogLocked()
+}
+
+// DeleteRecipe journals a recipe tombstone; under FsyncAlways it is
+// crash-durable before the call returns — which is what lets the store
+// release the recipe's chunk references afterwards without ever
+// leaving a recoverable recipe that points at released chunks.
+func (b *Backing) DeleteRecipe(name string) error {
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	if err := b.appendRecipeRecordLocked(encodeRecipeDelete(name)); err != nil {
+		return err
+	}
+	delete(b.recipes, name)
+	b.rlive -= b.rsizes[name]
+	delete(b.rsizes, name)
+	return b.maybeCompactRecipeLogLocked()
+}
+
+// appendRecipeRecordLocked frames body onto the journal, honoring the
+// fsync policy. The caller holds b.rmu.
+func (b *Backing) appendRecipeRecordLocked(body []byte) error {
+	if b.recipeFailed != nil {
+		return fmt.Errorf("persist: recipe journal unavailable after failed rewrite: %w", b.recipeFailed)
+	}
 	if b.recipeLog == nil {
 		return errClosed
 	}
+	rec := appendRecord(nil, body)
 	if _, err := b.recipeLog.WriteAt(rec, b.recipeSize); err != nil {
 		return err
 	}
@@ -266,6 +346,37 @@ func (b *Backing) CommitRecipe(name string, r shardstore.Recipe) error {
 	if b.opts.Fsync.Mode == FsyncAlways {
 		return b.syncRecipesLocked()
 	}
+	return nil
+}
+
+// maybeCompactRecipeLogLocked rewrites the recipe journal when most of
+// it is dead bytes (replaced commits and tombstones): the live set is
+// written to a temp file, fsynced, and atomically renamed over the
+// journal, so retention churn cannot grow the log without bound. The
+// caller holds b.rmu.
+func (b *Backing) maybeCompactRecipeLogLocked() error {
+	if b.recipeSize <= recipeLogSlack || b.recipeSize <= 2*b.rlive {
+		return nil
+	}
+	var buf []byte
+	sizes := make(map[string]int64, len(b.recipes))
+	for name, r := range b.recipes {
+		body := encodeRecipe(name, r)
+		sizes[name] = int64(recHeaderSize + len(body))
+		buf = appendRecord(buf, body)
+	}
+	f, failStop, err := swapJournal(b.dir, filepath.Join(b.dir, recipeLogName), b.recipeLog, buf)
+	if err != nil {
+		if failStop {
+			b.recipeLog, b.recipeFailed = nil, err
+		}
+		return err
+	}
+	b.recipeLog = f
+	b.recipeSize = int64(len(buf))
+	b.recipeDirty = false
+	b.rsizes = sizes
+	b.rlive = int64(len(buf)) // a fresh journal is 100% live records
 	return nil
 }
 
@@ -280,7 +391,9 @@ func (b *Backing) syncRecipesLocked() error {
 	return nil
 }
 
-// Recipes returns the recipes replayed at open time.
+// Recipes returns the live recipe set (replayed at open, maintained by
+// CommitRecipe/DeleteRecipe since). The caller must copy it before any
+// concurrent use; shardstore.Open does.
 func (b *Backing) Recipes() (map[string]shardstore.Recipe, error) {
 	return b.recipes, nil
 }

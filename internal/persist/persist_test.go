@@ -78,11 +78,10 @@ func TestRoundTrip(t *testing.T) {
 	if err := st.CommitRecipe("stream-a", recipe); err != nil {
 		t.Fatal(err)
 	}
-	single, _, err := st.Put([]byte("one more chunk"))
-	if err != nil {
+	if _, _, err := st.Put([]byte("one more chunk")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CommitRecipe("stream-b", shardstore.Recipe{single}); err != nil {
+	if err := st.CommitRecipe("stream-b", shardstore.Recipe{dedup.Sum([]byte("one more chunk"))}); err != nil {
 		t.Fatal(err)
 	}
 	want, err := st.Reconstruct(recipe)
@@ -361,22 +360,20 @@ func TestVerifyOnRecover(t *testing.T) {
 func TestOversizedRecipeRejected(t *testing.T) {
 	dir := t.TempDir()
 	st := openStore(t, dir, Options{Shards: 1})
-	ref, _, err := st.Put([]byte("chunk"))
-	if err != nil {
+	if _, _, err := st.Put([]byte("chunk")); err != nil {
 		t.Fatal(err)
 	}
-	// Refs with 62-bit fields encode to 36 bytes each (four 9-byte
-	// uvarints); enough of them push the record body past maxRecordSize.
-	big := shardstore.Ref{Shard: 1 << 62, Container: 1 << 62, Offset: 1 << 62, Length: 1 << 62}
-	huge := make(shardstore.Recipe, maxRecordSize/36+2)
+	// Each recipe entry is one 32-byte fingerprint; enough of them push
+	// the record body past maxRecordSize.
+	huge := make(shardstore.Recipe, maxRecordSize/32+2)
 	for i := range huge {
-		huge[i] = big
+		huge[i] = testHash(byte(i))
 	}
 	if err := st.CommitRecipe("huge", huge); err == nil {
 		t.Fatal("oversized recipe accepted")
 	}
 	// The store must still work and the journal must still be clean.
-	if err := st.CommitRecipe("ok", shardstore.Recipe{ref}); err != nil {
+	if err := st.CommitRecipe("ok", shardstore.Recipe{dedup.Sum([]byte("chunk"))}); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -394,18 +391,16 @@ func TestOversizedRecipeRejected(t *testing.T) {
 func TestRecipeReplace(t *testing.T) {
 	dir := t.TempDir()
 	st := openStore(t, dir, Options{Shards: 1})
-	r1, _, err := st.Put([]byte("v1"))
-	if err != nil {
+	if _, _, err := st.Put([]byte("v1")); err != nil {
 		t.Fatal(err)
 	}
-	r2, _, err := st.Put([]byte("v2"))
-	if err != nil {
+	if _, _, err := st.Put([]byte("v2")); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CommitRecipe("vm", shardstore.Recipe{r1}); err != nil {
+	if err := st.CommitRecipe("vm", shardstore.Recipe{dedup.Sum([]byte("v1"))}); err != nil {
 		t.Fatal(err)
 	}
-	if err := st.CommitRecipe("vm", shardstore.Recipe{r2}); err != nil {
+	if err := st.CommitRecipe("vm", shardstore.Recipe{dedup.Sum([]byte("v2"))}); err != nil {
 		t.Fatal(err)
 	}
 	if err := st.Close(); err != nil {
@@ -414,8 +409,8 @@ func TestRecipeReplace(t *testing.T) {
 	st = openStore(t, dir, Options{})
 	defer st.Close()
 	r, ok := st.Recipe("vm")
-	if !ok || len(r) != 1 || r[0] != r2 {
-		t.Fatalf("recovered recipe %+v, want [%+v]", r, r2)
+	if !ok || len(r) != 1 || r[0] != dedup.Sum([]byte("v2")) {
+		t.Fatalf("recovered recipe %+v", r)
 	}
 	data, err := st.Reconstruct(r)
 	if err != nil {

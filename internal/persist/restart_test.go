@@ -6,10 +6,14 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"reflect"
 	"sync"
 	"testing"
 
+	"shredder/internal/chunk"
+	"shredder/internal/dedup"
 	"shredder/internal/ingest"
+	"shredder/internal/shardstore"
 	"shredder/internal/workload"
 )
 
@@ -160,6 +164,142 @@ func TestServerRestartAfterWALTruncation(t *testing.T) {
 	if data, err := store.Reconstruct(r); err == nil {
 		if !bytes.Equal(data, im.Master) {
 			t.Fatal("reconstruction succeeded with wrong bytes")
+		}
+	}
+}
+
+// TestDeleteRestartReingest covers the restart path after deletions —
+// the gap the Missing/PinBatch differential tests had: a stream is
+// expired over the wire, the store restarts, and the recovered
+// presence answers (Store.Missing, Backing.Missing, PinBatch's missing
+// set) must all agree that the freed chunks are gone while the shared
+// ones survive; a re-ingest then uploads exactly the freed bodies and
+// restores byte-exactly.
+func TestDeleteRestartReingest(t *testing.T) {
+	dir := t.TempDir()
+	opts := Options{Shards: 4, Fsync: FsyncPolicy{Mode: FsyncNever}}
+	spec := chunk.FastCDCSpec(4 << 10)
+	im := workload.NewImage(55, 1<<20, 64<<10, 0.5)
+	snap := im.Snapshot(56)
+
+	store := openStore(t, dir, opts)
+	srv, err := ingest.NewServerWithStore(ingestConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c := serveConn(srv)
+	if _, err := c.NegotiateDedup(spec); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BackupDedupBytes("master", im.Master); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.BackupDedupBytes("snap", snap); err != nil {
+		t.Fatal(err)
+	}
+	// The full fingerprint population of both streams, for presence
+	// queries below.
+	eng, err := chunk.New(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hashesOf := func(img []byte) []shardstore.Hash {
+		var hs []shardstore.Hash
+		for _, ck := range eng.Split(img) {
+			hs = append(hs, dedup.Sum(img[ck.Offset:ck.End()]))
+		}
+		return hs
+	}
+	all := append(hashesOf(im.Master), hashesOf(snap)...)
+
+	ds, err := store.DeleteRecipe("master")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ds.ChunksFreed == 0 {
+		t.Fatal("delete freed nothing at 50% churn")
+	}
+	wantMissing := store.Missing(all)
+	if len(wantMissing) == 0 {
+		t.Fatal("no fingerprints missing after delete")
+	}
+	c.Close()
+	if err := store.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	// Restart: both presence surfaces agree with the pre-restart store.
+	backing, err := Open(dir, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	store, err = shardstore.Open(backing)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer store.Close()
+	if got := store.Missing(all); !reflect.DeepEqual(got, wantMissing) {
+		t.Fatalf("recovered store Missing = %v, want %v", got, wantMissing)
+	}
+	if got := backing.Missing(all); !reflect.DeepEqual(got, wantMissing) {
+		t.Fatalf("recovered backing Missing = %v, want %v", got, wantMissing)
+	}
+	if _, ok := store.Recipe("master"); ok {
+		t.Fatal("deleted recipe recovered")
+	}
+
+	// PinBatch's missing set matches Missing (and its pins are real:
+	// undo them via a delete of the recipe we then commit).
+	_, pinMissing, err := store.PinBatch(all)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(pinMissing, wantMissing) {
+		t.Fatalf("PinBatch missing = %v, want %v", pinMissing, wantMissing)
+	}
+	var pinned shardstore.Recipe
+	mi := 0
+	for i, h := range all {
+		if mi < len(pinMissing) && pinMissing[mi] == i {
+			mi++
+			continue
+		}
+		pinned = append(pinned, h)
+	}
+	if err := store.CommitRecipe("pins", pinned); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := store.DeleteRecipe("pins"); err != nil {
+		t.Fatal(err)
+	}
+
+	// Re-ingest the deleted stream: exactly the freed bodies cross the
+	// wire again, and everything restores byte-exactly.
+	srv, err = ingest.NewServerWithStore(ingestConfig(), store)
+	if err != nil {
+		t.Fatal(err)
+	}
+	c = serveConn(srv)
+	defer c.Close()
+	if _, err := c.NegotiateDedup(spec); err != nil {
+		t.Fatal(err)
+	}
+	st, err := c.BackupDedupBytes("master", im.Master)
+	if err != nil {
+		t.Fatal(err)
+	}
+	masterMissing := 0
+	for _, i := range wantMissing {
+		if i < len(hashesOf(im.Master)) {
+			masterMissing++
+		}
+	}
+	if st.Wire.ChunksSent != int64(masterMissing) {
+		t.Fatalf("re-ingest uploaded %d bodies, want the %d the delete freed", st.Wire.ChunksSent, masterMissing)
+	}
+	for name, want := range map[string][]byte{"master": im.Master, "snap": snap} {
+		if err := c.Verify(name, want); err != nil {
+			t.Fatalf("after delete+restart+re-ingest, %s: %v", name, err)
 		}
 	}
 }

@@ -5,7 +5,6 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
-	"sort"
 	"sync"
 
 	"shredder/internal/dedup"
@@ -18,7 +17,10 @@ import (
 // first, then the index insert is journaled, so a WAL record never
 // survives a crash that lost its bytes without recovery noticing (the
 // record's range falls past the container's end and replay stops
-// there).
+// there). Compaction drops whole container files: the slot stays (nil
+// in the slice, so later containers keep their numbers) and the WAL is
+// checkpointed first, so no surviving record ever references a dropped
+// file.
 type diskShard struct {
 	id            int
 	dir           string
@@ -28,13 +30,18 @@ type diskShard struct {
 
 	mu         sync.Mutex // guards all fields below
 	wal        *os.File
-	walSize    int64  // bytes durably framed so far
-	walBuf     []byte // records staged since the last Commit
-	walDirty   bool   // WAL has writes not yet fsynced
-	containers []*containerFile
+	walSize    int64            // bytes durably framed so far
+	walBuf     []byte           // records staged since the last Commit
+	walDirty   bool             // WAL has writes not yet fsynced
+	containers []*containerFile // indexed by container number; nil = dropped
 	recovered  bool
+	// failed is set when a checkpoint died between closing the old WAL
+	// and installing the new one: the shard fail-stops journal writes
+	// with the original fault instead of a nil-file error.
+	failed error
 	// present mirrors the fingerprints with a live index entry
-	// (recovered at open plus appended since), for Backing.Missing.
+	// (recovered at open plus appended since, minus forgotten), for
+	// Backing.Missing.
 	present map[shardstore.Hash]struct{}
 }
 
@@ -47,6 +54,7 @@ type containerFile struct {
 
 const (
 	walName         = "wal"
+	walTmpName      = walName + ".tmp"
 	containerFormat = "c-%06d.dat"
 )
 
@@ -61,10 +69,10 @@ func newDiskShard(dir string, id int, containerSize int64, always, verify bool) 
 }
 
 // Recover opens the shard's files and replays the WAL against them:
-// inserts are validated against the container bytes actually on disk,
-// a torn or inconsistent tail is cut off (WAL truncated to the last
-// clean record, containers truncated to the last journaled byte), and
-// fn is called once per surviving index entry.
+// inserts and relocations are validated against the container bytes
+// actually on disk, a torn or inconsistent tail is cut off (WAL
+// truncated to the last clean record, containers truncated to the last
+// journaled byte), and fn is called once per surviving index entry.
 func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refcount int64) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -73,6 +81,11 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 	}
 	s.recovered = true
 	if err := os.MkdirAll(s.dir, 0o755); err != nil {
+		return err
+	}
+	// A leftover checkpoint temp file means a crash hit mid-checkpoint,
+	// before the atomic rename: the old WAL is authoritative.
+	if err := os.Remove(filepath.Join(s.dir, walTmpName)); err != nil && !os.IsNotExist(err) {
 		return err
 	}
 	if err := s.openContainers(); err != nil {
@@ -94,6 +107,37 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 	// past it were written but never made it into the surviving WAL
 	// prefix, so they are cut off below.
 	watermarks := make([]int64, len(s.containers))
+	// validate checks a journaled location against the bytes on disk.
+	// A reference to a hole in the container numbering is fail-stop,
+	// not a torn tail: a checkpointed WAL never references a dropped
+	// slot, so a nil slot below the highest container on disk means a
+	// container file was lost externally — truncating the WAL there
+	// would silently discard every later record and shrink intact
+	// containers to match. Refuse to open instead.
+	var lostContainer error
+	validate := func(h shardstore.Hash, ci int, off, length int64) bool {
+		if ci >= 0 && ci < len(s.containers) && s.containers[ci] == nil {
+			lostContainer = fmt.Errorf("persist: shard %d WAL references container %d, whose file is missing", s.id, ci)
+			return false
+		}
+		if ci < 0 || ci >= len(s.containers) ||
+			off < 0 || length < 0 || off+length > s.containers[ci].size {
+			return false
+		}
+		if s.verify {
+			// Re-hash the chunk: catches bytes the filesystem lost in
+			// ways the size check cannot see (zero-filled pages after
+			// power loss under relaxed fsync).
+			buf := make([]byte, length)
+			if _, rerr := s.containers[ci].f.ReadAt(buf, off); rerr != nil {
+				return false
+			}
+			if dedup.Sum(buf) != h {
+				return false
+			}
+		}
+		return true
+	}
 	clean, err := scanRecords(raw, func(body []byte) error {
 		if len(body) == 0 {
 			return errTornRecord
@@ -104,26 +148,16 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 			if derr != nil {
 				return errTornRecord
 			}
-			if ci < 0 || ci >= len(s.containers) || off < 0 || length < 0 ||
-				off+length > s.containers[ci].size {
+			if !validate(h, ci, off, length) {
+				if lostContainer != nil {
+					return lostContainer
+				}
 				// The record refers to bytes that never reached the
 				// container file: the tail of history is lost.
 				return errTornRecord
 			}
 			if _, dup := index[h]; dup {
 				return errTornRecord
-			}
-			if s.verify {
-				// Re-hash the chunk: catches bytes the filesystem lost
-				// in ways the size check cannot see (zero-filled pages
-				// after power loss under relaxed fsync).
-				buf := make([]byte, length)
-				if _, rerr := s.containers[ci].f.ReadAt(buf, off); rerr != nil {
-					return errTornRecord
-				}
-				if dedup.Sum(buf) != h {
-					return errTornRecord
-				}
 			}
 			index[h] = shardstore.Ref{Shard: s.id, Container: ci, Offset: off, Length: length}
 			refcount[h] = 1
@@ -140,10 +174,33 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 			}
 			refcount[h] += delta
 			if refcount[h] < 1 {
-				// A future GC decrement released the entry; the bytes
-				// stay until compaction reclaims them.
+				// A delete released the entry; the bytes stay until
+				// compaction reclaims them.
 				delete(index, h)
 				delete(refcount, h)
+			}
+		case recRelocate:
+			h, ci, off, length, derr := decodeRelocate(body)
+			if derr != nil {
+				return errTornRecord
+			}
+			ref, ok := index[h]
+			if !ok || ref.Length != length {
+				return errTornRecord
+			}
+			if !validate(h, ci, off, length) {
+				if lostContainer != nil {
+					return lostContainer
+				}
+				// The moved copy never reached disk: the move (and
+				// everything after it) is lost; the entry keeps its old
+				// location, whose container still exists — unlink only
+				// happens after a checkpoint that survives replay.
+				return errTornRecord
+			}
+			index[h] = shardstore.Ref{Shard: s.id, Container: ci, Offset: off, Length: length}
+			if off+length > watermarks[ci] {
+				watermarks[ci] = off + length
 			}
 		default:
 			return errTornRecord
@@ -160,7 +217,7 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 	}
 	s.walSize = int64(clean)
 	for i, cf := range s.containers {
-		if cf.size > watermarks[i] {
+		if cf != nil && cf.size > watermarks[i] {
 			if err := cf.f.Truncate(watermarks[i]); err != nil {
 				return err
 			}
@@ -185,27 +242,39 @@ func (s *diskShard) has(h shardstore.Hash) bool {
 	return ok
 }
 
-// openContainers opens every existing container file in order,
-// verifying the sequence c-000000, c-000001, ... is contiguous.
+// Forget removes a dropped entry from the presence set (the journal
+// side is the refcount decrement the store already staged).
+func (s *diskShard) Forget(h shardstore.Hash) {
+	s.mu.Lock()
+	delete(s.present, h)
+	s.mu.Unlock()
+}
+
+// openContainers opens every existing container file by its number.
+// The sequence may have holes where compaction dropped containers;
+// dropped slots stay nil so surviving containers keep their numbers.
 func (s *diskShard) openContainers() error {
 	entries, err := os.ReadDir(s.dir)
 	if err != nil {
 		return err
 	}
-	var names []string
+	nums := make(map[int]string)
+	max := -1
 	for _, e := range entries {
 		var n int
 		if !e.IsDir() {
 			if _, err := fmt.Sscanf(e.Name(), containerFormat, &n); err == nil {
-				names = append(names, e.Name())
+				if want := fmt.Sprintf(containerFormat, n); e.Name() == want {
+					nums[n] = e.Name()
+					if n > max {
+						max = n
+					}
+				}
 			}
 		}
 	}
-	sort.Strings(names)
-	for i, name := range names {
-		if want := fmt.Sprintf(containerFormat, i); name != want {
-			return fmt.Errorf("persist: shard %d containers not contiguous: have %s, want %s", s.id, name, want)
-		}
+	s.containers = make([]*containerFile, max+1)
+	for n, name := range nums {
 		f, err := os.OpenFile(filepath.Join(s.dir, name), os.O_RDWR, 0o644)
 		if err != nil {
 			return err
@@ -215,17 +284,14 @@ func (s *diskShard) openContainers() error {
 			f.Close()
 			return err
 		}
-		s.containers = append(s.containers, &containerFile{f: f, size: st.Size()})
+		s.containers[n] = &containerFile{f: f, size: st.Size()}
 	}
 	return nil
 }
 
-// Append packs data into the open container (rolling when full) and
-// stages the insert record; both become durable at the next Commit
-// under the shard's fsync policy.
-func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
+// pack writes data into the open container (rolling when full) and
+// returns where it landed; the caller stages the matching WAL record.
+func (s *diskShard) pack(data []byte) (int, int64, error) {
 	cur := len(s.containers) - 1
 	if cur < 0 || s.containers[cur].size+int64(len(data)) > s.containerSize {
 		f, err := os.OpenFile(
@@ -252,9 +318,36 @@ func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
 	off := cf.size
 	cf.size += int64(len(data))
 	cf.dirty = true
-	s.walBuf = appendRecord(s.walBuf, encodeInsert(h, cur, off, int64(len(data))))
-	s.present[h] = struct{}{}
 	return cur, off, nil
+}
+
+// Append packs data into the open container (rolling when full) and
+// stages the insert record; both become durable at the next Commit
+// under the shard's fsync policy.
+func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ci, off, err := s.pack(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.walBuf = appendRecord(s.walBuf, encodeInsert(h, ci, off, int64(len(data))))
+	s.present[h] = struct{}{}
+	return ci, off, nil
+}
+
+// Relocate re-packs a surviving chunk's bytes during compaction and
+// stages the relocation record. The entry stays present; only its
+// location changes.
+func (s *diskShard) Relocate(h shardstore.Hash, data []byte) (int, int64, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ci, off, err := s.pack(data)
+	if err != nil {
+		return 0, 0, err
+	}
+	s.walBuf = appendRecord(s.walBuf, encodeRelocate(h, ci, off, int64(len(data))))
+	return ci, off, nil
 }
 
 // LogRefDelta stages a refcount-change record.
@@ -285,6 +378,12 @@ func (s *diskShard) flushLocked() error {
 	if len(s.walBuf) == 0 {
 		return nil
 	}
+	if s.failed != nil {
+		return fmt.Errorf("persist: shard %d journal unavailable after failed checkpoint: %w", s.id, s.failed)
+	}
+	if s.wal == nil {
+		return errClosed
+	}
 	if _, err := s.wal.WriteAt(s.walBuf, s.walSize); err != nil {
 		// walSize is not advanced: the next flush rewrites the region
 		// and recovery ignores any torn tail it may have left.
@@ -299,7 +398,7 @@ func (s *diskShard) flushLocked() error {
 // fsyncLocked syncs every dirty file, containers first.
 func (s *diskShard) fsyncLocked() error {
 	for _, cf := range s.containers {
-		if cf.dirty {
+		if cf != nil && cf.dirty {
 			if err := cf.f.Sync(); err != nil {
 				return err
 			}
@@ -326,10 +425,60 @@ func (s *diskShard) sync() error {
 	return s.fsyncLocked()
 }
 
+// Checkpoint is the compaction commit point. In order: (1) every
+// staged record — the relocations — and every dirty container is
+// fsynced, so the moved copies are durable under the OLD journal; (2)
+// a fresh journal describing exactly the live entries is written to a
+// temp file, fsynced, and atomically renamed over the WAL; (3) only
+// then are the victim container files unlinked. A crash before the
+// rename recovers from the old WAL with every container still on disk;
+// a crash after it recovers from the new WAL, which references none of
+// the dropped containers. There is no reachable state in between.
+func (s *diskShard) Checkpoint(live []shardstore.CheckpointEntry, drop []int) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.flushLocked(); err != nil {
+		return err
+	}
+	if err := s.fsyncLocked(); err != nil {
+		return err
+	}
+	var buf []byte
+	for _, e := range live {
+		buf = appendRecord(buf, encodeInsert(e.Hash, e.Ref.Container, e.Ref.Offset, e.Ref.Length))
+		if e.Refcount > 1 {
+			buf = appendRecord(buf, encodeRefDelta(e.Hash, e.Refcount-1))
+		}
+	}
+	wal, failStop, err := swapJournal(s.dir, filepath.Join(s.dir, walName), s.wal, buf)
+	if err != nil {
+		if failStop {
+			s.wal, s.failed = nil, err
+		}
+		return err
+	}
+	s.wal = wal
+	s.walSize = int64(len(buf))
+	s.walDirty = false
+	for _, ci := range drop {
+		if ci < 0 || ci >= len(s.containers)-1 || s.containers[ci] == nil {
+			continue
+		}
+		if err := s.containers[ci].f.Close(); err != nil {
+			return err
+		}
+		if err := os.Remove(filepath.Join(s.dir, fmt.Sprintf(containerFormat, ci))); err != nil {
+			return err
+		}
+		s.containers[ci] = nil
+	}
+	return syncDir(s.dir)
+}
+
 // Read returns the bytes at a stored location via positional read.
 func (s *diskShard) Read(container int, offset, length int64) ([]byte, error) {
 	s.mu.Lock()
-	if container < 0 || container >= len(s.containers) {
+	if container < 0 || container >= len(s.containers) || s.containers[container] == nil {
 		s.mu.Unlock()
 		return nil, fmt.Errorf("persist: shard %d container %d out of range", s.id, container)
 	}
@@ -346,11 +495,23 @@ func (s *diskShard) Read(container int, offset, length int64) ([]byte, error) {
 	return buf, nil
 }
 
-// Containers reports how many containers the shard has opened.
+// Containers reports how many container slots the shard has opened
+// (including slots dropped by compaction, so numbers stay stable).
 func (s *diskShard) Containers() int {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	return len(s.containers)
+}
+
+// ContainerLen reports container i's on-disk byte count, -1 for a slot
+// compaction dropped.
+func (s *diskShard) ContainerLen(i int) int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if i < 0 || i >= len(s.containers) || s.containers[i] == nil {
+		return -1
+	}
+	return s.containers[i].size
 }
 
 // close syncs and releases the shard's files.
@@ -359,6 +520,9 @@ func (s *diskShard) close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	for _, cf := range s.containers {
+		if cf == nil {
+			continue
+		}
 		if cerr := cf.f.Close(); err == nil {
 			err = cerr
 		}

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"hash/crc32"
+	"os"
 
 	"shredder/internal/shardstore"
 )
@@ -27,11 +28,19 @@ const (
 	// fingerprint and the container location its bytes were packed at.
 	recInsert byte = iota + 1
 	// recRefDelta journals a reference-count change for an existing
-	// entry (+1 per duplicate hit; GC will journal decrements).
+	// entry: +1 per duplicate hit or pin, -1 per recipe-delete
+	// release. Replay drops an entry whose count reaches zero.
 	recRefDelta
 	// recRecipe journals one named stream recipe in the store-level
 	// recipe log.
 	recRecipe
+	// recRelocate journals a compaction move in a shard WAL: an
+	// existing entry's bytes were re-packed at a new container
+	// location. Replay re-points the entry; the refcount is untouched.
+	recRelocate
+	// recRecipeDelete journals a recipe tombstone in the store-level
+	// recipe log: replay removes the name.
+	recRecipeDelete
 )
 
 // recHeaderSize frames every record: u32 body length + u32 CRC-32C.
@@ -102,13 +111,57 @@ func scanRecords(p []byte, fn func(body []byte) error) (clean int, err error) {
 	return off, nil
 }
 
+// swapJournal atomically replaces the journal at path with buf — the
+// checkpoint/rewrite commit protocol shared by the shard WAL and the
+// recipe log: buf is written to path+".tmp" and fsynced, the old
+// handle is closed, the temp file renamed over the journal, the
+// directory fsynced, and the fresh journal reopened. A crash at any
+// byte leaves either the old journal intact or the new one complete
+// (the rename is the commit point; leftover .tmp files are removed at
+// open). On error, failStop reports whether the old handle was
+// already closed — the caller must then stop journal writes with the
+// returned error rather than continue against a dead handle.
+func swapJournal(dir, path string, old *os.File, buf []byte) (f *os.File, failStop bool, err error) {
+	tmpPath := path + ".tmp"
+	tmp, err := os.OpenFile(tmpPath, os.O_CREATE|os.O_RDWR|os.O_TRUNC, 0o644)
+	if err != nil {
+		return nil, false, err
+	}
+	if _, err := tmp.Write(buf); err != nil {
+		tmp.Close()
+		return nil, false, err
+	}
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		return nil, false, err
+	}
+	if err := tmp.Close(); err != nil {
+		return nil, false, err
+	}
+	if err := old.Close(); err != nil {
+		return nil, true, err
+	}
+	if err := os.Rename(tmpPath, path); err != nil {
+		return nil, true, err
+	}
+	if err := syncDir(dir); err != nil {
+		return nil, true, err
+	}
+	f, err = os.OpenFile(path, os.O_RDWR, 0o644)
+	if err != nil {
+		return nil, true, err
+	}
+	return f, false, nil
+}
+
 // --- typed payloads ---
 
-// encodeInsert journals h stored at (container, offset, length). The
-// shard is implied by which shard's WAL holds the record.
-func encodeInsert(h shardstore.Hash, container int, offset, length int64) []byte {
+// encodeLocated frames the shared insert/relocate payload shape: a
+// fingerprint plus the container location its bytes live at. The shard
+// is implied by which shard's WAL holds the record.
+func encodeLocated(typ byte, h shardstore.Hash, container int, offset, length int64) []byte {
 	body := make([]byte, 0, 1+len(h)+3*binary.MaxVarintLen64)
-	body = append(body, recInsert)
+	body = append(body, typ)
 	body = append(body, h[:]...)
 	body = binary.AppendUvarint(body, uint64(container))
 	body = binary.AppendUvarint(body, uint64(offset))
@@ -116,10 +169,10 @@ func encodeInsert(h shardstore.Hash, container int, offset, length int64) []byte
 	return body
 }
 
-func decodeInsert(body []byte) (h shardstore.Hash, container int, offset, length int64, err error) {
+func decodeLocated(body []byte) (h shardstore.Hash, container int, offset, length int64, err error) {
 	p := body[1:]
 	if len(p) < len(h) {
-		return h, 0, 0, 0, fmt.Errorf("persist: insert record body %d bytes, need %d", len(body), 1+len(h))
+		return h, 0, 0, 0, fmt.Errorf("persist: located record body %d bytes, need %d", len(body), 1+len(h))
 	}
 	copy(h[:], p)
 	p = p[len(h):]
@@ -127,15 +180,33 @@ func decodeInsert(body []byte) (h shardstore.Hash, container int, offset, length
 	for i := range u {
 		v, n := binary.Uvarint(p)
 		if n <= 0 {
-			return h, 0, 0, 0, errors.New("persist: insert record truncated varint")
+			return h, 0, 0, 0, errors.New("persist: located record truncated varint")
 		}
 		u[i] = v
 		p = p[n:]
 	}
 	if len(p) != 0 {
-		return h, 0, 0, 0, errors.New("persist: insert record trailing bytes")
+		return h, 0, 0, 0, errors.New("persist: located record trailing bytes")
 	}
 	return h, int(u[0]), int64(u[1]), int64(u[2]), nil
+}
+
+// encodeInsert journals h stored at (container, offset, length).
+func encodeInsert(h shardstore.Hash, container int, offset, length int64) []byte {
+	return encodeLocated(recInsert, h, container, offset, length)
+}
+
+func decodeInsert(body []byte) (shardstore.Hash, int, int64, int64, error) {
+	return decodeLocated(body)
+}
+
+// encodeRelocate journals a compaction move of h to a new location.
+func encodeRelocate(h shardstore.Hash, container int, offset, length int64) []byte {
+	return encodeLocated(recRelocate, h, container, offset, length)
+}
+
+func decodeRelocate(body []byte) (shardstore.Hash, int, int64, int64, error) {
+	return decodeLocated(body)
 }
 
 // encodeRefDelta journals a refcount change for h.
@@ -161,19 +232,20 @@ func decodeRefDelta(body []byte) (h shardstore.Hash, delta int64, err error) {
 	return h, v, nil
 }
 
-// encodeRecipe journals one named recipe: name, ref count, then each
-// ref as four varints (shard, container, offset, length).
+// hashLen is the fixed wire size of one fingerprint in a recipe body.
+const hashLen = len(shardstore.Hash{})
+
+// encodeRecipe journals one named recipe: name, entry count, then the
+// fingerprints back to back. Recipes are content-addressed (hashes,
+// not locations), so compaction never has to rewrite them.
 func encodeRecipe(name string, r shardstore.Recipe) []byte {
-	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(name)+len(r)*4*binary.MaxVarintLen64)
+	body := make([]byte, 0, 1+2*binary.MaxVarintLen64+len(name)+len(r)*hashLen)
 	body = append(body, recRecipe)
 	body = binary.AppendUvarint(body, uint64(len(name)))
 	body = append(body, name...)
 	body = binary.AppendUvarint(body, uint64(len(r)))
-	for _, ref := range r {
-		body = binary.AppendUvarint(body, uint64(ref.Shard))
-		body = binary.AppendUvarint(body, uint64(ref.Container))
-		body = binary.AppendUvarint(body, uint64(ref.Offset))
-		body = binary.AppendUvarint(body, uint64(ref.Length))
+	for i := range r {
+		body = append(body, r[i][:]...)
 	}
 	return body
 }
@@ -201,26 +273,36 @@ func decodeRecipe(body []byte) (string, shardstore.Recipe, error) {
 	if err != nil {
 		return "", nil, err
 	}
-	if count > uint64(len(p)) { // each ref takes ≥ 4 bytes; cheap bound
-		return "", nil, errors.New("persist: recipe record implausible ref count")
+	// Bound before multiplying: a hostile count must not wrap the
+	// product into agreement (or size a giant allocation).
+	if count > uint64(len(p))/uint64(hashLen) || count*uint64(hashLen) != uint64(len(p)) {
+		return "", nil, errors.New("persist: recipe record fingerprint count mismatch")
 	}
-	r := make(shardstore.Recipe, 0, count)
-	for i := uint64(0); i < count; i++ {
-		var f [4]uint64
-		for j := range f {
-			if f[j], err = uvarint(); err != nil {
-				return "", nil, err
-			}
-		}
-		r = append(r, shardstore.Ref{
-			Shard:     int(f[0]),
-			Container: int(f[1]),
-			Offset:    int64(f[2]),
-			Length:    int64(f[3]),
-		})
-	}
-	if len(p) != 0 {
-		return "", nil, errors.New("persist: recipe record trailing bytes")
+	r := make(shardstore.Recipe, count)
+	for i := range r {
+		copy(r[i][:], p[uint64(i)*uint64(hashLen):])
 	}
 	return name, r, nil
+}
+
+// encodeRecipeDelete journals a recipe tombstone: the name alone.
+func encodeRecipeDelete(name string) []byte {
+	body := make([]byte, 0, 1+binary.MaxVarintLen64+len(name))
+	body = append(body, recRecipeDelete)
+	body = binary.AppendUvarint(body, uint64(len(name)))
+	body = append(body, name...)
+	return body
+}
+
+func decodeRecipeDelete(body []byte) (string, error) {
+	p := body[1:]
+	nameLen, n := binary.Uvarint(p)
+	if n <= 0 {
+		return "", errors.New("persist: recipe tombstone truncated varint")
+	}
+	p = p[n:]
+	if nameLen != uint64(len(p)) {
+		return "", errors.New("persist: recipe tombstone name length mismatch")
+	}
+	return string(p), nil
 }

@@ -20,14 +20,22 @@ func walSeedCorpus() [][]byte {
 		{recInsert},
 		{recRefDelta},
 		{recRecipe},
+		{recRelocate},
+		{recRecipeDelete},
 		{0xff, 0x00},
 		encodeInsert(h, 0, 0, 0),
 		encodeInsert(h, 1<<20, 1<<40, 32<<10),
 		encodeRefDelta(h, 1),
+		encodeRefDelta(h, -1), // the delete path's release
 		encodeRefDelta(h, -(1 << 50)),
-		encodeRecipe("vm-master", shardstore.Recipe{{Shard: 3, Container: 2, Offset: 4096, Length: 512}}),
+		encodeRelocate(h, 0, 0, 0),
+		encodeRelocate(h, 7, 1<<30, 4096),
+		encodeRecipe("vm-master", shardstore.Recipe{testHash(1), testHash(2)}),
 		encodeRecipe("", nil),
+		encodeRecipeDelete("vm-master"),
+		encodeRecipeDelete(""),
 		appendRecord(nil, encodeRefDelta(h, 1)),                          // a framed record as raw input
+		appendRecord(nil, encodeRelocate(h, 1, 2, 3)),                    // framed relocate
 		appendRecord(appendRecord(nil, []byte{recInsert}), []byte{0xab}), // two frames
 		{0xff, 0xff, 0xff, 0xff, 0, 0, 0, 0},                             // 4 GiB length claim
 		bytes.Repeat([]byte{0x00}, recHeaderSize),                        // empty body, zero CRC
@@ -94,9 +102,21 @@ func FuzzWALRecord(f *testing.F) {
 						t.Skip("non-canonical varint encoding")
 					}
 				}
+			case recRelocate:
+				if h, ci, off, length, err := decodeRelocate(in); err == nil {
+					if !bytes.Equal(encodeRelocate(h, ci, off, length), in) {
+						t.Skip("non-canonical varint encoding")
+					}
+				}
 			case recRecipe:
 				if name, r, err := decodeRecipe(in); err == nil {
 					if !bytes.Equal(encodeRecipe(name, r), in) {
+						t.Skip("non-canonical varint encoding")
+					}
+				}
+			case recRecipeDelete:
+				if name, err := decodeRecipeDelete(in); err == nil {
+					if !bytes.Equal(encodeRecipeDelete(name), in) {
 						t.Skip("non-canonical varint encoding")
 					}
 				}

@@ -130,12 +130,9 @@ func TestRefDeltaRoundTrip(t *testing.T) {
 	}
 }
 
-// TestRecipeRoundTrip pins the recipe codec.
+// TestRecipeRoundTrip pins the content-addressed recipe codec.
 func TestRecipeRoundTrip(t *testing.T) {
-	r := shardstore.Recipe{
-		{Shard: 0, Container: 0, Offset: 0, Length: 1},
-		{Shard: 15, Container: 7, Offset: 1 << 30, Length: 32 << 10},
-	}
+	r := shardstore.Recipe{testHash(1), testHash(2), testHash(1)}
 	for _, name := range []string{"", "vm-master", "名前"} {
 		body := encodeRecipe(name, r)
 		gn, gr, err := decodeRecipe(body)
@@ -143,16 +140,63 @@ func TestRecipeRoundTrip(t *testing.T) {
 			t.Fatalf("%q: %v", name, err)
 		}
 		if gn != name || len(gr) != len(r) {
-			t.Fatalf("%q: got %q with %d refs", name, gn, len(gr))
+			t.Fatalf("%q: got %q with %d entries", name, gn, len(gr))
 		}
 		for i := range r {
 			if gr[i] != r[i] {
-				t.Fatalf("%q ref %d: %+v != %+v", name, i, gr[i], r[i])
+				t.Fatalf("%q entry %d: %x != %x", name, i, gr[i][:4], r[i][:4])
 			}
 		}
 	}
-	// Empty recipes survive too (a zero-byte stream has no refs).
+	// Empty recipes survive too (a zero-byte stream has no entries).
 	if _, gr, err := decodeRecipe(encodeRecipe("empty", nil)); err != nil || len(gr) != 0 {
-		t.Fatalf("empty recipe: %v, %d refs", err, len(gr))
+		t.Fatalf("empty recipe: %v, %d entries", err, len(gr))
+	}
+	// A count that disagrees with the payload size is rejected.
+	bad := encodeRecipe("x", r)
+	if _, _, err := decodeRecipe(bad[:len(bad)-1]); err == nil {
+		t.Fatal("short recipe body accepted")
+	}
+}
+
+// TestRelocateRoundTrip pins the compaction-move codec.
+func TestRelocateRoundTrip(t *testing.T) {
+	h := testHash(5)
+	body := encodeRelocate(h, 4, 98765, 2048)
+	if body[0] != recRelocate {
+		t.Fatalf("record type %d", body[0])
+	}
+	gh, ci, off, length, err := decodeRelocate(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if gh != h || ci != 4 || off != 98765 || length != 2048 {
+		t.Fatalf("got (%x, %d, %d, %d)", gh[:4], ci, off, length)
+	}
+	for cut := 1; cut < len(body); cut++ {
+		if _, _, _, _, err := decodeRelocate(body[:cut]); err == nil {
+			t.Fatalf("truncated relocate body at %d decoded", cut)
+		}
+	}
+}
+
+// TestRecipeDeleteRoundTrip pins the tombstone codec.
+func TestRecipeDeleteRoundTrip(t *testing.T) {
+	for _, name := range []string{"", "vm-snapshot-3", "名前"} {
+		body := encodeRecipeDelete(name)
+		if body[0] != recRecipeDelete {
+			t.Fatalf("record type %d", body[0])
+		}
+		gn, err := decodeRecipeDelete(body)
+		if err != nil || gn != name {
+			t.Fatalf("%q: got %q, %v", name, gn, err)
+		}
+	}
+	body := encodeRecipeDelete("vm")
+	if _, err := decodeRecipeDelete(body[:len(body)-1]); err == nil {
+		t.Fatal("short tombstone accepted")
+	}
+	if _, err := decodeRecipeDelete(append(body, 'x')); err == nil {
+		t.Fatal("oversized tombstone accepted")
 	}
 }

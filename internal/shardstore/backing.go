@@ -24,22 +24,37 @@ type Backing interface {
 	// but available without a Store on top, so index-less tooling and
 	// a fingerprint-routing layer can query presence straight off a
 	// backing. It reflects the entries recovered at open plus every
-	// Append since, does its own locking, and is safe to call
-	// concurrently with ongoing writes. (When GC lands, entry removal
-	// must update this set alongside the journal.)
+	// Append since, minus every Forget, does its own locking, and is
+	// safe to call concurrently with ongoing writes.
 	Missing(hs []Hash) []int
 	// CommitRecipe durably records a named stream recipe. The Store
 	// keeps its own in-memory recipe map; the backing only needs to
 	// guarantee Recipes returns the same set after a reopen.
 	CommitRecipe(name string, r Recipe) error
+	// DeleteRecipe durably records that a named recipe no longer
+	// exists (a tombstone in the recipe journal), so Recipes omits it
+	// after a reopen. The Store journals the tombstone BEFORE it
+	// releases the recipe's chunk references: a crash between the two
+	// can leak reference counts (chunks merely stay longer) but can
+	// never leave a recovered recipe pointing at released chunks.
+	DeleteRecipe(name string) error
 	// Recipes returns the recipes recovered at open time (nil when the
-	// backing is fresh or non-durable).
+	// backing is fresh or non-durable). The Store copies the map; the
+	// backing may keep mutating its own view afterwards.
 	Recipes() (map[string]Recipe, error)
 	// Sync forces everything written so far to durable media.
 	Sync() error
 	// Close flushes and releases the backing. The Store must not be
 	// used afterwards.
 	Close() error
+}
+
+// CheckpointEntry is one live index entry handed to a shard checkpoint:
+// the full durable state of one chunk at the moment of the checkpoint.
+type CheckpointEntry struct {
+	Hash     Hash
+	Ref      Ref
+	Refcount int64
 }
 
 // ShardBacking is one stripe of a Backing: an append-only container
@@ -55,14 +70,36 @@ type ShardBacking interface {
 	// index insert for h. It returns where the bytes landed.
 	Append(h Hash, data []byte) (container int, offset int64, err error)
 	// LogRefDelta journals a reference-count change for an existing
-	// entry (+1 per duplicate hit today; GC will log decrements).
+	// entry: +1 per duplicate hit or pin, -1 per recipe-delete release.
+	// Replay drops an entry whose count reaches zero.
 	LogRefDelta(h Hash, delta int64) error
+	// Forget removes h from the backing's presence set after the Store
+	// dropped its index entry (refcount reached zero). The journal side
+	// is the LogRefDelta the Store already staged; Forget only keeps
+	// the answer Missing gives in sync with the live index.
+	Forget(h Hash)
 	// Commit marks the end of one batch of Append/LogRefDelta calls:
 	// the backing flushes its journal, honoring its fsync policy.
 	Commit() error
 	// Read returns the bytes at a stored location. The slice must stay
-	// valid after return (containers are append-only).
+	// valid after return (containers are append-only and compaction
+	// only ever drops whole containers the index no longer references).
 	Read(container int, offset, length int64) ([]byte, error)
-	// Containers reports how many containers the shard has opened.
+	// Containers reports how many container slots the shard has opened
+	// (dropped containers keep their slot so refs stay stable).
 	Containers() int
+	// ContainerLen reports how many bytes container i holds, or -1 for
+	// a slot whose container was dropped by compaction.
+	ContainerLen(i int) int64
+	// Relocate re-packs a surviving chunk's bytes into the shard's open
+	// container during compaction, journaling the move (so replay
+	// re-points the existing index entry) instead of a fresh insert.
+	Relocate(h Hash, data []byte) (container int, offset int64, err error)
+	// Checkpoint makes every staged move durable, atomically replaces
+	// the shard's journal with one describing exactly the given live
+	// entries, and only then drops the listed containers. A crash at
+	// any byte leaves either the old journal (all containers still on
+	// disk) or the new one (which references none of the dropped
+	// containers), never a mix.
+	Checkpoint(live []CheckpointEntry, drop []int) error
 }

@@ -58,6 +58,7 @@ func NewMemoryBacking(shards int, containerSize int64) (*MemoryBacking, error) {
 func (b *MemoryBacking) NumShards() int                      { return len(b.shards) }
 func (b *MemoryBacking) Shard(i int) ShardBacking            { return b.shards[i] }
 func (b *MemoryBacking) CommitRecipe(string, Recipe) error   { return nil }
+func (b *MemoryBacking) DeleteRecipe(string) error           { return nil }
 func (b *MemoryBacking) Recipes() (map[string]Recipe, error) { return nil, nil }
 func (b *MemoryBacking) Sync() error                         { return nil }
 func (b *MemoryBacking) Close() error                        { return nil }
@@ -89,6 +90,12 @@ func (m *memShard) Append(h Hash, data []byte) (int, int64, error) {
 	m.mu.Lock()
 	m.present[h] = struct{}{}
 	m.mu.Unlock()
+	return m.pack(data)
+}
+
+// pack places data in the open container, rolling when full. The open
+// (last) container is never nil: Checkpoint only drops earlier slots.
+func (m *memShard) pack(data []byte) (int, int64, error) {
 	if len(m.containers) == 0 || int64(len(m.containers[len(m.containers)-1]))+int64(len(data)) > m.containerSize {
 		m.containers = append(m.containers, make([]byte, 0, m.containerSize))
 	}
@@ -99,8 +106,46 @@ func (m *memShard) Append(h Hash, data []byte) (int, int64, error) {
 	return ci, off, nil
 }
 
+// Relocate re-packs a surviving chunk during compaction; h is already
+// present, so only the bytes move.
+func (m *memShard) Relocate(h Hash, data []byte) (int, int64, error) {
+	return m.pack(data)
+}
+
 func (m *memShard) LogRefDelta(Hash, int64) error { return nil }
 func (m *memShard) Commit() error                 { return nil }
+
+// Forget removes a dropped entry from the presence set.
+func (m *memShard) Forget(h Hash) {
+	m.mu.Lock()
+	delete(m.present, h)
+	m.mu.Unlock()
+}
+
+// ContainerLen reports container i's byte count, -1 for dropped slots.
+func (m *memShard) ContainerLen(i int) int64 {
+	if i < 0 || i >= len(m.containers) {
+		return -1
+	}
+	if m.containers[i] == nil {
+		return -1
+	}
+	return int64(len(m.containers[i]))
+}
+
+// Checkpoint has no journal to rewrite in memory; it just drops the
+// victim containers so their bytes can be garbage-collected. Slots are
+// nilled, not removed: later containers keep their numbers. Previously
+// returned views into a dropped container stay valid (the Store only
+// drops containers its index no longer references).
+func (m *memShard) Checkpoint(_ []CheckpointEntry, drop []int) error {
+	for _, ci := range drop {
+		if ci >= 0 && ci < len(m.containers)-1 {
+			m.containers[ci] = nil
+		}
+	}
+	return nil
+}
 
 // Read returns a read-only view into the container; it stays valid
 // because containers are append-only.

@@ -13,16 +13,25 @@
 // log, so Open rebuilds the exact index, refcounts, recipes and Stats
 // after a restart.
 //
-// Semantics are byte-identical to dedup.Store: the same sequence of
-// Put calls classifies exactly the same chunks as duplicates, produces
-// the same aggregate Stats, and reconstructs streams byte-exactly.
-// With a single shard the packing (container/offset/length of every
-// ref) is identical to dedup.Store as well; the differential test in
-// this package asserts both properties.
+// The store is fully content-addressed end to end: a Recipe is an
+// ordered list of chunk fingerprints, resolved through the index at
+// restore time. Physical locations (Refs) are an implementation detail
+// the compactor is free to rewrite — DeleteRecipe releases a recipe's
+// references (entries reaching zero are dropped from the index), and
+// Compact rewrites mostly-dead containers so the reclaimed bytes
+// actually return to the operating system.
+//
+// Ingest semantics are byte-identical to dedup.Store: the same sequence
+// of Put calls classifies exactly the same chunks as duplicates,
+// produces the same aggregate Stats, and reconstructs streams
+// byte-exactly. With a single shard the packing (container/offset/
+// length of every ref) is identical to dedup.Store as well; the
+// differential test in this package asserts both properties.
 package shardstore
 
 import (
 	"encoding/binary"
+	"errors"
 	"fmt"
 	"sort"
 	"sync"
@@ -36,7 +45,8 @@ import (
 type Hash = dedup.Hash
 
 // Ref locates a stored chunk: a shard, a container within the shard,
-// and a byte range within the container.
+// and a byte range within the container. Refs are valid until the
+// compactor moves the chunk; durable identity lives in the fingerprint.
 type Ref struct {
 	Shard     int
 	Container int
@@ -44,12 +54,26 @@ type Ref struct {
 	Length    int64
 }
 
-// Recipe is the ordered list of refs that reconstructs one stream.
-type Recipe []Ref
+// Recipe is the ordered list of chunk fingerprints that reconstructs
+// one stream. Recipes are content-addressed on purpose: they survive
+// compaction (which moves chunk bytes between containers) unchanged,
+// and deleting one is exactly a reference-count release per entry.
+type Recipe []Hash
 
 // MaxShards bounds the shard count; 1024 shards of independent maps is
 // far past the point of diminishing returns for in-memory indexes.
 const MaxShards = 1024
+
+// ErrUnknownRecipe reports a DeleteRecipe (or restore) of a stream
+// name the store has no recipe for.
+var ErrUnknownRecipe = errors.New("shardstore: unknown recipe")
+
+// loc is a physical location within one shard, the reverse-index key
+// mapping a container slot back to the fingerprint stored there.
+type loc struct {
+	container int
+	offset    int64
+}
 
 // shard is one stripe of the store. All fields but the immutable idx
 // and back handle are guarded by mu.
@@ -59,6 +83,11 @@ type shard struct {
 	back     ShardBacking
 	index    map[Hash]Ref
 	refcount map[Hash]int64
+	// live tracks the live (index-referenced) bytes per container, the
+	// signal the compactor picks victims by; byLoc is the reverse index
+	// from location to fingerprint, maintained on insert/relocate/drop.
+	live  map[int]int64
+	byLoc map[loc]Hash
 }
 
 // Store is a sharded deduplicating chunk store. All methods are safe
@@ -108,6 +137,8 @@ func Open(b Backing) (*Store, error) {
 			back:     b.Shard(i),
 			index:    make(map[Hash]Ref),
 			refcount: make(map[Hash]int64),
+			live:     make(map[int]int64),
+			byLoc:    make(map[loc]Hash),
 		}
 		err := sh.back.Recover(func(h Hash, ref Ref, rc int64) error {
 			if rc < 1 {
@@ -116,6 +147,8 @@ func Open(b Backing) (*Store, error) {
 			ref.Shard = i
 			sh.index[h] = ref
 			sh.refcount[h] = rc
+			sh.live[ref.Container] += ref.Length
+			sh.byLoc[loc{ref.Container, ref.Offset}] = h
 			// Every counter is derivable from the recovered entries: one
 			// unique insert plus rc-1 duplicate hits of ref.Length bytes.
 			s.unique.Add(1)
@@ -134,10 +167,12 @@ func Open(b Backing) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shardstore: recover recipes: %w", err)
 	}
-	if recipes == nil {
-		recipes = make(map[string]Recipe)
+	// Copy: a durable backing keeps its own live view of the recipe set
+	// (for journal compaction) and must not share the Store's map.
+	s.recipes = make(map[string]Recipe, len(recipes))
+	for name, r := range recipes {
+		s.recipes[name] = r
 	}
-	s.recipes = recipes
 	return s, nil
 }
 
@@ -206,7 +241,25 @@ func (sh *shard) put(h Hash, data []byte) (Ref, bool, error) {
 	ref := Ref{Shard: sh.idx, Container: ci, Offset: off, Length: int64(len(data))}
 	sh.index[h] = ref
 	sh.refcount[h] = 1
+	sh.live[ci] += ref.Length
+	sh.byLoc[loc{ci, off}] = h
 	return ref, false, nil
+}
+
+// release drops one reference from h; at zero the entry leaves the
+// index (its bytes stay in the container until compaction). The caller
+// holds sh.mu and has already journaled the decrement.
+func (sh *shard) release(h Hash, ref Ref) (freed bool) {
+	sh.refcount[h]--
+	if sh.refcount[h] > 0 {
+		return false
+	}
+	delete(sh.index, h)
+	delete(sh.refcount, h)
+	delete(sh.byLoc, loc{ref.Container, ref.Offset})
+	sh.live[ref.Container] -= ref.Length
+	sh.back.Forget(h)
+	return true
 }
 
 // Has reports whether a chunk with fingerprint h is already stored —
@@ -255,12 +308,12 @@ func (s *Store) Missing(hs []Hash) []int {
 // stripe lock and journaled like any duplicate hit. This is the
 // primitive behind the ingest protocol's HasBatch: by the time the
 // server tells a client to skip a chunk body, the stream's reference
-// is already counted, so no concurrent reclaim (the future GC) can
-// free the chunk between the answer and the stream's recipe commit.
-// Present fingerprints get their Ref in refs and are accounted exactly
-// like a duplicate Put; absent ones come back as ascending indices in
-// missing with a zero Ref. On a backing error the batch stops early:
-// pins already applied stay applied (and accounted).
+// is already counted, so no concurrent reclaim — DeleteRecipe or the
+// compactor — can free the chunk between the answer and the stream's
+// recipe commit. Present fingerprints get their Ref in refs and are
+// accounted exactly like a duplicate Put; absent ones come back as
+// ascending indices in missing with a zero Ref. On a backing error the
+// batch stops early: pins already applied stay applied (and accounted).
 func (s *Store) PinBatch(hs []Hash) (refs []Ref, missing []int, err error) {
 	refs = make([]Ref, len(hs))
 	found := make([]bool, len(hs))
@@ -381,7 +434,8 @@ func (s *Store) byShard(hs []Hash, fn func(sh *shard, idxs []int) error) error {
 // Get returns the bytes of a stored chunk. The returned slice is a
 // read-only view (for MemoryBacking, into the shard's container; for a
 // durable backing, a fresh read) and stays valid because containers
-// are append-only.
+// are append-only and only dropped once the index no longer references
+// them.
 func (s *Store) Get(ref Ref) ([]byte, error) {
 	if ref.Shard < 0 || ref.Shard >= len(s.shards) {
 		return nil, fmt.Errorf("shardstore: shard %d out of range", ref.Shard)
@@ -392,9 +446,27 @@ func (s *Store) Get(ref Ref) ([]byte, error) {
 	return sh.back.Read(ref.Container, ref.Offset, ref.Length)
 }
 
+// GetByHash resolves a fingerprint through the index and returns the
+// chunk's bytes — the content-addressed read the restore path uses, so
+// recipes stay valid when compaction moves chunks. ok is false when the
+// store holds no chunk for h.
+func (s *Store) GetByHash(h Hash) (data []byte, ok bool, err error) {
+	sh := s.shardFor(h)
+	sh.mu.RLock()
+	defer sh.mu.RUnlock()
+	ref, ok := sh.index[h]
+	if !ok {
+		return nil, false, nil
+	}
+	data, err = sh.back.Read(ref.Container, ref.Offset, ref.Length)
+	return data, true, err
+}
+
 // Stats returns the aggregate statistics. Each field is maintained
 // atomically; when the store is quiescent the snapshot is exact and
-// equal to what dedup.Store would report for the same inputs.
+// equal to what dedup.Store would report for the same inputs (and,
+// after deletions, to what a store that never saw the deleted streams
+// would report).
 func (s *Store) Stats() dedup.Stats {
 	return dedup.Stats{
 		LogicalBytes: s.logical.Load(),
@@ -405,7 +477,8 @@ func (s *Store) Stats() dedup.Stats {
 	}
 }
 
-// Containers returns the total number of containers across all shards.
+// Containers returns the total number of container slots across all
+// shards (slots dropped by compaction still count; refs stay stable).
 func (s *Store) Containers() int {
 	total := 0
 	for _, sh := range s.shards {
@@ -428,7 +501,11 @@ func (s *Store) Refcount(h Hash) int64 {
 // WriteStream stores an already-chunked stream, returning its recipe
 // and the number of duplicate chunks.
 func (s *Store) WriteStream(chunks [][]byte) (Recipe, int, error) {
-	refs, dup, err := s.PutBatch(chunks)
+	hs := make([]Hash, len(chunks))
+	for i, c := range chunks {
+		hs[i] = dedup.Sum(c)
+	}
+	_, dup, err := s.PutHashedBatch(hs, chunks)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -438,20 +515,233 @@ func (s *Store) WriteStream(chunks [][]byte) (Recipe, int, error) {
 			dups++
 		}
 	}
-	return Recipe(refs), dups, nil
+	return Recipe(hs), dups, nil
 }
 
 // CommitRecipe records a named stream recipe, durably if the backing
-// is. A recommitted name replaces the previous recipe (the chunks it
-// referenced stay stored; GC is a future concern).
+// is. A recommitted name replaces the previous recipe AND releases the
+// replaced recipe's references, exactly like deleting it — a client
+// re-backing-up under a fixed name must not pin last night's chunks
+// forever. The new recipe is journaled (replay is last-wins) before
+// the old references are released, so a crash in between leaks
+// references but never leaves the surviving recipe dangling.
 func (s *Store) CommitRecipe(name string, r Recipe) error {
+	s.rmu.Lock()
+	old, replaced := s.recipes[name]
 	if err := s.backing.CommitRecipe(name, r); err != nil {
+		s.rmu.Unlock()
 		return err
 	}
-	s.rmu.Lock()
 	s.recipes[name] = r
 	s.rmu.Unlock()
-	return nil
+	if !replaced {
+		return nil
+	}
+	_, err := s.releaseRefs(old)
+	return err
+}
+
+// DeleteStats reports what one DeleteRecipe released.
+type DeleteStats struct {
+	// ChunksReleased counts the references given back (one per recipe
+	// entry that resolved to a live chunk).
+	ChunksReleased int64
+	// ChunksFreed counts the entries whose reference count reached
+	// zero and left the index; BytesFreed is their total size — bytes
+	// the next compaction pass can return to the operating system.
+	ChunksFreed int64
+	BytesFreed  int64
+}
+
+// DeleteRecipe removes a named recipe and releases one reference per
+// entry, dropping chunks whose count reaches zero from the index (the
+// bytes are reclaimed by Compact). The tombstone is journaled before
+// any reference is released, so a crash mid-delete can leak reference
+// counts (chunks linger) but never leaves a recoverable recipe pointing
+// at released chunks. Concurrent ingest is safe: the dedup wire path
+// pins every skipped chunk's refcount inside the lookup, so a stream
+// told to skip a body holds its reference before this release can run.
+func (s *Store) DeleteRecipe(name string) (DeleteStats, error) {
+	s.rmu.Lock()
+	r, ok := s.recipes[name]
+	if !ok {
+		s.rmu.Unlock()
+		return DeleteStats{}, fmt.Errorf("%w: %q", ErrUnknownRecipe, name)
+	}
+	if err := s.backing.DeleteRecipe(name); err != nil {
+		s.rmu.Unlock()
+		return DeleteStats{}, err
+	}
+	delete(s.recipes, name)
+	s.rmu.Unlock()
+	return s.releaseRefs(r)
+}
+
+// Release gives back references that were counted but will never be
+// committed in a recipe — the ingest server's cleanup when a stream
+// dies between its pins/puts and its commit. r lists one entry per
+// reference actually applied (pins and stored bodies alike); entries
+// reaching zero leave the index and their bytes become reclaimable by
+// Compact. Without this, every aborted dedup stream would pin its
+// chunks forever.
+func (s *Store) Release(r Recipe) (DeleteStats, error) {
+	return s.releaseRefs(r)
+}
+
+// releaseRefs gives back one reference per recipe entry, journaling
+// each decrement under its shard's stripe lock; entries reaching zero
+// leave the index. Shared by DeleteRecipe and recipe replacement.
+func (s *Store) releaseRefs(r Recipe) (DeleteStats, error) {
+	var ds DeleteStats
+	var logical, chunksN, hitsN, uniques, stored int64
+	err := s.byShard([]Hash(r), func(sh *shard, idxs []int) error {
+		sh.mu.Lock()
+		defer sh.mu.Unlock()
+		touched := false
+		for _, i := range idxs {
+			h := r[i]
+			ref, ok := sh.index[h]
+			if !ok {
+				// A recipe entry with no live chunk: only possible after a
+				// torn-tail recovery already lost the insert. Nothing to
+				// release.
+				continue
+			}
+			if err := sh.back.LogRefDelta(h, -1); err != nil {
+				return err
+			}
+			touched = true
+			ds.ChunksReleased++
+			chunksN++
+			logical += ref.Length
+			if sh.release(h, ref) {
+				ds.ChunksFreed++
+				ds.BytesFreed += ref.Length
+				uniques++
+				stored += ref.Length
+			} else {
+				hitsN++
+			}
+		}
+		if touched {
+			return sh.back.Commit()
+		}
+		return nil
+	})
+	// Mirror of the recovery derivation: a released reference undoes one
+	// duplicate hit; a dropped entry undoes its unique insert.
+	s.chunks.Add(-chunksN)
+	s.logical.Add(-logical)
+	s.hits.Add(-hitsN)
+	s.unique.Add(-uniques)
+	s.stored.Add(-stored)
+	return ds, err
+}
+
+// CompactStats summarizes one compaction pass.
+type CompactStats struct {
+	// Containers is how many containers were reclaimed (rewritten away
+	// or already fully dead); ReclaimedBytes is the dead space that
+	// went with them, MovedBytes the live bytes rewritten into fresh
+	// containers to get there.
+	Containers     int
+	ReclaimedBytes int64
+	MovedBytes     int64
+}
+
+// Compact rewrites mostly-dead containers: for every shard, containers
+// whose live fraction is below threshold (plus fully-dead ones at any
+// threshold) have their surviving chunks re-packed into the shard's
+// open container, the moves journaled, the journal checkpointed, and
+// only then are the old containers dropped. The index, all recipes and
+// the Stats are unchanged — recipes address chunks by fingerprint, so
+// a moved chunk restores identically. Each shard is compacted under
+// its stripe lock; other shards keep serving throughout. A crash at
+// any byte recovers to a consistent state: the moves are durable
+// before the checkpoint, and the checkpoint is durable before any
+// container is unlinked.
+func (s *Store) Compact(threshold float64) (CompactStats, error) {
+	var total CompactStats
+	for _, sh := range s.shards {
+		cs, err := s.compactShard(sh, threshold)
+		total.Containers += cs.Containers
+		total.ReclaimedBytes += cs.ReclaimedBytes
+		total.MovedBytes += cs.MovedBytes
+		if err != nil {
+			return total, err
+		}
+	}
+	return total, nil
+}
+
+// compactShard runs one shard's pass; see Compact.
+func (s *Store) compactShard(sh *shard, threshold float64) (CompactStats, error) {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	n := sh.back.Containers()
+	if n == 0 {
+		return CompactStats{}, nil
+	}
+	// The open container (the one Append packs into) is never a victim:
+	// it is still filling and relocating into itself is busywork.
+	open := n - 1
+	var victims []int
+	victimSet := make(map[int]bool)
+	var cs CompactStats
+	for ci := 0; ci < n; ci++ {
+		if ci == open {
+			continue
+		}
+		size := sh.back.ContainerLen(ci)
+		if size < 0 {
+			continue // already dropped
+		}
+		live := sh.live[ci]
+		if live == 0 || float64(live) < threshold*float64(size) {
+			victims = append(victims, ci)
+			victimSet[ci] = true
+			cs.ReclaimedBytes += size - live
+		}
+	}
+	if len(victims) == 0 {
+		return CompactStats{}, nil
+	}
+	// Re-pack every surviving chunk of the victim containers into the
+	// open container, updating the index as we go. Relocate journals
+	// each move, so a crash before the checkpoint replays them (and a
+	// torn move is simply dropped — the old container still exists).
+	for h, ref := range sh.index {
+		if !victimSet[ref.Container] {
+			continue
+		}
+		data, err := sh.back.Read(ref.Container, ref.Offset, ref.Length)
+		if err != nil {
+			return cs, err
+		}
+		ci, off, err := sh.back.Relocate(h, data)
+		if err != nil {
+			return cs, err
+		}
+		delete(sh.byLoc, loc{ref.Container, ref.Offset})
+		sh.live[ref.Container] -= ref.Length
+		newRef := Ref{Shard: sh.idx, Container: ci, Offset: off, Length: ref.Length}
+		sh.index[h] = newRef
+		sh.byLoc[loc{ci, off}] = h
+		sh.live[ci] += ref.Length
+		cs.MovedBytes += ref.Length
+	}
+	live := make([]CheckpointEntry, 0, len(sh.index))
+	for h, ref := range sh.index {
+		live = append(live, CheckpointEntry{Hash: h, Ref: ref, Refcount: sh.refcount[h]})
+	}
+	if err := sh.back.Checkpoint(live, victims); err != nil {
+		return cs, err
+	}
+	for _, ci := range victims {
+		delete(sh.live, ci)
+	}
+	cs.Containers = len(victims)
+	return cs, nil
 }
 
 // Recipe returns the recorded recipe for a stream name.
@@ -475,17 +765,27 @@ func (s *Store) RecipeNames() []string {
 }
 
 // Reconstruct concatenates a recipe's chunks back into the original
-// stream.
+// stream, resolving each fingerprint through the index. A fingerprint
+// with no live chunk (lost to a torn-tail recovery, or released by a
+// concurrent delete of every referencing recipe) fails loudly rather
+// than returning wrong bytes.
 func (s *Store) Reconstruct(r Recipe) ([]byte, error) {
+	// Pre-size the output: map lookups are far cheaper than the
+	// repeated grow-and-copy of appending a large stream blind.
 	var total int64
-	for _, ref := range r {
-		total += ref.Length
+	for _, h := range r {
+		if ref, ok := s.Has(h); ok {
+			total += ref.Length
+		}
 	}
 	out := make([]byte, 0, total)
-	for _, ref := range r {
-		data, err := s.Get(ref)
+	for i, h := range r {
+		data, ok, err := s.GetByHash(h)
 		if err != nil {
 			return nil, err
+		}
+		if !ok {
+			return nil, fmt.Errorf("shardstore: recipe entry %d: no chunk for %x", i, h[:8])
 		}
 		out = append(out, data...)
 	}

@@ -63,7 +63,7 @@ func TestDifferentialAgainstDedupStore(t *testing.T) {
 			var gotRecipe Recipe
 			for i, c := range chunks {
 				rr, rdup := ref.Put(c)
-				gr, gdup, perr := got.Put(c)
+				_, gdup, perr := got.Put(c)
 				if perr != nil {
 					t.Fatal(perr)
 				}
@@ -71,7 +71,7 @@ func TestDifferentialAgainstDedupStore(t *testing.T) {
 					t.Fatalf("chunk %d: dup=%v, dedup.Store says %v", i, gdup, rdup)
 				}
 				refRecipe = append(refRecipe, rr)
-				gotRecipe = append(gotRecipe, gr)
+				gotRecipe = append(gotRecipe, dedup.Sum(c))
 			}
 			if rs, gs := ref.Stats(), got.Stats(); rs != gs {
 				t.Fatalf("stats diverge:\n dedup: %+v\n shard: %+v", rs, gs)
@@ -201,8 +201,8 @@ func TestConcurrentPut(t *testing.T) {
 		go func(w int) {
 			defer wg.Done()
 			for _, c := range streams[w] {
-				ref, _, _ := store.Put(c)
-				recipes[w] = append(recipes[w], ref)
+				store.Put(c)
+				recipes[w] = append(recipes[w], dedup.Sum(c))
 			}
 		}(w)
 	}

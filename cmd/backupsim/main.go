@@ -42,12 +42,18 @@
 // (the CI artifact BENCH_gc.json), and the run fails if the final
 // disk footprint exceeds -amp-limit (default 1.5x) times the live
 // stored bytes.
+//
+// With -json (any mode but -wire-bench) the progress lines move to
+// stderr and a single end-of-run summary object — streams, logical and
+// stored bytes, dedup ratio, wire savings, retention amplification —
+// is printed as JSON on stdout, for scripts and CI.
 package main
 
 import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"net"
 	"os"
@@ -61,6 +67,48 @@ import (
 	"shredder/internal/stats"
 	"shredder/internal/workload"
 )
+
+// human is where the progress lines go: stdout normally, stderr with
+// -json so the summary object owns stdout.
+var human io.Writer = os.Stdout
+
+// runSummary is the -json end-of-run object. Wire fields appear only
+// for dedup-wire runs, retention fields only for -retention runs.
+type runSummary struct {
+	Mode          string  `json:"mode"` // sim | client | restart | retention
+	Streams       int     `json:"streams"`
+	LogicalBytes  int64   `json:"logical_bytes"`
+	StoredBytes   int64   `json:"stored_bytes"`
+	DedupRatio    float64 `json:"dedup_ratio"`
+	WireBytes     int64   `json:"wire_bytes,omitempty"`
+	WireSaved     int64   `json:"wire_saved_bytes,omitempty"`
+	ChunksSent    int64   `json:"chunks_sent,omitempty"`
+	ChunksSkipped int64   `json:"chunks_skipped,omitempty"`
+	Generations   int     `json:"generations,omitempty"`
+	Retained      int     `json:"retained,omitempty"`
+	Amplification float64 `json:"amplification,omitempty"`
+}
+
+// addWire folds one stream's wire stats into the summary.
+func (s *runSummary) addWire(w ingest.WireStats) {
+	s.WireBytes += w.WireBytes
+	s.ChunksSent += w.ChunksSent
+	s.ChunksSkipped += w.ChunksSkipped
+	if saved := w.Saved(); saved > 0 {
+		s.WireSaved += saved
+	}
+}
+
+// emit writes the summary as one JSON object on stdout.
+func (s *runSummary) emit() error {
+	out, err := json.MarshalIndent(s, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	_, err = os.Stdout.Write(out)
+	return err
+}
 
 func main() {
 	imageMB := flag.Int("image", 64, "image size in MiB")
@@ -81,14 +129,35 @@ func main() {
 	gcThreshold := flag.Float64("gc-threshold", 0.7, "retention scenario: compact containers whose live fraction is below this after each round")
 	gcJSON := flag.String("gc-json", "", "retention scenario: write per-round GC metrics as JSON to this file (- for stdout)")
 	ampLimit := flag.Float64("amp-limit", 1.5, "retention scenario: fail when final disk bytes exceed this multiple of the live stored bytes (0 disables)")
+	jsonOut := flag.Bool("json", false, "emit a single end-of-run summary object as JSON on stdout (progress lines move to stderr)")
 	flag.Parse()
+
+	if *jsonOut {
+		if *wireBench != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -json does not apply to -wire-bench (it has its own JSON output)")
+			os.Exit(2)
+		}
+		human = os.Stderr
+	}
+	finish := func(sum *runSummary, err error) {
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		if *jsonOut {
+			if err := sum.emit(); err != nil {
+				fmt.Fprintln(os.Stderr, "backupsim:", err)
+				os.Exit(1)
+			}
+		}
+	}
 
 	if *retention > 0 {
 		if *server != "" || *wireBench != "" {
 			fmt.Fprintln(os.Stderr, "backupsim: -retention runs in-process and excludes -server/-wire-bench")
 			os.Exit(2)
 		}
-		err := runRetention(retentionConfig{
+		sum, err := runRetention(retentionConfig{
 			dir:       *data,
 			fsync:     *fsyncFlag,
 			gens:      *retention,
@@ -100,10 +169,7 @@ func main() {
 			seed:      *seed,
 			jsonPath:  *gcJSON,
 		})
-		if err != nil {
-			fmt.Fprintln(os.Stderr, "backupsim:", err)
-			os.Exit(1)
-		}
+		finish(sum, err)
 		return
 	}
 
@@ -142,17 +208,13 @@ func main() {
 		os.Exit(2)
 	}
 	if *server != "" {
-		if err := runClient(*server, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "backupsim:", err)
-			os.Exit(1)
-		}
+		sum, err := runClient(*server, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed)
+		finish(sum, err)
 		return
 	}
 	if *data != "" {
-		if err := runRestart(*data, *fsyncFlag, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed); err != nil {
-			fmt.Fprintln(os.Stderr, "backupsim:", err)
-			os.Exit(1)
-		}
+		sum, err := runRestart(*data, *fsyncFlag, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed)
+		finish(sum, err)
 		return
 	}
 
@@ -164,10 +226,8 @@ func main() {
 		os.Exit(2)
 	}
 
-	if err := run(*imageMB<<20, *snapshots, *prob, engine, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, "backupsim:", err)
-		os.Exit(1)
-	}
+	sum, err := run(*imageMB<<20, *snapshots, *prob, engine, *seed)
+	finish(sum, err)
 }
 
 // sessionSpec maps the -chunker/-avg flags to the spec to negotiate,
@@ -216,7 +276,7 @@ func negotiateSession(c *ingest.Session, spec *chunk.Spec, dedupWire bool) error
 	if dedupWire {
 		mode = "dedup-wire (client-chunked, protocol v3)"
 	}
-	fmt.Printf("negotiated %s engine (avg %s, min %s, max %s), %s\n",
+	fmt.Fprintf(human, "negotiated %s engine (avg %s, min %s, max %s), %s\n",
 		accepted.Algo, stats.Bytes(int64(accepted.AvgSize)),
 		stats.Bytes(int64(accepted.MinSize)), stats.Bytes(int64(accepted.MaxSize)), mode)
 	return nil
@@ -243,7 +303,7 @@ func pushStream(c *ingest.Session, name string, data []byte, dedupWire bool) (*i
 		wire = fmt.Sprintf(", wire %s of %s (saved %s)",
 			stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes), stats.Bytes(st.Wire.Saved()))
 	}
-	fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx, restore verified%s; store %s stored of %s (%.2fx)\n",
+	fmt.Fprintf(human, "%s: %s in %d chunks, %d dup, ratio %.2fx, restore verified%s; store %s stored of %s (%.2fx)\n",
 		name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(), wire,
 		stats.Bytes(st.Store.StoredBytes), stats.Bytes(st.Store.LogicalBytes), st.Store.Ratio())
 	return st, nil
@@ -251,17 +311,18 @@ func pushStream(c *ingest.Session, name string, data []byte, dedupWire bool) (*i
 
 // runClient streams the image series to a shredderd daemon and verifies
 // every stream restores byte-exactly over the wire.
-func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) error {
+func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) (*runSummary, error) {
 	c, err := ingest.Dial(addr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer c.Close()
 	if err := negotiateSession(c, spec, dedupWire); err != nil {
-		return err
+		return nil, err
 	}
 	im := workload.NewImage(seed, size, 64<<10, prob)
 
+	sum := &runSummary{Mode: "client"}
 	var logical, wired int64
 	push := func(name string, data []byte) error {
 		st, err := pushStream(c, name, data, dedupWire)
@@ -270,15 +331,22 @@ func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snap
 		}
 		logical += st.Wire.LogicalBytes
 		wired += st.Wire.WireBytes
+		sum.Streams++
+		sum.LogicalBytes += st.Bytes
+		if dedupWire {
+			sum.addWire(st.Wire)
+		}
+		sum.StoredBytes = st.Store.StoredBytes
+		sum.DedupRatio = st.Store.Ratio()
 		return nil
 	}
 
 	if err := push(prefix+"-master", im.Master); err != nil {
-		return err
+		return nil, err
 	}
 	for i := 1; i <= snapshots; i++ {
 		if err := push(fmt.Sprintf("%s-snapshot-%d", prefix, i), im.Snapshot(seed+int64(i))); err != nil {
-			return err
+			return nil, err
 		}
 	}
 	if dedupWire {
@@ -287,20 +355,20 @@ func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snap
 			// Fingerprint overhead outweighed the dedup on this series.
 			saved = 0
 		}
-		fmt.Printf("series total: %s crossed the wire for %s logical (saved %s)\n",
+		fmt.Fprintf(human, "series total: %s crossed the wire for %s logical (saved %s)\n",
 			stats.Bytes(wired), stats.Bytes(logical), stats.Bytes(saved))
 	}
-	return nil
+	return sum, nil
 }
 
 // runRestart is the durability round-trip: ingest the series into an
 // in-process persist-backed server, close the store (simulating a
 // daemon restart), reopen it from the data directory, and verify every
 // stream restores byte-exactly with the dedup statistics preserved.
-func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) error {
+func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, size, snapshots int, prob float64, seed int64) (*runSummary, error) {
 	policy, err := persist.ParseFsyncPolicy(fsyncStr)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	opts := persist.Options{Fsync: policy}
 	im := workload.NewImage(seed, size, 64<<10, prob)
@@ -315,18 +383,19 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, 
 	// Phase 1: ingest everything through the service path, then close.
 	store, err := persist.OpenStore(dir, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
 	if err != nil {
 		store.Close()
-		return err
+		return nil, err
 	}
 	c := dialInProcess(srv)
 	if err := negotiateSession(c, spec, dedupWire); err != nil {
 		store.Close()
-		return err
+		return nil, err
 	}
+	sum := &runSummary{Mode: "restart"}
 	for _, n := range order {
 		var st *ingest.StreamStats
 		if dedupWire {
@@ -336,46 +405,53 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, 
 		}
 		if err != nil {
 			store.Close()
-			return err
+			return nil, err
+		}
+		sum.Streams++
+		if dedupWire {
+			sum.addWire(st.Wire)
 		}
 		wire := ""
 		if st.Wire.Saved() > 0 {
 			wire = fmt.Sprintf(", wire %s of %s", stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes))
 		}
-		fmt.Printf("%s: %s in %d chunks, %d dup, ratio %.2fx%s\n",
+		fmt.Fprintf(human, "%s: %s in %d chunks, %d dup, ratio %.2fx%s\n",
 			n, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks, st.DedupRatio(), wire)
 	}
 	c.Close()
 	before := store.Stats()
+	sum.LogicalBytes = before.LogicalBytes
+	sum.StoredBytes = before.StoredBytes
+	sum.DedupRatio = before.Ratio()
 	if err := store.Close(); err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("closed store: %s stored of %s logical (%.2fx); restarting from %s\n",
+	fmt.Fprintf(human, "closed store: %s stored of %s logical (%.2fx); restarting from %s\n",
 		stats.Bytes(before.StoredBytes), stats.Bytes(before.LogicalBytes), before.Ratio(), dir)
 
 	// Phase 2: reopen from disk and verify.
 	store, err = persist.OpenStore(dir, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer store.Close()
 	if after := store.Stats(); after != before {
-		return fmt.Errorf("recovered stats %+v differ from pre-restart %+v", after, before)
+		return nil, fmt.Errorf("recovered stats %+v differ from pre-restart %+v", after, before)
 	}
 	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c = dialInProcess(srv)
 	defer c.Close()
 	for _, n := range order {
 		if err := c.Verify(n, streams[n]); err != nil {
-			return fmt.Errorf("after restart, %s: %w", n, err)
+			return nil, fmt.Errorf("after restart, %s: %w", n, err)
 		}
 	}
-	fmt.Printf("restart verified: %d streams restored byte-exactly, stats preserved %+v\n",
+	fmt.Fprintf(human, "restart verified: %d streams restored byte-exactly, stats preserved %+v\n",
 		len(order), before)
-	return nil
+	return sum, nil
 }
 
 // dialInProcess connects a client to the server over an in-memory pipe.
@@ -458,7 +534,7 @@ func runWireBench(path string, size int, seed int64) error {
 				Seconds:       elapsed.Seconds(),
 				MBPerS:        float64(st.Wire.LogicalBytes) / (1 << 20) / elapsed.Seconds(),
 			})
-			fmt.Printf("redundancy %.0f%% %-5s: snapshot wire %s of %s (%.1f%%), %d bodies sent, %d skipped\n",
+			fmt.Fprintf(human, "redundancy %.0f%% %-5s: snapshot wire %s of %s (%.1f%%), %d bodies sent, %d skipped\n",
 				redundancy*100, mode, stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
 				float64(st.Wire.WireBytes)/float64(st.Wire.LogicalBytes)*100,
 				st.Wire.ChunksSent, st.Wire.ChunksSkipped)
@@ -476,7 +552,7 @@ func runWireBench(path string, size int, seed int64) error {
 	if err := os.WriteFile(path, out, 0o644); err != nil {
 		return err
 	}
-	fmt.Printf("wrote %s\n", path)
+	fmt.Fprintf(human, "wrote %s\n", path)
 	return nil
 }
 
@@ -550,16 +626,16 @@ func diskUsage(dir string) (int64, error) {
 // each round and again after a restart, and the run fails if the final
 // on-disk footprint exceeds ampLimit times the live stored bytes — the
 // "disk can only grow" leak this subsystem exists to close.
-func runRetention(cfg retentionConfig) error {
+func runRetention(cfg retentionConfig) (*runSummary, error) {
 	policy, err := persist.ParseFsyncPolicy(cfg.fsync)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	dir := cfg.dir
 	if dir == "" {
 		tmp, err := os.MkdirTemp("", "shredder-retention-*")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		defer os.RemoveAll(tmp)
 		dir = tmp
@@ -569,7 +645,7 @@ func runRetention(cfg retentionConfig) error {
 	opts := persist.Options{Fsync: policy, ContainerSize: 256 << 10}
 	store, err := persist.OpenStore(dir, opts)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	defer func() {
 		if store != nil {
@@ -578,13 +654,14 @@ func runRetention(cfg retentionConfig) error {
 	}()
 	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c := dialInProcess(srv)
 	defer c.Close()
 	if _, err := c.NegotiateDedup(ingest.DefaultConfig().Shredder.Chunking); err != nil {
-		return err
+		return nil, err
 	}
+	sum := &runSummary{Mode: "retention"}
 
 	const segSize = 64 << 10
 	type gen struct {
@@ -601,9 +678,11 @@ func runRetention(cfg retentionConfig) error {
 		name := fmt.Sprintf("gen-%d", g)
 		st, err := c.BackupDedupBytes(name, data)
 		if err != nil {
-			return fmt.Errorf("backup %s: %w", name, err)
+			return nil, fmt.Errorf("backup %s: %w", name, err)
 		}
 		live = append(live, gen{name, data})
+		sum.Streams++
+		sum.addWire(st.Wire)
 
 		var freed int64
 		if len(live) > cfg.retain {
@@ -611,25 +690,25 @@ func runRetention(cfg retentionConfig) error {
 			live = live[1:]
 			ds, err := c.Delete(oldest.name)
 			if err != nil {
-				return fmt.Errorf("delete %s: %w", oldest.name, err)
+				return nil, fmt.Errorf("delete %s: %w", oldest.name, err)
 			}
 			freed = ds.BytesFreed
 		}
 		start := time.Now()
 		cs, err := store.Compact(cfg.threshold)
 		if err != nil {
-			return fmt.Errorf("compact after %s: %w", name, err)
+			return nil, fmt.Errorf("compact after %s: %w", name, err)
 		}
 		compactSecs := time.Since(start).Seconds()
 
 		for _, lg := range live {
 			if err := c.Verify(lg.name, lg.data); err != nil {
-				return fmt.Errorf("round %d, %s: %w", g, lg.name, err)
+				return nil, fmt.Errorf("round %d, %s: %w", g, lg.name, err)
 			}
 		}
 		disk, err := diskUsage(dir)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		var logical int64
 		for _, lg := range live {
@@ -652,7 +731,7 @@ func runRetention(cfg retentionConfig) error {
 			row.CompactMBPerS = float64(cs.MovedBytes+cs.ReclaimedBytes) / (1 << 20) / compactSecs
 		}
 		rows = append(rows, row)
-		fmt.Printf("%s: wire %s of %s; live %d streams, %s stored, %s on disk (amp %.2fx); gc freed %s, reclaimed %s\n",
+		fmt.Fprintf(human, "%s: wire %s of %s; live %d streams, %s stored, %s on disk (amp %.2fx); gc freed %s, reclaimed %s\n",
 			name, stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
 			len(live), stats.Bytes(stored), stats.Bytes(disk), row.Amplification,
 			stats.Bytes(freed), stats.Bytes(cs.ReclaimedBytes))
@@ -662,78 +741,91 @@ func runRetention(cfg retentionConfig) error {
 	// from the compacted directory.
 	c.Close()
 	if err := store.Close(); err != nil {
-		return err
+		return nil, err
 	}
 	store, err = persist.OpenStore(dir, opts)
 	if err != nil {
-		return fmt.Errorf("reopen after retention churn: %w", err)
+		return nil, fmt.Errorf("reopen after retention churn: %w", err)
 	}
 	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
 	if err != nil {
-		return err
+		return nil, err
 	}
 	c2 := dialInProcess(srv)
 	defer c2.Close()
 	for _, lg := range live {
 		if err := c2.Verify(lg.name, lg.data); err != nil {
-			return fmt.Errorf("after restart, %s: %w", lg.name, err)
+			return nil, fmt.Errorf("after restart, %s: %w", lg.name, err)
 		}
 	}
 	final := rows[len(rows)-1]
-	fmt.Printf("retention done: %d generations, %d retained and restart-verified; final amp %.2fx (%s disk / %s live)\n",
+	st := store.Stats()
+	sum.Generations = cfg.gens
+	sum.Retained = len(live)
+	sum.LogicalBytes = final.LogicalBytes
+	sum.StoredBytes = final.StoredBytes
+	sum.DedupRatio = st.Ratio()
+	sum.Amplification = final.Amplification
+	fmt.Fprintf(human, "retention done: %d generations, %d retained and restart-verified; final amp %.2fx (%s disk / %s live)\n",
 		cfg.gens, len(live), final.Amplification, stats.Bytes(final.DiskBytes), stats.Bytes(final.StoredBytes))
 
 	if cfg.jsonPath != "" {
 		out, err := json.MarshalIndent(rows, "", "  ")
 		if err != nil {
-			return err
+			return nil, err
 		}
 		out = append(out, '\n')
 		if cfg.jsonPath == "-" {
 			if _, err := os.Stdout.Write(out); err != nil {
-				return err
+				return nil, err
 			}
 		} else if err := os.WriteFile(cfg.jsonPath, out, 0o644); err != nil {
-			return err
+			return nil, err
 		} else {
-			fmt.Printf("wrote %s\n", cfg.jsonPath)
+			fmt.Fprintf(human, "wrote %s\n", cfg.jsonPath)
 		}
 	}
 	if cfg.ampLimit > 0 && final.Amplification > cfg.ampLimit {
-		return fmt.Errorf("space amplification %.2fx exceeds the %.2fx limit", final.Amplification, cfg.ampLimit)
+		return nil, fmt.Errorf("space amplification %.2fx exceeds the %.2fx limit", final.Amplification, cfg.ampLimit)
 	}
-	return nil
+	return sum, nil
 }
 
-func run(size, snapshots int, prob float64, engine backup.Engine, seed int64) error {
+func run(size, snapshots int, prob float64, engine backup.Engine, seed int64) (*runSummary, error) {
 	srv, err := backup.NewServer(backup.DefaultConfig())
 	if err != nil {
-		return err
+		return nil, err
 	}
 	im := workload.NewImage(seed, size, 64<<10, prob)
 
 	rep, err := srv.Backup("master", im.Master, engine)
 	if err != nil {
-		return err
+		return nil, err
 	}
-	fmt.Printf("master: %s at %s (all unique)\n", stats.Bytes(rep.Bytes), stats.Gbps(rep.Bandwidth))
+	fmt.Fprintf(human, "master: %s at %s (all unique)\n", stats.Bytes(rep.Bytes), stats.Gbps(rep.Bandwidth))
 
 	for i := 1; i <= snapshots; i++ {
 		name := fmt.Sprintf("snapshot-%d", i)
 		snap := im.Snapshot(seed + int64(i))
 		rep, err := srv.Backup(name, snap, engine)
 		if err != nil {
-			return err
+			return nil, err
 		}
 		if err := srv.VerifyRestore(name, snap); err != nil {
-			return err
+			return nil, err
 		}
-		fmt.Printf("%s: %s at %s, %.0f%% duplicate chunks, dedup %.1fx, restore verified\n",
+		fmt.Fprintf(human, "%s: %s at %s, %.0f%% duplicate chunks, dedup %.1fx, restore verified\n",
 			name, stats.Bytes(rep.Bytes), stats.Gbps(rep.Bandwidth),
 			float64(rep.DupChunks)/float64(rep.Chunks)*100, rep.DedupRatio())
 	}
 	st := srv.SiteStats()
-	fmt.Printf("backup site: %s logical, %s stored, ratio %.2fx [engine %v]\n",
+	fmt.Fprintf(human, "backup site: %s logical, %s stored, ratio %.2fx [engine %v]\n",
 		stats.Bytes(st.LogicalBytes), stats.Bytes(st.StoredBytes), st.Ratio(), engine)
-	return nil
+	return &runSummary{
+		Mode:         "sim",
+		Streams:      1 + snapshots,
+		LogicalBytes: st.LogicalBytes,
+		StoredBytes:  st.StoredBytes,
+		DedupRatio:   st.Ratio(),
+	}, nil
 }

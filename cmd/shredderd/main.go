@@ -26,21 +26,30 @@
 // in the background with -gc-interval (containers whose live fraction
 // drops below -gc-threshold are rewritten and unlinked, crash-safely).
 //
-//	shredderd [-addr :9323] [-shards N] [-batch N] [-buffer MiB]
+// Operability: -admin serves /metrics (Prometheus text; ?format=json
+// for a flat JSON snapshot), /healthz, /readyz (503 once a drain
+// begins), /statusz and net/http/pprof. Logging is structured
+// (log/slog): -log-level picks the floor, -log-json switches to JSON
+// lines, and every session logs under a unique "session" id from
+// accept to close.
+//
+//	shredderd [-addr :9323] [-admin :7071] [-shards N] [-batch N] [-buffer MiB]
 //	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
 //	          [-dedup-wire=true|false]
 //	          [-data DIR] [-fsync always|never|interval[=D]]
 //	          [-gc-interval D] [-gc-threshold F]
-//	          [-grace D] [-quiet]
+//	          [-grace D] [-log-level L] [-log-json] [-quiet]
 package main
 
 import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"io"
+	"log/slog"
 	"math/bits"
 	"net"
+	"net/http"
 	"os"
 	"os/signal"
 	"syscall"
@@ -48,6 +57,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/ingest"
+	"shredder/internal/obs"
 	"shredder/internal/persist"
 	"shredder/internal/shardstore"
 	"shredder/internal/stats"
@@ -55,6 +65,7 @@ import (
 
 func main() {
 	addr := flag.String("addr", ":9323", "TCP listen address")
+	admin := flag.String("admin", ":7071", "admin HTTP address for /metrics, /healthz, /readyz, /statusz and pprof (empty: disabled)")
 	shards := flag.Int("shards", 16, "store shard count (power of two)")
 	batch := flag.Int("batch", 64, "chunks per has/put batch")
 	buffer := flag.Int("buffer", 4, "per-session pipeline buffer in MiB")
@@ -69,16 +80,26 @@ func main() {
 	gcInterval := flag.Duration("gc-interval", 0, "background container-compaction period (0: GC disabled)")
 	gcThreshold := flag.Float64("gc-threshold", 0.5, "compact containers whose live fraction is below this (0: only fully-dead containers)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for active sessions")
-	quiet := flag.Bool("quiet", false, "suppress per-stream logging")
+	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn or error")
+	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
+	quiet := flag.Bool("quiet", false, "suppress per-stream logging (same as -log-level warn)")
 	flag.Parse()
 	if *gcThreshold < 0 || *gcThreshold > 1 {
 		fatal(fmt.Errorf("gc-threshold %v outside [0, 1]", *gcThreshold))
 	}
 
+	logger, err := buildLogger(*logLevel, *logJSON, *quiet)
+	if err != nil {
+		fatal(err)
+	}
+
+	reg := obs.NewRegistry()
 	cfg := ingest.DefaultConfig()
 	cfg.Shards = *shards
 	cfg.BatchSize = *batch
 	cfg.Shredder.BufferSize = *buffer << 20
+	cfg.Obs = reg
+	cfg.Logger = logger
 	// Only replace the default engine when a chunking flag was given:
 	// the stock configuration must stay byte-identical for existing
 	// deployments.
@@ -99,23 +120,6 @@ func main() {
 	if !*dedupWire {
 		cfg.MaxProtocol = 2
 	}
-	if !*quiet {
-		cfg.OnDelete = func(name string, ds shardstore.DeleteStats) {
-			log.Printf("deleted %q: released %d refs, freed %d chunks (%s reclaimable)",
-				name, ds.ChunksReleased, ds.ChunksFreed, stats.Bytes(ds.BytesFreed))
-		}
-		cfg.OnStream = func(name string, st ingest.StreamStats) {
-			wire := ""
-			if saved := st.Wire.Saved(); saved > 0 {
-				wire = fmt.Sprintf("; wire %s of %s (saved %s, %d bodies skipped)",
-					stats.Bytes(st.Wire.WireBytes), stats.Bytes(st.Wire.LogicalBytes),
-					stats.Bytes(saved), st.Wire.ChunksSkipped)
-			}
-			log.Printf("stream %q: %s in %d chunks, %d dup, ratio %.2fx; store ratio %.2fx%s",
-				name, stats.Bytes(st.Bytes), st.Chunks, st.DupChunks,
-				st.DedupRatio(), st.Store.Ratio(), wire)
-		}
-	}
 
 	var store *shardstore.Store
 	if *data != "" {
@@ -132,14 +136,17 @@ func main() {
 				shardsOpt = *shards
 			}
 		})
-		store, err = persist.OpenStore(*data, persist.Options{Shards: shardsOpt, Fsync: policy, VerifyOnRecover: *scrub})
+		store, err = persist.OpenStore(*data, persist.Options{
+			Shards: shardsOpt, Fsync: policy, VerifyOnRecover: *scrub, Obs: reg,
+		})
 		if err != nil {
 			fatal(err)
 		}
 		*shards = store.NumShards()
 		st := store.Stats()
-		log.Printf("shredderd: recovered %s in %d chunks (%d streams) from %s [fsync %s]",
-			stats.Bytes(st.StoredBytes), st.UniqueChunks, len(store.RecipeNames()), *data, policy)
+		logger.Info("recovered store", "bytes", fmtBytes(st.StoredBytes),
+			"chunks", st.UniqueChunks, "streams", len(store.RecipeNames()),
+			"dir", *data, "fsync", policy.String())
 	} else {
 		var err error
 		store, err = shardstore.New(*shards, 0)
@@ -156,11 +163,57 @@ func main() {
 		fatal(err)
 	}
 
+	// GC metrics are daemon-level: the loop below is the only caller.
+	gcRuns := reg.Counter("gc_runs_total", "Background compaction passes completed (including no-op passes).")
+	gcReclaimed := reg.Counter("gc_reclaimed_bytes_total", "Container bytes returned to the filesystem by background compaction.")
+	gcMoved := reg.Counter("gc_moved_bytes_total", "Live bytes relocated into fresh containers by background compaction.")
+	gcSeconds := reg.Histogram("gc_seconds", "Background compaction pass duration.", obs.LatencyBuckets)
+	reg.GaugeFunc("gc_debt",
+		"Dead fraction of stored container bytes (0 = fully live; compaction target).",
+		func() float64 {
+			_, live, total := store.ContainerUsage()
+			if total == 0 {
+				return 0
+			}
+			return float64(total-live) / float64(total)
+		})
+
+	// Admin endpoint: metrics, health, readiness and pprof. Readiness
+	// flips to 503 the moment a drain begins so a load balancer stops
+	// routing new backups to a daemon that is about to go away.
+	adm := obs.NewAdmin(reg, func(w io.Writer) {
+		st := store.Stats()
+		containers, live, total := store.ContainerUsage()
+		fmt.Fprintf(w, "listen %s\n", l.Addr())
+		fmt.Fprintf(w, "stored %s of %s logical (%.2fx)\n",
+			fmtBytes(st.StoredBytes), fmtBytes(st.LogicalBytes), st.Ratio())
+		fmt.Fprintf(w, "chunks %d unique of %d seen (%d dup hits)\n",
+			st.UniqueChunks, st.Chunks, st.IndexHits)
+		fmt.Fprintf(w, "streams %d\n", len(store.RecipeNames()))
+		fmt.Fprintf(w, "containers %d (%s live of %s)\n",
+			containers, fmtBytes(live), fmtBytes(total))
+	})
+	var adminSrv *http.Server
+	if *admin != "" {
+		al, err := net.Listen("tcp", *admin)
+		if err != nil {
+			fatal(err)
+		}
+		adminSrv = &http.Server{Handler: adm}
+		go func() {
+			if err := adminSrv.Serve(al); err != nil && !errors.Is(err, http.ErrServerClosed) {
+				logger.Error("admin server failed", "err", err)
+			}
+		}()
+		logger.Info("admin endpoint up", "addr", al.Addr().String())
+	}
+
 	sig := make(chan os.Signal, 1)
 	signal.Notify(sig, os.Interrupt, syscall.SIGTERM)
 	go func() {
 		s := <-sig
-		log.Printf("shredderd: caught %v, draining sessions", s)
+		logger.Info("draining sessions", "signal", s.String())
+		adm.SetDraining(true)
 		l.Close()
 	}()
 
@@ -181,26 +234,33 @@ func main() {
 				case <-tick.C:
 					start := time.Now()
 					cs, err := store.Compact(*gcThreshold)
+					gcSeconds.Observe(time.Since(start).Seconds())
+					gcRuns.Inc()
 					if err != nil {
 						// Transient failures (ENOSPC mid-relocate is the
 						// likely one) must not disable GC for the rest of
 						// the process: log and retry next tick.
-						log.Printf("shredderd: gc: %v", err)
+						logger.Warn("gc failed", "err", err)
 						continue
 					}
-					if cs.Containers > 0 && !*quiet {
-						log.Printf("shredderd: gc reclaimed %s in %d containers (moved %s) in %v",
-							stats.Bytes(cs.ReclaimedBytes), cs.Containers,
-							stats.Bytes(cs.MovedBytes), time.Since(start).Round(time.Millisecond))
+					gcReclaimed.Add(cs.ReclaimedBytes)
+					gcMoved.Add(cs.MovedBytes)
+					if cs.Containers > 0 {
+						logger.Info("gc pass",
+							"reclaimed", fmtBytes(cs.ReclaimedBytes),
+							"containers", cs.Containers,
+							"moved", fmtBytes(cs.MovedBytes),
+							"elapsed", time.Since(start).Round(time.Millisecond).String())
 					}
 				}
 			}
 		}()
-		log.Printf("shredderd: gc every %v at live-fraction threshold %.2f", *gcInterval, *gcThreshold)
+		logger.Info("gc enabled", "interval", gcInterval.String(), "threshold", *gcThreshold)
 	}
 
-	log.Printf("shredderd: listening on %s (%d shards, batch %d, %d MiB buffers, default engine %s)",
-		l.Addr(), *shards, *batch, *buffer, cfg.Shredder.Chunking.Algo)
+	logger.Info("listening", "addr", l.Addr().String(), "shards", *shards,
+		"batch", *batch, "buffer_mib", *buffer,
+		"engine", cfg.Shredder.Chunking.Algo.String())
 	if err := srv.Serve(l); err != nil && !errors.Is(err, net.ErrClosed) {
 		fatal(err)
 	}
@@ -209,13 +269,44 @@ func main() {
 		close(gcStop)
 		<-gcDone
 	}
+	if adminSrv != nil {
+		adminSrv.Close()
+	}
 	if err := store.Close(); err != nil {
 		fatal(err)
 	}
 	st := store.Stats()
-	log.Printf("shredderd: shut down cleanly; %s stored of %s logical (%.2fx)",
-		stats.Bytes(st.StoredBytes), stats.Bytes(st.LogicalBytes), st.Ratio())
+	logger.Info("shut down cleanly", "stored", fmtBytes(st.StoredBytes),
+		"logical", fmtBytes(st.LogicalBytes), "ratio", st.Ratio())
 }
+
+// buildLogger maps the logging flags to a slog.Logger on stderr.
+// -quiet raises the floor to warn (suppressing the per-stream Info
+// lines) unless -log-level was given explicitly.
+func buildLogger(level string, json, quiet bool) (*slog.Logger, error) {
+	var lv slog.Level
+	if err := lv.UnmarshalText([]byte(level)); err != nil {
+		return nil, fmt.Errorf("bad -log-level %q: %w", level, err)
+	}
+	levelSet := false
+	flag.Visit(func(f *flag.Flag) {
+		if f.Name == "log-level" {
+			levelSet = true
+		}
+	})
+	if quiet && !levelSet {
+		lv = slog.LevelWarn
+	}
+	opts := &slog.HandlerOptions{Level: lv}
+	if json {
+		return slog.New(slog.NewJSONHandler(os.Stderr, opts)), nil
+	}
+	return slog.New(slog.NewTextHandler(os.Stderr, opts)), nil
+}
+
+// fmtBytes is the one byte-formatting helper every human-readable
+// daemon line (startup, statusz, gc, shutdown) goes through.
+func fmtBytes(n int64) string { return stats.Bytes(n) }
 
 func fatal(err error) {
 	fmt.Fprintln(os.Stderr, "shredderd:", err)

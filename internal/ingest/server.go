@@ -5,13 +5,16 @@ import (
 	"errors"
 	"fmt"
 	"io"
+	"log/slog"
 	"net"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"shredder/internal/chunk"
 	"shredder/internal/core"
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 )
 
@@ -41,6 +44,15 @@ type Config struct {
 	// OnDelete, when set, is called after each successful MsgDelete
 	// with what the deletion released. Same concurrency caveat.
 	OnDelete func(name string, ds shardstore.DeleteStats)
+	// Obs, when set, receives the server's metric families (and the
+	// store's, via Store.Instrument). Nil means no instrumentation and
+	// no overhead beyond one nil check per event.
+	Obs *obs.Registry
+	// Logger, when set, receives structured per-session events. Each
+	// session logs under a unique "session" id, threaded from accept
+	// through negotiate, commits and deletes to session end. Nil means
+	// silent.
+	Logger *slog.Logger
 }
 
 // DefaultConfig returns a service configuration: the paper's
@@ -64,6 +76,8 @@ func DefaultConfig() Config {
 type Server struct {
 	cfg   Config
 	store *shardstore.Store
+	met   *serverMetrics // nil when cfg.Obs is nil
+	seq   atomic.Uint64  // session id source
 
 	// Sessions spawned by Serve, tracked for Shutdown.
 	connMu sync.Mutex
@@ -95,9 +109,13 @@ func NewServerWithStore(cfg Config, store *shardstore.Store) (*Server, error) {
 	if _, err := core.New(cfg.Shredder); err != nil {
 		return nil, err
 	}
+	// One registry serves one store: Instrument is idempotent against
+	// the same registry, so two servers sharing a store may share it too.
+	store.Instrument(cfg.Obs)
 	return &Server{
 		cfg:   cfg,
 		store: store,
+		met:   newServerMetrics(cfg.Obs),
 		conns: make(map[net.Conn]struct{}),
 	}, nil
 }
@@ -182,6 +200,35 @@ func (s *Server) Shutdown(grace time.Duration) {
 // backups, which skip the server pipeline entirely (the client
 // chunked).
 func (s *Server) ServeConn(conn net.Conn) error {
+	s.met.sessionStart()
+	var sl *slog.Logger
+	if s.cfg.Logger != nil {
+		sl = s.cfg.Logger.With("session", s.seq.Add(1))
+		remote := "?"
+		if addr := conn.RemoteAddr(); addr != nil {
+			remote = addr.String()
+		}
+		sl.Debug("session accepted", "remote", remote)
+	}
+	ver, err := s.serveSession(conn, sl)
+	s.met.sessionEnd(ver, err)
+	if sl != nil {
+		proto := int(ver)
+		if proto == 0 {
+			proto = 1 // never sent a Hello: the legacy raw protocol
+		}
+		if err != nil {
+			sl.Warn("session failed", "protocol", proto, "kind", errorKind(err), "err", err)
+		} else {
+			sl.Debug("session closed", "protocol", proto)
+		}
+	}
+	return err
+}
+
+// serveSession is ServeConn's frame loop, returning the negotiated
+// protocol version alongside the session's fate.
+func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 	// The session pipeline is built lazily: sessions that negotiate
 	// never pay for the default engine (fingerprint table, kernel
 	// model, staging memory), and restore-only or dedup-only sessions
@@ -195,11 +242,12 @@ func (s *Server) ServeConn(conn net.Conn) error {
 	for {
 		typ, payload, rerr := readFrame(br, buf)
 		if rerr == io.EOF {
-			return nil
+			return ver, nil
 		}
 		if rerr != nil {
-			return rerr
+			return ver, rerr
 		}
+		s.met.frame(typ)
 		buf = payload[:cap(payload)]
 		switch typ {
 		case MsgHello:
@@ -216,54 +264,58 @@ func (s *Server) ServeConn(conn net.Conn) error {
 				}
 				_ = writeFrame(bw, MsgError, []byte(reason))
 				_ = bw.Flush()
-				return nerr
+				return ver, nerr
 			}
 			shred, ver = ns, nver
+			if sl != nil {
+				sl.Debug("session negotiated", "protocol", ver,
+					"algo", spec.Algo, "min", spec.MinSize, "max", spec.MaxSize)
+			}
 			if err := writeFrame(bw, MsgAccept, encodeHello(ver, spec)); err != nil {
-				return err
+				return ver, err
 			}
 			if err := bw.Flush(); err != nil {
-				return err
+				return ver, err
 			}
 		case MsgBegin:
 			if shred == nil {
 				var err error
 				if shred, err = core.New(s.cfg.Shredder); err != nil {
-					return err
+					return ver, err
 				}
 			}
-			if err := s.handleBackup(string(payload), ver, shred, br, bw); err != nil {
-				return err
+			if err := s.handleBackup(string(payload), ver, shred, br, bw, sl); err != nil {
+				return ver, err
 			}
 		case MsgBeginDedup:
 			if ver < 3 {
 				ferr := &UnexpectedFrameError{Type: typ, Context: "session below protocol version 3"}
 				_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
 				_ = bw.Flush()
-				return ferr
+				return ver, ferr
 			}
-			if err := s.handleDedupBackup(string(payload), ver, br, bw); err != nil {
-				return err
+			if err := s.handleDedupBackup(string(payload), ver, br, bw, sl); err != nil {
+				return ver, err
 			}
 		case MsgDelete:
 			if ver < 3 {
 				ferr := &UnexpectedFrameError{Type: typ, Context: "session below protocol version 3"}
 				_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
 				_ = bw.Flush()
-				return ferr
+				return ver, ferr
 			}
-			if err := s.handleDelete(string(payload), bw); err != nil {
-				return err
+			if err := s.handleDelete(string(payload), bw, sl); err != nil {
+				return ver, err
 			}
 		case MsgRestore:
-			if err := s.handleRestore(string(payload), bw); err != nil {
-				return err
+			if err := s.handleRestore(string(payload), bw, sl); err != nil {
+				return ver, err
 			}
 		default:
 			ferr := &UnexpectedFrameError{Type: typ, Context: "session"}
 			_ = writeFrame(bw, MsgError, []byte(ferr.Error()))
 			_ = bw.Flush()
-			return ferr
+			return ver, ferr
 		}
 	}
 }
@@ -311,8 +363,9 @@ func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, er
 // io.Reader for the chunking pipeline, stopping at the End frame.
 type streamReader struct {
 	r     *bufio.Reader
-	buf   []byte // frame buffer, reused across frames
-	frame []byte // unconsumed tail of the current Data payload
+	met   *serverMetrics // nil ok
+	buf   []byte         // frame buffer, reused across frames
+	frame []byte         // unconsumed tail of the current Data payload
 	done  bool
 	// broken is set when the stream itself violated the protocol
 	// (truncation, bad frame): the connection is desynchronized and
@@ -337,6 +390,7 @@ func (sr *streamReader) Read(p []byte) (int, error) {
 			sr.broken = true
 			return 0, err
 		}
+		sr.met.frame(typ)
 		if cap(payload) > cap(sr.buf) {
 			sr.buf = payload[:cap(payload)]
 		}
@@ -372,11 +426,13 @@ func (sr *streamReader) drain() {
 // is committed (durably, when the store's backing is) before the
 // MsgStats ack goes out: a stream the client saw acknowledged survives
 // a server restart.
-func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer) error {
-	sr := &streamReader{r: br}
+func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger) error {
+	sr := &streamReader{r: br, met: s.met}
 	st, recipe, err := s.ingest(shred, sr)
 	if err == nil {
+		t0 := time.Now()
 		err = s.store.CommitRecipe(name, recipe)
+		s.met.observeCommit(time.Since(t0).Seconds())
 	}
 	if err != nil {
 		// The stream dies uncommitted: give back the references the
@@ -404,6 +460,12 @@ func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *b
 	// older clients reconstruct the same numbers locally.
 	st.Wire = WireStats{LogicalBytes: st.Bytes, WireBytes: st.Bytes, ChunksSent: st.Chunks}
 	st.Store = s.store.Stats()
+	s.met.streamCommitted(st)
+	if sl != nil {
+		sl.Info("stream committed", "recipe", name, "bytes", st.Bytes,
+			"chunks", st.Chunks, "dup_chunks", st.DupChunks,
+			"wire_bytes", st.Wire.WireBytes, "ratio", st.DedupRatio())
+	}
 	if s.cfg.OnStream != nil {
 		s.cfg.OnStream(name, st)
 	}
@@ -434,7 +496,7 @@ func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *b
 // touched) until the Commit turn, whose reply slot carries the error.
 // Protocol violations abort immediately: the connection is
 // desynchronized and draining it could block forever.
-func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *bufio.Writer) error {
+func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger) error {
 	var st StreamStats
 	var recipe shardstore.Recipe
 	var buf []byte
@@ -468,6 +530,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			}
 			return rerr
 		}
+		s.met.frame(typ)
 		buf = payload[:cap(payload)]
 		switch typ {
 		case MsgHasBatch:
@@ -497,6 +560,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			// Account the pinned (duplicate) chunks now; missing ones
 			// are accounted as their bodies arrive.
 			st.Wire.ChunksSkipped += int64(len(hs) - len(missing))
+			s.met.pinned(len(hs) - len(missing))
 			mi := 0
 			for i := range hs {
 				if mi < len(missing) && missing[mi] == i {
@@ -553,6 +617,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 					}
 					return err
 				}
+				s.met.frame(btyp)
 				buf = body[:cap(body)]
 				if btyp != MsgData {
 					return abort(&UnexpectedFrameError{Type: btyp, Context: "dedup body upload"})
@@ -589,7 +654,9 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			}
 		case MsgCommit:
 			if appErr == nil {
+				t0 := time.Now()
 				appErr = s.store.CommitRecipe(name, recipe)
+				s.met.observeCommit(time.Since(t0).Seconds())
 			}
 			if appErr != nil {
 				if err := writeFrame(bw, MsgError, []byte(appErr.Error())); err != nil {
@@ -603,6 +670,13 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			committed = true
 			st.Wire.LogicalBytes = st.Bytes
 			st.Store = s.store.Stats()
+			s.met.streamCommitted(st)
+			if sl != nil {
+				sl.Info("stream committed", "recipe", name, "bytes", st.Bytes,
+					"chunks", st.Chunks, "dup_chunks", st.DupChunks,
+					"wire_bytes", st.Wire.WireBytes,
+					"chunks_skipped", st.Wire.ChunksSkipped, "ratio", st.DedupRatio())
+			}
 			if s.cfg.OnStream != nil {
 				s.cfg.OnStream(name, st)
 			}
@@ -672,7 +746,7 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 // durably and its chunk references released before the ack goes out.
 // An unknown name is an application error the session survives (like
 // an unknown restore); a store failure kills the session.
-func (s *Server) handleDelete(name string, bw *bufio.Writer) error {
+func (s *Server) handleDelete(name string, bw *bufio.Writer, sl *slog.Logger) error {
 	ds, err := s.store.DeleteRecipe(name)
 	if err != nil {
 		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr != nil {
@@ -686,6 +760,10 @@ func (s *Server) handleDelete(name string, bw *bufio.Writer) error {
 		}
 		return err
 	}
+	if sl != nil {
+		sl.Info("recipe deleted", "recipe", name, "released", ds.ChunksReleased,
+			"freed_chunks", ds.ChunksFreed, "freed_bytes", ds.BytesFreed)
+	}
 	if s.cfg.OnDelete != nil {
 		s.cfg.OnDelete(name, ds)
 	}
@@ -696,7 +774,10 @@ func (s *Server) handleDelete(name string, bw *bufio.Writer) error {
 }
 
 // handleRestore streams a recorded recipe back as Data frames.
-func (s *Server) handleRestore(name string, bw *bufio.Writer) error {
+func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger) error {
+	if sl != nil {
+		sl.Debug("stream restored", "recipe", name)
+	}
 	recipe, ok := s.Recipe(name)
 	if !ok {
 		if err := writeFrame(bw, MsgError, []byte(fmt.Sprintf("no stream named %q", name))); err != nil {

@@ -3,9 +3,12 @@ package ingest
 import (
 	"errors"
 	"net"
+	"net/http"
+	"net/http/httptest"
 	"testing"
 	"time"
 
+	"shredder/internal/obs"
 	"shredder/internal/workload"
 )
 
@@ -80,5 +83,73 @@ func TestShutdownForceClosesIdleSession(t *testing.T) {
 	case <-done:
 	case <-time.After(10 * time.Second):
 		t.Fatal("Shutdown hung on an idle session")
+	}
+}
+
+// TestReadyzFlipsDuringDrain runs the daemon's shutdown sequence
+// against a live admin endpoint: /readyz serves 200 while accepting,
+// flips to 503 the moment the drain begins (before Shutdown has even
+// finished waiting out an active session), and /healthz stays 200
+// throughout — liveness and readiness must diverge during a drain.
+func TestReadyzFlipsDuringDrain(t *testing.T) {
+	reg := obs.NewRegistry()
+	cfg := DefaultConfig()
+	cfg.Obs = reg
+	srv, err := NewServer(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	go func() { _ = srv.Serve(l) }()
+
+	adm := obs.NewAdmin(reg, nil)
+	web := httptest.NewServer(adm)
+	defer web.Close()
+	status := func(path string) int {
+		t.Helper()
+		resp, err := http.Get(web.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp.Body.Close()
+		return resp.StatusCode
+	}
+
+	if got := status("/readyz"); got != http.StatusOK {
+		t.Fatalf("/readyz = %d while serving, want 200", got)
+	}
+
+	// An idle session keeps the drain in flight while we probe.
+	conn, err := net.Dial("tcp", l.Addr().String())
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer conn.Close()
+	time.Sleep(50 * time.Millisecond)
+
+	// The daemon's SIGTERM sequence: mark draining, close the listener,
+	// then Shutdown.
+	adm.SetDraining(true)
+	l.Close()
+	shutdownDone := make(chan struct{})
+	go func() { srv.Shutdown(2 * time.Second); close(shutdownDone) }()
+
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d during drain, want 503", got)
+	}
+	if got := status("/healthz"); got != http.StatusOK {
+		t.Errorf("/healthz = %d during drain, want 200 (process is alive)", got)
+	}
+
+	select {
+	case <-shutdownDone:
+	case <-time.After(10 * time.Second):
+		t.Fatal("Shutdown did not return")
+	}
+	if got := status("/readyz"); got != http.StatusServiceUnavailable {
+		t.Errorf("/readyz = %d after drain, want 503", got)
 	}
 }

@@ -1,0 +1,91 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"net/http"
+	"net/http/pprof"
+	"sync/atomic"
+)
+
+// Admin is the operator-facing HTTP surface of a daemon:
+//
+//	/metrics   Prometheus text exposition (?format=json for the JSON
+//	           snapshot CI archives)
+//	/healthz   liveness: 200 as long as the process serves HTTP
+//	/readyz    readiness: 200 while accepting work, 503 once draining
+//	           (the daemon flips it at SIGTERM, before closing the
+//	           listener, so load balancers stop routing new sessions
+//	           while in-flight ones finish)
+//	/statusz   human-readable status page from the daemon's callback
+//	/debug/pprof/...  the standard profiling endpoints
+//
+// Admin is an http.Handler; mount it on a dedicated listener — it
+// performs no authentication and pprof can dump heap contents.
+type Admin struct {
+	reg      *Registry
+	statusz  func(io.Writer)
+	draining atomic.Bool
+	mux      *http.ServeMux
+}
+
+// NewAdmin builds the admin surface. reg may be nil (metrics render
+// empty); statusz may be nil (/statusz reports only drain state).
+func NewAdmin(reg *Registry, statusz func(io.Writer)) *Admin {
+	a := &Admin{reg: reg, statusz: statusz, mux: http.NewServeMux()}
+	a.mux.HandleFunc("/metrics", a.handleMetrics)
+	a.mux.HandleFunc("/healthz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		fmt.Fprintln(w, "ok")
+	})
+	a.mux.HandleFunc("/readyz", func(w http.ResponseWriter, _ *http.Request) {
+		w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+		if a.draining.Load() {
+			w.WriteHeader(http.StatusServiceUnavailable)
+			fmt.Fprintln(w, "draining")
+			return
+		}
+		fmt.Fprintln(w, "ready")
+	})
+	a.mux.HandleFunc("/statusz", a.handleStatusz)
+	a.mux.HandleFunc("/debug/pprof/", pprof.Index)
+	a.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	a.mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	a.mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	return a
+}
+
+// ServeHTTP dispatches to the admin routes.
+func (a *Admin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	a.mux.ServeHTTP(w, r)
+}
+
+// SetDraining flips /readyz: true returns 503 to every probe from now
+// on. The daemon calls it the moment shutdown begins.
+func (a *Admin) SetDraining(v bool) { a.draining.Store(v) }
+
+// Draining reports the current /readyz state.
+func (a *Admin) Draining() bool { return a.draining.Load() }
+
+func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	if r.URL.Query().Get("format") == "json" {
+		w.Header().Set("Content-Type", "application/json")
+		_ = a.reg.WriteJSON(w)
+		return
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	_ = a.reg.WritePrometheus(w)
+}
+
+func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	state := "serving"
+	if a.draining.Load() {
+		state = "draining"
+	}
+	fmt.Fprintf(w, "state: %s\n", state)
+	if a.statusz != nil {
+		a.statusz(w)
+	}
+}

@@ -1,0 +1,412 @@
+// Package obs is the service's dependency-free observability layer: a
+// metrics registry of atomic counters, gauges and fixed-bucket
+// histograms that renders the Prometheus text exposition format (plus a
+// JSON snapshot for CI artifacts), and an admin HTTP handler exposing
+// /metrics, /healthz, drain-aware /readyz, /statusz and net/http/pprof.
+//
+// The registry is built for hot paths: a metric handle is resolved once
+// (registration takes a mutex) and then mutated with a single atomic
+// op. Every method on a nil *Registry or a nil metric handle is a
+// no-op, so library code can thread an optional registry through
+// without branches — uninstrumented users and tests pay one nil check
+// per call site and nothing else.
+//
+// Metrics whose value already lives somewhere else (an atomic the store
+// maintains anyway, a map size behind a lock) register as CounterFunc/
+// GaugeFunc and are evaluated only at scrape time, so instrumenting
+// them costs the hot path literally nothing.
+package obs
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Registry holds metric families and renders them. All methods are safe
+// for concurrent use; registration is idempotent (the same name and
+// label set returns the same handle).
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family is one metric name: a help string, a type, and one child per
+// distinct label set.
+type family struct {
+	name, help, typ string
+	children        map[string]child // keyed by rendered label string
+	order           []string         // registration order, sorted at render
+}
+
+type child struct {
+	labels string // rendered `{k="v",...}` or ""
+	metric any    // *Counter | *Gauge | *Histogram | funcMetric
+}
+
+// funcMetric is a scrape-time callback counter or gauge.
+type funcMetric struct{ fn func() float64 }
+
+// labelString renders alternating key/value pairs into the canonical
+// `{k="v",...}` form (keys sorted so the same set always renders the
+// same way). It panics on an odd count — a registration-time programmer
+// error, never reachable from a hot path.
+func labelString(kv []string) string {
+	if len(kv) == 0 {
+		return ""
+	}
+	if len(kv)%2 != 0 {
+		panic("obs: odd label key/value count")
+	}
+	type pair struct{ k, v string }
+	pairs := make([]pair, 0, len(kv)/2)
+	for i := 0; i < len(kv); i += 2 {
+		pairs = append(pairs, pair{kv[i], kv[i+1]})
+	}
+	sort.Slice(pairs, func(i, j int) bool { return pairs[i].k < pairs[j].k })
+	var b strings.Builder
+	b.WriteByte('{')
+	for i, p := range pairs {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(p.k)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(p.v))
+		b.WriteByte('"')
+	}
+	b.WriteByte('}')
+	return b.String()
+}
+
+// escapeLabel escapes a label value per the exposition format.
+func escapeLabel(v string) string {
+	r := strings.NewReplacer(`\`, `\\`, "\n", `\n`, `"`, `\"`)
+	return r.Replace(v)
+}
+
+// register finds or creates the child for (name, labels). A name reused
+// with a different metric type panics: that is a registration bug, and
+// rendering both under one TYPE line would corrupt the exposition.
+func (r *Registry) register(name, help, typ string, labels []string, mk func() any) any {
+	if r == nil {
+		return nil
+	}
+	ls := labelString(labels)
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	f, ok := r.families[name]
+	if !ok {
+		f = &family{name: name, help: help, typ: typ, children: make(map[string]child)}
+		r.families[name] = f
+	} else if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %q registered as %s and %s", name, f.typ, typ))
+	}
+	if c, ok := f.children[ls]; ok {
+		return c.metric
+	}
+	m := mk()
+	f.children[ls] = child{labels: ls, metric: m}
+	f.order = append(f.order, ls)
+	return m
+}
+
+// Counter is a monotonically increasing value.
+type Counter struct{ v atomic.Int64 }
+
+// Inc adds 1.
+func (c *Counter) Inc() { c.Add(1) }
+
+// Add adds n (negative deltas are a caller bug; they render as-is).
+func (c *Counter) Add(n int64) {
+	if c == nil {
+		return
+	}
+	c.v.Add(n)
+}
+
+// Value returns the current count (0 on a nil handle).
+func (c *Counter) Value() int64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Counter registers (or finds) a counter. labels are alternating
+// key/value pairs naming one child of the family.
+func (r *Registry) Counter(name, help string, labels ...string) *Counter {
+	m := r.register(name, help, "counter", labels, func() any { return new(Counter) })
+	if m == nil {
+		return nil
+	}
+	return m.(*Counter)
+}
+
+// CounterFunc registers a counter whose value is read at scrape time —
+// for totals something else already maintains.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "counter", labels, func() any { return funcMetric{fn} })
+}
+
+// Gauge is a value that can go up and down.
+type Gauge struct{ v atomic.Int64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Store(n)
+}
+
+// Add adds n; Inc and Dec are ±1.
+func (g *Gauge) Add(n int64) {
+	if g == nil {
+		return
+	}
+	g.v.Add(n)
+}
+
+// Inc adds 1.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts 1.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on a nil handle).
+func (g *Gauge) Value() int64 {
+	if g == nil {
+		return 0
+	}
+	return g.v.Load()
+}
+
+// Gauge registers (or finds) a gauge.
+func (r *Registry) Gauge(name, help string, labels ...string) *Gauge {
+	m := r.register(name, help, "gauge", labels, func() any { return new(Gauge) })
+	if m == nil {
+		return nil
+	}
+	return m.(*Gauge)
+}
+
+// GaugeFunc registers a gauge evaluated at scrape time.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...string) {
+	r.register(name, help, "gauge", labels, func() any { return funcMetric{fn} })
+}
+
+// LatencyBuckets is the default histogram layout for durations in
+// seconds: 100µs to 10s, roughly quartering per step.
+var LatencyBuckets = []float64{
+	0.0001, 0.00025, 0.0005, 0.001, 0.0025, 0.005, 0.01,
+	0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10,
+}
+
+// SizeBuckets is the default histogram layout for byte sizes: 256 B to
+// 16 MiB, doubling twice per step.
+var SizeBuckets = []float64{
+	256, 1 << 10, 4 << 10, 16 << 10, 64 << 10,
+	256 << 10, 1 << 20, 4 << 20, 16 << 20,
+}
+
+// Histogram is a fixed-bucket histogram. Observation is lock-free: one
+// atomic add on the bucket, one on the count, one CAS loop on the sum.
+// Renders as a cumulative Prometheus histogram.
+type Histogram struct {
+	bounds []float64 // ascending upper bounds, +Inf implicit
+	counts []atomic.Int64
+	count  atomic.Int64
+	sum    atomic.Uint64 // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	// Linear scan: bucket counts are small (≤ ~20) and the scan is
+	// branch-predictable; a binary search buys nothing at this size.
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	h.count.Add(1)
+	for {
+		old := h.sum.Load()
+		next := math.Float64bits(math.Float64frombits(old) + v)
+		if h.sum.CompareAndSwap(old, next) {
+			return
+		}
+	}
+}
+
+// Count returns the number of observations (0 on a nil handle).
+func (h *Histogram) Count() int64 {
+	if h == nil {
+		return 0
+	}
+	return h.count.Load()
+}
+
+// Sum returns the sum of observed values (0 on a nil handle).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// Histogram registers (or finds) a histogram with the given ascending
+// bucket upper bounds (nil means LatencyBuckets). The +Inf bucket is
+// implicit.
+func (r *Registry) Histogram(name, help string, buckets []float64, labels ...string) *Histogram {
+	m := r.register(name, help, "histogram", labels, func() any {
+		if buckets == nil {
+			buckets = LatencyBuckets
+		}
+		bounds := append([]float64(nil), buckets...)
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
+		}
+		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+	})
+	if m == nil {
+		return nil
+	}
+	return m.(*Histogram)
+}
+
+// fmtFloat renders a float the way the exposition format expects.
+func fmtFloat(v float64) string {
+	if v == math.Trunc(v) && math.Abs(v) < 1e15 {
+		return strconv.FormatInt(int64(v), 10)
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// sortedFamilies snapshots the family list in name order.
+func (r *Registry) sortedFamilies() []*family {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	fams := make([]*family, 0, len(r.families))
+	for _, f := range r.families {
+		fams = append(fams, f)
+	}
+	sort.Slice(fams, func(i, j int) bool { return fams[i].name < fams[j].name })
+	for _, f := range fams {
+		sort.Strings(f.order)
+	}
+	return fams
+}
+
+// WritePrometheus renders every family in the Prometheus text
+// exposition format (version 0.0.4), families and children in sorted
+// order so scrapes diff cleanly.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	var b strings.Builder
+	for _, f := range r.sortedFamilies() {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s %s\n", f.name, f.help, f.name, f.typ)
+		for _, ls := range f.order {
+			c := f.children[ls]
+			switch m := c.metric.(type) {
+			case *Counter:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, m.Value())
+			case *Gauge:
+				fmt.Fprintf(&b, "%s%s %d\n", f.name, ls, m.Value())
+			case funcMetric:
+				fmt.Fprintf(&b, "%s%s %s\n", f.name, ls, fmtFloat(m.fn()))
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLE(ls, fmtFloat(bound)), cum)
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				fmt.Fprintf(&b, "%s_bucket%s %d\n", f.name, mergeLE(ls, "+Inf"), cum)
+				fmt.Fprintf(&b, "%s_sum%s %s\n", f.name, ls, fmtFloat(m.Sum()))
+				fmt.Fprintf(&b, "%s_count%s %d\n", f.name, ls, m.Count())
+			}
+		}
+	}
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// mergeLE adds the le label to an existing (possibly empty) label set.
+func mergeLE(ls, le string) string {
+	if ls == "" {
+		return `{le="` + le + `"}`
+	}
+	return strings.TrimSuffix(ls, "}") + `,le="` + le + `"}`
+}
+
+// WriteJSON renders a flat JSON snapshot: one object mapping each fully
+// qualified series name (labels included) to its value; histograms
+// expand to _bucket/_sum/_count entries like the text format. Keys are
+// sorted, so snapshots diff cleanly — the shape CI archives as
+// BENCH_metrics.json.
+func (r *Registry) WriteJSON(w io.Writer) error {
+	if r == nil {
+		_, err := io.WriteString(w, "{}\n")
+		return err
+	}
+	var b strings.Builder
+	b.WriteString("{\n")
+	first := true
+	emit := func(series, val string) {
+		if !first {
+			b.WriteString(",\n")
+		}
+		first = false
+		fmt.Fprintf(&b, "  %s: %s", strconv.Quote(series), val)
+	}
+	for _, f := range r.sortedFamilies() {
+		for _, ls := range f.order {
+			c := f.children[ls]
+			switch m := c.metric.(type) {
+			case *Counter:
+				emit(f.name+ls, strconv.FormatInt(m.Value(), 10))
+			case *Gauge:
+				emit(f.name+ls, strconv.FormatInt(m.Value(), 10))
+			case funcMetric:
+				emit(f.name+ls, jsonFloat(m.fn()))
+			case *Histogram:
+				cum := int64(0)
+				for i, bound := range m.bounds {
+					cum += m.counts[i].Load()
+					emit(f.name+"_bucket"+mergeLE(ls, fmtFloat(bound)), strconv.FormatInt(cum, 10))
+				}
+				cum += m.counts[len(m.bounds)].Load()
+				emit(f.name+"_bucket"+mergeLE(ls, "+Inf"), strconv.FormatInt(cum, 10))
+				emit(f.name+"_sum"+ls, jsonFloat(m.Sum()))
+				emit(f.name+"_count"+ls, strconv.FormatInt(m.Count(), 10))
+			}
+		}
+	}
+	b.WriteString("\n}\n")
+	_, err := io.WriteString(w, b.String())
+	return err
+}
+
+// jsonFloat renders a float as valid JSON (NaN/Inf become null).
+func jsonFloat(v float64) string {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return "null"
+	}
+	return fmtFloat(v)
+}

@@ -1,0 +1,227 @@
+package obs
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http/httptest"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeRender(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("test_ops_total", "Operations.")
+	c.Inc()
+	c.Add(2)
+	g := r.Gauge("test_active", "Active things.")
+	g.Set(5)
+	g.Dec()
+	r.CounterFunc("test_func_total", "Scrape-time counter.", func() float64 { return 7 })
+	r.GaugeFunc("test_ratio", "A fraction.", func() float64 { return 0.25 })
+
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		"# HELP test_ops_total Operations.",
+		"# TYPE test_ops_total counter",
+		"test_ops_total 3",
+		"# TYPE test_active gauge",
+		"test_active 4",
+		"test_func_total 7",
+		"test_ratio 0.25",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+func TestLabeledChildrenAreDistinct(t *testing.T) {
+	r := NewRegistry()
+	a := r.Counter("test_sessions_total", "Sessions.", "protocol", "3")
+	b := r.Counter("test_sessions_total", "Sessions.", "protocol", "2")
+	again := r.Counter("test_sessions_total", "Sessions.", "protocol", "3")
+	if a == b {
+		t.Fatal("different label values returned the same child")
+	}
+	if a != again {
+		t.Fatal("same label values returned different children")
+	}
+	a.Add(4)
+	b.Inc()
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	out := sb.String()
+	if !strings.Contains(out, `test_sessions_total{protocol="2"} 1`) ||
+		!strings.Contains(out, `test_sessions_total{protocol="3"} 4`) {
+		t.Errorf("bad labeled render:\n%s", out)
+	}
+	if strings.Count(out, "# TYPE test_sessions_total") != 1 {
+		t.Errorf("family header repeated:\n%s", out)
+	}
+}
+
+func TestHistogramRender(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("test_latency_seconds", "Latency.", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.05, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if h.Count() != 5 {
+		t.Fatalf("count %d, want 5", h.Count())
+	}
+	if got, want := h.Sum(), 5.605; got < want-1e-9 || got > want+1e-9 {
+		t.Fatalf("sum %v, want %v", got, want)
+	}
+	var b strings.Builder
+	if err := r.WritePrometheus(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	for _, want := range []string{
+		`test_latency_seconds_bucket{le="0.01"} 1`,
+		`test_latency_seconds_bucket{le="0.1"} 3`,
+		`test_latency_seconds_bucket{le="1"} 4`,
+		`test_latency_seconds_bucket{le="+Inf"} 5`,
+		`test_latency_seconds_count 5`,
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("missing %q in:\n%s", want, out)
+		}
+	}
+}
+
+// TestNilSafety proves the no-instrumentation contract: every operation
+// on a nil registry or nil handle is a no-op, never a panic.
+func TestNilSafety(t *testing.T) {
+	var r *Registry
+	c := r.Counter("x_total", "x")
+	c.Inc()
+	c.Add(5)
+	if c.Value() != 0 {
+		t.Fatal("nil counter has a value")
+	}
+	g := r.Gauge("y", "y")
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	h := r.Histogram("z_seconds", "z", nil)
+	h.Observe(0.5)
+	if h.Count() != 0 || h.Sum() != 0 {
+		t.Fatal("nil histogram recorded")
+	}
+	r.CounterFunc("f_total", "f", func() float64 { return 1 })
+	r.GaugeFunc("f2", "f", func() float64 { return 1 })
+	if err := r.WritePrometheus(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+	if err := r.WriteJSON(io.Discard); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentUse hammers one registry from many goroutines —
+// registration, mutation and scraping interleaved — and checks the
+// final totals. Run under -race in CI.
+func TestConcurrentUse(t *testing.T) {
+	r := NewRegistry()
+	const workers, perWorker = 8, 1000
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			c := r.Counter("cc_total", "c")
+			g := r.Gauge("cg", "g")
+			h := r.Histogram("ch_seconds", "h", []float64{0.5})
+			for i := 0; i < perWorker; i++ {
+				c.Inc()
+				g.Add(1)
+				h.Observe(float64(i%2) * 0.9)
+				if i%100 == 0 {
+					_ = r.WritePrometheus(io.Discard)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := r.Counter("cc_total", "c").Value(); got != workers*perWorker {
+		t.Fatalf("counter %d, want %d", got, workers*perWorker)
+	}
+	if got := r.Histogram("ch_seconds", "h", nil).Count(); got != workers*perWorker {
+		t.Fatalf("histogram count %d, want %d", got, workers*perWorker)
+	}
+}
+
+func TestWriteJSONIsValid(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("j_total", "j", "kind", `we"ird`).Add(2)
+	r.Histogram("j_seconds", "j", []float64{1}).Observe(0.5)
+	r.GaugeFunc("j_nan", "j", func() float64 { return 2.5 })
+	var b strings.Builder
+	if err := r.WriteJSON(&b); err != nil {
+		t.Fatal(err)
+	}
+	var m map[string]any
+	if err := json.Unmarshal([]byte(b.String()), &m); err != nil {
+		t.Fatalf("invalid JSON: %v\n%s", err, b.String())
+	}
+	if m[`j_total{kind="we\"ird"}`] != 2.0 {
+		t.Errorf("labeled counter missing: %v", m)
+	}
+	if m["j_seconds_count"] != 1.0 {
+		t.Errorf("histogram count missing: %v", m)
+	}
+}
+
+func TestAdminEndpoints(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("a_total", "a").Inc()
+	admin := NewAdmin(r, func(w io.Writer) { fmt.Fprintln(w, "chunks: 42") })
+	ts := httptest.NewServer(admin)
+	defer ts.Close()
+
+	get := func(path string) (int, string) {
+		resp, err := ts.Client().Get(ts.URL + path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		body, _ := io.ReadAll(resp.Body)
+		return resp.StatusCode, string(body)
+	}
+
+	if code, body := get("/metrics"); code != 200 || !strings.Contains(body, "a_total 1") {
+		t.Errorf("/metrics: %d %q", code, body)
+	}
+	if code, body := get("/metrics?format=json"); code != 200 || !strings.Contains(body, `"a_total": 1`) {
+		t.Errorf("/metrics?format=json: %d %q", code, body)
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz: %d", code)
+	}
+	if code, _ := get("/readyz"); code != 200 {
+		t.Errorf("/readyz before drain: %d", code)
+	}
+	admin.SetDraining(true)
+	if code, _ := get("/readyz"); code != 503 {
+		t.Errorf("/readyz during drain: want 503")
+	}
+	if code, _ := get("/healthz"); code != 200 {
+		t.Errorf("/healthz during drain: want 200 (liveness is not readiness)")
+	}
+	if code, body := get("/statusz"); code != 200 ||
+		!strings.Contains(body, "state: draining") || !strings.Contains(body, "chunks: 42") {
+		t.Errorf("/statusz: %d %q", code, body)
+	}
+	if code, body := get("/debug/pprof/cmdline"); code != 200 || body == "" {
+		t.Errorf("/debug/pprof/cmdline: %d", code)
+	}
+}

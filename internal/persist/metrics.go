@@ -1,0 +1,90 @@
+package persist
+
+import (
+	"os"
+	"sync/atomic"
+	"time"
+
+	"shredder/internal/obs"
+)
+
+// pmetrics is the backing's observability state. The plain atomics are
+// maintained unconditionally (one uncontended Add per event, cheaper
+// than a branch worth caring about) and exported as scrape-time
+// CounterFuncs; the fsync latency histogram is the one hot-path handle
+// and lives behind an atomic pointer because the FsyncInterval loop may
+// already be syncing when Instrument installs it.
+type pmetrics struct {
+	walRecords    atomic.Int64 // insert/refdelta/relocate records staged
+	recipeRecords atomic.Int64 // recipe commits + tombstones journaled
+	checkpoints   atomic.Int64 // shard WAL checkpoints completed
+	recoverNanos  atomic.Int64 // cumulative Recover wall time, all shards
+	fsyncs        atomic.Int64 // fsync syscalls issued
+	fsyncSeconds  atomic.Pointer[obs.Histogram]
+}
+
+// timedSync counts one fsync and, when instrumented, observes its
+// latency.
+func (m *pmetrics) timedSync(f *os.File) error {
+	m.fsyncs.Add(1)
+	h := m.fsyncSeconds.Load()
+	if h == nil {
+		return f.Sync()
+	}
+	t0 := time.Now()
+	err := f.Sync()
+	h.Observe(time.Since(t0).Seconds())
+	return err
+}
+
+// presenceEntries sums the per-shard presence sets.
+func (b *Backing) presenceEntries() int64 {
+	var n int64
+	for _, sh := range b.shards {
+		sh.mu.Lock()
+		n += int64(len(sh.present))
+		sh.mu.Unlock()
+	}
+	return n
+}
+
+// Instrument registers the backing's metric families on reg: WAL and
+// recipe-journal append counts, fsync count and latency (labeled by the
+// configured policy), checkpoint count, recovery duration and presence-
+// set size. Everything but the fsync latency histogram is evaluated at
+// scrape time. A nil registry is a no-op; call at most once.
+func (b *Backing) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	policy := b.opts.Fsync.String()
+	reg.CounterFunc("persist_wal_records_total",
+		"Index-mutation records (insert, refdelta, relocate) staged to shard WALs.",
+		func() float64 { return float64(b.met.walRecords.Load()) })
+	reg.CounterFunc("persist_recipe_records_total",
+		"Recipe commits and tombstones appended to the recipe journal.",
+		func() float64 { return float64(b.met.recipeRecords.Load()) })
+	reg.CounterFunc("persist_fsyncs_total",
+		"fsync syscalls issued across shard WALs, containers and the recipe journal.",
+		func() float64 { return float64(b.met.fsyncs.Load()) },
+		"policy", policy)
+	reg.CounterFunc("persist_checkpoints_total",
+		"Shard WAL checkpoints completed (compaction commit points).",
+		func() float64 { return float64(b.met.checkpoints.Load()) })
+	reg.GaugeFunc("persist_recovery_seconds",
+		"Cumulative wall time the last open spent replaying shard WALs.",
+		func() float64 { return float64(b.met.recoverNanos.Load()) / 1e9 })
+	reg.GaugeFunc("persist_presence_entries",
+		"Fingerprints in the shards' presence sets (the Missing query index).",
+		func() float64 { return float64(b.presenceEntries()) })
+	reg.GaugeFunc("persist_recipe_log_bytes",
+		"Current recipe journal size on disk.",
+		func() float64 {
+			b.rmu.Lock()
+			n := b.recipeSize
+			b.rmu.Unlock()
+			return float64(n)
+		})
+	b.met.fsyncSeconds.Store(reg.Histogram("persist_fsync_seconds",
+		"fsync syscall latency.", obs.LatencyBuckets, "policy", policy))
+}

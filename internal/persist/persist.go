@@ -34,6 +34,7 @@ import (
 	"time"
 
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 )
 
@@ -57,6 +58,10 @@ type Options struct {
 	// after power loss under relaxed fsync), at the cost of reading and
 	// hashing every stored byte at open.
 	VerifyOnRecover bool
+	// Obs, when set, receives the backing's persistence metric families
+	// (WAL appends, fsync count and latency, recovery time, checkpoint
+	// count). Nil means no instrumentation.
+	Obs *obs.Registry
 }
 
 // Backing is the durable shardstore.Backing rooted at one data
@@ -68,6 +73,7 @@ type Backing struct {
 	dir    string
 	opts   Options
 	shards []*diskShard
+	met    pmetrics
 
 	rmu         sync.Mutex
 	recipeLog   *os.File
@@ -120,7 +126,7 @@ func Open(dir string, opts Options) (*Backing, error) {
 	b := &Backing{dir: dir, opts: opts, shards: make([]*diskShard, opts.Shards)}
 	always := opts.Fsync.Mode == FsyncAlways
 	for i := range b.shards {
-		b.shards[i] = newDiskShard(dir, i, opts.ContainerSize, always, opts.VerifyOnRecover)
+		b.shards[i] = newDiskShard(dir, i, opts.ContainerSize, always, opts.VerifyOnRecover, &b.met)
 	}
 	if err := b.openRecipes(); err != nil {
 		return nil, err
@@ -134,6 +140,7 @@ func Open(dir string, opts Options) (*Backing, error) {
 		b.tickDone = make(chan struct{})
 		go b.fsyncLoop(iv)
 	}
+	b.Instrument(opts.Obs)
 	return b, nil
 }
 
@@ -343,6 +350,7 @@ func (b *Backing) appendRecipeRecordLocked(body []byte) error {
 	}
 	b.recipeSize += int64(len(rec))
 	b.recipeDirty = true
+	b.met.recipeRecords.Add(1)
 	if b.opts.Fsync.Mode == FsyncAlways {
 		return b.syncRecipesLocked()
 	}
@@ -384,7 +392,7 @@ func (b *Backing) syncRecipesLocked() error {
 	if !b.recipeDirty {
 		return nil
 	}
-	if err := b.recipeLog.Sync(); err != nil {
+	if err := b.met.timedSync(b.recipeLog); err != nil {
 		return err
 	}
 	b.recipeDirty = false

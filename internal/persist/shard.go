@@ -6,6 +6,7 @@ import (
 	"os"
 	"path/filepath"
 	"sync"
+	"time"
 
 	"shredder/internal/dedup"
 	"shredder/internal/shardstore"
@@ -27,6 +28,7 @@ type diskShard struct {
 	containerSize int64
 	always        bool // FsyncAlways: fsync at every Commit
 	verify        bool // re-hash every chunk during Recover
+	met           *pmetrics
 
 	mu         sync.Mutex // guards all fields below
 	wal        *os.File
@@ -58,13 +60,14 @@ const (
 	containerFormat = "c-%06d.dat"
 )
 
-func newDiskShard(dir string, id int, containerSize int64, always, verify bool) *diskShard {
+func newDiskShard(dir string, id int, containerSize int64, always, verify bool, met *pmetrics) *diskShard {
 	return &diskShard{
 		id:            id,
 		dir:           filepath.Join(dir, fmt.Sprintf("shard-%04d", id)),
 		containerSize: containerSize,
 		always:        always,
 		verify:        verify,
+		met:           met,
 	}
 }
 
@@ -76,6 +79,7 @@ func newDiskShard(dir string, id int, containerSize int64, always, verify bool) 
 func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refcount int64) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	defer func(t0 time.Time) { s.met.recoverNanos.Add(time.Since(t0).Nanoseconds()) }(time.Now())
 	if s.recovered {
 		return fmt.Errorf("persist: shard %d recovered twice", s.id)
 	}
@@ -332,6 +336,7 @@ func (s *diskShard) Append(h shardstore.Hash, data []byte) (int, int64, error) {
 		return 0, 0, err
 	}
 	s.walBuf = appendRecord(s.walBuf, encodeInsert(h, ci, off, int64(len(data))))
+	s.met.walRecords.Add(1)
 	s.present[h] = struct{}{}
 	return ci, off, nil
 }
@@ -347,6 +352,7 @@ func (s *diskShard) Relocate(h shardstore.Hash, data []byte) (int, int64, error)
 		return 0, 0, err
 	}
 	s.walBuf = appendRecord(s.walBuf, encodeRelocate(h, ci, off, int64(len(data))))
+	s.met.walRecords.Add(1)
 	return ci, off, nil
 }
 
@@ -355,6 +361,7 @@ func (s *diskShard) LogRefDelta(h shardstore.Hash, delta int64) error {
 	s.mu.Lock()
 	s.walBuf = appendRecord(s.walBuf, encodeRefDelta(h, delta))
 	s.mu.Unlock()
+	s.met.walRecords.Add(1)
 	return nil
 }
 
@@ -399,14 +406,14 @@ func (s *diskShard) flushLocked() error {
 func (s *diskShard) fsyncLocked() error {
 	for _, cf := range s.containers {
 		if cf != nil && cf.dirty {
-			if err := cf.f.Sync(); err != nil {
+			if err := s.met.timedSync(cf.f); err != nil {
 				return err
 			}
 			cf.dirty = false
 		}
 	}
 	if s.walDirty {
-		if err := s.wal.Sync(); err != nil {
+		if err := s.met.timedSync(s.wal); err != nil {
 			return err
 		}
 		s.walDirty = false
@@ -460,6 +467,7 @@ func (s *diskShard) Checkpoint(live []shardstore.CheckpointEntry, drop []int) er
 	s.wal = wal
 	s.walSize = int64(len(buf))
 	s.walDirty = false
+	s.met.checkpoints.Add(1)
 	for _, ci := range drop {
 		if ci < 0 || ci >= len(s.containers)-1 || s.containers[ci] == nil {
 			continue

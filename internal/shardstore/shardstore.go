@@ -36,8 +36,10 @@ import (
 	"sort"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 )
 
 // Hash is a chunk fingerprint (re-exported so callers need not import
@@ -107,6 +109,16 @@ type Store struct {
 	chunks  atomic.Int64
 	unique  atomic.Int64
 	hits    atomic.Int64
+
+	// Observability totals (monotonic, unlike the stats above which
+	// deletions wind back) and the optional hot-path histogram.
+	// missingSeconds is set once by Instrument, before the store serves
+	// traffic; nil costs each query one pointer check.
+	releases       atomic.Int64
+	compactions    atomic.Int64
+	compactedBytes atomic.Int64
+	movedBytes     atomic.Int64
+	missingSeconds *obs.Histogram
 }
 
 // New returns an empty in-memory store with the given shard count (a
@@ -293,6 +305,9 @@ func (s *Store) HasBatch(hs []Hash) []bool {
 // missing may be inserted by a concurrent session a microsecond later
 // — so the ingest protocol's missing-set answer uses PinBatch instead.
 func (s *Store) Missing(hs []Hash) []int {
+	if h := s.missingSeconds; h != nil {
+		defer func(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
 	found := s.HasBatch(hs)
 	missing := make([]int, 0, len(hs))
 	for i, ok := range found {
@@ -315,6 +330,9 @@ func (s *Store) Missing(hs []Hash) []int {
 // ascending indices in missing with a zero Ref. On a backing error the
 // batch stops early: pins already applied stay applied (and accounted).
 func (s *Store) PinBatch(hs []Hash) (refs []Ref, missing []int, err error) {
+	if h := s.missingSeconds; h != nil {
+		defer func(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }(time.Now())
+	}
 	refs = make([]Ref, len(hs))
 	found := make([]bool, len(hs))
 	var logical, chunksN, dups int64
@@ -630,6 +648,7 @@ func (s *Store) releaseRefs(r Recipe) (DeleteStats, error) {
 	})
 	// Mirror of the recovery derivation: a released reference undoes one
 	// duplicate hit; a dropped entry undoes its unique insert.
+	s.releases.Add(chunksN)
 	s.chunks.Add(-chunksN)
 	s.logical.Add(-logical)
 	s.hits.Add(-hitsN)
@@ -668,10 +687,20 @@ func (s *Store) Compact(threshold float64) (CompactStats, error) {
 		total.ReclaimedBytes += cs.ReclaimedBytes
 		total.MovedBytes += cs.MovedBytes
 		if err != nil {
+			s.accountCompact(total)
 			return total, err
 		}
 	}
+	s.accountCompact(total)
 	return total, nil
+}
+
+// accountCompact folds one pass's results into the observability
+// totals (partial passes count what they actually reclaimed).
+func (s *Store) accountCompact(cs CompactStats) {
+	s.compactions.Add(1)
+	s.compactedBytes.Add(cs.ReclaimedBytes)
+	s.movedBytes.Add(cs.MovedBytes)
 }
 
 // compactShard runs one shard's pass; see Compact.
@@ -790,6 +819,99 @@ func (s *Store) Reconstruct(r Recipe) ([]byte, error) {
 		out = append(out, data...)
 	}
 	return out, nil
+}
+
+// ContainerUsage reports the store's physical footprint: live container
+// slots, the bytes the index still references, and the total container
+// bytes on the backing. total-live is the dead space a compaction pass
+// could reclaim — the GC-debt signal the daemon exports.
+func (s *Store) ContainerUsage() (containers int, liveBytes, totalBytes int64) {
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n := sh.back.Containers()
+		for ci := 0; ci < n; ci++ {
+			size := sh.back.ContainerLen(ci)
+			if size < 0 {
+				continue // dropped slot
+			}
+			containers++
+			totalBytes += size
+		}
+		for _, lb := range sh.live {
+			liveBytes += lb
+		}
+		sh.mu.RUnlock()
+	}
+	return containers, liveBytes, totalBytes
+}
+
+// indexEntries counts live index entries (== refcount map entries)
+// across all shards.
+func (s *Store) indexEntries() int64 {
+	var n int64
+	for _, sh := range s.shards {
+		sh.mu.RLock()
+		n += int64(len(sh.index))
+		sh.mu.RUnlock()
+	}
+	return n
+}
+
+// Instrument registers the store's metric families on reg and arms the
+// hot-path Missing/PinBatch latency histogram. Everything except that
+// histogram is evaluated at scrape time from state the store maintains
+// anyway, so instrumentation costs ingest nothing. Call once, before
+// the store serves traffic; a nil registry is a no-op.
+func (s *Store) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	reg.CounterFunc("shardstore_chunks_total",
+		"Chunk writes accepted (unique inserts plus duplicate hits), net of releases.",
+		func() float64 { return float64(s.chunks.Load()) })
+	reg.CounterFunc("shardstore_dup_hits_total",
+		"Chunk writes resolved as duplicates of stored content, net of releases.",
+		func() float64 { return float64(s.hits.Load()) })
+	reg.CounterFunc("shardstore_releases_total",
+		"Chunk references given back by deletes, recipe replacement and aborted streams.",
+		func() float64 { return float64(s.releases.Load()) })
+	reg.CounterFunc("shardstore_compactions_total",
+		"Compaction passes completed (partial passes included).",
+		func() float64 { return float64(s.compactions.Load()) })
+	reg.CounterFunc("shardstore_compact_reclaimed_bytes_total",
+		"Dead container bytes returned to the backing by compaction.",
+		func() float64 { return float64(s.compactedBytes.Load()) })
+	reg.CounterFunc("shardstore_compact_moved_bytes_total",
+		"Live bytes rewritten into fresh containers by compaction.",
+		func() float64 { return float64(s.movedBytes.Load()) })
+	reg.GaugeFunc("shardstore_logical_bytes",
+		"Logical bytes the live streams represent.",
+		func() float64 { return float64(s.logical.Load()) })
+	reg.GaugeFunc("shardstore_stored_bytes",
+		"Unique bytes the index references.",
+		func() float64 { return float64(s.stored.Load()) })
+	reg.GaugeFunc("shardstore_index_entries",
+		"Live fingerprint index entries (equals refcount-map entries) across all shards.",
+		func() float64 { return float64(s.indexEntries()) })
+	reg.GaugeFunc("shardstore_recipes",
+		"Recorded stream recipes.",
+		func() float64 {
+			s.rmu.RLock()
+			n := len(s.recipes)
+			s.rmu.RUnlock()
+			return float64(n)
+		})
+	reg.GaugeFunc("shardstore_containers",
+		"Live container slots across all shards.",
+		func() float64 { c, _, _ := s.ContainerUsage(); return float64(c) })
+	reg.GaugeFunc("shardstore_container_live_bytes",
+		"Container bytes the index still references.",
+		func() float64 { _, live, _ := s.ContainerUsage(); return float64(live) })
+	reg.GaugeFunc("shardstore_container_dead_bytes",
+		"Container bytes no longer referenced (reclaimable by compaction).",
+		func() float64 { _, live, total := s.ContainerUsage(); return float64(total - live) })
+	s.missingSeconds = reg.Histogram("shardstore_missing_seconds",
+		"Latency of batched Matching queries (Missing and PinBatch).", obs.LatencyBuckets)
 }
 
 // Sync forces everything written so far onto durable media (a no-op

@@ -47,6 +47,14 @@
 // stderr and a single end-of-run summary object — streams, logical and
 // stored bytes, dedup ratio, wire savings, retention amplification —
 // is printed as JSON on stdout, for scripts and CI.
+//
+// With -trace every operation records a span tree. In the in-process
+// modes (-data, -retention, -wire-bench) client and server share one
+// tracer, so each backup renders as a single connected tree — client
+// root, the server's remote-parented operation span under it, and
+// shardstore/persist children (shard puts, WAL appends, fsyncs) below
+// that. Trees print at end of run; -json adds per-span-name rollups
+// (count, total seconds) to the summary object.
 package main
 
 import (
@@ -58,11 +66,14 @@ import (
 	"net"
 	"os"
 	"path/filepath"
+	"sort"
+	"sync"
 	"time"
 
 	"shredder/internal/backup"
 	"shredder/internal/chunk"
 	"shredder/internal/ingest"
+	"shredder/internal/obs"
 	"shredder/internal/persist"
 	"shredder/internal/stats"
 	"shredder/internal/workload"
@@ -72,21 +83,39 @@ import (
 // -json so the summary object owns stdout.
 var human io.Writer = os.Stdout
 
+// tracer is set by -trace and shared between the client sessions and
+// any in-process server, so both sides of a backup land in one trace.
+var tracer *obs.Tracer
+
+// serveDone tracks in-process ServeConn goroutines: the end-of-run
+// trace snapshot waits for them, so the server half of every tree has
+// ended before it renders.
+var serveDone sync.WaitGroup
+
 // runSummary is the -json end-of-run object. Wire fields appear only
 // for dedup-wire runs, retention fields only for -retention runs.
 type runSummary struct {
-	Mode          string  `json:"mode"` // sim | client | restart | retention
-	Streams       int     `json:"streams"`
-	LogicalBytes  int64   `json:"logical_bytes"`
-	StoredBytes   int64   `json:"stored_bytes"`
-	DedupRatio    float64 `json:"dedup_ratio"`
-	WireBytes     int64   `json:"wire_bytes,omitempty"`
-	WireSaved     int64   `json:"wire_saved_bytes,omitempty"`
-	ChunksSent    int64   `json:"chunks_sent,omitempty"`
-	ChunksSkipped int64   `json:"chunks_skipped,omitempty"`
-	Generations   int     `json:"generations,omitempty"`
-	Retained      int     `json:"retained,omitempty"`
-	Amplification float64 `json:"amplification,omitempty"`
+	Mode          string       `json:"mode"` // sim | client | restart | retention
+	Streams       int          `json:"streams"`
+	LogicalBytes  int64        `json:"logical_bytes"`
+	StoredBytes   int64        `json:"stored_bytes"`
+	DedupRatio    float64      `json:"dedup_ratio"`
+	WireBytes     int64        `json:"wire_bytes,omitempty"`
+	WireSaved     int64        `json:"wire_saved_bytes,omitempty"`
+	ChunksSent    int64        `json:"chunks_sent,omitempty"`
+	ChunksSkipped int64        `json:"chunks_skipped,omitempty"`
+	Generations   int          `json:"generations,omitempty"`
+	Retained      int          `json:"retained,omitempty"`
+	Amplification float64      `json:"amplification,omitempty"`
+	Spans         []spanRollup `json:"spans,omitempty"`
+}
+
+// spanRollup aggregates one span name across every retained trace —
+// the -trace -json view of where the run's time went.
+type spanRollup struct {
+	Name    string  `json:"name"`
+	Count   int     `json:"count"`
+	Seconds float64 `json:"total_seconds"`
 }
 
 // addWire folds one stream's wire stats into the summary.
@@ -130,7 +159,15 @@ func main() {
 	gcJSON := flag.String("gc-json", "", "retention scenario: write per-round GC metrics as JSON to this file (- for stdout)")
 	ampLimit := flag.Float64("amp-limit", 1.5, "retention scenario: fail when final disk bytes exceed this multiple of the live stored bytes (0 disables)")
 	jsonOut := flag.Bool("json", false, "emit a single end-of-run summary object as JSON on stdout (progress lines move to stderr)")
+	trace := flag.Bool("trace", false, "record a span tree per operation and print the trees at end of run (-json adds per-span rollups)")
 	flag.Parse()
+
+	if *trace {
+		// One tracer for the whole run, shared with any in-process
+		// server, so client and server spans merge into one tree. The
+		// recent ring is sized to hold every operation of a typical run.
+		tracer = obs.NewTracer(obs.TracerConfig{Recent: 256})
+	}
 
 	if *jsonOut {
 		if *wireBench != "" {
@@ -144,6 +181,7 @@ func main() {
 			fmt.Fprintln(os.Stderr, "backupsim:", err)
 			os.Exit(1)
 		}
+		printTraces(sum)
 		if *jsonOut {
 			if err := sum.emit(); err != nil {
 				fmt.Fprintln(os.Stderr, "backupsim:", err)
@@ -274,7 +312,7 @@ func negotiateSession(c *ingest.Session, spec *chunk.Spec, dedupWire bool) error
 	}
 	mode := "server-chunked"
 	if dedupWire {
-		mode = "dedup-wire (client-chunked, protocol v3)"
+		mode = fmt.Sprintf("dedup-wire (client-chunked, protocol v%d)", c.Version())
 	}
 	fmt.Fprintf(human, "negotiated %s engine (avg %s, min %s, max %s), %s\n",
 		accepted.Algo, stats.Bytes(int64(accepted.AvgSize)),
@@ -317,6 +355,10 @@ func runClient(addr, prefix string, spec *chunk.Spec, dedupWire bool, size, snap
 		return nil, err
 	}
 	defer c.Close()
+	// With -trace the client half of each tree prints locally; the
+	// remote daemon's half lands in its own /debug/traces, joined to
+	// ours by the trace ID in the v4 Hello/BeginDedup context.
+	c.SetTracer(tracer)
 	if err := negotiateSession(c, spec, dedupWire); err != nil {
 		return nil, err
 	}
@@ -385,7 +427,7 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, 
 	if err != nil {
 		return nil, err
 	}
-	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	srv, err := ingest.NewServerWithStore(simConfig(), store)
 	if err != nil {
 		store.Close()
 		return nil, err
@@ -438,7 +480,7 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, 
 	if after := store.Stats(); after != before {
 		return nil, fmt.Errorf("recovered stats %+v differ from pre-restart %+v", after, before)
 	}
-	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	srv, err = ingest.NewServerWithStore(simConfig(), store)
 	if err != nil {
 		return nil, err
 	}
@@ -457,11 +499,57 @@ func runRestart(dir, fsyncStr, prefix string, spec *chunk.Spec, dedupWire bool, 
 // dialInProcess connects a client to the server over an in-memory pipe.
 func dialInProcess(srv *ingest.Server) *ingest.Session {
 	cend, send := net.Pipe()
+	serveDone.Add(1)
 	go func() {
+		defer serveDone.Done()
 		defer send.Close()
 		_ = srv.ServeConn(send)
 	}()
-	return ingest.NewSession(cend)
+	c := ingest.NewSession(cend)
+	c.SetTracer(tracer)
+	return c
+}
+
+// simConfig is the in-process server configuration: the stock config
+// plus the shared tracer when -trace is on.
+func simConfig() ingest.Config {
+	cfg := ingest.DefaultConfig()
+	cfg.Tracer = tracer
+	return cfg
+}
+
+// printTraces waits out the in-process server goroutines (so the
+// server half of every tree has ended), renders each retained trace,
+// and folds per-span-name rollups into the summary for -json.
+func printTraces(sum *runSummary) {
+	if tracer == nil {
+		return
+	}
+	serveDone.Wait()
+	tds := tracer.Snapshot()
+	agg := map[string]*spanRollup{}
+	// Snapshot is most-recent-first; print in run order.
+	for i := len(tds) - 1; i >= 0; i-- {
+		td := tds[i]
+		fmt.Fprintf(human, "\n%s", td.Tree())
+		for _, s := range td.Spans {
+			r := agg[s.Name]
+			if r == nil {
+				r = &spanRollup{Name: s.Name}
+				agg[s.Name] = r
+			}
+			r.Count++
+			r.Seconds += s.Duration
+		}
+	}
+	names := make([]string, 0, len(agg))
+	for n := range agg {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	for _, n := range names {
+		sum.Spans = append(sum.Spans, *agg[n])
+	}
 }
 
 // wireBenchRow is one cell of the raw-vs-dedup transfer matrix.
@@ -488,7 +576,7 @@ func runWireBench(path string, size int, seed int64) error {
 		im := workload.NewImage(seed, size, 64<<10, 1-redundancy)
 		snap := im.Snapshot(seed + 1)
 		for _, mode := range []string{"raw", "dedup"} {
-			srv, err := ingest.NewServer(ingest.DefaultConfig())
+			srv, err := ingest.NewServer(simConfig())
 			if err != nil {
 				return err
 			}
@@ -652,7 +740,7 @@ func runRetention(cfg retentionConfig) (*runSummary, error) {
 			store.Close()
 		}
 	}()
-	srv, err := ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	srv, err := ingest.NewServerWithStore(simConfig(), store)
 	if err != nil {
 		return nil, err
 	}
@@ -747,7 +835,7 @@ func runRetention(cfg retentionConfig) (*runSummary, error) {
 	if err != nil {
 		return nil, fmt.Errorf("reopen after retention churn: %w", err)
 	}
-	srv, err = ingest.NewServerWithStore(ingest.DefaultConfig(), store)
+	srv, err = ingest.NewServerWithStore(simConfig(), store)
 	if err != nil {
 		return nil, err
 	}

@@ -28,16 +28,19 @@
 //
 // Operability: -admin serves /metrics (Prometheus text; ?format=json
 // for a flat JSON snapshot), /healthz, /readyz (503 once a drain
-// begins), /statusz and net/http/pprof. Logging is structured
-// (log/slog): -log-level picks the floor, -log-json switches to JSON
-// lines, and every session logs under a unique "session" id from
-// accept to close.
+// begins), /statusz, /debug/traces and net/http/pprof. Logging is
+// structured (log/slog): -log-level picks the floor, -log-json
+// switches to JSON lines, and every session logs under a unique
+// "session" id from accept to close. Every client operation records a
+// span tree (negotiate through store and WAL/fsync children); recent
+// trees show on /statusz and dump as JSON at /debug/traces, and
+// -trace-slow D retains any operation at or over D and logs its tree.
 //
 //	shredderd [-addr :9323] [-admin :7071] [-shards N] [-batch N] [-buffer MiB]
 //	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
 //	          [-dedup-wire=true|false]
 //	          [-data DIR] [-fsync always|never|interval[=D]]
-//	          [-gc-interval D] [-gc-threshold F]
+//	          [-gc-interval D] [-gc-threshold F] [-trace-slow D]
 //	          [-grace D] [-log-level L] [-log-json] [-quiet]
 package main
 
@@ -52,6 +55,7 @@ import (
 	"net/http"
 	"os"
 	"os/signal"
+	"sync/atomic"
 	"syscall"
 	"time"
 
@@ -73,12 +77,13 @@ func main() {
 	avgKiB := flag.Int("avg", 4, "target average chunk size in KiB (power of two)")
 	minKiB := flag.Int("minchunk", 0, "minimum chunk size in KiB (0: engine default)")
 	maxKiB := flag.Int("maxchunk", 0, "maximum chunk size in KiB (0: engine default)")
-	dedupWire := flag.Bool("dedup-wire", true, "accept protocol v3 two-phase dedup sessions (client-side chunking, only missing bodies cross the wire); false caps the protocol at v2")
+	dedupWire := flag.Bool("dedup-wire", true, "accept protocol v3+ two-phase dedup sessions (client-side chunking, only missing bodies cross the wire); false caps the protocol at v2")
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
 	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
 	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
 	gcInterval := flag.Duration("gc-interval", 0, "background container-compaction period (0: GC disabled)")
 	gcThreshold := flag.Float64("gc-threshold", 0.5, "compact containers whose live fraction is below this (0: only fully-dead containers)")
+	traceSlow := flag.Duration("trace-slow", 0, "retain and log the span tree of any operation at or over this duration (0: keep recent traces only)")
 	grace := flag.Duration("grace", 10*time.Second, "shutdown grace period for active sessions")
 	logLevel := flag.String("log-level", "info", "log floor: debug, info, warn or error")
 	logJSON := flag.Bool("log-json", false, "emit JSON log lines instead of text")
@@ -94,12 +99,24 @@ func main() {
 	}
 
 	reg := obs.NewRegistry()
+	bi := obs.RegisterBuildInfo(reg)
+	// Tracing is always on (two small bounded rings); -trace-slow adds
+	// slow-trace retention and a logged span tree per slow operation.
+	tracer := obs.NewTracer(obs.TracerConfig{
+		SlowThreshold: *traceSlow,
+		OnSlow: func(root *obs.Span) {
+			logger.Warn("slow operation", "name", root.Name(),
+				"dur", root.Duration().Round(time.Microsecond).String(),
+				"trace", root.Trace().String(), "tree", "\n"+root.TraceData().Tree())
+		},
+	})
 	cfg := ingest.DefaultConfig()
 	cfg.Shards = *shards
 	cfg.BatchSize = *batch
 	cfg.Shredder.BufferSize = *buffer << 20
 	cfg.Obs = reg
 	cfg.Logger = logger
+	cfg.Tracer = tracer
 	// Only replace the default engine when a chunking flag was given:
 	// the stock configuration must stay byte-identical for existing
 	// deployments.
@@ -168,15 +185,19 @@ func main() {
 	gcReclaimed := reg.Counter("gc_reclaimed_bytes_total", "Container bytes returned to the filesystem by background compaction.")
 	gcMoved := reg.Counter("gc_moved_bytes_total", "Live bytes relocated into fresh containers by background compaction.")
 	gcSeconds := reg.Histogram("gc_seconds", "Background compaction pass duration.", obs.LatencyBuckets)
+	gcDebt := func() float64 {
+		_, live, total := store.ContainerUsage()
+		if total == 0 {
+			return 0
+		}
+		return float64(total-live) / float64(total)
+	}
 	reg.GaugeFunc("gc_debt",
 		"Dead fraction of stored container bytes (0 = fully live; compaction target).",
-		func() float64 {
-			_, live, total := store.ContainerUsage()
-			if total == 0 {
-				return 0
-			}
-			return float64(total-live) / float64(total)
-		})
+		gcDebt)
+	// lastGC is the wall time of the last completed pass (unix nanos, 0
+	// before the first), rendered on /statusz alongside the counters.
+	var lastGC atomic.Int64
 
 	// Admin endpoint: metrics, health, readiness and pprof. Readiness
 	// flips to 503 the moment a drain begins so a load balancer stops
@@ -184,6 +205,7 @@ func main() {
 	adm := obs.NewAdmin(reg, func(w io.Writer) {
 		st := store.Stats()
 		containers, live, total := store.ContainerUsage()
+		fmt.Fprintf(w, "build %s (go %s, rev %s)\n", bi.Version, bi.GoVersion, bi.Revision)
 		fmt.Fprintf(w, "listen %s\n", l.Addr())
 		fmt.Fprintf(w, "stored %s of %s logical (%.2fx)\n",
 			fmtBytes(st.StoredBytes), fmtBytes(st.LogicalBytes), st.Ratio())
@@ -192,7 +214,18 @@ func main() {
 		fmt.Fprintf(w, "streams %d\n", len(store.RecipeNames()))
 		fmt.Fprintf(w, "containers %d (%s live of %s)\n",
 			containers, fmtBytes(live), fmtBytes(total))
+		switch t := lastGC.Load(); {
+		case *gcInterval <= 0:
+			fmt.Fprintf(w, "gc disabled (debt %.2f)\n", gcDebt())
+		case t == 0:
+			fmt.Fprintf(w, "gc pending first pass (debt %.2f)\n", gcDebt())
+		default:
+			fmt.Fprintf(w, "gc last %s ago, reclaimed %s total, debt %.2f\n",
+				time.Since(time.Unix(0, t)).Round(time.Second),
+				fmtBytes(gcReclaimed.Value()), gcDebt())
+		}
 	})
+	adm.SetTracer(tracer)
 	var adminSrv *http.Server
 	if *admin != "" {
 		al, err := net.Listen("tcp", *admin)
@@ -232,9 +265,14 @@ func main() {
 				case <-gcStop:
 					return
 				case <-tick.C:
+					sp := tracer.StartRoot("gc", obs.Float("threshold", *gcThreshold))
 					start := time.Now()
-					cs, err := store.Compact(*gcThreshold)
-					gcSeconds.Observe(time.Since(start).Seconds())
+					cs, err := store.CompactTraced(*gcThreshold, sp)
+					gcSeconds.ObserveSinceExemplar(start, sp.Trace())
+					sp.Set(obs.Int("reclaimed_bytes", cs.ReclaimedBytes),
+						obs.Int("moved_bytes", cs.MovedBytes),
+						obs.Int("containers", int64(cs.Containers)))
+					sp.End()
 					gcRuns.Inc()
 					if err != nil {
 						// Transient failures (ENOSPC mid-relocate is the
@@ -245,6 +283,7 @@ func main() {
 					}
 					gcReclaimed.Add(cs.ReclaimedBytes)
 					gcMoved.Add(cs.MovedBytes)
+					lastGC.Store(time.Now().UnixNano())
 					if cs.Containers > 0 {
 						logger.Info("gc pass",
 							"reclaimed", fmtBytes(cs.ReclaimedBytes),

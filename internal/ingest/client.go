@@ -10,6 +10,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 )
 
@@ -38,6 +39,12 @@ type Session struct {
 	version byte
 	spec    chunk.Spec
 	eng     chunk.Engine
+
+	// tracer, when set via SetTracer, records one root span per
+	// operation. On a version-4 session the span's context also rides
+	// the Hello and BeginDedup frames, so a traced server parents its
+	// own spans under ours.
+	tracer *obs.Tracer
 }
 
 // Client is the session type's historical name.
@@ -77,6 +84,19 @@ func Dial(addr string) (*Session, error) {
 
 // Close terminates the session.
 func (s *Session) Close() error { return s.conn.Close() }
+
+// SetTracer attaches a tracer to the session: every subsequent
+// operation records a root span (nil detaches — the default).
+func (s *Session) SetTracer(t *obs.Tracer) { s.tracer = t }
+
+// root starts one client-side operation span; nil (a no-op) when the
+// session has no tracer.
+func (s *Session) root(name string, attrs ...obs.Attr) *obs.Span {
+	if s.tracer == nil {
+		return nil
+	}
+	return s.tracer.StartRoot(name, attrs...)
+}
 
 // Version returns the negotiated protocol version (0 for a legacy
 // session that never sent a Hello).
@@ -133,7 +153,11 @@ func (s *Session) negotiate(version byte, spec chunk.Spec) (chunk.Spec, error) {
 	if err := spec.Validate(); err != nil {
 		return chunk.Spec{}, err
 	}
-	if err := writeFrame(s.bw, MsgHello, encodeHello(version, spec)); err != nil {
+	// The span's context rides the Hello on v4 proposals (older
+	// versions stay byte-identical: encodeHelloCtx only appends there).
+	sp := s.root("negotiate", obs.Int("protocol", int64(version)))
+	defer sp.End()
+	if err := writeFrame(s.bw, MsgHello, encodeHelloCtx(version, spec, sp.Context())); err != nil {
 		return chunk.Spec{}, err
 	}
 	if err := s.bw.Flush(); err != nil {
@@ -146,7 +170,7 @@ func (s *Session) negotiate(version byte, spec chunk.Spec) (chunk.Spec, error) {
 	s.keep(payload)
 	switch typ {
 	case MsgAccept:
-		ver, accepted, err := decodeHello(payload)
+		ver, accepted, _, err := decodeHello(payload)
 		if err != nil {
 			return chunk.Spec{}, err
 		}
@@ -166,6 +190,8 @@ func (s *Session) negotiate(version byte, spec chunk.Spec) (chunk.Spec, error) {
 // the wire; the server chunks and dedups it (BackupDedup is the
 // bandwidth-saving alternative on version ≥ 3 sessions).
 func (s *Session) Backup(name string, r io.Reader) (*StreamStats, error) {
+	sp := s.root("backup", obs.Str("recipe", name))
+	defer sp.End()
 	if err := writeFrame(s.bw, MsgBegin, []byte(name)); err != nil {
 		return nil, err
 	}
@@ -204,6 +230,7 @@ func (s *Session) Backup(name string, r io.Reader) (*StreamStats, error) {
 	if err != nil {
 		return nil, err
 	}
+	sp.Set(obs.Int("bytes", logical), obs.Int("chunks", st.Chunks))
 	if st.Wire == (WireStats{}) {
 		// Legacy (< v3) servers don't report wire statistics: on the
 		// raw path every logical byte crossed as a Data payload, so the
@@ -231,7 +258,12 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 	if s.version < 3 || s.eng == nil {
 		return nil, ErrDedupUnsupported
 	}
-	if err := writeFrame(s.bw, MsgBeginDedup, []byte(name)); err != nil {
+	// On a v4 session the root span's context rides the BeginDedup
+	// frame, so the server's backup_dedup span parents under this one
+	// and both sides merge into a single tree.
+	sp := s.root("backup_dedup", obs.Str("recipe", name))
+	defer sp.End()
+	if err := writeFrame(s.bw, MsgBeginDedup, encodeBeginDedup(s.version, name, sp.Context())); err != nil {
 		return nil, err
 	}
 	var (
@@ -243,6 +275,8 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 		if len(hs) == 0 {
 			return nil
 		}
+		hb := sp.Child("has_batch", obs.Int("chunks", int64(len(hs))))
+		defer hb.End()
 		if err := writeFrame(s.bw, MsgHasBatch, encodeHasBatch(hs)); err != nil {
 			return s.surfaceRemote("dedup backup", name, err)
 		}
@@ -265,14 +299,21 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 		default:
 			return &UnexpectedFrameError{Type: typ, Context: "has-batch reply"}
 		}
+		hb.Set(obs.Int("missing", int64(len(need))))
+		hb.End()
+		up := sp.Child("upload", obs.Int("chunks", int64(len(need))))
+		defer up.End()
+		var upBytes int64
 		for _, i := range need {
 			if err := writeFrame(s.bw, MsgData, bodies[i]); err != nil {
 				return s.surfaceRemote("dedup backup", name, err)
 			}
+			upBytes += int64(len(bodies[i]))
 		}
 		if err := s.bw.Flush(); err != nil {
 			return s.surfaceRemote("dedup backup", name, err)
 		}
+		up.Set(obs.Int("bytes", upBytes))
 		hs, bodies, held = hs[:0], bodies[:0], 0
 		return nil
 	}
@@ -296,13 +337,23 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 	if err := flush(); err != nil {
 		return nil, err
 	}
+	c := sp.Child("commit")
+	defer c.End()
 	if err := writeFrame(s.bw, MsgCommit, nil); err != nil {
 		return nil, s.surfaceRemote("dedup backup", name, err)
 	}
 	if err := s.bw.Flush(); err != nil {
 		return nil, s.surfaceRemote("dedup backup", name, err)
 	}
-	return s.readStats("dedup backup", name)
+	st, err := s.readStats("dedup backup", name)
+	if err != nil {
+		return nil, err
+	}
+	c.End()
+	sp.Set(obs.Int("bytes", st.Bytes), obs.Int("chunks", st.Chunks),
+		obs.Int("wire_bytes", st.Wire.WireBytes),
+		obs.Int("chunks_skipped", st.Wire.ChunksSkipped))
+	return st, nil
 }
 
 // BackupBytes is Backup over an in-memory image.
@@ -366,6 +417,8 @@ func (s *Session) Delete(name string) (*shardstore.DeleteStats, error) {
 	if s.version < 3 {
 		return nil, ErrDeleteUnsupported
 	}
+	sp := s.root("delete", obs.Str("recipe", name))
+	defer sp.End()
 	if err := writeFrame(s.bw, MsgDelete, []byte(name)); err != nil {
 		return nil, err
 	}
@@ -394,6 +447,8 @@ func (s *Session) Delete(name string) (*shardstore.DeleteStats, error) {
 // Restore streams a previously backed-up name from the server into w,
 // returning the byte count.
 func (s *Session) Restore(name string, w io.Writer) (int64, error) {
+	sp := s.root("restore", obs.Str("recipe", name))
+	defer sp.End()
 	if err := writeFrame(s.bw, MsgRestore, []byte(name)); err != nil {
 		return 0, err
 	}
@@ -415,6 +470,7 @@ func (s *Session) Restore(name string, w io.Writer) (int64, error) {
 				return total, werr
 			}
 		case MsgEnd:
+			sp.Set(obs.Int("bytes", total))
 			return total, nil
 		case MsgError:
 			return total, &RemoteError{Msg: string(payload), Op: "restore", Name: name}

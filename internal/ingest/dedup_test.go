@@ -14,6 +14,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/persist"
 	"shredder/internal/shardstore"
 	"shredder/internal/workload"
@@ -511,7 +512,8 @@ func TestNegotiateDedupAgainstCappedServer(t *testing.T) {
 	c := startSession(t, srv)
 	_, err = c.NegotiateDedup(chunk.FastCDCSpec(4 << 10))
 	var ne *NegotiationError
-	if !errors.As(err, &ne) || !strings.Contains(ne.Reason, "version 3") || !strings.Contains(ne.Reason, "speaks 2") {
+	wantVer := fmt.Sprintf("version %d", ProtocolVersion)
+	if !errors.As(err, &ne) || !strings.Contains(ne.Reason, wantVer) || !strings.Contains(ne.Reason, "speaks 2") {
 		t.Fatalf("NegotiateDedup against capped server = %v", err)
 	}
 	// The rejected session is dead; redial and fall back to raw.
@@ -576,7 +578,7 @@ func TestDedupBodyHashMismatchRejected(t *testing.T) {
 	if typ, _, err := readFrame(br, nil); err != nil || typ != MsgAccept {
 		t.Fatalf("hello reply %d, %v", typ, err)
 	}
-	if err := writeFrame(conn, MsgBeginDedup, []byte("evil")); err != nil {
+	if err := writeFrame(conn, MsgBeginDedup, encodeBeginDedup(ProtocolVersion, "evil", obs.SpanContext{})); err != nil {
 		t.Fatal(err)
 	}
 	honest := []byte("honest chunk body")

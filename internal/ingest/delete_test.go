@@ -7,6 +7,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 	"shredder/internal/workload"
 )
@@ -173,7 +174,7 @@ func TestAbortedDedupStreamReleasesPins(t *testing.T) {
 	if typ, _, err := readFrame(br, nil); err != nil || typ != MsgAccept {
 		t.Fatalf("hello reply %d, %v", typ, err)
 	}
-	if err := writeFrame(conn, MsgBeginDedup, []byte("doomed")); err != nil {
+	if err := writeFrame(conn, MsgBeginDedup, encodeBeginDedup(ProtocolVersion, "doomed", obs.SpanContext{})); err != nil {
 		t.Fatal(err)
 	}
 	if err := writeFrame(conn, MsgHasBatch, encodeHasBatch(hs)); err != nil {

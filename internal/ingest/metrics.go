@@ -157,10 +157,12 @@ func (m *serverMetrics) pinned(n int) {
 	m.chunksPinned.Add(int64(n))
 }
 
-// observeCommit records one durable recipe-commit latency.
-func (m *serverMetrics) observeCommit(seconds float64) {
+// observeCommit records one durable recipe-commit latency; a non-zero
+// trace is pinned as the receiving bucket's exemplar, linking a slow
+// commit bucket to the stream that fell into it.
+func (m *serverMetrics) observeCommit(seconds float64, trace obs.TraceID) {
 	if m == nil {
 		return
 	}
-	m.commitSeconds.Observe(seconds)
+	m.commitSeconds.ObserveExemplar(seconds, trace)
 }

@@ -150,8 +150,8 @@ func TestMetricsScrapeUnderConcurrentDedupSessions(t *testing.T) {
 	if got := metricValue(t, body, "ingest_sessions_active"); got != 0 {
 		t.Errorf("ingest_sessions_active = %v after drain, want 0", got)
 	}
-	if got := metricValue(t, body, `ingest_sessions_total{protocol="3"}`); got != sessions {
-		t.Errorf(`ingest_sessions_total{protocol="3"} = %v, want %d`, got, sessions)
+	if got := metricValue(t, body, `ingest_sessions_total{protocol="4"}`); got != sessions {
+		t.Errorf(`ingest_sessions_total{protocol="4"} = %v, want %d`, got, sessions)
 	}
 	if got := metricValue(t, body, `ingest_frames_total{type="commit"}`); got != sessions*streamsPer {
 		t.Errorf(`ingest_frames_total{type="commit"} = %v, want %d`, got, sessions*streamsPer)

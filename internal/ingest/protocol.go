@@ -49,14 +49,23 @@
 // sessions are byte-for-byte unchanged. Frames from concurrent clients
 // are never interleaved: each session owns its connection.
 //
+// Protocol version 4 adds distributed tracing: Hello and BeginDedup
+// gain an *optional* 24-byte trace-context field (16-byte trace ID +
+// 8-byte span ID, see obs.SpanContext) so the server's spans parent
+// onto the client's and one trace covers both sides of the wire. The
+// field rides only on sessions that negotiated version 4 and only when
+// the client is actually tracing — v2/v3 sessions, and untraced v4
+// sessions, stay byte-identical.
+//
 // # Version-fallback matrix
 //
-//	v1 client (no Hello)      → v3 server: raw path, byte-identical
-//	v2 client (Hello v2)      → v3 server: Accept v2, raw path, byte-identical
-//	v3 client (Hello v3)      → v3 server: Accept v3, dedup + raw available
-//	v3 client, engine-only    → v2 server: sends Hello v2, indistinguishable
+//	v1 client (no Hello)      → v4 server: raw path, byte-identical
+//	v2 client (Hello v2)      → v4 server: Accept v2, raw path, byte-identical
+//	v3 client (Hello v3)      → v4 server: Accept v3, dedup + raw available
+//	v4 client (Hello v4)      → v4 server: Accept v4, dedup + raw + tracing
+//	v4 client, engine-only    → v2 server: sends Hello v2, indistinguishable
 //	  (Negotiate)                           from a v2 client
-//	v3 client (NegotiateDedup)→ v2 server: typed NegotiationError naming
+//	v4 client (NegotiateDedup)→ v2/v3 server: typed NegotiationError naming
 //	                            both versions; redial and fall back to
 //	                            Negotiate/Backup
 package ingest
@@ -70,6 +79,7 @@ import (
 
 	"shredder/internal/chunk"
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 )
 
@@ -119,11 +129,12 @@ const (
 )
 
 // ProtocolVersion is the newest protocol revision this package speaks:
-// version 3, which adds content-addressed two-phase dedup ingest
-// (BeginDedup/HasBatch/NeedBatch/Commit). A Hello carries the version
-// the client wants so mismatched peers fail with a typed error instead
-// of a parse failure.
-const ProtocolVersion byte = 3
+// version 4, which adds optional trace-context propagation on
+// Hello/BeginDedup on top of version 3's content-addressed two-phase
+// dedup ingest (BeginDedup/HasBatch/NeedBatch/Commit). A Hello carries
+// the version the client wants so mismatched peers fail with a typed
+// error instead of a parse failure.
+const ProtocolVersion byte = 4
 
 // MinProtocolVersion is the oldest Hello the server still accepts
 // (version 2, engine negotiation only). Version-1 sessions send no
@@ -192,23 +203,89 @@ func readFrame(r io.Reader, buf []byte) (byte, []byte, error) {
 	return hdr[0], buf, nil
 }
 
-// encodeHello builds a MsgHello/MsgAccept payload.
+// specWireSize is the encoded size of a chunk.Spec, computed once so
+// the v4 hello decoder can split the optional trailing trace context
+// off without chunk exporting its framing.
+var specWireSize = len(chunk.EncodeSpec(chunk.Spec{}))
+
+// encodeHello builds a MsgHello/MsgAccept payload with no trace
+// context — the v2/v3 layout, which is also a valid v4 payload.
 func encodeHello(version byte, spec chunk.Spec) []byte {
 	return append([]byte{version}, chunk.EncodeSpec(spec)...)
 }
 
+// encodeHelloCtx builds a MsgHello payload carrying a trace context.
+// The field only exists in version ≥ 4; an invalid context (or an
+// older version) degrades to the plain layout, keeping untraced v4
+// sessions byte-identical to v3 ones.
+func encodeHelloCtx(version byte, spec chunk.Spec, ctx obs.SpanContext) []byte {
+	p := encodeHello(version, spec)
+	if version >= 4 && ctx.Valid() {
+		p = append(p, ctx.Encode()...)
+	}
+	return p
+}
+
 // decodeHello parses a MsgHello/MsgAccept payload. The spec is
 // validated, so an unknown algorithm id or inconsistent sizes surface
-// here as the decode error.
-func decodeHello(p []byte) (byte, chunk.Spec, error) {
+// here as the decode error. On a version ≥ 4 payload of exactly
+// spec + 24 bytes the tail is the sender's trace context (zero when
+// absent); older versions never carry one.
+func decodeHello(p []byte) (byte, chunk.Spec, obs.SpanContext, error) {
 	if len(p) < 1 {
-		return 0, chunk.Spec{}, errors.New("ingest: empty hello payload")
+		return 0, chunk.Spec{}, obs.SpanContext{}, errors.New("ingest: empty hello payload")
 	}
-	spec, err := chunk.DecodeSpec(p[1:])
+	version, body := p[0], p[1:]
+	var ctx obs.SpanContext
+	if version >= 4 && len(body) == specWireSize+obs.SpanContextWireSize {
+		ctx, _ = obs.DecodeSpanContext(body[specWireSize:])
+		body = body[:specWireSize]
+	}
+	spec, err := chunk.DecodeSpec(body)
 	if err != nil {
-		return p[0], chunk.Spec{}, err
+		return version, chunk.Spec{}, obs.SpanContext{}, err
 	}
-	return p[0], spec, nil
+	return version, spec, ctx, nil
+}
+
+// encodeBeginDedup builds a MsgBeginDedup payload. Through version 3
+// the payload is the bare stream name. Version 4 prefixes a flag byte
+// (0: no context; 1: a 24-byte trace context follows, then the name)
+// so traced and untraced streams are unambiguous.
+func encodeBeginDedup(version byte, name string, ctx obs.SpanContext) []byte {
+	if version < 4 {
+		return []byte(name)
+	}
+	if !ctx.Valid() {
+		return append([]byte{0}, name...)
+	}
+	p := make([]byte, 0, 1+obs.SpanContextWireSize+len(name))
+	p = append(p, 1)
+	p = append(p, ctx.Encode()...)
+	return append(p, name...)
+}
+
+// decodeBeginDedup parses a MsgBeginDedup payload for the session's
+// negotiated version.
+func decodeBeginDedup(version byte, p []byte) (string, obs.SpanContext, error) {
+	if version < 4 {
+		return string(p), obs.SpanContext{}, nil
+	}
+	if len(p) < 1 {
+		return "", obs.SpanContext{}, errors.New("ingest: empty begin-dedup payload")
+	}
+	switch p[0] {
+	case 0:
+		return string(p[1:]), obs.SpanContext{}, nil
+	case 1:
+		if len(p) < 1+obs.SpanContextWireSize {
+			return "", obs.SpanContext{}, errors.New("ingest: begin-dedup payload truncates its trace context")
+		}
+		ctx, _ := obs.DecodeSpanContext(p[1 : 1+obs.SpanContextWireSize])
+		return string(p[1+obs.SpanContextWireSize:]), ctx, nil
+	default:
+		return "", obs.SpanContext{}, fmt.Errorf("ingest: begin-dedup trace flag %d unknown", p[0])
+	}
 }
 
 // hashSize is the wire size of one chunk fingerprint.

@@ -48,6 +48,13 @@ type Config struct {
 	// store's, via Store.Instrument). Nil means no instrumentation and
 	// no overhead beyond one nil check per event.
 	Obs *obs.Registry
+	// Tracer, when set, records one span tree per client operation
+	// (negotiate, backup, dedup backup, restore, delete) with children
+	// at each lifecycle stage down through the store and its backing. A
+	// version-4 client that sends a trace context gets its server spans
+	// parented under its own, so both sides render as one tree. Nil
+	// means no tracing and one nil check per operation.
+	Tracer *obs.Tracer
 	// Logger, when set, receives structured per-session events. Each
 	// session logs under a unique "session" id, threaded from accept
 	// through negotiate, commits and deletes to session end. Nil means
@@ -251,7 +258,7 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 		buf = payload[:cap(payload)]
 		switch typ {
 		case MsgHello:
-			ns, spec, nver, nerr := s.negotiate(payload)
+			ns, spec, nver, ctx, nerr := s.negotiate(payload)
 			if nerr != nil {
 				// A rejected negotiation is fatal to the session: the
 				// client's next frames would be cut with an engine it
@@ -267,14 +274,17 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 				return ver, nerr
 			}
 			shred, ver = ns, nver
+			sp := s.span("negotiate", ctx, obs.Int("protocol", int64(ver)))
 			if sl != nil {
 				sl.Debug("session negotiated", "protocol", ver,
 					"algo", spec.Algo, "min", spec.MinSize, "max", spec.MaxSize)
 			}
-			if err := writeFrame(bw, MsgAccept, encodeHello(ver, spec)); err != nil {
-				return ver, err
+			err := writeFrame(bw, MsgAccept, encodeHello(ver, spec))
+			if err == nil {
+				err = bw.Flush()
 			}
-			if err := bw.Flush(); err != nil {
+			sp.End()
+			if err != nil {
 				return ver, err
 			}
 		case MsgBegin:
@@ -284,7 +294,10 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 					return ver, err
 				}
 			}
-			if err := s.handleBackup(string(payload), ver, shred, br, bw, sl); err != nil {
+			sp := s.span("backup", obs.SpanContext{}, obs.Str("recipe", string(payload)))
+			err := s.handleBackup(string(payload), ver, shred, br, bw, sl, sp)
+			sp.End()
+			if err != nil {
 				return ver, err
 			}
 		case MsgBeginDedup:
@@ -294,7 +307,16 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 				_ = bw.Flush()
 				return ver, ferr
 			}
-			if err := s.handleDedupBackup(string(payload), ver, br, bw, sl); err != nil {
+			name, ctx, derr := decodeBeginDedup(ver, payload)
+			if derr != nil {
+				_ = writeFrame(bw, MsgError, []byte(derr.Error()))
+				_ = bw.Flush()
+				return ver, derr
+			}
+			sp := s.span("backup_dedup", ctx, obs.Str("recipe", name))
+			err := s.handleDedupBackup(name, ver, br, bw, sl, sp)
+			sp.End()
+			if err != nil {
 				return ver, err
 			}
 		case MsgDelete:
@@ -304,11 +326,17 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 				_ = bw.Flush()
 				return ver, ferr
 			}
-			if err := s.handleDelete(string(payload), bw, sl); err != nil {
+			sp := s.span("delete", obs.SpanContext{}, obs.Str("recipe", string(payload)))
+			err := s.handleDelete(string(payload), bw, sl, sp)
+			sp.End()
+			if err != nil {
 				return ver, err
 			}
 		case MsgRestore:
-			if err := s.handleRestore(string(payload), bw, sl); err != nil {
+			sp := s.span("restore", obs.SpanContext{}, obs.Str("recipe", string(payload)))
+			err := s.handleRestore(string(payload), bw, sl, sp)
+			sp.End()
+			if err != nil {
 				return ver, err
 			}
 		default:
@@ -320,33 +348,45 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 	}
 }
 
+// span starts one per-operation root span: parented under the span the
+// client announced on the wire when it sent a trace context, a fresh
+// local root otherwise. Returns nil (a universal no-op) when the
+// server has no tracer.
+func (s *Server) span(name string, ctx obs.SpanContext, attrs ...obs.Attr) *obs.Span {
+	if s.cfg.Tracer == nil {
+		return nil
+	}
+	return s.cfg.Tracer.StartRemote(name, ctx, attrs...)
+}
+
 // negotiate validates a Hello payload and builds the session pipeline
-// it describes, returning the pipeline, the accepted spec and the
-// agreed protocol version. Failures come back as *NegotiationError
-// with the reason the client will see.
-func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, error) {
-	version, spec, err := decodeHello(payload)
+// it describes, returning the pipeline, the accepted spec, the agreed
+// protocol version and the client's trace context (zero below v4).
+// Failures come back as *NegotiationError with the reason the client
+// will see.
+func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, obs.SpanContext, error) {
+	version, spec, ctx, err := decodeHello(payload)
 	if err != nil {
-		return nil, chunk.Spec{}, 0, &NegotiationError{Reason: err.Error()}
+		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{Reason: err.Error()}
 	}
 	max := s.cfg.MaxProtocol
 	if max == 0 {
 		max = ProtocolVersion
 	}
 	if version < MinProtocolVersion || version > max {
-		return nil, chunk.Spec{}, 0, &NegotiationError{
+		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{
 			Reason: fmt.Sprintf("unsupported protocol version %d (server speaks %d)", version, max),
 		}
 	}
 	if spec.MaxSize > MaxFrame {
-		return nil, chunk.Spec{}, 0, &NegotiationError{
+		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{
 			Reason: fmt.Sprintf("max chunk size %d exceeds the %d-byte frame limit", spec.MaxSize, MaxFrame),
 		}
 	}
 	if version >= 3 && spec.MaxSize <= 0 {
 		// A dedup client uploads each chunk body as one frame; an
 		// unbounded engine could cut a chunk no frame can carry.
-		return nil, chunk.Spec{}, 0, &NegotiationError{
+		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{
 			Reason: "dedup sessions need a bounded max chunk size within the frame limit",
 		}
 	}
@@ -354,9 +394,9 @@ func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, er
 	cc.Chunking = spec
 	shred, err := core.New(cc)
 	if err != nil {
-		return nil, chunk.Spec{}, 0, &NegotiationError{Reason: err.Error()}
+		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{Reason: err.Error()}
 	}
-	return shred, spec, version, nil
+	return shred, spec, version, ctx, nil
 }
 
 // streamReader adapts the session's incoming Data frames into an
@@ -426,13 +466,15 @@ func (sr *streamReader) drain() {
 // is committed (durably, when the store's backing is) before the
 // MsgStats ack goes out: a stream the client saw acknowledged survives
 // a server restart.
-func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger) error {
+func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger, sp *obs.Span) error {
 	sr := &streamReader{r: br, met: s.met}
-	st, recipe, err := s.ingest(shred, sr)
+	st, recipe, err := s.ingest(shred, sr, sp)
 	if err == nil {
+		c := sp.Child("commit", obs.Int("chunks", int64(len(recipe))))
 		t0 := time.Now()
-		err = s.store.CommitRecipe(name, recipe)
-		s.met.observeCommit(time.Since(t0).Seconds())
+		err = s.store.CommitRecipeTraced(name, recipe, c)
+		s.met.observeCommit(time.Since(t0).Seconds(), sp.Trace())
+		c.End()
 	}
 	if err != nil {
 		// The stream dies uncommitted: give back the references the
@@ -460,6 +502,8 @@ func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *b
 	// older clients reconstruct the same numbers locally.
 	st.Wire = WireStats{LogicalBytes: st.Bytes, WireBytes: st.Bytes, ChunksSent: st.Chunks}
 	st.Store = s.store.Stats()
+	sp.Set(obs.Int("bytes", st.Bytes), obs.Int("chunks", st.Chunks),
+		obs.Int("dup_chunks", st.DupChunks))
 	s.met.streamCommitted(st)
 	if sl != nil {
 		sl.Info("stream committed", "recipe", name, "bytes", st.Bytes,
@@ -496,7 +540,7 @@ func (s *Server) handleBackup(name string, ver byte, shred *core.Shredder, br *b
 // touched) until the Commit turn, whose reply slot carries the error.
 // Protocol violations abort immediately: the connection is
 // desynchronized and draining it could block forever.
-func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger) error {
+func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *bufio.Writer, sl *slog.Logger, sp *obs.Span) error {
 	var st StreamStats
 	var recipe shardstore.Recipe
 	var buf []byte
@@ -542,9 +586,12 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			var missing []int
 			if appErr == nil {
 				st.Wire.WireBytes += int64(len(payload))
-				if refs, missing, err = s.store.PinBatch(hs); err != nil {
+				hb := sp.Child("has_batch", obs.Int("chunks", int64(len(hs))))
+				if refs, missing, err = s.store.PinBatchTraced(hs, hb); err != nil {
 					appErr = err
 				}
+				hb.Set(obs.Int("missing", int64(len(missing))))
+				hb.End()
 			}
 			if appErr != nil {
 				// Draining: tell the client we need nothing so it keeps
@@ -589,7 +636,9 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 				if len(group) == 0 {
 					return nil
 				}
-				_, pdup, err := s.store.PutHashedBatch(groupHs, group)
+				put := sp.Child("put_batch", obs.Int("chunks", int64(len(group))))
+				_, pdup, err := s.store.PutHashedBatchTraced(groupHs, group, put)
+				put.End()
 				if err != nil {
 					return err
 				}
@@ -609,19 +658,27 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 				group, groupHs = group[:0], groupHs[:0]
 				return nil
 			}
+			var rb *obs.Span
+			if len(missing) > 0 {
+				rb = sp.Child("recv_bodies", obs.Int("chunks", int64(len(missing))))
+			}
+			var rbBytes int64
 			for _, i := range missing {
 				btyp, body, err := readFrame(br, buf)
 				if err != nil {
 					if err == io.EOF {
 						err = &TruncatedError{Context: "dedup backup body upload", Cause: io.ErrUnexpectedEOF}
 					}
+					rb.End()
 					return err
 				}
 				s.met.frame(btyp)
 				buf = body[:cap(body)]
 				if btyp != MsgData {
+					rb.End()
 					return abort(&UnexpectedFrameError{Type: btyp, Context: "dedup body upload"})
 				}
+				rbBytes += int64(len(body))
 				if appErr != nil {
 					continue
 				}
@@ -642,6 +699,8 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 					}
 				}
 			}
+			rb.Set(obs.Int("bytes", rbBytes))
+			rb.End()
 			if appErr == nil {
 				if err := flushGroup(); err != nil {
 					appErr = err
@@ -654,9 +713,11 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			}
 		case MsgCommit:
 			if appErr == nil {
+				c := sp.Child("commit", obs.Int("chunks", int64(len(recipe))))
 				t0 := time.Now()
-				appErr = s.store.CommitRecipe(name, recipe)
-				s.met.observeCommit(time.Since(t0).Seconds())
+				appErr = s.store.CommitRecipeTraced(name, recipe, c)
+				s.met.observeCommit(time.Since(t0).Seconds(), sp.Trace())
+				c.End()
 			}
 			if appErr != nil {
 				if err := writeFrame(bw, MsgError, []byte(appErr.Error())); err != nil {
@@ -670,6 +731,10 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 			committed = true
 			st.Wire.LogicalBytes = st.Bytes
 			st.Store = s.store.Stats()
+			sp.Set(obs.Int("bytes", st.Bytes), obs.Int("chunks", st.Chunks),
+				obs.Int("dup_chunks", st.DupChunks),
+				obs.Int("wire_bytes", st.Wire.WireBytes),
+				obs.Int("chunks_skipped", st.Wire.ChunksSkipped))
 			s.met.streamCommitted(st)
 			if sl != nil {
 				sl.Info("stream committed", "recipe", name, "bytes", st.Bytes,
@@ -692,7 +757,7 @@ func (s *Server) handleDedupBackup(name string, ver byte, br *bufio.Reader, bw *
 
 // ingest chunks one stream and dedups it against the shared store in
 // BatchSize batches, returning the stream stats and its recipe.
-func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardstore.Recipe, error) {
+func (s *Server) ingest(shred *core.Shredder, r io.Reader, sp *obs.Span) (StreamStats, shardstore.Recipe, error) {
 	var st StreamStats
 	var recipe shardstore.Recipe
 	batch := make([][]byte, 0, s.cfg.BatchSize)
@@ -704,7 +769,9 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 		for i, c := range batch {
 			hs[i] = dedup.Sum(c)
 		}
-		_, dup, err := s.store.PutHashedBatch(hs, batch)
+		put := sp.Child("put_batch", obs.Int("chunks", int64(len(batch))))
+		_, dup, err := s.store.PutHashedBatchTraced(hs, batch, put)
+		put.End()
 		if err != nil {
 			return err
 		}
@@ -746,8 +813,8 @@ func (s *Server) ingest(shred *core.Shredder, r io.Reader) (StreamStats, shardst
 // durably and its chunk references released before the ack goes out.
 // An unknown name is an application error the session survives (like
 // an unknown restore); a store failure kills the session.
-func (s *Server) handleDelete(name string, bw *bufio.Writer, sl *slog.Logger) error {
-	ds, err := s.store.DeleteRecipe(name)
+func (s *Server) handleDelete(name string, bw *bufio.Writer, sl *slog.Logger, sp *obs.Span) error {
+	ds, err := s.store.DeleteRecipeTraced(name, sp)
 	if err != nil {
 		if werr := writeFrame(bw, MsgError, []byte(err.Error())); werr != nil {
 			return werr
@@ -760,6 +827,8 @@ func (s *Server) handleDelete(name string, bw *bufio.Writer, sl *slog.Logger) er
 		}
 		return err
 	}
+	sp.Set(obs.Int("released", ds.ChunksReleased),
+		obs.Int("freed_chunks", ds.ChunksFreed), obs.Int("freed_bytes", ds.BytesFreed))
 	if sl != nil {
 		sl.Info("recipe deleted", "recipe", name, "released", ds.ChunksReleased,
 			"freed_chunks", ds.ChunksFreed, "freed_bytes", ds.BytesFreed)
@@ -774,7 +843,7 @@ func (s *Server) handleDelete(name string, bw *bufio.Writer, sl *slog.Logger) er
 }
 
 // handleRestore streams a recorded recipe back as Data frames.
-func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger) error {
+func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger, sp *obs.Span) error {
 	if sl != nil {
 		sl.Debug("stream restored", "recipe", name)
 	}
@@ -785,6 +854,7 @@ func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger) e
 		}
 		return bw.Flush()
 	}
+	var sent int64
 	for i, h := range recipe {
 		data, ok, err := s.store.GetByHash(h)
 		if err == nil && !ok {
@@ -805,9 +875,11 @@ func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger) e
 			if err := writeFrame(bw, MsgData, data[:n]); err != nil {
 				return err
 			}
+			sent += int64(n)
 			data = data[n:]
 		}
 	}
+	sp.Set(obs.Int("chunks", int64(len(recipe))), obs.Int("bytes", sent))
 	if err := writeFrame(bw, MsgEnd, nil); err != nil {
 		return err
 	}

@@ -17,7 +17,9 @@ import (
 //	           (the daemon flips it at SIGTERM, before closing the
 //	           listener, so load balancers stop routing new sessions
 //	           while in-flight ones finish)
-//	/statusz   human-readable status page from the daemon's callback
+//	/statusz   human-readable status page from the daemon's callback,
+//	           plus span trees of recent traces when a tracer is set
+//	/debug/traces  JSON snapshot of retained traces (recent + slow)
 //	/debug/pprof/...  the standard profiling endpoints
 //
 // Admin is an http.Handler; mount it on a dedicated listener — it
@@ -25,6 +27,7 @@ import (
 type Admin struct {
 	reg      *Registry
 	statusz  func(io.Writer)
+	tracer   atomic.Pointer[Tracer]
 	draining atomic.Bool
 	mux      *http.ServeMux
 }
@@ -48,6 +51,7 @@ func NewAdmin(reg *Registry, statusz func(io.Writer)) *Admin {
 		fmt.Fprintln(w, "ready")
 	})
 	a.mux.HandleFunc("/statusz", a.handleStatusz)
+	a.mux.HandleFunc("/debug/traces", a.handleTraces)
 	a.mux.HandleFunc("/debug/pprof/", pprof.Index)
 	a.mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
 	a.mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
@@ -60,6 +64,11 @@ func NewAdmin(reg *Registry, statusz func(io.Writer)) *Admin {
 func (a *Admin) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 	a.mux.ServeHTTP(w, r)
 }
+
+// SetTracer attaches a tracer: /debug/traces starts serving its
+// snapshot and /statusz appends span trees. A nil tracer (or never
+// calling this) leaves both rendering empty.
+func (a *Admin) SetTracer(t *Tracer) { a.tracer.Store(t) }
 
 // SetDraining flips /readyz: true returns 503 to every probe from now
 // on. The daemon calls it the moment shutdown begins.
@@ -78,6 +87,15 @@ func (a *Admin) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	_ = a.reg.WritePrometheus(w)
 }
 
+func (a *Admin) handleTraces(w http.ResponseWriter, _ *http.Request) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = a.tracer.Load().WriteJSON(w)
+}
+
+// statuszTraceLimit bounds the span-tree section of /statusz; the full
+// snapshot stays one curl away at /debug/traces.
+const statuszTraceLimit = 5
+
 func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
 	state := "serving"
@@ -87,5 +105,20 @@ func (a *Admin) handleStatusz(w http.ResponseWriter, _ *http.Request) {
 	fmt.Fprintf(w, "state: %s\n", state)
 	if a.statusz != nil {
 		a.statusz(w)
+	}
+	if t := a.tracer.Load(); t != nil {
+		traces := t.Snapshot()
+		fmt.Fprintf(w, "\n-- traces (%d retained", len(traces))
+		if st := t.SlowThreshold(); st > 0 {
+			fmt.Fprintf(w, ", slow >= %v", st)
+		}
+		fmt.Fprint(w, ", full dump at /debug/traces) --\n")
+		for i, td := range traces {
+			if i == statuszTraceLimit {
+				fmt.Fprintf(w, "... and %d more\n", len(traces)-statuszTraceLimit)
+				break
+			}
+			io.WriteString(w, td.Tree())
+		}
 	}
 }

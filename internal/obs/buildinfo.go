@@ -1,0 +1,55 @@
+package obs
+
+import "runtime/debug"
+
+// BuildInfo is the identity of the running binary, read once from the
+// build metadata the go toolchain embeds.
+type BuildInfo struct {
+	Version   string // module version ("(devel)" for plain go build)
+	GoVersion string // toolchain, e.g. "go1.24.0"
+	Revision  string // VCS commit, "unknown" when built outside a checkout
+	Modified  bool   // true when the working tree was dirty at build time
+}
+
+// ReadBuild extracts BuildInfo from runtime/debug.ReadBuildInfo.
+func ReadBuild() BuildInfo {
+	bi := BuildInfo{Version: "unknown", GoVersion: "unknown", Revision: "unknown"}
+	info, ok := debug.ReadBuildInfo()
+	if !ok {
+		return bi
+	}
+	if info.Main.Version != "" {
+		bi.Version = info.Main.Version
+	}
+	if info.GoVersion != "" {
+		bi.GoVersion = info.GoVersion
+	}
+	for _, s := range info.Settings {
+		switch s.Key {
+		case "vcs.revision":
+			bi.Revision = s.Value
+		case "vcs.modified":
+			bi.Modified = s.Value == "true"
+		}
+	}
+	return bi
+}
+
+// RegisterBuildInfo registers the conventional build-identity series —
+// a constant-1 gauge whose labels carry the interesting values:
+//
+//	shredder_build_info{version="(devel)",go="go1.24.0",revision="abc123"} 1
+//
+// and returns the info so /statusz can print it. Safe on a nil
+// registry.
+func RegisterBuildInfo(r *Registry) BuildInfo {
+	bi := ReadBuild()
+	rev := bi.Revision
+	if bi.Modified {
+		rev += "+dirty"
+	}
+	r.Gauge("shredder_build_info",
+		"Build identity of the running binary (always 1; values in labels).",
+		"version", bi.Version, "go", bi.GoVersion, "revision", rev).Set(1)
+	return bi
+}

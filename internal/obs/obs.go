@@ -26,6 +26,7 @@ import (
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 )
 
 // Registry holds metric families and renders them. All methods are safe
@@ -222,12 +223,22 @@ var SizeBuckets = []float64{
 
 // Histogram is a fixed-bucket histogram. Observation is lock-free: one
 // atomic add on the bucket, one on the count, one CAS loop on the sum.
-// Renders as a cumulative Prometheus histogram.
+// Renders as a cumulative Prometheus histogram. Each bucket can hold
+// one exemplar — the trace ID of the latest observation that landed in
+// it — rendered in the JSON snapshot only (the 0.0.4 text format
+// predates exemplars and extra tokens would break strict parsers).
 type Histogram struct {
 	bounds []float64 // ascending upper bounds, +Inf implicit
 	counts []atomic.Int64
+	ex     []atomic.Pointer[exemplar]
 	count  atomic.Int64
 	sum    atomic.Uint64 // float64 bits
+}
+
+// exemplar links one bucket to a concrete trace.
+type exemplar struct {
+	trace TraceID
+	value float64
 }
 
 // Observe records one value.
@@ -235,6 +246,44 @@ func (h *Histogram) Observe(v float64) {
 	if h == nil {
 		return
 	}
+	h.observe(v)
+}
+
+// ObserveSince records the seconds elapsed since t0. Used as
+//
+//	defer h.ObserveSince(time.Now())
+//
+// it is the zero-allocation timer: the argument is evaluated at the
+// defer statement, and a deferred method call needs no closure.
+func (h *Histogram) ObserveSince(t0 time.Time) {
+	if h == nil {
+		return
+	}
+	h.observe(time.Since(t0).Seconds())
+}
+
+// ObserveExemplar records one value and, when trace is set, pins it as
+// the receiving bucket's exemplar so a slow bucket links to a concrete
+// trace at /debug/traces.
+func (h *Histogram) ObserveExemplar(v float64, trace TraceID) {
+	if h == nil {
+		return
+	}
+	i := h.observe(v)
+	if !trace.IsZero() {
+		h.ex[i].Store(&exemplar{trace: trace, value: v})
+	}
+}
+
+// ObserveSinceExemplar is ObserveSince with an exemplar trace.
+func (h *Histogram) ObserveSinceExemplar(t0 time.Time, trace TraceID) {
+	if h == nil {
+		return
+	}
+	h.ObserveExemplar(time.Since(t0).Seconds(), trace)
+}
+
+func (h *Histogram) observe(v float64) int {
 	// Linear scan: bucket counts are small (≤ ~20) and the scan is
 	// branch-predictable; a binary search buys nothing at this size.
 	i := 0
@@ -247,7 +296,7 @@ func (h *Histogram) Observe(v float64) {
 		old := h.sum.Load()
 		next := math.Float64bits(math.Float64frombits(old) + v)
 		if h.sum.CompareAndSwap(old, next) {
-			return
+			return i
 		}
 	}
 }
@@ -280,7 +329,11 @@ func (r *Registry) Histogram(name, help string, buckets []float64, labels ...str
 		if !sort.Float64sAreSorted(bounds) {
 			panic(fmt.Sprintf("obs: histogram %q buckets not ascending", name))
 		}
-		return &Histogram{bounds: bounds, counts: make([]atomic.Int64, len(bounds)+1)}
+		return &Histogram{
+			bounds: bounds,
+			counts: make([]atomic.Int64, len(bounds)+1),
+			ex:     make([]atomic.Pointer[exemplar], len(bounds)+1),
+		}
 	})
 	if m == nil {
 		return nil
@@ -395,6 +448,18 @@ func (r *Registry) WriteJSON(w io.Writer) error {
 				emit(f.name+"_bucket"+mergeLE(ls, "+Inf"), strconv.FormatInt(cum, 10))
 				emit(f.name+"_sum"+ls, jsonFloat(m.Sum()))
 				emit(f.name+"_count"+ls, strconv.FormatInt(m.Count(), 10))
+				for i := range m.ex {
+					e := m.ex[i].Load()
+					if e == nil {
+						continue
+					}
+					le := "+Inf"
+					if i < len(m.bounds) {
+						le = fmtFloat(m.bounds[i])
+					}
+					emit(f.name+"_exemplar"+mergeLE(ls, le),
+						strconv.Quote("trace_id="+e.trace.String()+" value="+fmtFloat(e.value)))
+				}
 			}
 		}
 	}

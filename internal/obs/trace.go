@@ -1,0 +1,620 @@
+// trace.go: a dependency-free Dapper-style tracer, the sibling of the
+// metrics registry. A Tracer hands out Spans (8-byte span ID, 16-byte
+// trace ID, parent link, wall-clock start, duration, typed attributes);
+// completed root spans land in bounded lock-free rings — one for the
+// most recent traces, one retaining only roots slower than a
+// configurable threshold — which the admin endpoint serves at
+// /debug/traces (JSON) and renders as span trees on /statusz.
+//
+// Trace context crosses process boundaries as a 24-byte SpanContext
+// (trace ID + span ID); a server that decodes one starts its spans
+// with StartRemote so they parent onto the client's span, and a
+// snapshot merges every ring entry sharing a trace ID into one tree.
+//
+// Like the metrics side, absence is free: every method on a nil
+// *Tracer or nil *Span is a no-op, so instrumented code threads spans
+// unconditionally and an untraced hot path pays one nil check.
+package obs
+
+import (
+	"encoding/binary"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+)
+
+// TraceID identifies one end-to-end operation across processes.
+type TraceID [16]byte
+
+// IsZero reports whether the ID is unset.
+func (t TraceID) IsZero() bool { return t == TraceID{} }
+
+// String renders the ID as 32 hex digits.
+func (t TraceID) String() string { return hex.EncodeToString(t[:]) }
+
+// SpanID identifies one span within a trace.
+type SpanID [8]byte
+
+// IsZero reports whether the ID is unset.
+func (s SpanID) IsZero() bool { return s == SpanID{} }
+
+// String renders the ID as 16 hex digits.
+func (s SpanID) String() string { return hex.EncodeToString(s[:]) }
+
+// SpanContext is the wire-portable identity of a span: enough for a
+// remote process to continue the trace with the sender as parent.
+type SpanContext struct {
+	Trace TraceID
+	Span  SpanID
+}
+
+// SpanContextWireSize is the encoded size of a SpanContext.
+const SpanContextWireSize = 24
+
+// Valid reports whether the context carries a usable trace identity.
+func (c SpanContext) Valid() bool { return !c.Trace.IsZero() && !c.Span.IsZero() }
+
+// Encode renders the context as 24 bytes (trace ID then span ID).
+func (c SpanContext) Encode() []byte {
+	p := make([]byte, SpanContextWireSize)
+	copy(p[:16], c.Trace[:])
+	copy(p[16:], c.Span[:])
+	return p
+}
+
+// DecodeSpanContext parses a 24-byte context. ok is false on any other
+// length or an all-zero trace ID.
+func DecodeSpanContext(p []byte) (c SpanContext, ok bool) {
+	if len(p) != SpanContextWireSize {
+		return SpanContext{}, false
+	}
+	copy(c.Trace[:], p[:16])
+	copy(c.Span[:], p[16:])
+	return c, c.Valid()
+}
+
+// Attr is one typed key/value attribute on a span.
+type Attr struct {
+	Key  string
+	kind byte // 's', 'i', 'f'
+	str  string
+	num  uint64
+}
+
+// Str builds a string attribute.
+func Str(k, v string) Attr { return Attr{Key: k, kind: 's', str: v} }
+
+// Int builds an integer attribute.
+func Int(k string, v int64) Attr { return Attr{Key: k, kind: 'i', num: uint64(v)} }
+
+// Float builds a float attribute.
+func Float(k string, v float64) Attr {
+	return Attr{Key: k, kind: 'f', num: math.Float64bits(v)}
+}
+
+// Value returns the attribute's value as a JSON-friendly any.
+func (a Attr) Value() any {
+	switch a.kind {
+	case 'i':
+		return int64(a.num)
+	case 'f':
+		return math.Float64frombits(a.num)
+	default:
+		return a.str
+	}
+}
+
+// traceState is the per-trace collection point: every span this
+// process starts for one trace, in start order. Guarded by its mutex;
+// spans are appended at start and mutated (duration, attrs) at End.
+type traceState struct {
+	mu      sync.Mutex
+	spans   []*Span
+	dropped int
+}
+
+// Span is one timed operation within a trace. The zero of use is the
+// nil span: every method no-ops, Child returns nil, so disabled
+// tracing costs one branch per call site.
+type Span struct {
+	tracer *Tracer
+	st     *traceState
+	name   string
+	trace  TraceID
+	id     SpanID
+	parent SpanID
+	remote bool // parent lives in another process (or ring entry)
+	start  time.Time
+	// Guarded by st.mu after creation:
+	dur   time.Duration
+	ended bool
+	attrs []Attr
+}
+
+// Context returns the span's wire-portable identity (zero on nil).
+func (s *Span) Context() SpanContext {
+	if s == nil {
+		return SpanContext{}
+	}
+	return SpanContext{Trace: s.trace, Span: s.id}
+}
+
+// Trace returns the span's trace ID (zero on nil).
+func (s *Span) Trace() TraceID {
+	if s == nil {
+		return TraceID{}
+	}
+	return s.trace
+}
+
+// Name returns the span's name ("" on nil).
+func (s *Span) Name() string {
+	if s == nil {
+		return ""
+	}
+	return s.name
+}
+
+// Duration returns the recorded duration (0 on nil or before End).
+func (s *Span) Duration() time.Duration {
+	if s == nil {
+		return 0
+	}
+	s.st.mu.Lock()
+	defer s.st.mu.Unlock()
+	return s.dur
+}
+
+// Set appends attributes to the span.
+func (s *Span) Set(attrs ...Attr) {
+	if s == nil || len(attrs) == 0 {
+		return
+	}
+	s.st.mu.Lock()
+	s.attrs = append(s.attrs, attrs...)
+	s.st.mu.Unlock()
+}
+
+// Child starts a sub-span. On a nil receiver it returns nil, so a
+// whole call tree of instrumentation collapses to nil checks when
+// tracing is off. If the trace is over its span budget the child is
+// dropped (counted in the snapshot) and nil is returned.
+func (s *Span) Child(name string, attrs ...Attr) *Span {
+	if s == nil {
+		return nil
+	}
+	c := &Span{
+		tracer: s.tracer,
+		st:     s.st,
+		name:   name,
+		trace:  s.trace,
+		id:     nextSpanID(),
+		parent: s.id,
+		start:  time.Now(),
+		// Copy rather than retain: a non-escaping parameter lets the
+		// caller stack-allocate the variadic slice, which is what keeps
+		// the nil-span (tracing off) path allocation-free.
+		attrs: append([]Attr(nil), attrs...),
+	}
+	s.st.mu.Lock()
+	if len(s.st.spans) >= s.tracer.maxSpans {
+		s.st.dropped++
+		s.st.mu.Unlock()
+		return nil
+	}
+	s.st.spans = append(s.st.spans, c)
+	s.st.mu.Unlock()
+	return c
+}
+
+// End records the span's duration. Ending a root span publishes the
+// whole trace to the tracer's recent ring — and to the slow ring (plus
+// the OnSlow callback) when it ran at or over the slow threshold.
+// Second and later Ends are no-ops.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	s.st.mu.Lock()
+	if s.ended {
+		s.st.mu.Unlock()
+		return
+	}
+	s.ended = true
+	s.dur = time.Since(s.start)
+	dur := s.dur
+	s.st.mu.Unlock()
+	if s.parent.IsZero() || s.remote {
+		s.tracer.publish(s, dur)
+	}
+}
+
+// TracerConfig sizes a Tracer. Zero values pick defaults.
+type TracerConfig struct {
+	// Recent is the ring size for the most recently completed root
+	// spans (default 64).
+	Recent int
+	// Slow is the ring size for retained slow roots (default 32).
+	Slow int
+	// SlowThreshold routes any root span with duration >= threshold to
+	// the slow ring and the OnSlow callback. 0 disables slow capture.
+	SlowThreshold time.Duration
+	// OnSlow, when set, runs synchronously as each slow root ends.
+	OnSlow func(root *Span)
+	// MaxSpansPerTrace bounds one trace's span count; further children
+	// are dropped and counted (default 512).
+	MaxSpansPerTrace int
+}
+
+// Tracer mints spans and retains completed traces in bounded rings.
+// All methods are safe for concurrent use; a nil *Tracer is a no-op
+// source of nil spans.
+type Tracer struct {
+	recent   spanRing
+	slow     spanRing
+	slowNs   int64
+	onSlow   func(*Span)
+	maxSpans int
+}
+
+// NewTracer builds a Tracer from cfg.
+func NewTracer(cfg TracerConfig) *Tracer {
+	if cfg.Recent <= 0 {
+		cfg.Recent = 64
+	}
+	if cfg.Slow <= 0 {
+		cfg.Slow = 32
+	}
+	if cfg.MaxSpansPerTrace <= 0 {
+		cfg.MaxSpansPerTrace = 512
+	}
+	return &Tracer{
+		recent:   newSpanRing(cfg.Recent),
+		slow:     newSpanRing(cfg.Slow),
+		slowNs:   cfg.SlowThreshold.Nanoseconds(),
+		onSlow:   cfg.OnSlow,
+		maxSpans: cfg.MaxSpansPerTrace,
+	}
+}
+
+// SlowThreshold returns the configured slow-trace threshold (0 when
+// disabled or on a nil tracer).
+func (t *Tracer) SlowThreshold() time.Duration {
+	if t == nil {
+		return 0
+	}
+	return time.Duration(t.slowNs)
+}
+
+// StartRoot begins a new trace and returns its root span (nil on a
+// nil tracer).
+func (t *Tracer) StartRoot(name string, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	return t.start(name, nextTraceID(), SpanID{}, false, attrs)
+}
+
+// StartRemote begins this process's portion of a trace whose context
+// arrived over the wire: same trace ID, parented onto the remote span.
+// An invalid context degrades to StartRoot.
+func (t *Tracer) StartRemote(name string, ctx SpanContext, attrs ...Attr) *Span {
+	if t == nil {
+		return nil
+	}
+	if !ctx.Valid() {
+		return t.StartRoot(name, attrs...)
+	}
+	return t.start(name, ctx.Trace, ctx.Span, true, attrs)
+}
+
+func (t *Tracer) start(name string, trace TraceID, parent SpanID, remote bool, attrs []Attr) *Span {
+	s := &Span{
+		tracer: t,
+		st:     &traceState{},
+		name:   name,
+		trace:  trace,
+		id:     nextSpanID(),
+		parent: parent,
+		remote: remote,
+		start:  time.Now(),
+		attrs:  append([]Attr(nil), attrs...), // copy: see Child
+	}
+	s.st.spans = append(s.st.spans, s)
+	return s
+}
+
+// publish retains a completed root span.
+func (t *Tracer) publish(root *Span, dur time.Duration) {
+	t.recent.add(root)
+	if t.slowNs > 0 && dur.Nanoseconds() >= t.slowNs {
+		t.slow.add(root)
+		if t.onSlow != nil {
+			t.onSlow(root)
+		}
+	}
+}
+
+// spanRing is a bounded lock-free ring of completed root spans: an
+// atomic cursor picks the slot, an atomic pointer swap fills it.
+// Writers never block; a reader sees each slot's latest occupant.
+type spanRing struct {
+	slots []atomic.Pointer[Span]
+	next  atomic.Uint64
+}
+
+func newSpanRing(n int) spanRing {
+	return spanRing{slots: make([]atomic.Pointer[Span], n)}
+}
+
+func (r *spanRing) add(s *Span) {
+	i := r.next.Add(1) - 1
+	r.slots[i%uint64(len(r.slots))].Store(s)
+}
+
+func (r *spanRing) snapshot() []*Span {
+	out := make([]*Span, 0, len(r.slots))
+	for i := range r.slots {
+		if s := r.slots[i].Load(); s != nil {
+			out = append(out, s)
+		}
+	}
+	return out
+}
+
+// SpanData is the exported view of one completed (or still-open,
+// duration 0) span.
+type SpanData struct {
+	Name     string         `json:"name"`
+	SpanID   string         `json:"span_id"`
+	ParentID string         `json:"parent_id,omitempty"`
+	Remote   bool           `json:"remote_parent,omitempty"`
+	Start    time.Time      `json:"start"`
+	Duration float64        `json:"duration_seconds"`
+	Attrs    map[string]any `json:"attrs,omitempty"`
+}
+
+// TraceData is the exported view of one trace: every retained span
+// sharing the trace ID, across ring entries — so a client root and the
+// server spans it parented render as one connected tree.
+type TraceData struct {
+	TraceID string     `json:"trace_id"`
+	Slow    bool       `json:"slow,omitempty"`
+	Root    string     `json:"root"`
+	End     time.Time  `json:"end"`
+	Spans   []SpanData `json:"spans"`
+	Dropped int        `json:"dropped_spans,omitempty"`
+}
+
+// Duration returns the longest root-ish span duration in the trace.
+func (td TraceData) Duration() time.Duration {
+	var max float64
+	for _, s := range td.Spans {
+		if s.Duration > max {
+			max = s.Duration
+		}
+	}
+	return time.Duration(max * float64(time.Second))
+}
+
+// Snapshot merges both rings into per-trace views, most recently
+// completed first.
+func (t *Tracer) Snapshot() []TraceData {
+	if t == nil {
+		return nil
+	}
+	seen := make(map[*Span]bool)
+	byTrace := make(map[TraceID][]*Span)
+	slow := make(map[TraceID]bool)
+	collect := func(roots []*Span, markSlow bool) {
+		for _, r := range roots {
+			if markSlow {
+				slow[r.trace] = true
+			}
+			if seen[r] {
+				continue
+			}
+			seen[r] = true
+			byTrace[r.trace] = append(byTrace[r.trace], r)
+		}
+	}
+	collect(t.recent.snapshot(), false)
+	collect(t.slow.snapshot(), true)
+
+	out := make([]TraceData, 0, len(byTrace))
+	for id, roots := range byTrace {
+		out = append(out, buildTraceData(id, roots, slow[id]))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].End.After(out[j].End) })
+	return out
+}
+
+// TraceData exports the process-local view of this span's trace — the
+// shape OnSlow callbacks log. Zero value on a nil span.
+func (s *Span) TraceData() TraceData {
+	if s == nil {
+		return TraceData{}
+	}
+	return buildTraceData(s.trace, []*Span{s}, false)
+}
+
+func buildTraceData(id TraceID, roots []*Span, slow bool) TraceData {
+	td := TraceData{TraceID: id.String(), Slow: slow}
+	states := make(map[*traceState]bool)
+	for _, r := range roots {
+		states[r.st] = true
+	}
+	for st := range states {
+		st.mu.Lock()
+		td.Dropped += st.dropped
+		for _, sp := range st.spans {
+			sd := SpanData{
+				Name:     sp.name,
+				SpanID:   sp.id.String(),
+				Remote:   sp.remote,
+				Start:    sp.start,
+				Duration: sp.dur.Seconds(),
+			}
+			if !sp.parent.IsZero() {
+				sd.ParentID = sp.parent.String()
+			}
+			if len(sp.attrs) > 0 {
+				sd.Attrs = make(map[string]any, len(sp.attrs))
+				for _, a := range sp.attrs {
+					sd.Attrs[a.Key] = a.Value()
+				}
+			}
+			end := sp.start.Add(sp.dur)
+			if end.After(td.End) {
+				td.End = end
+			}
+			td.Spans = append(td.Spans, sd)
+		}
+		st.mu.Unlock()
+	}
+	sort.Slice(td.Spans, func(i, j int) bool { return td.Spans[i].Start.Before(td.Spans[j].Start) })
+	for _, sd := range td.Spans {
+		if sd.ParentID == "" || sd.Remote {
+			td.Root = sd.Name
+			break
+		}
+	}
+	return td
+}
+
+// WriteJSON renders the current snapshot as the /debug/traces
+// document. A nil tracer renders an empty document.
+func (t *Tracer) WriteJSON(w io.Writer) error {
+	doc := struct {
+		SlowThresholdSeconds float64     `json:"slow_threshold_seconds"`
+		Traces               []TraceData `json:"traces"`
+	}{
+		SlowThresholdSeconds: t.SlowThreshold().Seconds(),
+		Traces:               t.Snapshot(),
+	}
+	if doc.Traces == nil {
+		doc.Traces = []TraceData{}
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// Tree renders the trace as an indented human-readable span tree:
+//
+//	trace 7f3a... 12.4ms
+//	  backup_dedup 12.4ms name=snap-1
+//	    has_batch 1.2ms chunks=256 missing=3
+//	    commit 4.0ms
+func (td TraceData) Tree() string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "trace %s %s", td.TraceID, fmtDur(td.Duration()))
+	if td.Slow {
+		b.WriteString(" SLOW")
+	}
+	if td.Dropped > 0 {
+		fmt.Fprintf(&b, " (%d spans dropped)", td.Dropped)
+	}
+	b.WriteByte('\n')
+	ids := make(map[string]bool, len(td.Spans))
+	kids := make(map[string][]int)
+	for _, s := range td.Spans {
+		ids[s.SpanID] = true
+	}
+	var tops []int
+	for i, s := range td.Spans {
+		if s.ParentID != "" && ids[s.ParentID] {
+			kids[s.ParentID] = append(kids[s.ParentID], i)
+		} else {
+			tops = append(tops, i)
+		}
+	}
+	var walk func(i, depth int)
+	walk = func(i, depth int) {
+		s := td.Spans[i]
+		b.WriteString(strings.Repeat("  ", depth+1))
+		b.WriteString(s.Name)
+		if s.Remote {
+			b.WriteString(" [remote-parent]")
+		}
+		b.WriteByte(' ')
+		b.WriteString(fmtDur(time.Duration(s.Duration * float64(time.Second))))
+		appendAttrs(&b, s.Attrs)
+		b.WriteByte('\n')
+		for _, c := range kids[s.SpanID] {
+			walk(c, depth+1)
+		}
+	}
+	for _, i := range tops {
+		walk(i, 0)
+	}
+	return b.String()
+}
+
+func appendAttrs(b *strings.Builder, attrs map[string]any) {
+	if len(attrs) == 0 {
+		return
+	}
+	keys := make([]string, 0, len(attrs))
+	for k := range attrs {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(b, " %s=%v", k, attrs[k])
+	}
+}
+
+func fmtDur(d time.Duration) string {
+	switch {
+	case d >= time.Second:
+		return strconv.FormatFloat(d.Seconds(), 'f', 2, 64) + "s"
+	case d >= time.Millisecond:
+		return strconv.FormatFloat(float64(d)/float64(time.Millisecond), 'f', 2, 64) + "ms"
+	default:
+		return strconv.FormatFloat(float64(d)/float64(time.Microsecond), 'f', 1, 64) + "µs"
+	}
+}
+
+// ID generation: a process-seeded splitmix64 stream over an atomic
+// counter — cheap, collision-resistant enough for debugging IDs, and
+// free of crypto/rand syscalls on the hot path.
+var (
+	idCounter atomic.Uint64
+	idSeed    = uint64(time.Now().UnixNano()) ^ uint64(os.Getpid())<<32
+)
+
+func splitmix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func nextID64() uint64 {
+	for {
+		if v := splitmix64(idSeed + idCounter.Add(1)); v != 0 {
+			return v
+		}
+	}
+}
+
+func nextSpanID() (id SpanID) {
+	binary.BigEndian.PutUint64(id[:], nextID64())
+	return id
+}
+
+func nextTraceID() (id TraceID) {
+	binary.BigEndian.PutUint64(id[:8], nextID64())
+	binary.BigEndian.PutUint64(id[8:], nextID64())
+	return id
+}

@@ -24,17 +24,28 @@ type pmetrics struct {
 }
 
 // timedSync counts one fsync and, when instrumented, observes its
-// latency.
-func (m *pmetrics) timedSync(f *os.File) error {
+// latency. A non-nil span gets an fsync child span and the latency
+// observation carries the span's trace as its bucket exemplar, so a
+// slow fsync bucket links to the stream that paid for it.
+func (m *pmetrics) timedSync(f *os.File, sp *obs.Span) error {
 	m.fsyncs.Add(1)
 	h := m.fsyncSeconds.Load()
-	if h == nil {
+	if h == nil && sp == nil {
 		return f.Sync()
 	}
+	c := sp.Child("fsync")
 	t0 := time.Now()
 	err := f.Sync()
-	h.Observe(time.Since(t0).Seconds())
+	h.ObserveSinceExemplar(t0, sp.Trace())
+	c.End()
 	return err
+}
+
+// addRecoverSince accumulates Recover wall time. A deferred method
+// value — the same shape as obs's Histogram.ObserveSince — so the
+// timing point costs no closure allocation.
+func (m *pmetrics) addRecoverSince(t0 time.Time) {
+	m.recoverNanos.Add(time.Since(t0).Nanoseconds())
 }
 
 // presenceEntries sums the per-shard presence sets.

@@ -76,6 +76,7 @@ type Backing struct {
 	met    pmetrics
 
 	rmu         sync.Mutex
+	span        *obs.Span // active request span for recipe-journal I/O
 	recipeLog   *os.File
 	recipeSize  int64
 	recipeDirty bool
@@ -298,6 +299,15 @@ func (b *Backing) Missing(hs []shardstore.Hash) []int {
 	return missing
 }
 
+// SetSpan installs (or, with nil, clears) the span the recipe
+// journal's appends and fsyncs should attach to — shardstore's
+// spanSink hook for the CommitRecipe/DeleteRecipe path.
+func (b *Backing) SetSpan(sp *obs.Span) {
+	b.rmu.Lock()
+	b.span = sp
+	b.rmu.Unlock()
+}
+
 // CommitRecipe journals one named recipe; under FsyncAlways it is
 // crash-durable before the call returns. A recipe too large to frame
 // is rejected up front — recovery would read an oversized record as a
@@ -343,6 +353,9 @@ func (b *Backing) appendRecipeRecordLocked(body []byte) error {
 	}
 	if b.recipeLog == nil {
 		return errClosed
+	}
+	if b.span != nil {
+		defer b.span.Child("recipe_append", obs.Int("bytes", int64(len(body)))).End()
 	}
 	rec := appendRecord(nil, body)
 	if _, err := b.recipeLog.WriteAt(rec, b.recipeSize); err != nil {
@@ -392,7 +405,7 @@ func (b *Backing) syncRecipesLocked() error {
 	if !b.recipeDirty {
 		return nil
 	}
-	if err := b.met.timedSync(b.recipeLog); err != nil {
+	if err := b.met.timedSync(b.recipeLog, b.span); err != nil {
 		return err
 	}
 	b.recipeDirty = false

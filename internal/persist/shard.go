@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"shredder/internal/dedup"
+	"shredder/internal/obs"
 	"shredder/internal/shardstore"
 )
 
@@ -31,6 +32,7 @@ type diskShard struct {
 	met           *pmetrics
 
 	mu         sync.Mutex // guards all fields below
+	span       *obs.Span  // active request span for I/O attribution
 	wal        *os.File
 	walSize    int64            // bytes durably framed so far
 	walBuf     []byte           // records staged since the last Commit
@@ -79,7 +81,7 @@ func newDiskShard(dir string, id int, containerSize int64, always, verify bool, 
 func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refcount int64) error) error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	defer func(t0 time.Time) { s.met.recoverNanos.Add(time.Since(t0).Nanoseconds()) }(time.Now())
+	defer s.met.addRecoverSince(time.Now())
 	if s.recovered {
 		return fmt.Errorf("persist: shard %d recovered twice", s.id)
 	}
@@ -238,6 +240,16 @@ func (s *diskShard) Recover(fn func(h shardstore.Hash, ref shardstore.Ref, refco
 	return nil
 }
 
+// SetSpan installs (or, with nil, clears) the span the shard's journal
+// writes and fsyncs should attach to — shardstore's spanSink hook. The
+// store calls it under the stripe lock that serializes this shard's
+// mutations, bracketing exactly one request's backing calls.
+func (s *diskShard) SetSpan(sp *obs.Span) {
+	s.mu.Lock()
+	s.span = sp
+	s.mu.Unlock()
+}
+
 // has reports whether the shard holds a chunk for h.
 func (s *diskShard) has(h shardstore.Hash) bool {
 	s.mu.Lock()
@@ -391,6 +403,10 @@ func (s *diskShard) flushLocked() error {
 	if s.wal == nil {
 		return errClosed
 	}
+	if s.span != nil {
+		defer s.span.Child("wal_append",
+			obs.Int("shard", int64(s.id)), obs.Int("bytes", int64(len(s.walBuf)))).End()
+	}
 	if _, err := s.wal.WriteAt(s.walBuf, s.walSize); err != nil {
 		// walSize is not advanced: the next flush rewrites the region
 		// and recovery ignores any torn tail it may have left.
@@ -406,14 +422,14 @@ func (s *diskShard) flushLocked() error {
 func (s *diskShard) fsyncLocked() error {
 	for _, cf := range s.containers {
 		if cf != nil && cf.dirty {
-			if err := s.met.timedSync(cf.f); err != nil {
+			if err := s.met.timedSync(cf.f, s.span); err != nil {
 				return err
 			}
 			cf.dirty = false
 		}
 	}
 	if s.walDirty {
-		if err := s.met.timedSync(s.wal); err != nil {
+		if err := s.met.timedSync(s.wal, s.span); err != nil {
 			return err
 		}
 		s.walDirty = false

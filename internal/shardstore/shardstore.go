@@ -77,12 +77,24 @@ type loc struct {
 	offset    int64
 }
 
-// shard is one stripe of the store. All fields but the immutable idx
-// and back handle are guarded by mu.
+// spanSink is implemented by backings that can attribute their I/O
+// (WAL appends, fsyncs, recipe-journal writes) to the span of the
+// request being served. The store installs the active span before
+// calling into the backing and clears it afterwards, always under the
+// same lock that serializes the backing's mutations, so the backing
+// reads it without further synchronization. MemoryBacking does not
+// implement it; persist's shards and recipe journal do.
+type spanSink interface {
+	SetSpan(*obs.Span)
+}
+
+// shard is one stripe of the store. All fields but the immutable idx,
+// back and sink handles are guarded by mu.
 type shard struct {
 	mu       sync.RWMutex
 	idx      int // this shard's position in Store.shards
 	back     ShardBacking
+	sink     spanSink // back as a spanSink, nil when unsupported
 	index    map[Hash]Ref
 	refcount map[Hash]int64
 	// live tracks the live (index-referenced) bytes per container, the
@@ -90,6 +102,15 @@ type shard struct {
 	// from location to fingerprint, maintained on insert/relocate/drop.
 	live  map[int]int64
 	byLoc map[loc]Hash
+}
+
+// setSpan hands the active span to the backing when it cares. The
+// caller holds sh.mu (write) and must clear with setSpan(nil) before
+// unlocking so a later uninstrumented request is not misattributed.
+func (sh *shard) setSpan(sp *obs.Span) {
+	if sh.sink != nil {
+		sh.sink.SetSpan(sp)
+	}
 }
 
 // Store is a sharded deduplicating chunk store. All methods are safe
@@ -119,6 +140,10 @@ type Store struct {
 	compactedBytes atomic.Int64
 	movedBytes     atomic.Int64
 	missingSeconds *obs.Histogram
+
+	// recipeSink is the backing as a spanSink for the recipe-journal
+	// path (nil when the backing does not implement it).
+	recipeSink spanSink
 }
 
 // New returns an empty in-memory store with the given shard count (a
@@ -152,6 +177,7 @@ func Open(b Backing) (*Store, error) {
 			live:     make(map[int]int64),
 			byLoc:    make(map[loc]Hash),
 		}
+		sh.sink, _ = sh.back.(spanSink)
 		err := sh.back.Recover(func(h Hash, ref Ref, rc int64) error {
 			if rc < 1 {
 				return fmt.Errorf("shardstore: shard %d recovered refcount %d for %x", i, rc, h[:8])
@@ -185,6 +211,7 @@ func Open(b Backing) (*Store, error) {
 	for name, r := range recipes {
 		s.recipes[name] = r
 	}
+	s.recipeSink, _ = b.(spanSink)
 	return s, nil
 }
 
@@ -306,7 +333,7 @@ func (s *Store) HasBatch(hs []Hash) []bool {
 // — so the ingest protocol's missing-set answer uses PinBatch instead.
 func (s *Store) Missing(hs []Hash) []int {
 	if h := s.missingSeconds; h != nil {
-		defer func(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }(time.Now())
+		defer h.ObserveSince(time.Now())
 	}
 	found := s.HasBatch(hs)
 	missing := make([]int, 0, len(hs))
@@ -330,8 +357,16 @@ func (s *Store) Missing(hs []Hash) []int {
 // ascending indices in missing with a zero Ref. On a backing error the
 // batch stops early: pins already applied stay applied (and accounted).
 func (s *Store) PinBatch(hs []Hash) (refs []Ref, missing []int, err error) {
+	return s.PinBatchTraced(hs, nil)
+}
+
+// PinBatchTraced is PinBatch attributed to a span: the backing's WAL
+// appends and fsyncs for the pins become children of sp, and the
+// latency observation carries sp's trace as its bucket exemplar. A nil
+// sp is exactly PinBatch.
+func (s *Store) PinBatchTraced(hs []Hash, sp *obs.Span) (refs []Ref, missing []int, err error) {
 	if h := s.missingSeconds; h != nil {
-		defer func(t0 time.Time) { h.Observe(time.Since(t0).Seconds()) }(time.Now())
+		defer h.ObserveSinceExemplar(time.Now(), sp.Trace())
 	}
 	refs = make([]Ref, len(hs))
 	found := make([]bool, len(hs))
@@ -339,6 +374,10 @@ func (s *Store) PinBatch(hs []Hash) (refs []Ref, missing []int, err error) {
 	err = s.byShard(hs, func(sh *shard, idxs []int) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		if sp != nil {
+			sh.setSpan(sp)
+			defer sh.setSpan(nil)
+		}
 		pinned := false
 		for _, i := range idxs {
 			ref, ok := sh.index[hs[i]]
@@ -394,6 +433,14 @@ func (s *Store) PutBatch(chunks [][]byte) ([]Ref, []bool, error) {
 // address would corrupt every stream that later dedups against it, so
 // callers ingesting untrusted bytes verify first.
 func (s *Store) PutHashedBatch(hs []Hash, chunks [][]byte) ([]Ref, []bool, error) {
+	return s.PutHashedBatchTraced(hs, chunks, nil)
+}
+
+// PutHashedBatchTraced is PutHashedBatch attributed to a span: each
+// shard's slice of the batch runs under a shard_put child span, and
+// the backing's WAL appends and fsyncs nest under it. A nil sp is
+// exactly PutHashedBatch.
+func (s *Store) PutHashedBatchTraced(hs []Hash, chunks [][]byte, sp *obs.Span) ([]Ref, []bool, error) {
 	if len(hs) != len(chunks) {
 		return nil, nil, fmt.Errorf("shardstore: %d fingerprints for %d chunks", len(hs), len(chunks))
 	}
@@ -404,6 +451,13 @@ func (s *Store) PutHashedBatch(hs []Hash, chunks [][]byte) ([]Ref, []bool, error
 	err := s.byShard(hs, func(sh *shard, idxs []int) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		if sp != nil {
+			ssp := sp.Child("shard_put",
+				obs.Int("shard", int64(sh.idx)), obs.Int("chunks", int64(len(idxs))))
+			defer ssp.End()
+			sh.setSpan(ssp)
+			defer sh.setSpan(nil)
+		}
 		for _, i := range idxs {
 			var perr error
 			refs[i], dup[i], perr = sh.put(hs[i], chunks[i])
@@ -544,9 +598,24 @@ func (s *Store) WriteStream(chunks [][]byte) (Recipe, int, error) {
 // the old references are released, so a crash in between leaks
 // references but never leaves the surviving recipe dangling.
 func (s *Store) CommitRecipe(name string, r Recipe) error {
+	return s.CommitRecipeTraced(name, r, nil)
+}
+
+// CommitRecipeTraced is CommitRecipe attributed to a span: the recipe
+// journal append and its fsync become children of sp, as does the
+// release of a replaced recipe's references. A nil sp is exactly
+// CommitRecipe.
+func (s *Store) CommitRecipeTraced(name string, r Recipe, sp *obs.Span) error {
 	s.rmu.Lock()
+	if sp != nil && s.recipeSink != nil {
+		s.recipeSink.SetSpan(sp)
+	}
 	old, replaced := s.recipes[name]
-	if err := s.backing.CommitRecipe(name, r); err != nil {
+	err := s.backing.CommitRecipe(name, r)
+	if sp != nil && s.recipeSink != nil {
+		s.recipeSink.SetSpan(nil)
+	}
+	if err != nil {
 		s.rmu.Unlock()
 		return err
 	}
@@ -555,7 +624,7 @@ func (s *Store) CommitRecipe(name string, r Recipe) error {
 	if !replaced {
 		return nil
 	}
-	_, err := s.releaseRefs(old)
+	_, err = s.releaseRefs(old, sp)
 	return err
 }
 
@@ -580,19 +649,33 @@ type DeleteStats struct {
 // pins every skipped chunk's refcount inside the lookup, so a stream
 // told to skip a body holds its reference before this release can run.
 func (s *Store) DeleteRecipe(name string) (DeleteStats, error) {
+	return s.DeleteRecipeTraced(name, nil)
+}
+
+// DeleteRecipeTraced is DeleteRecipe attributed to a span: the
+// tombstone append, its fsync, and the per-shard reference release all
+// become children of sp. A nil sp is exactly DeleteRecipe.
+func (s *Store) DeleteRecipeTraced(name string, sp *obs.Span) (DeleteStats, error) {
 	s.rmu.Lock()
 	r, ok := s.recipes[name]
 	if !ok {
 		s.rmu.Unlock()
 		return DeleteStats{}, fmt.Errorf("%w: %q", ErrUnknownRecipe, name)
 	}
-	if err := s.backing.DeleteRecipe(name); err != nil {
+	if sp != nil && s.recipeSink != nil {
+		s.recipeSink.SetSpan(sp)
+	}
+	err := s.backing.DeleteRecipe(name)
+	if sp != nil && s.recipeSink != nil {
+		s.recipeSink.SetSpan(nil)
+	}
+	if err != nil {
 		s.rmu.Unlock()
 		return DeleteStats{}, err
 	}
 	delete(s.recipes, name)
 	s.rmu.Unlock()
-	return s.releaseRefs(r)
+	return s.releaseRefs(r, sp)
 }
 
 // Release gives back references that were counted but will never be
@@ -603,18 +686,23 @@ func (s *Store) DeleteRecipe(name string) (DeleteStats, error) {
 // Compact. Without this, every aborted dedup stream would pin its
 // chunks forever.
 func (s *Store) Release(r Recipe) (DeleteStats, error) {
-	return s.releaseRefs(r)
+	return s.releaseRefs(r, nil)
 }
 
 // releaseRefs gives back one reference per recipe entry, journaling
 // each decrement under its shard's stripe lock; entries reaching zero
-// leave the index. Shared by DeleteRecipe and recipe replacement.
-func (s *Store) releaseRefs(r Recipe) (DeleteStats, error) {
+// leave the index. Shared by DeleteRecipe and recipe replacement. A
+// non-nil sp attributes each shard's journal writes to the span.
+func (s *Store) releaseRefs(r Recipe, sp *obs.Span) (DeleteStats, error) {
 	var ds DeleteStats
 	var logical, chunksN, hitsN, uniques, stored int64
 	err := s.byShard([]Hash(r), func(sh *shard, idxs []int) error {
 		sh.mu.Lock()
 		defer sh.mu.Unlock()
+		if sp != nil {
+			sh.setSpan(sp)
+			defer sh.setSpan(nil)
+		}
 		touched := false
 		for _, i := range idxs {
 			h := r[i]
@@ -680,9 +768,18 @@ type CompactStats struct {
 // before the checkpoint, and the checkpoint is durable before any
 // container is unlinked.
 func (s *Store) Compact(threshold float64) (CompactStats, error) {
+	return s.CompactTraced(threshold, nil)
+}
+
+// CompactTraced is Compact attributed to a span: each shard pass that
+// actually reclaims containers runs under a compact_shard child span
+// (victims, reclaimed and moved bytes as attributes), with the
+// backing's relocation WAL traffic and checkpoint fsyncs nested under
+// it. A nil sp is exactly Compact.
+func (s *Store) CompactTraced(threshold float64, sp *obs.Span) (CompactStats, error) {
 	var total CompactStats
 	for _, sh := range s.shards {
-		cs, err := s.compactShard(sh, threshold)
+		cs, err := s.compactShard(sh, threshold, sp)
 		total.Containers += cs.Containers
 		total.ReclaimedBytes += cs.ReclaimedBytes
 		total.MovedBytes += cs.MovedBytes
@@ -704,7 +801,7 @@ func (s *Store) accountCompact(cs CompactStats) {
 }
 
 // compactShard runs one shard's pass; see Compact.
-func (s *Store) compactShard(sh *shard, threshold float64) (CompactStats, error) {
+func (s *Store) compactShard(sh *shard, threshold float64, sp *obs.Span) (CompactStats, error) {
 	sh.mu.Lock()
 	defer sh.mu.Unlock()
 	n := sh.back.Containers()
@@ -734,6 +831,16 @@ func (s *Store) compactShard(sh *shard, threshold float64) (CompactStats, error)
 	}
 	if len(victims) == 0 {
 		return CompactStats{}, nil
+	}
+	if sp != nil {
+		csp := sp.Child("compact_shard",
+			obs.Int("shard", int64(sh.idx)), obs.Int("victims", int64(len(victims))))
+		defer func() {
+			csp.Set(obs.Int("reclaimed_bytes", cs.ReclaimedBytes), obs.Int("moved_bytes", cs.MovedBytes))
+			csp.End()
+		}()
+		sh.setSpan(csp)
+		defer sh.setSpan(nil)
 	}
 	// Re-pack every surviving chunk of the victim containers into the
 	// open container, updating the index as we go. Relocate journals

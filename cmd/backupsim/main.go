@@ -158,6 +158,8 @@ func main() {
 	gcThreshold := flag.Float64("gc-threshold", 0.7, "retention scenario: compact containers whose live fraction is below this after each round")
 	gcJSON := flag.String("gc-json", "", "retention scenario: write per-round GC metrics as JSON to this file (- for stdout)")
 	ampLimit := flag.Float64("amp-limit", 1.5, "retention scenario: fail when final disk bytes exceed this multiple of the live stored bytes (0 disables)")
+	clusterN := flag.Int("cluster", 0, "boot this many in-process shredderd nodes behind a consistent-hash router and run the client series through it")
+	clusterBench := flag.String("cluster-bench", "", "write the 1-node vs N-node (-cluster, default 3) routed ingest benchmark as JSON to this file and exit — the CI artifact BENCH_cluster.json")
 	jsonOut := flag.Bool("json", false, "emit a single end-of-run summary object as JSON on stdout (progress lines move to stderr)")
 	trace := flag.Bool("trace", false, "record a span tree per operation and print the trees at end of run (-json adds per-span rollups)")
 	flag.Parse()
@@ -222,13 +224,28 @@ func main() {
 		}
 		return
 	}
-	if *server != "" || *data != "" {
+	if *clusterBench != "" {
+		if *server != "" || *data != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -cluster-bench runs in-process and excludes -server/-data")
+			os.Exit(2)
+		}
+		n := *clusterN
+		if n == 0 {
+			n = 3
+		}
+		if err := runClusterBench(*clusterBench, n, *imageMB<<20, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *server != "" || *data != "" || *clusterN > 0 {
 		// Chunking happens server-side in service mode; an explicit
 		// -engine would be silently meaningless, so reject it.
 		engineSet := false
 		flag.Visit(func(f *flag.Flag) { engineSet = engineSet || f.Name == "engine" })
 		if engineSet {
-			fmt.Fprintln(os.Stderr, "backupsim: -engine has no effect with -server/-data (the daemon chunks server-side)")
+			fmt.Fprintln(os.Stderr, "backupsim: -engine has no effect with -server/-data/-cluster (the daemon chunks server-side)")
 			os.Exit(2)
 		}
 	}
@@ -236,14 +253,23 @@ func main() {
 		fmt.Fprintln(os.Stderr, "backupsim: -server and -data are mutually exclusive")
 		os.Exit(2)
 	}
+	if *clusterN > 0 && (*server != "" || *data != "") {
+		fmt.Fprintln(os.Stderr, "backupsim: -cluster runs in-process and excludes -server/-data")
+		os.Exit(2)
+	}
 	spec, err := sessionSpec(*chunkerName, *avgKiB<<10)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "backupsim:", err)
 		os.Exit(2)
 	}
-	if (spec != nil || *dedupWire) && *server == "" && *data == "" {
-		fmt.Fprintln(os.Stderr, "backupsim: -chunker/-dedup-wire only apply with -server/-data (the local simulation is the paper's GPU Rabin study)")
+	if (spec != nil || *dedupWire) && *server == "" && *data == "" && *clusterN == 0 {
+		fmt.Fprintln(os.Stderr, "backupsim: -chunker/-dedup-wire only apply with -server/-data/-cluster (the local simulation is the paper's GPU Rabin study)")
 		os.Exit(2)
+	}
+	if *clusterN > 0 {
+		sum, err := runCluster(*clusterN, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed)
+		finish(sum, err)
+		return
 	}
 	if *server != "" {
 		sum, err := runClient(*server, *name, spec, *dedupWire, *imageMB<<20, *snapshots, *prob, *seed)

@@ -50,6 +50,19 @@
 //     server pinning every skipped chunk's refcount under the shard
 //     lock inside the lookup — with per-stream WireStats measuring
 //     the bytes the backup-site link was spared
+//   - internal/cluster — multi-node scale-out over the unchanged wire
+//     protocol: a consistent-hash ring (virtual nodes over a 64-bit
+//     key space; a chunk's fingerprint prefix is its ring key, so
+//     placement needs no extra hashing) assigns every chunk to an
+//     owner node, and a routed stream becomes one v3 dedup sub-stream
+//     per owner — fanned out concurrently — plus a fingerprint
+//     manifest committed last on the stream's name-hash home node
+//     (under the reserved ".cluster/" namespace). Restores
+//     re-interleave per-owner streams in manifest order, verifying
+//     each chunk's fingerprint; deletes fan out as node-owned
+//     refcount decrements, so single-node GC is untouched. Router,
+//     pooled per-node sessions with dial retry, per-node metrics and
+//     remote-parented spans included
 //   - internal/hdfs, internal/mapreduce, internal/backup — the two
 //     case studies (Inc-HDFS + Incoop, cloud backup); backup.Service
 //     runs the multi-VM experiment through the service path
@@ -63,7 +76,11 @@
 // the restart round-trip locally; -dedup-wire switches either mode to
 // client-side matching; -wire-bench emits the raw-vs-dedup transfer
 // matrix as JSON; -retention runs the expire-oldest/compact scenario
-// and enforces the 1.5x space-amplification bound). The
+// and enforces the 1.5x space-amplification bound; -cluster N boots
+// an in-process routed cluster and -cluster-bench measures 1-vs-N-node
+// aggregate ingest). cmd/shredrouter serves the same client protocol
+// in front of a static N-node topology, routing streams by chunk
+// ownership on the internal/cluster ring. The
 // benchmarks in bench_test.go
 // wrap internal/experiments so that `go test -bench=.` reproduces the
 // paper's entire evaluation; the cmd/shredbench binary prints the same

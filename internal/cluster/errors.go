@@ -1,0 +1,46 @@
+package cluster
+
+import (
+	"errors"
+	"fmt"
+)
+
+// NodeError reports a failure of one specific node (or the path to
+// it) during a routed operation, so callers can tell "the cluster
+// rejected this" from "node X is down". It unwraps to the underlying
+// cause — errors.Is(err, ingest.ErrNotFound) still works through it
+// where relevant.
+type NodeError struct {
+	// Node is the failing node's ID.
+	Node string
+	// Op names the routed operation ("backup", "restore", ...).
+	Op string
+	// Err is the underlying failure.
+	Err error
+}
+
+func (e *NodeError) Error() string {
+	return fmt.Sprintf("cluster: node %s failed during %s: %v", e.Node, e.Op, e.Err)
+}
+
+func (e *NodeError) Unwrap() error { return e.Err }
+
+// ErrReservedName reports a client operation on a name under
+// ReservedPrefix, which the routing layer keeps for its manifests.
+var ErrReservedName = errors.New("cluster: stream name is reserved for the routing layer")
+
+// ChunkMismatchError reports a restored chunk whose content does not
+// hash to the manifest's fingerprint — node corruption, or a node
+// whose restore framing no longer aligns to chunks. The restore is
+// aborted rather than returning silently wrong bytes.
+type ChunkMismatchError struct {
+	// Name is the stream being restored; Node the node that served the
+	// chunk; Index the chunk's position in the manifest.
+	Name  string
+	Node  string
+	Index int
+}
+
+func (e *ChunkMismatchError) Error() string {
+	return fmt.Sprintf("cluster: restore of %q: chunk %d from node %s does not match its manifest fingerprint", e.Name, e.Index, e.Node)
+}

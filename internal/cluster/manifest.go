@@ -1,0 +1,66 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"fmt"
+	"strings"
+
+	"shredder/internal/dedup"
+)
+
+// ReservedPrefix marks stream names the routing layer keeps for
+// itself on the nodes. The router refuses client operations on such
+// names; in-process callers get the same check from Stream/Restore/
+// Delete.
+const ReservedPrefix = ".cluster/"
+
+// manifestPrefix namespaces the per-stream manifests under the
+// reserved prefix.
+const manifestPrefix = ReservedPrefix + "manifest/"
+
+// ManifestName returns the reserved node-side name of a client
+// stream's manifest.
+func ManifestName(name string) string { return manifestPrefix + name }
+
+// reservedName reports whether a client-supplied stream name intrudes
+// on the routing layer's namespace.
+func reservedName(name string) bool { return strings.HasPrefix(name, ReservedPrefix) }
+
+// The manifest is the home node's record of a routed stream: the full
+// fingerprint sequence in stream order. Combined with the ring it
+// yields each chunk's owner, and restoring the per-node sub-streams in
+// manifest order reproduces the original byte stream. It deliberately
+// carries no lengths or offsets — the fingerprints themselves verify
+// the re-interleaved chunks.
+//
+// Layout: an 8-byte magic, a big-endian uint64 count, then count
+// 32-byte fingerprints.
+const manifestMagic = "SHRDCLM1"
+
+func encodeManifest(hs []dedup.Hash) []byte {
+	out := make([]byte, 0, len(manifestMagic)+8+len(hs)*len(dedup.Hash{}))
+	out = append(out, manifestMagic...)
+	out = binary.BigEndian.AppendUint64(out, uint64(len(hs)))
+	for i := range hs {
+		out = append(out, hs[i][:]...)
+	}
+	return out
+}
+
+func decodeManifest(p []byte) ([]dedup.Hash, error) {
+	hdr := len(manifestMagic) + 8
+	if len(p) < hdr || string(p[:len(manifestMagic)]) != manifestMagic {
+		return nil, fmt.Errorf("cluster: malformed manifest header (%d bytes)", len(p))
+	}
+	count := binary.BigEndian.Uint64(p[len(manifestMagic):hdr])
+	body := p[hdr:]
+	size := len(dedup.Hash{})
+	if uint64(len(body)) != count*uint64(size) {
+		return nil, fmt.Errorf("cluster: manifest announces %d chunks but carries %d bytes", count, len(body))
+	}
+	hs := make([]dedup.Hash, count)
+	for i := range hs {
+		copy(hs[i][:], body[i*size:])
+	}
+	return hs, nil
+}

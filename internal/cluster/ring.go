@@ -1,0 +1,112 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"hash/fnv"
+	"sort"
+	"strconv"
+
+	"shredder/internal/dedup"
+)
+
+// DefaultVnodes is the virtual-node count per physical node. More
+// points flatten the load split between nodes (the standard deviation
+// of arc length shrinks roughly with 1/√vnodes) at a small cost in
+// ring size and lookup depth.
+const DefaultVnodes = 64
+
+// Ring is a consistent-hash ring over a topology: each node projects
+// Vnodes points onto the 64-bit key space, and a key is owned by the
+// node whose point follows it (wrapping at the top). Placement depends
+// only on node IDs, so restarts and address changes keep data where it
+// is, and adding a node steals only the arcs its points land on.
+//
+// Chunk fingerprints are already uniform 256-bit hashes, so a chunk's
+// ring key is simply its first 8 bytes; names are hashed onto the ring
+// with FNV-64a, as are the vnode points themselves.
+type Ring struct {
+	nodes  []Node
+	points []ringPoint // sorted by pos, ties broken by node index
+}
+
+type ringPoint struct {
+	pos  uint64
+	node int32
+}
+
+// NewRing validates the topology and builds its ring. vnodes ≤ 0 means
+// DefaultVnodes.
+func NewRing(t Topology, vnodes int) (*Ring, error) {
+	if err := t.Validate(); err != nil {
+		return nil, err
+	}
+	if vnodes <= 0 {
+		vnodes = DefaultVnodes
+	}
+	r := &Ring{
+		nodes:  append([]Node(nil), t.Nodes...),
+		points: make([]ringPoint, 0, len(t.Nodes)*vnodes),
+	}
+	for i, n := range r.nodes {
+		for v := 0; v < vnodes; v++ {
+			// FNV over short, similar strings ("a#0", "a#1", …) leaves
+			// most of its avalanche unused, which skews arc lengths badly;
+			// a splitmix64 finalizer restores uniform point placement.
+			pos := mix64(hashString(n.ID + "#" + strconv.Itoa(v)))
+			r.points = append(r.points, ringPoint{pos: pos, node: int32(i)})
+		}
+	}
+	sort.Slice(r.points, func(a, b int) bool {
+		if r.points[a].pos != r.points[b].pos {
+			return r.points[a].pos < r.points[b].pos
+		}
+		// Colliding points resolve deterministically to the lower node
+		// index, independent of input order.
+		return r.points[a].node < r.points[b].node
+	})
+	return r, nil
+}
+
+// Len returns the number of physical nodes.
+func (r *Ring) Len() int { return len(r.nodes) }
+
+// Node returns the i-th node of the topology.
+func (r *Ring) Node(i int) Node { return r.nodes[i] }
+
+// OwnerKey returns the index of the node owning a raw ring key.
+func (r *Ring) OwnerKey(key uint64) int {
+	i := sort.Search(len(r.points), func(i int) bool {
+		return r.points[i].pos >= key
+	})
+	if i == len(r.points) {
+		i = 0 // wrap: keys above the last point belong to the first
+	}
+	return int(r.points[i].node)
+}
+
+// Owner returns the index of the node owning a chunk fingerprint.
+func (r *Ring) Owner(h dedup.Hash) int {
+	return r.OwnerKey(binary.BigEndian.Uint64(h[:8]))
+}
+
+// OwnerName returns the index of the node owning a stream name — the
+// stream's home node, where its manifest lives.
+func (r *Ring) OwnerName(name string) int {
+	return r.OwnerKey(hashString(name))
+}
+
+func hashString(s string) uint64 {
+	h := fnv.New64a()
+	h.Write([]byte(s))
+	return h.Sum64()
+}
+
+// mix64 is the splitmix64 finalizer: a cheap full-avalanche bijection.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xbf58476d1ce4e5b9
+	x ^= x >> 27
+	x *= 0x94d049bb133111eb
+	x ^= x >> 31
+	return x
+}

@@ -1,0 +1,231 @@
+package cluster
+
+import (
+	"encoding/binary"
+	"errors"
+	"math/rand"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"shredder/internal/dedup"
+)
+
+func testTopology(ids ...string) Topology {
+	var t Topology
+	for _, id := range ids {
+		t.Nodes = append(t.Nodes, Node{ID: id, Addr: "127.0.0.1:" + id})
+	}
+	return t
+}
+
+func randHash(rng *rand.Rand) dedup.Hash {
+	var h dedup.Hash
+	rng.Read(h[:])
+	return h
+}
+
+// TestRingDeterminism: placement is a pure function of (topology,
+// vnodes) — two independently built rings agree on every key, and the
+// node list's order does not matter once IDs are fixed.
+func TestRingDeterminism(t *testing.T) {
+	a, err := NewRing(testTopology("alpha", "beta", "gamma"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := NewRing(testTopology("alpha", "beta", "gamma"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same IDs, different positions in the node list.
+	shuffled, err := NewRing(testTopology("gamma", "alpha", "beta"), 32)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 5000; i++ {
+		h := randHash(rng)
+		if a.Owner(h) != b.Owner(h) {
+			t.Fatalf("two identical rings disagree on %x", h[:8])
+		}
+		if a.Node(a.Owner(h)).ID != shuffled.Node(shuffled.Owner(h)).ID {
+			t.Fatalf("node-list order changed placement of %x", h[:8])
+		}
+	}
+}
+
+// TestRingDistribution: virtual nodes keep the split between nodes
+// roughly fair for uniform keys (chunk fingerprints are uniform by
+// construction).
+func TestRingDistribution(t *testing.T) {
+	r, err := NewRing(testTopology("a", "b", "c"), 0) // DefaultVnodes
+	if err != nil {
+		t.Fatal(err)
+	}
+	const keys = 30000
+	counts := make([]int, r.Len())
+	rng := rand.New(rand.NewSource(11))
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(randHash(rng))]++
+	}
+	for i, c := range counts {
+		share := float64(c) / keys
+		if share < 0.10 || share > 0.60 {
+			t.Fatalf("node %d owns %.1f%% of keys (counts %v)", i, 100*share, counts)
+		}
+	}
+}
+
+// TestRingStability: removing one node only reassigns that node's
+// keys — everything owned by a survivor stays put. This is the whole
+// point of consistent hashing over modulo placement.
+func TestRingStability(t *testing.T) {
+	full, err := NewRing(testTopology("a", "b", "c"), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reduced, err := NewRing(testTopology("a", "b"), 48)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(13))
+	moved := 0
+	for i := 0; i < 10000; i++ {
+		h := randHash(rng)
+		before := full.Node(full.Owner(h)).ID
+		after := reduced.Node(reduced.Owner(h)).ID
+		if before == "c" {
+			moved++
+			continue // c's keys must land somewhere else
+		}
+		if before != after {
+			t.Fatalf("key %x moved %s → %s though its owner survived", h[:8], before, after)
+		}
+	}
+	if moved == 0 {
+		t.Fatal("no keys were owned by the removed node — test is vacuous")
+	}
+}
+
+// TestRingOwnerKeyWraps: keys above the highest vnode point wrap to
+// the ring's first point.
+func TestRingOwnerKeyWraps(t *testing.T) {
+	r, err := NewRing(testTopology("a", "b"), 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	top := r.points[len(r.points)-1]
+	if top.pos == ^uint64(0) {
+		t.Skip("highest vnode point is the maximum key")
+	}
+	wrapped := r.OwnerKey(top.pos + 1)
+	first := int(r.points[0].node)
+	if wrapped != first {
+		t.Fatalf("key above the last point owned by %d, want first point's node %d", wrapped, first)
+	}
+	var h dedup.Hash
+	binary.BigEndian.PutUint64(h[:8], top.pos)
+	if r.Owner(h) != int(top.node) {
+		t.Fatal("key exactly on a point is not owned by that point's node")
+	}
+}
+
+func TestParseNodes(t *testing.T) {
+	topo, err := ParseNodes("n0=127.0.0.1:9001, n1=127.0.0.1:9002,n2=127.0.0.1:9003")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 3 || topo.Nodes[1].ID != "n1" || topo.Nodes[1].Addr != "127.0.0.1:9002" {
+		t.Fatalf("parsed %+v", topo.Nodes)
+	}
+	// Bare addresses use the address as the ID.
+	topo, err = ParseNodes("127.0.0.1:9001,127.0.0.1:9002")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if topo.Nodes[0].ID != "127.0.0.1:9001" {
+		t.Fatalf("bare-address id %q", topo.Nodes[0].ID)
+	}
+	for _, bad := range []string{"", "  ,", "a=1,a=2", "x=1,y=1", "=addr"} {
+		if _, err := ParseNodes(bad); err == nil {
+			t.Fatalf("ParseNodes(%q) accepted", bad)
+		}
+	}
+}
+
+func TestLoadTopology(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "topo.json")
+	body := `{"nodes": [{"id": "a", "addr": "10.0.0.1:9000"}, {"id": "b", "addr": "10.0.0.2:9000"}]}`
+	if err := os.WriteFile(path, []byte(body), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	topo, err := LoadTopology(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(topo.Nodes) != 2 || topo.Nodes[1].ID != "b" {
+		t.Fatalf("loaded %+v", topo.Nodes)
+	}
+	if _, err := LoadTopology(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	if err := os.WriteFile(path, []byte(`{"nodes": [], "extra": 1}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := LoadTopology(path); err == nil {
+		t.Fatal("unknown fields accepted")
+	}
+}
+
+func TestManifestCodec(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	var hs []dedup.Hash
+	for i := 0; i < 257; i++ {
+		hs = append(hs, randHash(rng))
+	}
+	for _, in := range [][]dedup.Hash{nil, hs[:1], hs} {
+		out, err := decodeManifest(encodeManifest(in))
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(out) != len(in) {
+			t.Fatalf("round trip %d → %d entries", len(in), len(out))
+		}
+		for i := range in {
+			if out[i] != in[i] {
+				t.Fatalf("entry %d corrupted", i)
+			}
+		}
+	}
+	enc := encodeManifest(hs)
+	for _, bad := range [][]byte{nil, enc[:7], enc[:len(enc)-1], append(append([]byte(nil), enc...), 0)} {
+		if _, err := decodeManifest(bad); err == nil {
+			t.Fatalf("malformed manifest of %d bytes accepted", len(bad))
+		}
+	}
+	corrupt := append([]byte(nil), enc...)
+	corrupt[0] ^= 0xFF
+	if _, err := decodeManifest(corrupt); err == nil {
+		t.Fatal("bad magic accepted")
+	}
+	if !reservedName(ManifestName("x")) {
+		t.Fatal("manifest names must be reserved")
+	}
+}
+
+func TestTopologyValidate(t *testing.T) {
+	if err := (Topology{}).Validate(); err == nil {
+		t.Fatal("empty topology accepted")
+	}
+	bad := Topology{Nodes: []Node{{ID: "a", Addr: ""}}}
+	if err := bad.Validate(); err == nil {
+		t.Fatal("empty address accepted")
+	}
+	if _, err := NewRing(Topology{}, 4); !errorsIsValidation(err) {
+		t.Fatalf("NewRing on empty topology: %v", err)
+	}
+}
+
+func errorsIsValidation(err error) bool {
+	return err != nil && !errors.Is(err, os.ErrNotExist)
+}

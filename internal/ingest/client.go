@@ -4,8 +4,10 @@ import (
 	"bufio"
 	"bytes"
 	"errors"
+	"fmt"
 	"io"
 	"net"
+	"strings"
 	"time"
 
 	"shredder/internal/chunk"
@@ -45,6 +47,10 @@ type Session struct {
 	// the Hello and BeginDedup frames, so a traced server parents its
 	// own spans under ours.
 	tracer *obs.Tracer
+
+	// streamName is the name of the dedup stream opened by BeginDedup,
+	// threaded into the errors of the round-level ops.
+	streamName string
 }
 
 // Client is the session type's historical name.
@@ -73,13 +79,77 @@ func NewSession(conn net.Conn) *Session {
 // NewClient is NewSession under the type's historical name.
 func NewClient(conn net.Conn) *Session { return NewSession(conn) }
 
-// Dial connects to a shredderd server at addr.
-func Dial(addr string) (*Session, error) {
-	conn, err := net.Dial("tcp", addr)
-	if err != nil {
-		return nil, err
+// Dial timeouts and retry bounds. A raw net.Dial against a dead node
+// can hang for minutes (kernel SYN retries); every connect in this
+// package is bounded instead, which a routing layer dialing many nodes
+// depends on.
+const (
+	// DefaultDialTimeout bounds one connect attempt.
+	DefaultDialTimeout = 5 * time.Second
+	// DefaultDialBackoff is the pause before the second attempt; it
+	// doubles per retry up to DefaultDialMaxBackoff.
+	DefaultDialBackoff    = 50 * time.Millisecond
+	DefaultDialMaxBackoff = 2 * time.Second
+)
+
+// DialOptions bounds how a Session connects: a per-attempt timeout and
+// a retry budget with exponential backoff. The zero value means one
+// attempt with DefaultDialTimeout — Dial's behavior.
+type DialOptions struct {
+	// Timeout bounds each connect attempt (0: DefaultDialTimeout).
+	Timeout time.Duration
+	// Attempts is the total number of connect attempts (0 or 1: no
+	// retry).
+	Attempts int
+	// Backoff is the pause before the second attempt, doubling each
+	// retry (0: DefaultDialBackoff). MaxBackoff caps the doubling
+	// (0: DefaultDialMaxBackoff).
+	Backoff    time.Duration
+	MaxBackoff time.Duration
+}
+
+// Dial connects to addr under the options' bounds. All attempts
+// failing returns the last attempt's error, wrapped with the attempt
+// count so errors.Is/As still reach the transport cause.
+func (o DialOptions) Dial(addr string) (*Session, error) {
+	timeout := o.Timeout
+	if timeout <= 0 {
+		timeout = DefaultDialTimeout
 	}
-	return NewSession(conn), nil
+	attempts := o.Attempts
+	if attempts <= 0 {
+		attempts = 1
+	}
+	backoff := o.Backoff
+	if backoff <= 0 {
+		backoff = DefaultDialBackoff
+	}
+	maxBackoff := o.MaxBackoff
+	if maxBackoff <= 0 {
+		maxBackoff = DefaultDialMaxBackoff
+	}
+	var lastErr error
+	for i := 0; i < attempts; i++ {
+		if i > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > maxBackoff {
+				backoff = maxBackoff
+			}
+		}
+		conn, err := net.DialTimeout("tcp", addr, timeout)
+		if err == nil {
+			return NewSession(conn), nil
+		}
+		lastErr = err
+	}
+	return nil, fmt.Errorf("ingest: dial %s failed after %d attempt(s): %w", addr, attempts, lastErr)
+}
+
+// Dial connects to a shredderd server at addr: one attempt, bounded by
+// DefaultDialTimeout (use DialOptions for retries or other bounds).
+func Dial(addr string) (*Session, error) {
+	return DialOptions{}.Dial(addr)
 }
 
 // Close terminates the session.
@@ -248,6 +318,113 @@ const (
 	dedupBatchBytes  = 4 << 20
 )
 
+// BeginDedup opens a two-phase dedup stream under name on a version
+// ≥ 3 session, without chunking anything locally: the caller drives
+// the rounds itself with HasBatch/SendBodies (or DedupRound) and ends
+// the stream with CommitDedup. This is the routing-layer surface — a
+// router that already holds chunked pieces fans them out to owner
+// nodes through these calls. parent, when valid on a v4 session, rides
+// the BeginDedup frame so the server's span parents under the caller's
+// (BackupDedup passes its own root; a router passes the span of the
+// client operation it is serving). Plain clients should keep using
+// BackupDedup, which wraps the whole exchange.
+func (s *Session) BeginDedup(name string, parent obs.SpanContext) error {
+	if s.version < 3 {
+		return ErrDedupUnsupported
+	}
+	s.streamName = name
+	return writeFrame(s.bw, MsgBeginDedup, encodeBeginDedup(s.version, name, parent))
+}
+
+// HasBatch runs one fingerprint round on a dedup stream opened with
+// BeginDedup: the batch goes out, and the server's answer — the
+// ascending indices into hs it has no chunk for — comes back. Every
+// index the server does NOT return is pinned server-side under the
+// stream. The caller must follow with exactly one body per returned
+// index, in order (SendBodies), before the next HasBatch or
+// CommitDedup.
+func (s *Session) HasBatch(hs []dedup.Hash) ([]int, error) {
+	if err := writeFrame(s.bw, MsgHasBatch, encodeHasBatch(hs)); err != nil {
+		return nil, s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return nil, s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	typ, payload, err := readFrame(s.br, s.buf)
+	if err != nil {
+		return nil, err
+	}
+	s.keep(payload)
+	switch typ {
+	case MsgNeedBatch:
+		return decodeNeedBatch(payload, len(hs))
+	case MsgError:
+		return nil, &RemoteError{Msg: string(payload), Op: "dedup backup", Name: s.streamName}
+	default:
+		return nil, &UnexpectedFrameError{Type: typ, Context: "has-batch reply"}
+	}
+}
+
+// SendBodies uploads chunk bodies answering the last HasBatch round's
+// missing set, one Data frame per body in the server's index order.
+func (s *Session) SendBodies(bodies ...[]byte) error {
+	for _, b := range bodies {
+		if err := writeFrame(s.bw, MsgData, b); err != nil {
+			return s.surfaceRemote("dedup backup", s.streamName, err)
+		}
+	}
+	if err := s.bw.Flush(); err != nil {
+		return s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	return nil
+}
+
+// WriteBody queues one chunk body as a Data frame without flushing; the
+// session's next HasBatch or CommitDedup flushes it ahead of its own
+// frame. A router forwarding a round's bodies one at a time as they
+// arrive uses this to avoid a flush (typically a syscall) per chunk —
+// the server does not answer bodies, so nothing is lost by batching.
+func (s *Session) WriteBody(b []byte) error {
+	if err := writeFrame(s.bw, MsgData, b); err != nil {
+		return s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	return nil
+}
+
+// DedupRound is one complete round against bodies held locally:
+// HasBatch(hs), then the bodies the server asked for. bodies[i] must
+// be the chunk hashing to hs[i]. Returns the missing set the server
+// answered (the bodies that actually crossed).
+func (s *Session) DedupRound(hs []dedup.Hash, bodies [][]byte) ([]int, error) {
+	missing, err := s.HasBatch(hs)
+	if err != nil {
+		return nil, err
+	}
+	if len(missing) > 0 {
+		send := make([][]byte, 0, len(missing))
+		for _, i := range missing {
+			send = append(send, bodies[i])
+		}
+		if err := s.SendBodies(send...); err != nil {
+			return nil, err
+		}
+	}
+	return missing, nil
+}
+
+// CommitDedup ends a dedup stream opened with BeginDedup: the server
+// durably records the recipe accumulated from the rounds and answers
+// with the stream's stats.
+func (s *Session) CommitDedup() (*StreamStats, error) {
+	if err := writeFrame(s.bw, MsgCommit, nil); err != nil {
+		return nil, s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	if err := s.bw.Flush(); err != nil {
+		return nil, s.surfaceRemote("dedup backup", s.streamName, err)
+	}
+	return s.readStats("dedup backup", s.streamName)
+}
+
 // BackupDedup backs up r under name over the two-phase content-
 // addressed protocol: the session's negotiated engine chunks the
 // stream locally, fingerprints go first, and only the chunk bodies the
@@ -263,7 +440,7 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 	// and both sides merge into a single tree.
 	sp := s.root("backup_dedup", obs.Str("recipe", name))
 	defer sp.End()
-	if err := writeFrame(s.bw, MsgBeginDedup, encodeBeginDedup(s.version, name, sp.Context())); err != nil {
+	if err := s.BeginDedup(name, sp.Context()); err != nil {
 		return nil, err
 	}
 	var (
@@ -276,42 +453,23 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 			return nil
 		}
 		hb := sp.Child("has_batch", obs.Int("chunks", int64(len(hs))))
-		defer hb.End()
-		if err := writeFrame(s.bw, MsgHasBatch, encodeHasBatch(hs)); err != nil {
-			return s.surfaceRemote("dedup backup", name, err)
-		}
-		if err := s.bw.Flush(); err != nil {
-			return s.surfaceRemote("dedup backup", name, err)
-		}
-		typ, payload, err := readFrame(s.br, s.buf)
+		missing, err := s.HasBatch(hs)
 		if err != nil {
+			hb.End()
 			return err
 		}
-		s.keep(payload)
-		var need []int
-		switch typ {
-		case MsgNeedBatch:
-			if need, err = decodeNeedBatch(payload, len(hs)); err != nil {
-				return err
-			}
-		case MsgError:
-			return &RemoteError{Msg: string(payload), Op: "dedup backup", Name: name}
-		default:
-			return &UnexpectedFrameError{Type: typ, Context: "has-batch reply"}
-		}
-		hb.Set(obs.Int("missing", int64(len(need))))
+		hb.Set(obs.Int("missing", int64(len(missing))))
 		hb.End()
-		up := sp.Child("upload", obs.Int("chunks", int64(len(need))))
+		up := sp.Child("upload", obs.Int("chunks", int64(len(missing))))
 		defer up.End()
+		send := make([][]byte, 0, len(missing))
 		var upBytes int64
-		for _, i := range need {
-			if err := writeFrame(s.bw, MsgData, bodies[i]); err != nil {
-				return s.surfaceRemote("dedup backup", name, err)
-			}
+		for _, i := range missing {
+			send = append(send, bodies[i])
 			upBytes += int64(len(bodies[i]))
 		}
-		if err := s.bw.Flush(); err != nil {
-			return s.surfaceRemote("dedup backup", name, err)
+		if err := s.SendBodies(send...); err != nil {
+			return err
 		}
 		up.Set(obs.Int("bytes", upBytes))
 		hs, bodies, held = hs[:0], bodies[:0], 0
@@ -339,13 +497,7 @@ func (s *Session) BackupDedup(name string, r io.Reader) (*StreamStats, error) {
 	}
 	c := sp.Child("commit")
 	defer c.End()
-	if err := writeFrame(s.bw, MsgCommit, nil); err != nil {
-		return nil, s.surfaceRemote("dedup backup", name, err)
-	}
-	if err := s.bw.Flush(); err != nil {
-		return nil, s.surfaceRemote("dedup backup", name, err)
-	}
-	st, err := s.readStats("dedup backup", name)
+	st, err := s.CommitDedup()
 	if err != nil {
 		return nil, err
 	}
@@ -407,12 +559,24 @@ func (s *Session) surfaceRemote(op, name string, werr error) error {
 	return &RemoteError{Msg: string(payload), Op: op, Name: name}
 }
 
+// remoteErr types a MsgError payload: the store's canonical unknown-
+// recipe marker becomes a *NotFoundError (matching ErrNotFound, so a
+// router can tell "not on this node" from "this node failed"); any
+// other server text stays a *RemoteError verbatim.
+func remoteErr(op, name string, payload []byte) error {
+	if strings.Contains(string(payload), shardstore.ErrUnknownRecipe.Error()) {
+		return &NotFoundError{Op: op, Name: name}
+	}
+	return &RemoteError{Msg: string(payload), Op: op, Name: name}
+}
+
 // Delete expires a previously backed-up stream on the server: its
 // recipe is durably tombstoned and every chunk reference it held is
 // released, so chunks no retained stream uses become reclaimable by
 // the server's compactor. Requires a version ≥ 3 session
 // (NegotiateDedup). Deleting a name the server has no recipe for comes
-// back as a *RemoteError and the session stays usable.
+// back as a *NotFoundError (errors.Is(err, ErrNotFound)) and the
+// session stays usable.
 func (s *Session) Delete(name string) (*shardstore.DeleteStats, error) {
 	if s.version < 3 {
 		return nil, ErrDeleteUnsupported
@@ -438,46 +602,150 @@ func (s *Session) Delete(name string) (*shardstore.DeleteStats, error) {
 		}
 		return &ds, nil
 	case MsgError:
-		return nil, &RemoteError{Msg: string(payload), Op: "delete", Name: name}
+		return nil, remoteErr("delete", name, payload)
 	default:
 		return nil, &UnexpectedFrameError{Type: typ, Context: "delete reply"}
 	}
 }
 
-// Restore streams a previously backed-up name from the server into w,
-// returning the byte count.
-func (s *Session) Restore(name string, w io.Writer) (int64, error) {
+// RestoreStream is an in-flight restore: an io.Reader over the
+// restored bytes as they arrive, frame by frame. The session can run
+// no other operation until the stream is read to EOF (or Closed, which
+// drains it). An unknown name surfaces on the first Read as a
+// *NotFoundError.
+type RestoreStream struct {
+	s     *Session
+	name  string
+	sp    *obs.Span
+	frame []byte // unconsumed tail of the current Data payload
+	total int64
+	done  bool
+	err   error
+}
+
+// OpenRestore starts restoring a previously backed-up name and returns
+// the byte stream. Restore wraps it for whole-stream copies; a routing
+// layer reads several nodes' streams side by side to interleave them.
+func (s *Session) OpenRestore(name string) (*RestoreStream, error) {
 	sp := s.root("restore", obs.Str("recipe", name))
-	defer sp.End()
 	if err := writeFrame(s.bw, MsgRestore, []byte(name)); err != nil {
-		return 0, err
+		sp.End()
+		return nil, err
 	}
 	if err := s.bw.Flush(); err != nil {
+		sp.End()
+		return nil, err
+	}
+	return &RestoreStream{s: s, name: name, sp: sp}, nil
+}
+
+// next loads the following Data frame into r.frame. io.EOF reports the
+// clean end of the stream; every other error is terminal and sticky.
+func (r *RestoreStream) next() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.done {
+		return io.EOF
+	}
+	typ, payload, err := readFrame(r.s.br, r.s.buf)
+	if err != nil {
+		r.fail(err)
+		return err
+	}
+	r.s.keep(payload)
+	switch typ {
+	case MsgData:
+		r.frame = payload
+		return nil
+	case MsgEnd:
+		r.done = true
+		r.sp.Set(obs.Int("bytes", r.total))
+		r.sp.End()
+		return io.EOF
+	case MsgError:
+		err := remoteErr("restore", r.name, payload)
+		r.fail(err)
+		return err
+	default:
+		err := &UnexpectedFrameError{Type: typ, Context: "restore stream"}
+		r.fail(err)
+		return err
+	}
+}
+
+func (r *RestoreStream) Read(p []byte) (int, error) {
+	for len(r.frame) == 0 {
+		if err := r.next(); err != nil {
+			return 0, err
+		}
+	}
+	n := copy(p, r.frame)
+	r.frame = r.frame[n:]
+	r.total += int64(n)
+	return n, nil
+}
+
+// NextChunk returns the next whole Data frame's payload. The server
+// emits one Data frame per recipe entry whenever chunks fit a frame
+// (MaxSize ≤ DefaultFrameSize), so against a bounded-chunk server this
+// reads the stream chunk by chunk — how the routing layer re-interleaves
+// per-node subsequences into the original stream. Do not mix with Read
+// mid-frame. The slice aliases the session's buffer: it is valid only
+// until the next operation on this session. io.EOF reports the clean
+// end of the stream.
+func (r *RestoreStream) NextChunk() ([]byte, error) {
+	if len(r.frame) == 0 {
+		if err := r.next(); err != nil {
+			return nil, err
+		}
+	}
+	c := r.frame
+	r.frame = nil
+	r.total += int64(len(c))
+	return c, nil
+}
+
+// fail latches a terminal error (sticky across Reads) and ends the
+// operation span.
+func (r *RestoreStream) fail(err error) {
+	r.err = err
+	r.sp.End()
+}
+
+// Bytes returns how many restored bytes have been read so far.
+func (r *RestoreStream) Bytes() int64 { return r.total }
+
+// Close drains any unread remainder so the session is usable again. A
+// stream that already hit a protocol error stays broken — the
+// connection is desynchronized and the session should be discarded.
+func (r *RestoreStream) Close() error {
+	if r.err != nil {
+		return r.err
+	}
+	for !r.done {
+		if _, err := io.CopyN(io.Discard, r, 256<<10); err != nil {
+			if err == io.EOF {
+				return nil
+			}
+			return err
+		}
+	}
+	return nil
+}
+
+// Restore streams a previously backed-up name from the server into w,
+// returning the byte count. An unknown name comes back as a
+// *NotFoundError (errors.Is(err, ErrNotFound)).
+func (s *Session) Restore(name string, w io.Writer) (int64, error) {
+	rs, err := s.OpenRestore(name)
+	if err != nil {
 		return 0, err
 	}
-	var total int64
-	for {
-		typ, payload, err := readFrame(s.br, s.buf)
-		if err != nil {
-			return total, err
-		}
-		s.keep(payload)
-		switch typ {
-		case MsgData:
-			n, werr := w.Write(payload)
-			total += int64(n)
-			if werr != nil {
-				return total, werr
-			}
-		case MsgEnd:
-			sp.Set(obs.Int("bytes", total))
-			return total, nil
-		case MsgError:
-			return total, &RemoteError{Msg: string(payload), Op: "restore", Name: name}
-		default:
-			return total, &UnexpectedFrameError{Type: typ, Context: "restore stream"}
-		}
+	if _, err := io.Copy(w, rs); err != nil {
+		return rs.Bytes(), err
 	}
+	return rs.Bytes(), nil
 }
 
 // RestoreBytes is Restore into memory.

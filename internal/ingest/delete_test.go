@@ -50,9 +50,8 @@ func TestDeleteOverWire(t *testing.T) {
 		t.Fatalf("everything freed (%d of %d) despite the snapshot sharing chunks", ds.ChunksFreed, mst.Chunks)
 	}
 
-	var re *RemoteError
-	if _, err := c.RestoreBytes("master"); !errors.As(err, &re) {
-		t.Fatalf("restore of deleted stream = %v, want RemoteError", err)
+	if _, err := c.RestoreBytes("master"); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restore of deleted stream = %v, want ErrNotFound", err)
 	}
 	if err := c.Verify("snap", snap); err != nil {
 		t.Fatalf("retained stream after delete: %v", err)
@@ -84,9 +83,12 @@ func TestDeleteUnknownNameKeepsSession(t *testing.T) {
 	if _, err := c.NegotiateDedup(chunk.FastCDCSpec(4 << 10)); err != nil {
 		t.Fatal(err)
 	}
-	var re *RemoteError
-	if _, err := c.Delete("ghost"); !errors.As(err, &re) || re.Op != "delete" {
-		t.Fatalf("delete of unknown name = %v, want RemoteError{Op: delete}", err)
+	var nf *NotFoundError
+	if _, err := c.Delete("ghost"); !errors.As(err, &nf) || nf.Op != "delete" || nf.Name != "ghost" {
+		t.Fatalf("delete of unknown name = %v, want NotFoundError{Op: delete}", err)
+	}
+	if _, err := c.Delete("ghost"); !errors.Is(err, ErrNotFound) {
+		t.Fatal("delete not-found does not match ErrNotFound")
 	}
 	data := workload.Random(3, 256<<10)
 	if _, err := c.BackupDedupBytes("after", data); err != nil {

@@ -1,6 +1,7 @@
 package ingest
 
 import (
+	"errors"
 	"fmt"
 )
 
@@ -67,6 +68,29 @@ type NegotiationError struct {
 func (e *NegotiationError) Error() string {
 	return "ingest: negotiation rejected: " + e.Reason
 }
+
+// ErrNotFound is the sentinel a *NotFoundError matches with errors.Is:
+// the server has no recipe under the requested name. A routing layer
+// uses it to tell "not on this node" (benign — try elsewhere, or the
+// stream never existed) from "the node failed".
+var ErrNotFound = errors.New("ingest: recipe not found")
+
+// NotFoundError reports an operation (delete, restore) against a
+// stream name the server has no recipe for. The session stays usable.
+// It matches ErrNotFound under errors.Is, so callers never have to
+// pattern-match the server's message text.
+type NotFoundError struct {
+	// Op is the client operation ("delete", "restore").
+	Op string
+	// Name is the stream name the server had no recipe for.
+	Name string
+}
+
+func (e *NotFoundError) Error() string {
+	return fmt.Sprintf("ingest: server has no stream named %q (%s)", e.Name, e.Op)
+}
+
+func (e *NotFoundError) Is(target error) bool { return target == ErrNotFound }
 
 // RemoteError carries an error message the peer sent in a MsgError
 // frame during an operation. The server's own text (a store failure, a

@@ -182,7 +182,9 @@ func TestOversizedFrameMidStreamDropsSession(t *testing.T) {
 }
 
 // TestRemoteErrorSurfacesTyped: a server-side failure reaches the
-// client as *RemoteError.
+// client typed — and the unknown-name case specifically as a
+// *NotFoundError matching ErrNotFound, not a generic RemoteError the
+// caller would have to string-match.
 func TestRemoteErrorSurfacesTyped(t *testing.T) {
 	srv, err := NewServer(testConfig(4))
 	if err != nil {
@@ -190,8 +192,15 @@ func TestRemoteErrorSurfacesTyped(t *testing.T) {
 	}
 	c := startSession(t, srv)
 	_, err = c.Restore("no-such-stream", io.Discard)
-	var re *RemoteError
-	if !errors.As(err, &re) || !strings.Contains(re.Msg, "no-such-stream") {
-		t.Fatalf("restore of missing stream: %v", err)
+	var nf *NotFoundError
+	if !errors.As(err, &nf) || nf.Name != "no-such-stream" {
+		t.Fatalf("restore of missing stream: %v, want *NotFoundError", err)
+	}
+	if !errors.Is(err, ErrNotFound) {
+		t.Fatalf("restore not-found does not match ErrNotFound: %v", err)
+	}
+	// The session survives and the error is operation-scoped.
+	if _, err := c.BackupBytes("after", []byte("still alive")); err != nil {
+		t.Fatalf("session unusable after not-found restore: %v", err)
 	}
 }

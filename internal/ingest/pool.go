@@ -1,0 +1,100 @@
+package ingest
+
+import (
+	"sync"
+)
+
+// SessionPool reuses Sessions against one address. A session is leased
+// exclusively with Get, used for any number of sequential operations,
+// and either returned with Put (healthy, on a clean operation
+// boundary) or dropped with Discard (any error — a session mid-stream
+// or desynchronized must never be reused). Fresh sessions are dialed
+// under the pool's DialOptions and run through Setup, so every leased
+// session arrives negotiated the same way.
+//
+// The pool exists for the routing layer: a router serves many client
+// streams, each of which needs a session per owner node for the
+// duration of the stream; redialing and renegotiating per stream would
+// double every stream's round trips.
+type SessionPool struct {
+	// Addr is the node address sessions dial.
+	Addr string
+	// Dial bounds the connect path (timeout, retries, backoff).
+	Dial DialOptions
+	// Setup, when set, prepares a freshly dialed session (negotiation,
+	// tracer) before it is handed out. A Setup error counts as a dial
+	// failure: the session is closed and Get fails.
+	Setup func(*Session) error
+	// MaxIdle bounds the sessions kept warm for reuse (0 means 2).
+	// Sessions returned beyond the bound are closed.
+	MaxIdle int
+
+	mu   sync.Mutex
+	idle []*Session
+}
+
+// Get leases a session: an idle one when available, a freshly dialed
+// and Setup-run one otherwise.
+func (p *SessionPool) Get() (*Session, error) {
+	p.mu.Lock()
+	if n := len(p.idle); n > 0 {
+		s := p.idle[n-1]
+		p.idle = p.idle[:n-1]
+		p.mu.Unlock()
+		return s, nil
+	}
+	p.mu.Unlock()
+	s, err := p.Dial.Dial(p.Addr)
+	if err != nil {
+		return nil, err
+	}
+	if p.Setup != nil {
+		if err := p.Setup(s); err != nil {
+			s.Close()
+			return nil, err
+		}
+	}
+	return s, nil
+}
+
+// Put returns a healthy session for reuse. Only sessions on a clean
+// operation boundary (no stream in flight, no protocol error seen) may
+// come back; anything else goes to Discard.
+func (p *SessionPool) Put(s *Session) {
+	if s == nil {
+		return
+	}
+	maxIdle := p.MaxIdle
+	if maxIdle <= 0 {
+		maxIdle = 2
+	}
+	p.mu.Lock()
+	if len(p.idle) < maxIdle {
+		p.idle = append(p.idle, s)
+		p.mu.Unlock()
+		return
+	}
+	p.mu.Unlock()
+	s.Close()
+}
+
+// Discard closes a leased session instead of returning it: the server
+// observes the abort and releases any references the session's
+// uncommitted stream applied.
+func (p *SessionPool) Discard(s *Session) {
+	if s != nil {
+		s.Close()
+	}
+}
+
+// Close drops every idle session. Leased sessions are unaffected; the
+// pool stays usable (a later Get dials fresh).
+func (p *SessionPool) Close() {
+	p.mu.Lock()
+	idle := p.idle
+	p.idle = nil
+	p.mu.Unlock()
+	for _, s := range idle {
+		s.Close()
+	}
+}

@@ -849,7 +849,9 @@ func (s *Server) handleRestore(name string, bw *bufio.Writer, sl *slog.Logger, s
 	}
 	recipe, ok := s.Recipe(name)
 	if !ok {
-		if err := writeFrame(bw, MsgError, []byte(fmt.Sprintf("no stream named %q", name))); err != nil {
+		// The canonical unknown-recipe text: clients type it as a
+		// *NotFoundError, exactly like an unknown delete.
+		if err := writeFrame(bw, MsgError, []byte(fmt.Sprintf("%v: %q", shardstore.ErrUnknownRecipe, name))); err != nil {
 			return err
 		}
 		return bw.Flush()

@@ -80,7 +80,14 @@
 // an in-process routed cluster and -cluster-bench measures 1-vs-N-node
 // aggregate ingest). cmd/shredrouter serves the same client protocol
 // in front of a static N-node topology, routing streams by chunk
-// ownership on the internal/cluster ring. The
+// ownership on the internal/cluster ring.
+//
+// The store's invariants are enforced mechanically: tools/shredlint
+// (its own dependency-free module) is a custom static-analysis suite
+// — durability ordering, stripe-lock discipline, nil-tolerant
+// instrumentation, wire-codec symmetry, error hygiene — that CI runs
+// as a hard gate alongside build and test; see tools/shredlint/README
+// for the rules and the //lint:allow suppression syntax. The
 // benchmarks in bench_test.go
 // wrap internal/experiments so that `go test -bench=.` reproduces the
 // paper's entire evaluation; the cmd/shredbench binary prints the same

@@ -1,0 +1,53 @@
+package cluster
+
+import (
+	"bytes"
+	"testing"
+
+	"shredder/internal/dedup"
+)
+
+// manifestSeedCorpus seeds the SHRDCLM1 codec fuzzer: empty and
+// populated manifests plus corrupted headers, counts, and bodies.
+func manifestSeedCorpus() [][]byte {
+	a, b := dedup.Sum([]byte("a")), dedup.Sum([]byte("b"))
+	good := encodeManifest([]dedup.Hash{a, b, a})
+	short := append([]byte(nil), good[:len(good)-1]...)
+	badMagic := append([]byte(nil), good...)
+	badMagic[0] = 'X'
+	badCount := append([]byte(nil), good...)
+	badCount[len(manifestMagic)+7]++
+	return [][]byte{
+		nil,
+		{},
+		[]byte(manifestMagic),
+		encodeManifest(nil),
+		good,
+		short,
+		badMagic,
+		badCount,
+	}
+}
+
+// FuzzManifestCodec: decodeManifest must never panic, must reject any
+// payload whose count disagrees with its body, and must round-trip
+// accepted payloads byte-identically — the manifest is the home node's
+// durable record of a routed stream, so its framing is canonical.
+func FuzzManifestCodec(f *testing.F) {
+	for _, seed := range manifestSeedCorpus() {
+		f.Add(seed)
+	}
+	f.Fuzz(func(t *testing.T, in []byte) {
+		hs, err := decodeManifest(in)
+		if err != nil {
+			return
+		}
+		hdr := len(manifestMagic) + 8
+		if want := (len(in) - hdr) / len(dedup.Hash{}); len(hs) != want {
+			t.Fatalf("decoded %d fingerprints from %d body bytes", len(hs), len(in)-hdr)
+		}
+		if out := encodeManifest(hs); !bytes.Equal(out, in) {
+			t.Fatalf("re-encoding differs:\nin  %x\nout %x", in, out)
+		}
+	})
+}

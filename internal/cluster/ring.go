@@ -97,7 +97,7 @@ func (r *Ring) OwnerName(name string) int {
 
 func hashString(s string) uint64 {
 	h := fnv.New64a()
-	h.Write([]byte(s))
+	_, _ = h.Write([]byte(s)) // fnv hash writes cannot fail
 	return h.Sum64()
 }
 

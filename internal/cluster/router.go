@@ -68,7 +68,7 @@ func (r *Router) track(conn net.Conn) {
 }
 
 func (r *Router) untrack(conn net.Conn) {
-	conn.Close()
+	_ = conn.Close()
 	r.connMu.Lock()
 	delete(r.conns, conn)
 	r.connMu.Unlock()
@@ -95,7 +95,7 @@ func (r *Router) Shutdown(grace time.Duration) {
 	}
 	r.connMu.Lock()
 	for conn := range r.conns {
-		conn.Close()
+		_ = conn.Close()
 	}
 	r.connMu.Unlock()
 	<-done

@@ -167,7 +167,7 @@ func (c *Cluster) restore(name string, w io.Writer, parent obs.SpanContext) (int
 			// Deliberately flattened: a node missing its sub-stream is
 			// cluster damage, not a not-found the caller should trust.
 			return total, &NodeError{Node: c.ring.Node(o).ID, Op: "restore",
-				Err: fmt.Errorf("chunk %d of %q: %v", i, name, err)}
+				Err: fmt.Errorf("chunk %d of %q: %v", i, name, err)} //lint:allow errhygiene flattening is the contract here: cluster damage must not surface as a trusted NotFoundError
 		}
 		if dedup.Sum(data) != h {
 			discardAll()

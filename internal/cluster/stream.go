@@ -339,7 +339,7 @@ func (st *Stream) Abort() {
 // manifest it was never restorable anyway.
 func (st *Stream) Commit() (*ingest.StreamStats, error) {
 	for _, n := range st.nodes {
-		st.flushNode(n)
+		_ = st.flushNode(n) // node failures re-surface from the commit fan-out below
 	}
 	st.stopWorkers()
 	if len(st.bodyOwners) != 0 {

@@ -50,7 +50,7 @@ func (p *SessionPool) Get() (*Session, error) {
 	}
 	if p.Setup != nil {
 		if err := p.Setup(s); err != nil {
-			s.Close()
+			_ = s.Close()
 			return nil, err
 		}
 	}
@@ -75,7 +75,7 @@ func (p *SessionPool) Put(s *Session) {
 		return
 	}
 	p.mu.Unlock()
-	s.Close()
+	_ = s.Close()
 }
 
 // Discard closes a leased session instead of returning it: the server
@@ -83,7 +83,7 @@ func (p *SessionPool) Put(s *Session) {
 // uncommitted stream applied.
 func (p *SessionPool) Discard(s *Session) {
 	if s != nil {
-		s.Close()
+		_ = s.Close()
 	}
 }
 
@@ -95,6 +95,6 @@ func (p *SessionPool) Close() {
 	p.idle = nil
 	p.mu.Unlock()
 	for _, s := range idle {
-		s.Close()
+		_ = s.Close()
 	}
 }

@@ -164,7 +164,7 @@ func (s *Server) track(conn net.Conn) {
 }
 
 func (s *Server) untrack(conn net.Conn) {
-	conn.Close()
+	_ = conn.Close()
 	s.connMu.Lock()
 	delete(s.conns, conn)
 	s.connMu.Unlock()
@@ -193,7 +193,7 @@ func (s *Server) Shutdown(grace time.Duration) {
 	}
 	s.connMu.Lock()
 	for c := range s.conns {
-		c.Close()
+		_ = c.Close()
 	}
 	s.connMu.Unlock()
 	<-done

@@ -154,7 +154,7 @@ func OpenStore(dir string, opts Options) (*shardstore.Store, error) {
 	}
 	st, err := shardstore.Open(b)
 	if err != nil {
-		b.Close()
+		_ = b.Close()
 		return nil, err
 	}
 	return st, nil
@@ -171,7 +171,7 @@ func loadOrCreateManifest(dir string, opts Options) (Options, error) {
 		var containerSize int64
 		if _, serr := fmt.Sscanf(string(raw), "shredder-persist v%d\nshards %d\ncontainer-size %d\n",
 			&version, &shards, &containerSize); serr != nil {
-			return Options{}, fmt.Errorf("persist: malformed manifest %s: %v", path, serr)
+			return Options{}, fmt.Errorf("persist: malformed manifest %s: %w", path, serr)
 		}
 		if version == 1 {
 			return Options{}, fmt.Errorf("persist: data dir %s is format v1 (location-addressed recipes, predates GC); re-ingest into a fresh directory", dir)
@@ -232,7 +232,7 @@ func (b *Backing) openRecipes() error {
 	}
 	raw, err := os.ReadFile(path)
 	if err != nil {
-		f.Close()
+		_ = f.Close()
 		return err
 	}
 	recipes := make(map[string]shardstore.Recipe)
@@ -263,7 +263,7 @@ func (b *Backing) openRecipes() error {
 	})
 	if int64(clean) < int64(len(raw)) {
 		if err := f.Truncate(int64(clean)); err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 	}

@@ -297,7 +297,7 @@ func (s *diskShard) openContainers() error {
 		}
 		st, err := f.Stat()
 		if err != nil {
-			f.Close()
+			_ = f.Close()
 			return err
 		}
 		s.containers[n] = &containerFile{f: f, size: st.Size()}
@@ -318,7 +318,7 @@ func (s *diskShard) pack(data []byte) (int, int64, error) {
 		}
 		if s.always {
 			if err := syncDir(s.dir); err != nil {
-				f.Close()
+				_ = f.Close()
 				return 0, 0, err
 			}
 		}

@@ -128,11 +128,11 @@ func swapJournal(dir, path string, old *os.File, buf []byte) (f *os.File, failSt
 		return nil, false, err
 	}
 	if _, err := tmp.Write(buf); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return nil, false, err
 	}
 	if err := tmp.Sync(); err != nil {
-		tmp.Close()
+		_ = tmp.Close()
 		return nil, false, err
 	}
 	if err := tmp.Close(); err != nil {

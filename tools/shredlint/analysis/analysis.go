@@ -1,0 +1,195 @@
+// Package analysis is a minimal, dependency-free reimplementation of
+// the golang.org/x/tools/go/analysis surface shredlint needs: an
+// Analyzer runs once per package over typechecked syntax and reports
+// position-anchored diagnostics. The build environment for this repo
+// is hermetic (no module proxy), so the suite is built on the standard
+// library alone; the API mirrors go/analysis closely enough that the
+// analyzers port to a *analysis.Analyzer multichecker mechanically if
+// x/tools ever becomes available.
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+	"regexp"
+	"sort"
+	"strings"
+)
+
+// Analyzer is one named pass. Run inspects a single package via its
+// Pass and reports findings; it returns an error only for internal
+// failures (a finding is a Diagnostic, not an error).
+type Analyzer struct {
+	// Name is the rule name used in output and //lint:allow comments.
+	Name string
+	// Doc is the one-line invariant the analyzer compiles into CI.
+	Doc string
+	// Run analyzes one package.
+	Run func(*Pass) error
+}
+
+// Pass carries one package's parsed and typechecked state to an
+// analyzer, mirroring go/analysis.Pass.
+type Pass struct {
+	Analyzer *Analyzer
+	Fset     *token.FileSet
+	// Files is the package's typechecked non-test syntax.
+	Files []*ast.File
+	// TestFiles is the package's _test.go syntax, parsed but NOT
+	// typechecked — enough for convention checks (a Fuzz target
+	// exists and mentions the decoder) without dragging the full test
+	// dependency graph through the typechecker.
+	TestFiles []*ast.File
+	Pkg       *types.Package
+	TypesInfo *types.Info
+
+	diags *[]Diagnostic
+}
+
+// Diagnostic is one finding.
+type Diagnostic struct {
+	Pos     token.Position
+	Rule    string
+	Message string
+}
+
+func (d Diagnostic) String() string {
+	return fmt.Sprintf("%s: [%s] %s", d.Pos, d.Rule, d.Message)
+}
+
+// Reportf records a finding at pos.
+func (p *Pass) Reportf(pos token.Pos, format string, args ...any) {
+	*p.diags = append(*p.diags, Diagnostic{
+		Pos:     p.Fset.Position(pos),
+		Rule:    p.Analyzer.Name,
+		Message: fmt.Sprintf(format, args...),
+	})
+}
+
+// Preorder walks every non-test file in depth-first order, calling fn
+// for each node.
+func (p *Pass) Preorder(fn func(ast.Node)) {
+	for _, f := range p.Files {
+		ast.Inspect(f, func(n ast.Node) bool {
+			if n != nil {
+				fn(n)
+			}
+			return true
+		})
+	}
+}
+
+// Run applies every analyzer to every package and returns the surviving
+// diagnostics sorted by position: suppressed findings (a //lint:allow
+// comment naming the rule, with a reason) are dropped, and a
+// //lint:allow with no reason is itself reported so silent waivers
+// cannot accumulate.
+func Run(analyzers []*Analyzer, pkgs []*Package) ([]Diagnostic, error) {
+	var diags []Diagnostic
+	for _, pkg := range pkgs {
+		allows := collectAllows(pkg)
+		for _, a := range analyzers {
+			pass := &Pass{
+				Analyzer:  a,
+				Fset:      pkg.Fset,
+				Files:     pkg.Syntax,
+				TestFiles: pkg.TestSyntax,
+				Pkg:       pkg.Types,
+				TypesInfo: pkg.TypesInfo,
+				diags:     &diags,
+			}
+			if err := a.Run(pass); err != nil {
+				return nil, fmt.Errorf("%s: %s: %w", a.Name, pkg.Path, err)
+			}
+		}
+		diags = filterAllowed(diags, allows, pkg.Fset)
+	}
+	sort.Slice(diags, func(i, j int) bool {
+		a, b := diags[i], diags[j]
+		if a.Pos.Filename != b.Pos.Filename {
+			return a.Pos.Filename < b.Pos.Filename
+		}
+		if a.Pos.Line != b.Pos.Line {
+			return a.Pos.Line < b.Pos.Line
+		}
+		return a.Rule < b.Rule
+	})
+	return diags, nil
+}
+
+// allowRe parses "//lint:allow <rule> <reason>". The reason is
+// mandatory: a waiver that does not say why is reported instead of
+// honored.
+var allowRe = regexp.MustCompile(`^//\s*lint:allow\s+(\S+)\s*(.*)$`)
+
+// allow is one suppression comment: a rule name anchored to a line.
+type allow struct {
+	file   string
+	line   int
+	rule   string
+	reason string
+	pos    token.Pos
+}
+
+// collectAllows gathers every //lint:allow comment in the package
+// (test files included, so suppressions work in testdata suites too).
+func collectAllows(pkg *Package) []allow {
+	var out []allow
+	files := append(append([]*ast.File{}, pkg.Syntax...), pkg.TestSyntax...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := allowRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				p := pkg.Fset.Position(c.Pos())
+				out = append(out, allow{
+					file: p.Filename, line: p.Line,
+					rule: m[1], reason: strings.TrimSpace(m[2]), pos: c.Pos(),
+				})
+			}
+		}
+	}
+	return out
+}
+
+// filterAllowed drops diagnostics waived by an allow on the same line
+// or the line directly above, and reports reason-less allows.
+func filterAllowed(diags []Diagnostic, allows []allow, fset *token.FileSet) []Diagnostic {
+	if len(allows) == 0 {
+		return diags
+	}
+	kept := diags[:0]
+	reported := map[token.Pos]bool{}
+	for _, d := range diags {
+		waived := false
+		for _, a := range allows {
+			if a.rule != d.Rule || a.file != d.Pos.Filename {
+				continue
+			}
+			if a.line != d.Pos.Line && a.line != d.Pos.Line-1 {
+				continue
+			}
+			if a.reason == "" {
+				if !reported[a.pos] {
+					reported[a.pos] = true
+					kept = append(kept, Diagnostic{
+						Pos:     fset.Position(a.pos),
+						Rule:    d.Rule,
+						Message: "lint:allow needs a reason: //lint:allow " + a.rule + " <why>",
+					})
+				}
+				continue
+			}
+			waived = true
+			break
+		}
+		if !waived {
+			kept = append(kept, d)
+		}
+	}
+	return kept
+}

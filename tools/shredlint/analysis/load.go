@@ -1,0 +1,396 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+)
+
+// The loader typechecks packages from source using only `go list`
+// metadata and the standard library's go/parser + go/types. This works
+// in a hermetic environment (no module proxy, no export-data tooling):
+// `go list -deps -json` names every file of every package in the
+// dependency closure, and the closure is typechecked bottom-up with an
+// importer that resolves each import to the already-checked package.
+
+// Package is one loaded, typechecked package.
+type Package struct {
+	Path string
+	Fset *token.FileSet
+	// Syntax is the typechecked non-test syntax; TestSyntax is the
+	// package's _test.go files (in-package and external), parsed only.
+	Syntax     []*ast.File
+	TestSyntax []*ast.File
+	Types      *types.Package
+	TypesInfo  *types.Info
+}
+
+// listPkg is the slice of `go list -json` output the loader needs.
+type listPkg struct {
+	ImportPath   string
+	Name         string
+	Dir          string
+	GoFiles      []string
+	TestGoFiles  []string
+	XTestGoFiles []string
+	Standard     bool
+	DepOnly      bool
+}
+
+// sharedFset is the process-wide FileSet: every parsed file (analyzed
+// packages, stdlib dependencies, testdata) lands in one set so cached
+// *types.Package objects keep valid positions across loads.
+var sharedFset = token.NewFileSet()
+
+var (
+	stdMu sync.Mutex
+	// stdMeta caches `go list` metadata and stdChecked the typechecked
+	// packages, so repeated testdata loads pay for the stdlib once.
+	stdMeta    = map[string]*listPkg{}
+	stdChecked = map[string]*types.Package{}
+)
+
+// goList runs `go list -deps -json` on the given patterns in dir.
+func goList(dir string, patterns []string) (map[string]*listPkg, []string, error) {
+	args := append([]string{"list", "-deps", "-json=ImportPath,Name,Dir,GoFiles,TestGoFiles,XTestGoFiles,Standard,DepOnly", "--"}, patterns...)
+	cmd := exec.Command("go", args...)
+	cmd.Dir = dir
+	cmd.Env = append(os.Environ(), "CGO_ENABLED=0")
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		return nil, nil, fmt.Errorf("go list %v: %v\n%s", patterns, err, stderr.String())
+	}
+	pkgs := map[string]*listPkg{}
+	var order []string
+	dec := json.NewDecoder(bytes.NewReader(out))
+	for dec.More() {
+		p := new(listPkg)
+		if err := dec.Decode(p); err != nil {
+			return nil, nil, fmt.Errorf("go list decode: %w", err)
+		}
+		pkgs[p.ImportPath] = p
+		order = append(order, p.ImportPath)
+	}
+	return pkgs, order, nil
+}
+
+func parseDirFiles(dir string, names []string) ([]*ast.File, error) {
+	var files []*ast.File
+	for _, name := range names {
+		f, err := parser.ParseFile(sharedFset, filepath.Join(dir, name), nil,
+			parser.ParseComments|parser.SkipObjectResolution)
+		if err != nil {
+			return nil, err
+		}
+		files = append(files, f)
+	}
+	return files, nil
+}
+
+// checker typechecks one `go list` closure bottom-up.
+type checker struct {
+	meta    map[string]*listPkg
+	checked map[string]*types.Package
+	// strict import paths fail loudly; dependency-only packages
+	// tolerate typecheck noise (they are context, not the subject).
+	strict map[string]bool
+	// localFiles holds pre-parsed testdata helper packages (path ->
+	// syntax), resolved before the go list metadata; localChecked
+	// caches them per load so helper packages from different suites
+	// never collide in the shared stdlib cache.
+	localFiles   map[string][]*ast.File
+	localChecked map[string]*types.Package
+}
+
+func (c *checker) Import(path string) (*types.Package, error) {
+	return c.check(path)
+}
+
+func (c *checker) check(path string) (*types.Package, error) {
+	if path == "unsafe" {
+		return types.Unsafe, nil
+	}
+	if c.localFiles != nil {
+		if tp, ok := c.localChecked[path]; ok {
+			return tp, nil
+		}
+		if files, ok := c.localFiles[path]; ok {
+			conf := types.Config{Importer: c, FakeImportC: true}
+			conf.Error = func(error) {}
+			tp, _ := conf.Check(path, sharedFset, files, nil)
+			c.localChecked[path] = tp
+			return tp, nil
+		}
+	}
+	if tp, ok := c.checked[path]; ok {
+		return tp, nil
+	}
+	lp := c.meta[path]
+	if lp == nil {
+		// GOROOT-vendored dependencies (net → golang.org/x/net/...)
+		// are listed under the vendor/ prefix but imported without it.
+		lp = c.meta["vendor/"+path]
+	}
+	if lp == nil {
+		return nil, fmt.Errorf("shredlint: no metadata for import %q", path)
+	}
+	tp, _, _, err := c.checkFiles(path, lp, false)
+	return tp, err
+}
+
+func (c *checker) checkFiles(path string, lp *listPkg, wantInfo bool) (*types.Package, *types.Info, []*ast.File, error) {
+	files, err := parseDirFiles(lp.Dir, lp.GoFiles)
+	if err != nil {
+		return nil, nil, nil, err
+	}
+	var info *types.Info
+	if wantInfo {
+		info = &types.Info{
+			Types:      map[ast.Expr]types.TypeAndValue{},
+			Defs:       map[*ast.Ident]types.Object{},
+			Uses:       map[*ast.Ident]types.Object{},
+			Selections: map[*ast.SelectorExpr]*types.Selection{},
+			Scopes:     map[ast.Node]*types.Scope{},
+		}
+	}
+	conf := types.Config{Importer: c, FakeImportC: true}
+	var firstErr error
+	if !c.strict[path] {
+		conf.Error = func(error) {} // tolerate noise in dependencies
+	} else {
+		conf.Error = func(e error) {
+			if firstErr == nil {
+				firstErr = e
+			}
+		}
+	}
+	tp, _ := conf.Check(lp.ImportPath, sharedFset, files, info)
+	c.checked[path] = tp
+	if firstErr != nil {
+		return tp, info, files, fmt.Errorf("typecheck %s: %w", path, firstErr)
+	}
+	return tp, info, files, nil
+}
+
+// Load typechecks the packages matched by patterns (go list syntax,
+// e.g. "./...") in the module rooted at dir, plus their dependency
+// closure, and returns the matched packages ready for analysis.
+func Load(dir string, patterns []string) ([]*Package, error) {
+	meta, order, err := goList(dir, patterns)
+	if err != nil {
+		return nil, err
+	}
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	c := &checker{meta: meta, checked: map[string]*types.Package{}, strict: map[string]bool{}}
+	// Seed and feed the shared stdlib cache: testdata loads reuse what
+	// module loads already checked, and vice versa.
+	for path, lp := range meta {
+		if lp.Standard {
+			if tp, ok := stdChecked[path]; ok {
+				c.checked[path] = tp
+			}
+			if _, ok := stdMeta[path]; !ok {
+				stdMeta[path] = lp
+			}
+		}
+	}
+	var out []*Package
+	for _, path := range order {
+		lp := meta[path]
+		if lp.DepOnly || lp.Standard {
+			continue
+		}
+		c.strict[path] = true
+		tp, info, syntax, err := c.checkFiles(path, lp, true)
+		if err != nil {
+			return nil, err
+		}
+		testSyntax, err := parseDirFiles(lp.Dir, append(append([]string{}, lp.TestGoFiles...), lp.XTestGoFiles...))
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, &Package{
+			Path:       path,
+			Fset:       sharedFset,
+			Syntax:     syntax,
+			TestSyntax: testSyntax,
+			Types:      tp,
+			TypesInfo:  info,
+		})
+	}
+	for path, tp := range c.checked {
+		if lp := c.meta[path]; lp != nil && lp.Standard {
+			stdChecked[path] = tp
+		}
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Path < out[j].Path })
+	return out, nil
+}
+
+// LoadTestData typechecks srcRoot/pkgpath as one package for an
+// analysistest suite. Imports resolve to the standard library or to
+// sibling directories under srcRoot (mirroring analysistest's GOPATH
+// layout, so testdata can model cross-package conventions); _test.go
+// files in the directory are parsed into TestSyntax, exactly as Load
+// does for real packages.
+func LoadTestData(srcRoot, pkgpath string) (*Package, error) {
+	dir := filepath.Join(srcRoot, pkgpath)
+	files, testFiles, err := parseTestDataDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	// Resolve the import closure: directories under srcRoot are local
+	// helper packages, everything else must be standard library.
+	localFiles := map[string][]*ast.File{}
+	var std []string
+	visited := map[string]bool{pkgpath: true}
+	queue := collectImports(append(append([]*ast.File{}, files...), testFiles...))
+	for len(queue) > 0 {
+		p := queue[0]
+		queue = queue[1:]
+		if visited[p] {
+			continue
+		}
+		visited[p] = true
+		ldir := filepath.Join(srcRoot, p)
+		if fi, statErr := os.Stat(ldir); statErr == nil && fi.IsDir() {
+			lfiles, _, perr := parseTestDataDir(ldir)
+			if perr != nil {
+				return nil, perr
+			}
+			localFiles[p] = lfiles
+			queue = append(queue, collectImports(lfiles)...)
+		} else {
+			std = append(std, p)
+		}
+	}
+	if err := ensureStdMeta(dir, std); err != nil {
+		return nil, err
+	}
+	stdMu.Lock()
+	defer stdMu.Unlock()
+	c := &checker{
+		meta: stdMeta, checked: stdChecked, strict: map[string]bool{},
+		localFiles: localFiles, localChecked: map[string]*types.Package{},
+	}
+	info := &types.Info{
+		Types:      map[ast.Expr]types.TypeAndValue{},
+		Defs:       map[*ast.Ident]types.Object{},
+		Uses:       map[*ast.Ident]types.Object{},
+		Selections: map[*ast.SelectorExpr]*types.Selection{},
+		Scopes:     map[ast.Node]*types.Scope{},
+	}
+	conf := types.Config{Importer: c, FakeImportC: true}
+	var firstErr error
+	conf.Error = func(e error) {
+		if firstErr == nil {
+			firstErr = e
+		}
+	}
+	path := filepath.Base(dir)
+	tp, _ := conf.Check(path, sharedFset, files, info)
+	if firstErr != nil {
+		return nil, fmt.Errorf("typecheck testdata %s: %w", dir, firstErr)
+	}
+	return &Package{
+		Path:       path,
+		Fset:       sharedFset,
+		Syntax:     files,
+		TestSyntax: testFiles,
+		Types:      tp,
+		TypesInfo:  info,
+	}, nil
+}
+
+// parseTestDataDir parses a testdata package directory, splitting
+// _test.go files from the rest.
+func parseTestDataDir(dir string) (files, testFiles []*ast.File, err error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, nil, err
+	}
+	var srcNames, testNames []string
+	for _, e := range entries {
+		name := e.Name()
+		if e.IsDir() || filepath.Ext(name) != ".go" {
+			continue
+		}
+		if strings.HasSuffix(name, "_test.go") {
+			testNames = append(testNames, name)
+		} else {
+			srcNames = append(srcNames, name)
+		}
+	}
+	sort.Strings(srcNames)
+	sort.Strings(testNames)
+	if files, err = parseDirFiles(dir, srcNames); err != nil {
+		return nil, nil, err
+	}
+	if testFiles, err = parseDirFiles(dir, testNames); err != nil {
+		return nil, nil, err
+	}
+	return files, testFiles, nil
+}
+
+// collectImports gathers the distinct import paths of the files.
+func collectImports(files []*ast.File) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, f := range files {
+		for _, imp := range f.Imports {
+			p, err := strconv.Unquote(imp.Path.Value)
+			if err != nil || seen[p] {
+				continue
+			}
+			seen[p] = true
+			out = append(out, p)
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+// ensureStdMeta fills the stdlib metadata cache for the given import
+// paths (and their dependency closures) with one `go list` run.
+func ensureStdMeta(dir string, paths []string) error {
+	stdMu.Lock()
+	var missing []string
+	for _, p := range paths {
+		if p == "unsafe" {
+			continue
+		}
+		if _, ok := stdMeta[p]; !ok {
+			missing = append(missing, p)
+		}
+	}
+	stdMu.Unlock()
+	if len(missing) == 0 {
+		return nil
+	}
+	meta, _, err := goList(dir, missing)
+	if err != nil {
+		return err
+	}
+	stdMu.Lock()
+	for path, lp := range meta {
+		if _, ok := stdMeta[path]; !ok {
+			stdMeta[path] = lp
+		}
+	}
+	stdMu.Unlock()
+	return nil
+}

@@ -1,0 +1,126 @@
+// Package analysistest runs one analyzer over testdata packages and
+// checks its diagnostics against // want annotations, mirroring
+// golang.org/x/tools/go/analysis/analysistest.
+//
+// A testdata package is a directory of Go files (stdlib imports only).
+// Expected findings are annotated on the offending line:
+//
+//	badCall() // want `regexp matching the message`
+//
+// Multiple annotations on one line each match one diagnostic. A clean
+// package simply has no annotations; any diagnostic is then a test
+// failure, which is how the negative suites assert silence.
+package analysistest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"path/filepath"
+	"regexp"
+	"strings"
+	"testing"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// wantRe matches one annotation: // want `re` or // want "re", with
+// several patterns allowed per comment.
+var wantRe = regexp.MustCompile("//\\s*want\\s+(.*)$")
+
+// patRe pulls the individual backquoted or quoted patterns out.
+var patRe = regexp.MustCompile("`([^`]*)`|\"((?:[^\"\\\\]|\\\\.)*)\"")
+
+type want struct {
+	file    string
+	line    int
+	re      *regexp.Regexp
+	matched bool
+}
+
+// Run loads testdata/src/<pkg> for each named package, applies the
+// analyzer, and reports any mismatch between diagnostics and // want
+// annotations as test errors.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgs ...string) {
+	t.Helper()
+	for _, pkg := range pkgs {
+		loaded, err := analysis.LoadTestData(filepath.Join(testdata, "src"), pkg)
+		if err != nil {
+			t.Errorf("%s: load: %v", pkg, err)
+			continue
+		}
+		diags, err := analysis.Run([]*analysis.Analyzer{a}, []*analysis.Package{loaded})
+		if err != nil {
+			t.Errorf("%s: run: %v", pkg, err)
+			continue
+		}
+		wants := collectWants(t, loaded)
+		for _, d := range diags {
+			if !claim(wants, d) {
+				t.Errorf("%s: unexpected diagnostic: %s", pkg, d)
+			}
+		}
+		for _, w := range wants {
+			if !w.matched {
+				t.Errorf("%s: %s:%d: no diagnostic matched want %q", pkg, w.file, w.line, w.re)
+			}
+		}
+	}
+}
+
+// claim marks the first unmatched want on the diagnostic's line whose
+// pattern matches the message.
+func claim(wants []*want, d analysis.Diagnostic) bool {
+	for _, w := range wants {
+		if w.matched || w.line != d.Pos.Line || w.file != filepath.Base(d.Pos.Filename) {
+			continue
+		}
+		if w.re.MatchString(d.Message) {
+			w.matched = true
+			return true
+		}
+	}
+	return false
+}
+
+func collectWants(t *testing.T, pkg *analysis.Package) []*want {
+	t.Helper()
+	var wants []*want
+	files := append(append([]*ast.File{}, pkg.Syntax...), pkg.TestSyntax...)
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := pkg.Fset.Position(c.Pos())
+				for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+					pat := pm[1]
+					if pat == "" {
+						pat = unescape(pm[2])
+					}
+					re, err := regexp.Compile(pat)
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", posString(pos), pat, err)
+					}
+					wants = append(wants, &want{
+						file: filepath.Base(pos.Filename),
+						line: pos.Line,
+						re:   re,
+					})
+				}
+			}
+		}
+	}
+	return wants
+}
+
+func unescape(s string) string {
+	s = strings.ReplaceAll(s, `\"`, `"`)
+	return strings.ReplaceAll(s, `\\`, `\`)
+}
+
+func posString(p token.Position) string {
+	return fmt.Sprintf("%s:%d", p.Filename, p.Line)
+}

@@ -1,0 +1,139 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// Durability encodes the store's write-ahead ordering contract:
+//
+//  1. Journal before apply. Inside any one function, a refcount
+//     decrement (releaseRefs / release) must not precede the journal
+//     call that makes it recoverable (DeleteRecipe / CommitRecipe
+//     tombstones, LogRefDelta deltas). A crash between an applied
+//     decrement and a missing tombstone leaks or loses chunks.
+//  2. Commit points sync. In a package that declares the fsync policy
+//     (type FsyncMode), every exported Commit / CommitRecipe /
+//     DeleteRecipe / Checkpoint must reach a (*os.File).Sync call
+//     through the package's own call graph, so the policy can make the
+//     record durable before the caller is acked.
+var Durability = &analysis.Analyzer{
+	Name: "durability",
+	Doc:  "WAL journal entries must be written (and commit points synced) before their effects apply",
+	Run:  runDurability,
+}
+
+// durabilityPairs lists (journal, apply) call names: when one function
+// calls both, the journal call must come first.
+var durabilityPairs = []struct{ journal, apply string }{
+	{"DeleteRecipe", "releaseRefs"},
+	{"CommitRecipe", "releaseRefs"},
+	{"LogRefDelta", "release"},
+}
+
+// commitPoints are the exported entry points that promise durability
+// to their callers.
+var commitPoints = map[string]bool{
+	"Commit":       true,
+	"CommitRecipe": true,
+	"DeleteRecipe": true,
+	"Checkpoint":   true,
+}
+
+func runDurability(pass *analysis.Pass) error {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			if fd, ok := decl.(*ast.FuncDecl); ok && fd.Body != nil {
+				checkJournalOrder(pass, fd)
+			}
+		}
+	}
+	if pass.Pkg == nil || pass.Pkg.Scope().Lookup("FsyncMode") == nil {
+		// Only the persistence layer (marked by declaring FsyncMode)
+		// owns commit points.
+		return nil
+	}
+	checkCommitPointsSync(pass)
+	return nil
+}
+
+// checkJournalOrder flags apply-before-journal orderings within fd.
+func checkJournalOrder(pass *analysis.Pass, fd *ast.FuncDecl) {
+	first := map[string]token.Pos{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if call, ok := n.(*ast.CallExpr); ok {
+			if name := calleeName(call); name != "" {
+				minPos(first, name, call.Pos())
+			}
+		}
+		return true
+	})
+	for _, pr := range durabilityPairs {
+		jp, jok := first[pr.journal]
+		ap, aok := first[pr.apply]
+		if jok && aok && ap < jp {
+			pass.Reportf(ap, "%s applies a refcount change before %s journals it; journal the tombstone/delta first so a crash cannot lose it", pr.apply, pr.journal)
+		}
+	}
+}
+
+// checkCommitPointsSync verifies every exported commit point reaches a
+// .Sync() call through the in-package call graph.
+func checkCommitPointsSync(pass *analysis.Pass) {
+	calls := map[string][]string{} // decl name -> callee names
+	syncs := map[string]bool{}     // decl name -> contains a direct .Sync() call
+	decls := map[string][]*ast.FuncDecl{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				continue
+			}
+			name := fd.Name.Name
+			decls[name] = append(decls[name], fd)
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				call, ok := n.(*ast.CallExpr)
+				if !ok {
+					return true
+				}
+				cn := calleeName(call)
+				if cn == "Sync" {
+					syncs[name] = true
+				}
+				if cn != "" {
+					calls[name] = append(calls[name], cn)
+				}
+				return true
+			})
+		}
+	}
+	reaches := func(start string) bool {
+		seen := map[string]bool{}
+		queue := []string{start}
+		for len(queue) > 0 {
+			n := queue[0]
+			queue = queue[1:]
+			if seen[n] {
+				continue
+			}
+			seen[n] = true
+			if syncs[n] {
+				return true
+			}
+			queue = append(queue, calls[n]...)
+		}
+		return false
+	}
+	for name, fds := range decls {
+		if !commitPoints[name] || !ast.IsExported(name) {
+			continue
+		}
+		for _, fd := range fds {
+			if !reaches(name) {
+				pass.Reportf(fd.Pos(), "commit point %s never reaches a file Sync; apply the fsync policy before returning success", name)
+			}
+		}
+	}
+}

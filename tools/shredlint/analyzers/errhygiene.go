@@ -1,0 +1,203 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// ErrHygiene applies to the packages where a swallowed error is a
+// durability or correctness bug (persist, ingest, cluster):
+//
+//  1. No silently discarded error results. A call whose result set
+//     includes an error may not stand alone as a statement; either
+//     handle it or discard it loudly with `_ =` (which survives review
+//     and grep). Deferred cleanup, go statements, and writes to
+//     never-failing sinks (strings.Builder, bytes.Buffer, fmt printing
+//     to stdout/stderr) are exempt.
+//  2. fmt.Errorf must wrap error arguments with %w, not %v/%s, so
+//     typed errors like persist.NotFoundError and cluster.NodeError
+//     survive errors.As/Is across layers.
+var ErrHygiene = &analysis.Analyzer{
+	Name: "errhygiene",
+	Doc:  "no silently discarded errors in persist/ingest/cluster; fmt.Errorf wraps errors with %w",
+	Run:  runErrHygiene,
+}
+
+// errHygienePackages are the package names in scope.
+var errHygienePackages = map[string]bool{
+	"persist": true,
+	"ingest":  true,
+	"cluster": true,
+}
+
+func runErrHygiene(pass *analysis.Pass) error {
+	if pass.Pkg == nil || !errHygienePackages[pass.Pkg.Name()] {
+		return nil
+	}
+	pass.Preorder(func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.ExprStmt:
+			call, ok := v.X.(*ast.CallExpr)
+			if !ok {
+				return
+			}
+			checkDiscardedError(pass, call)
+		case *ast.CallExpr:
+			checkErrorfWrap(pass, v)
+		}
+	})
+	return nil
+}
+
+// checkDiscardedError flags an expression-statement call that drops an
+// error result.
+func checkDiscardedError(pass *analysis.Pass, call *ast.CallExpr) {
+	tv, ok := pass.TypesInfo.Types[call]
+	if !ok {
+		return
+	}
+	returnsError := false
+	switch t := tv.Type.(type) {
+	case *types.Tuple:
+		for i := 0; i < t.Len(); i++ {
+			if isErrorType(t.At(i).Type()) {
+				returnsError = true
+			}
+		}
+	default:
+		returnsError = isErrorType(tv.Type)
+	}
+	if !returnsError || isExemptSink(pass, call) || isDeferredOrGo(pass, call) {
+		return
+	}
+	pass.Reportf(call.Pos(), "error result of %s is silently discarded; handle it or discard it explicitly with _ =", types.ExprString(call.Fun))
+}
+
+// isDeferredOrGo reports whether call is the direct call of a defer or
+// go statement anywhere in the package.
+func isDeferredOrGo(pass *analysis.Pass, call *ast.CallExpr) bool {
+	found := false
+	pass.Preorder(func(n ast.Node) {
+		switch v := n.(type) {
+		case *ast.DeferStmt:
+			if v.Call == call {
+				found = true
+			}
+		case *ast.GoStmt:
+			if v.Call == call {
+				found = true
+			}
+		}
+	})
+	return found
+}
+
+// isExemptSink allows error-returning writes that cannot fail in
+// practice: fmt printing to stdout/stderr or in-memory builders, and
+// methods on strings.Builder / bytes.Buffer.
+func isExemptSink(pass *analysis.Pass, call *ast.CallExpr) bool {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil {
+		return false
+	}
+	if obj.Pkg() != nil && obj.Pkg().Path() == "fmt" {
+		name := obj.Name()
+		if strings.HasPrefix(name, "Print") {
+			return true
+		}
+		if strings.HasPrefix(name, "Fprint") && len(call.Args) > 0 {
+			return isInMemoryOrStdSink(pass, call.Args[0])
+		}
+	}
+	if sel, ok := call.Fun.(*ast.SelectorExpr); ok {
+		if tv, ok := pass.TypesInfo.Types[sel.X]; ok && isBuilderType(tv.Type) {
+			return true
+		}
+	}
+	return false
+}
+
+func isInMemoryOrStdSink(pass *analysis.Pass, arg ast.Expr) bool {
+	if tv, ok := pass.TypesInfo.Types[arg]; ok && isBuilderType(tv.Type) {
+		return true
+	}
+	text := types.ExprString(arg)
+	return text == "os.Stdout" || text == "os.Stderr"
+}
+
+// isBuilderType matches strings.Builder and bytes.Buffer (pointers
+// included) — their Write methods are documented never to fail.
+func isBuilderType(t types.Type) bool {
+	n := namedOf(t)
+	if n == nil || n.Obj().Pkg() == nil {
+		return false
+	}
+	switch n.Obj().Pkg().Path() + "." + n.Obj().Name() {
+	case "strings.Builder", "bytes.Buffer":
+		return true
+	}
+	return false
+}
+
+// checkErrorfWrap flags fmt.Errorf formatting an error argument with a
+// verb other than %w.
+func checkErrorfWrap(pass *analysis.Pass, call *ast.CallExpr) {
+	obj := calleeObj(pass.TypesInfo, call)
+	if obj == nil || obj.Pkg() == nil || obj.Pkg().Path() != "fmt" || obj.Name() != "Errorf" {
+		return
+	}
+	if len(call.Args) < 2 {
+		return
+	}
+	lit, ok := call.Args[0].(*ast.BasicLit)
+	if !ok {
+		return
+	}
+	format := lit.Value // quoted; verb scanning is unaffected
+	verbs := formatVerbs(format)
+	for i, arg := range call.Args[1:] {
+		if i >= len(verbs) || verbs[i] == 'w' || verbs[i] == '*' {
+			continue
+		}
+		tv, ok := pass.TypesInfo.Types[arg]
+		if !ok || !isErrorType(tv.Type) {
+			continue
+		}
+		pass.Reportf(arg.Pos(), "error wrapped with %%%c loses its type; use %%w so errors.As/Is still match", verbs[i])
+	}
+}
+
+// formatVerbs returns one byte per consumed argument: the verb letter,
+// or '*' for a width/precision argument.
+func formatVerbs(format string) []byte {
+	var verbs []byte
+	for i := 0; i < len(format); i++ {
+		if format[i] != '%' {
+			continue
+		}
+		i++
+		if i < len(format) && format[i] == '%' {
+			continue
+		}
+		for i < len(format) {
+			c := format[i]
+			if c == '*' {
+				verbs = append(verbs, '*')
+				i++
+				continue
+			}
+			if (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') {
+				verbs = append(verbs, c)
+				break
+			}
+			if strings.IndexByte("+-# 0.123456789[]", c) < 0 {
+				break // malformed; stop scanning this verb
+			}
+			i++
+		}
+	}
+	return verbs
+}

@@ -1,0 +1,269 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// ObsNil guards the "instrumentation off" path. The obs package's
+// types (Registry, Tracer, Span, ...) promise that a nil receiver is a
+// no-op, so call sites never have to check whether observability is
+// wired up. Two things can silently break that promise:
+//
+//  1. A new exported method on a nil-tolerant type that forgets the
+//     leading `if x == nil` guard — it panics the first time a server
+//     runs without metrics.
+//  2. A field access through a possibly-nil *obs.T pointer in another
+//     package — fields do not get the method's guard.
+var ObsNil = &analysis.Analyzer{
+	Name: "obsnil",
+	Doc:  "obs instrumentation must stay nil-tolerant: exported methods keep their nil-receiver guard, cross-package field derefs are guarded",
+	Run:  runObsNil,
+}
+
+func runObsNil(pass *analysis.Pass) error {
+	checkNilTolerantMethods(pass)
+	checkObsFieldDerefs(pass)
+	return nil
+}
+
+type methodInfo struct {
+	fd      *ast.FuncDecl
+	ptr     bool
+	guarded bool
+}
+
+// checkNilTolerantMethods classifies each locally-declared type with at
+// least one guarded exported pointer method as nil-tolerant, then
+// requires every exported pointer method on it to either carry the
+// guard or only touch the receiver through already-guarded methods
+// (delegation, like Inc calling the guarded Add).
+func checkNilTolerantMethods(pass *analysis.Pass) {
+	byType := map[string][]methodInfo{}
+	guardedNames := map[string]map[string]bool{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv == nil || len(fd.Recv.List) != 1 || fd.Body == nil {
+				continue
+			}
+			recv := fd.Recv.List[0]
+			ptr, typeName := recvTypeName(recv.Type)
+			if typeName == "" {
+				continue
+			}
+			guarded := false
+			if ptr && len(recv.Names) == 1 {
+				guarded = firstStmtIsNilGuard(fd.Body, recv.Names[0].Name)
+			}
+			byType[typeName] = append(byType[typeName], methodInfo{fd: fd, ptr: ptr, guarded: guarded})
+			if guarded {
+				if guardedNames[typeName] == nil {
+					guardedNames[typeName] = map[string]bool{}
+				}
+				guardedNames[typeName][fd.Name.Name] = true
+			}
+		}
+	}
+	for typeName, methods := range byType {
+		tolerant := false
+		for _, m := range methods {
+			if m.guarded && ast.IsExported(m.fd.Name.Name) {
+				tolerant = true
+				break
+			}
+		}
+		if !tolerant {
+			continue
+		}
+		for _, m := range methods {
+			if m.ptr && ast.IsExported(m.fd.Name.Name) && !m.guarded &&
+				!delegatesToGuarded(pass, m.fd, guardedNames[typeName]) {
+				pass.Reportf(m.fd.Pos(), "exported method (*%s).%s lacks the leading nil-receiver guard the type's other methods promise", typeName, m.fd.Name.Name)
+			}
+		}
+	}
+}
+
+// delegatesToGuarded reports whether every use of fd's receiver is a
+// call to one of the type's nil-guarded methods, which makes fd
+// nil-tolerant without a guard of its own.
+func delegatesToGuarded(pass *analysis.Pass, fd *ast.FuncDecl, guarded map[string]bool) bool {
+	recv := fd.Recv.List[0]
+	if len(recv.Names) != 1 {
+		return true // anonymous receiver: the body cannot deref it
+	}
+	recvObj := pass.TypesInfo.Defs[recv.Names[0]]
+	if recvObj == nil {
+		return false
+	}
+	safe := map[*ast.Ident]bool{}
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		sel, ok := call.Fun.(*ast.SelectorExpr)
+		if !ok {
+			return true
+		}
+		if id, ok := sel.X.(*ast.Ident); ok && pass.TypesInfo.Uses[id] == recvObj && guarded[sel.Sel.Name] {
+			safe[id] = true
+		}
+		return true
+	})
+	ok := true
+	ast.Inspect(fd.Body, func(n ast.Node) bool {
+		if id, isIdent := n.(*ast.Ident); isIdent && pass.TypesInfo.Uses[id] == recvObj && !safe[id] {
+			ok = false
+		}
+		return ok
+	})
+	return ok
+}
+
+// recvTypeName unwraps a method receiver type expression.
+func recvTypeName(expr ast.Expr) (ptr bool, name string) {
+	if star, ok := expr.(*ast.StarExpr); ok {
+		ptr = true
+		expr = star.X
+	}
+	// Generic receivers (IndexExpr) are out of scope.
+	if id, ok := expr.(*ast.Ident); ok {
+		return ptr, id.Name
+	}
+	return false, ""
+}
+
+// firstStmtIsNilGuard reports whether body starts with
+// `if recv == nil { ... }`, possibly as one disjunct of an || chain
+// (`if recv == nil || len(x) == 0 { return }`).
+func firstStmtIsNilGuard(body *ast.BlockStmt, recvName string) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	ifStmt, ok := body.List[0].(*ast.IfStmt)
+	if !ok || ifStmt.Init != nil {
+		return false
+	}
+	for _, d := range disjuncts(ifStmt.Cond) {
+		if isNilCompare(d, recvName, token.EQL) {
+			return true
+		}
+	}
+	return false
+}
+
+// disjuncts flattens a || chain into its operands.
+func disjuncts(cond ast.Expr) []ast.Expr {
+	if bin, ok := cond.(*ast.BinaryExpr); ok && bin.Op == token.LOR {
+		return append(disjuncts(bin.X), disjuncts(bin.Y)...)
+	}
+	return []ast.Expr{cond}
+}
+
+func isNilCompare(cond ast.Expr, text string, op token.Token) bool {
+	bin, ok := cond.(*ast.BinaryExpr)
+	if !ok || bin.Op != op {
+		return false
+	}
+	x, y := types.ExprString(bin.X), types.ExprString(bin.Y)
+	return (x == text && y == "nil") || (y == text && x == "nil")
+}
+
+// checkObsFieldDerefs flags field selections through a possibly-nil
+// pointer to a type from an external package named "obs", unless a
+// dominating nil check guards the access.
+func checkObsFieldDerefs(pass *analysis.Pass) {
+	withStack(pass.Files, func(n ast.Node, stack []ast.Node) {
+		sel, ok := n.(*ast.SelectorExpr)
+		if !ok {
+			return
+		}
+		s := pass.TypesInfo.Selections[sel]
+		if s == nil || s.Kind() != types.FieldVal {
+			return
+		}
+		tv, ok := pass.TypesInfo.Types[sel.X]
+		if !ok {
+			return
+		}
+		if _, isPtr := tv.Type.(*types.Pointer); !isPtr {
+			return
+		}
+		named := namedOf(tv.Type)
+		if named == nil {
+			return
+		}
+		obj := named.Obj()
+		if obj.Pkg() == nil || obj.Pkg() == pass.Pkg || obj.Pkg().Name() != "obs" {
+			return
+		}
+		body := enclosingFuncBody(stack)
+		if body != nil && nilGuardedAt(body, types.ExprString(sel.X), sel.Pos()) {
+			return
+		}
+		pass.Reportf(sel.Pos(), "field %s read through possibly-nil *%s.%s; guard with a nil check or go through a nil-tolerant method", sel.Sel.Name, obj.Pkg().Name(), obj.Name())
+	})
+}
+
+// nilGuardedAt reports whether position pos inside body is dominated
+// by a nil guard on the expression spelled exprText: either inside an
+// `if exprText != nil { ... }` body (including the right side of a
+// `exprText != nil && ...` condition), or after an early-exit
+// `if exprText == nil { return/break/continue }`.
+func nilGuardedAt(body *ast.BlockStmt, exprText string, pos token.Pos) bool {
+	guarded := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if guarded {
+			return false
+		}
+		ifStmt, ok := n.(*ast.IfStmt)
+		if !ok {
+			return true
+		}
+		for _, cond := range conjuncts(ifStmt.Cond) {
+			if isNilCompare(cond, exprText, token.NEQ) {
+				if pos > cond.End() && pos < ifStmt.Body.End() {
+					guarded = true
+				}
+			}
+			if isNilCompare(cond, exprText, token.EQL) && terminates(ifStmt.Body) {
+				if pos > ifStmt.End() && pos < body.End() {
+					guarded = true
+				}
+			}
+		}
+		return true
+	})
+	return guarded
+}
+
+// conjuncts flattens a && chain into its operands.
+func conjuncts(cond ast.Expr) []ast.Expr {
+	if bin, ok := cond.(*ast.BinaryExpr); ok && bin.Op == token.LAND {
+		return append(conjuncts(bin.X), conjuncts(bin.Y)...)
+	}
+	return []ast.Expr{cond}
+}
+
+// terminates reports whether the block's last statement leaves the
+// enclosing scope.
+func terminates(body *ast.BlockStmt) bool {
+	if len(body.List) == 0 {
+		return false
+	}
+	switch s := body.List[len(body.List)-1].(type) {
+	case *ast.ReturnStmt, *ast.BranchStmt:
+		return true
+	case *ast.ExprStmt:
+		if call, ok := s.X.(*ast.CallExpr); ok {
+			name := calleeName(call)
+			return name == "panic" || name == "Exit" || name == "Fatal" || name == "Fatalf"
+		}
+	}
+	return false
+}

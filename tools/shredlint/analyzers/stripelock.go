@@ -1,0 +1,220 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// StripeLock enforces the shardstore stripe-lock discipline: the store
+// is striped into shards, each guarded by a `mu` mutex on a struct
+// named `shard`, and latency of every store operation is bounded by
+// how little work happens under that mutex. While a stripe lock is
+// held the code must not perform blocking I/O (calls into os/net,
+// time.Sleep), block on channels, or acquire a second stripe lock
+// (lock-order deadlock). Backing-interface calls are allowed: the
+// persist layer is the one deliberate exception and owns its own
+// locking.
+var StripeLock = &analysis.Analyzer{
+	Name: "stripelock",
+	Doc:  "no blocking I/O, channel ops, or second stripe acquisition while a shard stripe lock is held",
+	Run:  runStripeLock,
+}
+
+func runStripeLock(pass *analysis.Pass) error {
+	stripe := stripeType(pass)
+	if stripe == nil {
+		return nil
+	}
+	for _, body := range functionBodies(pass) {
+		checkStripeBody(pass, stripe, body)
+	}
+	return nil
+}
+
+// stripeType finds the package's stripe struct: a type literally named
+// "shard" with a mu sync.Mutex / sync.RWMutex field.
+func stripeType(pass *analysis.Pass) *types.TypeName {
+	if pass.Pkg == nil {
+		return nil
+	}
+	tn, ok := pass.Pkg.Scope().Lookup("shard").(*types.TypeName)
+	if !ok {
+		return nil
+	}
+	st, ok := tn.Type().Underlying().(*types.Struct)
+	if !ok {
+		return nil
+	}
+	for i := 0; i < st.NumFields(); i++ {
+		f := st.Field(i)
+		if f.Name() != "mu" {
+			continue
+		}
+		if n := namedOf(f.Type()); n != nil && n.Obj().Pkg() != nil &&
+			n.Obj().Pkg().Path() == "sync" &&
+			(n.Obj().Name() == "Mutex" || n.Obj().Name() == "RWMutex") {
+			return tn
+		}
+	}
+	return nil
+}
+
+// functionBodies returns every FuncDecl and FuncLit body in the
+// package; each is analyzed as its own lock scope (a closure created
+// under a lock generally runs elsewhere).
+func functionBodies(pass *analysis.Pass) []*ast.BlockStmt {
+	var bodies []*ast.BlockStmt
+	pass.Preorder(func(n ast.Node) {
+		switch fn := n.(type) {
+		case *ast.FuncDecl:
+			if fn.Body != nil {
+				bodies = append(bodies, fn.Body)
+			}
+		case *ast.FuncLit:
+			bodies = append(bodies, fn.Body)
+		}
+	})
+	return bodies
+}
+
+// stripeMuOp classifies call as an operation on a stripe's mu field:
+// "lock", "unlock", or "".
+func stripeMuOp(pass *analysis.Pass, stripe *types.TypeName, call *ast.CallExpr) string {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok {
+		return ""
+	}
+	var op string
+	switch sel.Sel.Name {
+	case "Lock", "RLock":
+		op = "lock"
+	case "Unlock", "RUnlock":
+		op = "unlock"
+	default:
+		return ""
+	}
+	inner, ok := sel.X.(*ast.SelectorExpr)
+	if !ok || inner.Sel.Name != "mu" {
+		return ""
+	}
+	tv, ok := pass.TypesInfo.Types[inner.X]
+	if !ok {
+		return ""
+	}
+	if n := namedOf(tv.Type); n == nil || n.Obj() != stripe {
+		return ""
+	}
+	return op
+}
+
+type lockRegion struct{ start, end token.Pos }
+
+func checkStripeBody(pass *analysis.Pass, stripe *types.TypeName, body *ast.BlockStmt) {
+	// Collect lock/unlock events at this function's own nesting level
+	// (nested function literals are separate scopes) and note which
+	// unlocks are deferred — a deferred unlock holds the lock to the
+	// end of the body.
+	var locks []*ast.CallExpr
+	var unlocks []token.Pos
+	walkOwn(body, func(n ast.Node) {
+		if def, ok := n.(*ast.DeferStmt); ok {
+			// A deferred unlock does not close the region early; any
+			// other deferred call runs after the final unlock anyway.
+			_ = def
+			return
+		}
+		if call, ok := n.(*ast.CallExpr); ok {
+			switch stripeMuOp(pass, stripe, call) {
+			case "lock":
+				locks = append(locks, call)
+			case "unlock":
+				if !isDeferredCall(body, call) {
+					unlocks = append(unlocks, call.Pos())
+				}
+			}
+		}
+	})
+	if len(locks) == 0 {
+		return
+	}
+	var regions []lockRegion
+	for _, lk := range locks {
+		end := body.End()
+		for _, up := range unlocks {
+			if up > lk.End() && up < end {
+				end = up
+			}
+		}
+		regions = append(regions, lockRegion{start: lk.End(), end: end})
+	}
+	held := func(p token.Pos) bool {
+		for _, r := range regions {
+			if p >= r.start && p < r.end {
+				return true
+			}
+		}
+		return false
+	}
+	walkOwn(body, func(n ast.Node) {
+		if !held(n.Pos()) {
+			return
+		}
+		switch v := n.(type) {
+		case *ast.SendStmt:
+			pass.Reportf(v.Pos(), "channel send while a shard stripe lock is held; move it outside the critical section")
+		case *ast.UnaryExpr:
+			if v.Op == token.ARROW {
+				pass.Reportf(v.Pos(), "channel receive while a shard stripe lock is held; move it outside the critical section")
+			}
+		case *ast.SelectStmt:
+			pass.Reportf(v.Pos(), "select while a shard stripe lock is held; move it outside the critical section")
+		case *ast.CallExpr:
+			if stripeMuOp(pass, stripe, v) == "lock" {
+				pass.Reportf(v.Pos(), "second stripe lock acquired while one is held; stripe locks do not nest")
+				return
+			}
+			obj := calleeObj(pass.TypesInfo, v)
+			if obj == nil || obj.Pkg() == nil {
+				return
+			}
+			switch obj.Pkg().Path() {
+			case "os", "net":
+				pass.Reportf(v.Pos(), "%s.%s called while a shard stripe lock is held; blocking I/O must happen outside the stripe", obj.Pkg().Path(), obj.Name())
+			case "time":
+				if obj.Name() == "Sleep" {
+					pass.Reportf(v.Pos(), "time.Sleep while a shard stripe lock is held")
+				}
+			}
+		}
+	})
+}
+
+// walkOwn walks body but does not descend into nested function
+// literals, which form their own lock scopes.
+func walkOwn(body *ast.BlockStmt, fn func(ast.Node)) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			fn(n)
+		}
+		return true
+	})
+}
+
+// isDeferredCall reports whether call is the direct call of a defer
+// statement within body.
+func isDeferredCall(body *ast.BlockStmt, call *ast.CallExpr) bool {
+	found := false
+	ast.Inspect(body, func(n ast.Node) bool {
+		if def, ok := n.(*ast.DeferStmt); ok && def.Call == call {
+			found = true
+		}
+		return !found
+	})
+	return found
+}

@@ -1,0 +1,61 @@
+// Positive suite for the durability analyzer: a persistence package
+// (marked by declaring FsyncMode) with an unsynced commit point and
+// apply-before-journal refcount orderings.
+package persist
+
+import "os"
+
+type FsyncMode int
+
+type ref struct{ h string }
+
+type store struct {
+	f *os.File
+}
+
+// Commit flushes but never syncs: an acked commit can still be lost.
+func (s *store) Commit() error { // want `commit point Commit never reaches a file Sync`
+	return s.flush()
+}
+
+func (s *store) flush() error { return nil }
+
+// Checkpoint reaches Sync through a helper, so it is not flagged.
+func (s *store) Checkpoint() error {
+	if err := s.flush(); err != nil {
+		return err
+	}
+	return s.fsyncLocked()
+}
+
+func (s *store) fsyncLocked() error { return s.f.Sync() }
+
+// DeleteRecipe journals the tombstone and syncs before returning.
+func (s *store) DeleteRecipe(name string) error {
+	if err := s.appendTombstone(name); err != nil {
+		return err
+	}
+	return s.fsyncLocked()
+}
+
+func (s *store) appendTombstone(name string) error { return nil }
+
+// removeRecipe decrements refcounts before the tombstone is journaled:
+// a crash in between loses chunks that the recipe still referenced.
+func (s *store) removeRecipe(name string, refs []ref) error {
+	s.releaseRefs(refs) // want `releaseRefs applies a refcount change before DeleteRecipe journals it`
+	return s.DeleteRecipe(name)
+}
+
+// releaseRefs applies each decrement before logging its delta.
+func (s *store) releaseRefs(refs []ref) {
+	for _, r := range refs {
+		s.release(r) // want `release applies a refcount change before LogRefDelta journals it`
+	}
+	for _, r := range refs {
+		s.LogRefDelta(r.h, -1)
+	}
+}
+
+func (s *store) release(r ref)               {}
+func (s *store) LogRefDelta(h string, d int) {}

@@ -1,0 +1,59 @@
+// Negative suite for the durability analyzer: every commit point
+// reaches a sync and every refcount change is journaled first.
+package persist
+
+import "os"
+
+type FsyncMode int
+
+type ref struct{ h string }
+
+type store struct {
+	f      *os.File
+	always bool
+}
+
+// Commit honors the fsync policy before acking.
+func (s *store) Commit() error {
+	if err := s.flush(); err != nil {
+		return err
+	}
+	if s.always {
+		return s.fsyncLocked()
+	}
+	return nil
+}
+
+func (s *store) flush() error       { return nil }
+func (s *store) fsyncLocked() error { return s.f.Sync() }
+
+func (s *store) Checkpoint() error { return s.fsyncLocked() }
+
+func (s *store) DeleteRecipe(name string) error {
+	if err := s.appendTombstone(name); err != nil {
+		return err
+	}
+	return s.fsyncLocked()
+}
+
+func (s *store) appendTombstone(name string) error { return nil }
+
+// removeRecipe journals the tombstone durably, then applies.
+func (s *store) removeRecipe(name string, refs []ref) error {
+	if err := s.DeleteRecipe(name); err != nil {
+		return err
+	}
+	s.releaseRefs(refs)
+	return nil
+}
+
+// releaseRefs journals each delta before applying it.
+func (s *store) releaseRefs(refs []ref) {
+	for _, r := range refs {
+		s.LogRefDelta(r.h, -1)
+		s.release(r)
+	}
+}
+
+func (s *store) release(r ref)               {}
+func (s *store) LogRefDelta(h string, d int) {}

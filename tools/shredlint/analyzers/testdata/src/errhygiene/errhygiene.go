@@ -1,0 +1,39 @@
+// Positive suite for the errhygiene analyzer: silently discarded
+// errors and a typed error flattened by %v.
+package persist
+
+import (
+	"fmt"
+	"io"
+	"os"
+)
+
+type NotFoundError struct{ Name string }
+
+func (e *NotFoundError) Error() string { return "not found: " + e.Name }
+
+func journal(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close() // want `error result of f.Close is silently discarded`
+	return nil
+}
+
+func report(w io.Writer, n int) {
+	fmt.Fprintf(w, "refs=%d\n", n) // want `error result of fmt.Fprintf is silently discarded`
+}
+
+func wrap(name string, err error) error {
+	return fmt.Errorf("persist: load %s: %v", name, err) // want `error wrapped with %v loses its type`
+}
+
+func wrapTyped(name string) error {
+	return fmt.Errorf("lookup failed: %s", &NotFoundError{Name: name}) // want `error wrapped with %s loses its type`
+}
+
+// suppressed demonstrates the escape hatch: an allow with a reason.
+func suppressed(f *os.File) {
+	f.Close() //lint:allow errhygiene read-only fd, close cannot fail meaningfully
+}

@@ -1,0 +1,48 @@
+// Negative suite for the errhygiene analyzer: errors handled, loudly
+// discarded, or sent to sinks that cannot fail.
+package persist
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"strings"
+)
+
+func journal(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close() // deferred cleanup is exempt
+	if _, err := f.Write([]byte("rec")); err != nil {
+		return err
+	}
+	return f.Sync()
+}
+
+func remove(path string) {
+	_ = os.Remove(path) // loud discard survives review and grep
+}
+
+func render(n int) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "refs=%d\n", n) // in-memory sink cannot fail
+	b.WriteString("done")
+	return b.String()
+}
+
+func buffer(n int) []byte {
+	var b bytes.Buffer
+	fmt.Fprintf(&b, "refs=%d\n", n)
+	return b.Bytes()
+}
+
+func banner() {
+	fmt.Println("shredder persist")
+	fmt.Fprintf(os.Stderr, "warning: degraded\n")
+}
+
+func wrap(name string, err error) error {
+	return fmt.Errorf("persist: load %s: %w", name, err)
+}

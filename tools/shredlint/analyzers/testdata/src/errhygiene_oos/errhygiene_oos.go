@@ -1,0 +1,22 @@
+// Out-of-scope suite for the errhygiene analyzer: the same discarded
+// errors as the positive suite, but in a package outside
+// persist/ingest/cluster, where the rule does not apply.
+package web
+
+import (
+	"fmt"
+	"os"
+)
+
+func journal(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	f.Close()
+	return nil
+}
+
+func wrap(name string, err error) error {
+	return fmt.Errorf("web: load %s: %v", name, err)
+}

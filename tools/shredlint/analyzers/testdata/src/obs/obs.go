@@ -1,0 +1,25 @@
+// Package obs is the testdata stand-in for the real internal/obs:
+// instrumentation types whose methods are nil-tolerant so servers can
+// run with observability switched off.
+package obs
+
+type Registry struct {
+	Hits int
+}
+
+func (r *Registry) Add(n int) {
+	if r == nil {
+		return
+	}
+	r.Hits += n
+}
+
+type Span struct {
+	Name string
+}
+
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+}

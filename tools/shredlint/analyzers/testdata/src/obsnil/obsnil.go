@@ -1,0 +1,52 @@
+// Positive suite for the obsnil analyzer: an unguarded field deref on
+// instrumentation that may be nil, and a nil-tolerant type growing an
+// exported method without the guard.
+package obsnil
+
+import "obs"
+
+type server struct {
+	reg *obs.Registry
+}
+
+func (s *server) handle() {
+	s.reg.Add(1)    // nil-tolerant method: fine even with reg == nil
+	n := s.reg.Hits // want `field Hits read through possibly-nil \*obs.Registry`
+	_ = n
+}
+
+func (s *server) guarded() int {
+	if s.reg == nil {
+		return 0
+	}
+	return s.reg.Hits // dominated by the early return: fine
+}
+
+func (s *server) inline() int {
+	if s.reg != nil && s.reg.Hits > 0 {
+		return s.reg.Hits // inside the != nil conjunction: fine
+	}
+	return 0
+}
+
+// counter promises nil tolerance via Inc, but Reset forgets the guard.
+type counter struct{ n int }
+
+func (c *counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+func (c *counter) Reset() { // want `lacks the leading nil-receiver guard`
+	c.n = 0
+}
+
+func (c *counter) zero() { c.n = 0 }
+
+// Clear delegates, but to an unguarded method: still a panic with a
+// nil receiver.
+func (c *counter) Clear() { // want `lacks the leading nil-receiver guard`
+	c.zero()
+}

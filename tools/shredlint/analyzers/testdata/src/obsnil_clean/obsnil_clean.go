@@ -1,0 +1,59 @@
+// Negative suite for the obsnil analyzer: every instrumentation deref
+// is guarded or goes through the nil-tolerant API, and every exported
+// method of the nil-tolerant type keeps its guard.
+package obsnil
+
+import "obs"
+
+type server struct {
+	reg  *obs.Registry
+	span *obs.Span
+}
+
+func (s *server) handle() {
+	s.reg.Add(1)
+	if s.reg != nil {
+		s.reg.Hits++
+	}
+	if s.span == nil {
+		return
+	}
+	s.span.Name = "handle"
+	s.span.End()
+}
+
+type counter struct{ n int }
+
+func (c *counter) Inc() {
+	if c == nil {
+		return
+	}
+	c.n++
+}
+
+func (c *counter) Reset() {
+	if c == nil {
+		return
+	}
+	c.n = 0
+}
+
+// Bump delegates every receiver use to the guarded Inc, so it is
+// nil-tolerant without a guard of its own.
+func (c *counter) Bump() {
+	c.Inc()
+	c.Inc()
+}
+
+// AddAll's guard is one disjunct of a compound condition.
+func (c *counter) AddAll(ns []int) {
+	if c == nil || len(ns) == 0 {
+		return
+	}
+	for _, n := range ns {
+		c.n += n
+	}
+}
+
+// value-receiver methods cannot have a nil receiver and need no guard.
+func (c counter) Load() int { return c.n }

@@ -1,0 +1,37 @@
+// Positive suite for the stripelock analyzer: blocking work, channel
+// traffic, and nested stripe acquisition under a shard stripe lock.
+package shardstore
+
+import (
+	"os"
+	"sync"
+	"time"
+)
+
+type shard struct {
+	mu sync.Mutex
+	m  map[string]int
+}
+
+type store struct {
+	shards []*shard
+	ch     chan int
+}
+
+func (st *store) bad(sh *shard, path string) error {
+	sh.mu.Lock()
+	defer sh.mu.Unlock()
+	_, err := os.ReadFile(path)  // want `os.ReadFile called while a shard stripe lock is held`
+	st.ch <- 1                   // want `channel send while a shard stripe lock is held`
+	<-st.ch                      // want `channel receive while a shard stripe lock is held`
+	time.Sleep(time.Millisecond) // want `time.Sleep while a shard stripe lock is held`
+	return err
+}
+
+func (st *store) deadlock(a, b *shard) {
+	a.mu.Lock()
+	b.mu.Lock() // want `second stripe lock acquired while one is held`
+	b.m["x"]++
+	b.mu.Unlock()
+	a.mu.Unlock()
+}

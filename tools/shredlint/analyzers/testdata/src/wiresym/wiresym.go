@@ -1,0 +1,47 @@
+// Positive suite for the wiresym analyzer: a frame constant missing
+// from frameName, an encoder with no decoder, and a decoder no fuzz
+// target exercises.
+package ingest
+
+import "errors"
+
+const (
+	MsgBegin byte = 0x01
+	MsgChunk byte = 0x02 // want `frame constant MsgChunk is not a key of frameName`
+)
+
+var frameName = map[byte]string{
+	MsgBegin: "begin",
+}
+
+var errFrame = errors.New("short frame")
+
+type hello struct{ v byte }
+
+func encodeHello(h hello) []byte { return []byte{h.v} }
+
+func decodeHello(b []byte) (hello, error) {
+	v, err := decodeHelloBody(b)
+	return hello{v: v}, err
+}
+
+// decodeHelloBody is fuzz-covered transitively through decodeHello.
+func decodeHelloBody(b []byte) (byte, error) {
+	if len(b) == 0 {
+		return 0, errFrame
+	}
+	return b[0], nil
+}
+
+func encodeChunk(b []byte) []byte { return b } // want `encoder encodeChunk has no matching decoder`
+
+type Stats struct{ n byte }
+
+func (s Stats) encode() []byte { return []byte{s.n} }
+
+func decodeStats(b []byte) (Stats, error) { // want `decoder decodeStats is not exercised by any Fuzz`
+	if len(b) == 0 {
+		return Stats{}, errFrame
+	}
+	return Stats{n: b[0]}, nil
+}

@@ -1,0 +1,14 @@
+package ingest
+
+import "testing"
+
+func FuzzHelloCodec(f *testing.F) {
+	f.Add([]byte{0x01})
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := decodeHello(b)
+		if err != nil {
+			return
+		}
+		_ = encodeHello(h)
+	})
+}

@@ -1,0 +1,41 @@
+// Negative suite for the wiresym analyzer: every frame is named,
+// every codec round-trips, every decoder is fuzzed.
+package ingest
+
+import "errors"
+
+const (
+	MsgBegin byte = 0x01
+	MsgChunk byte = 0x02
+)
+
+var frameName = map[byte]string{
+	MsgBegin: "begin",
+	MsgChunk: "chunk",
+}
+
+var errFrame = errors.New("short frame")
+
+type hello struct{ v byte }
+
+// encodeHelloCtx pairs with decodeHello by shared prefix, matching the
+// real protocol's context-carrying encoder.
+func encodeHelloCtx(h hello, ctx byte) []byte { return []byte{h.v, ctx} }
+
+func decodeHello(b []byte) (hello, error) {
+	if len(b) == 0 {
+		return hello{}, errFrame
+	}
+	return hello{v: b[0]}, nil
+}
+
+type Stats struct{ n byte }
+
+func (s Stats) encode() []byte { return []byte{s.n} }
+
+func decodeStats(b []byte) (Stats, error) {
+	if len(b) == 0 {
+		return Stats{}, errFrame
+	}
+	return Stats{n: b[0]}, nil
+}

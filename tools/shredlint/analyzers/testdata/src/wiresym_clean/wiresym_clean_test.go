@@ -1,0 +1,23 @@
+package ingest
+
+import "testing"
+
+func FuzzHelloCodec(f *testing.F) {
+	f.Fuzz(func(t *testing.T, b []byte) {
+		h, err := decodeHello(b)
+		if err != nil {
+			return
+		}
+		_ = encodeHelloCtx(h, 0)
+	})
+}
+
+func FuzzStatsCodec(f *testing.F) {
+	f.Fuzz(func(t *testing.T, b []byte) {
+		s, err := decodeStats(b)
+		if err != nil {
+			return
+		}
+		_ = s.encode()
+	})
+}

@@ -1,0 +1,243 @@
+package analyzers
+
+import (
+	"go/ast"
+	"go/token"
+	"strings"
+
+	"shredder/tools/shredlint/analysis"
+)
+
+// WireSym keeps the ingest wire protocol honest. A package that
+// declares Msg* frame constants is a protocol package, and there every
+// frame must stay debuggable and fuzzable:
+//
+//  1. Every Msg* constant is a key of the frameName map, so traces and
+//     metrics can print the frame.
+//  2. Every encoder has a decoder and vice versa (matched by shared
+//     name prefix, so encodeHelloCtx pairs with decodeHello; a method
+//     T.encode pairs with decodeT).
+//  3. Every decoder is reachable from some Fuzz* target, directly or
+//     through another fuzzed decoder — a decoder nobody fuzzes is
+//     where the next malformed-frame crash lives.
+var WireSym = &analysis.Analyzer{
+	Name: "wiresym",
+	Doc:  "every Msg* frame has a frameName entry; encoders/decoders come in pairs; every decoder is fuzzed",
+	Run:  runWireSym,
+}
+
+func runWireSym(pass *analysis.Pass) error {
+	msgConsts := collectMsgConsts(pass)
+	if len(msgConsts) < 2 {
+		return nil // not a protocol package
+	}
+	checkFrameNames(pass, msgConsts)
+	checkCodecPairs(pass)
+	checkFuzzCoverage(pass)
+	return nil
+}
+
+// collectMsgConsts returns package-level constants named Msg<Frame>.
+func collectMsgConsts(pass *analysis.Pass) map[string]token.Pos {
+	out := map[string]token.Pos{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.CONST {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, name := range vs.Names {
+					if strings.HasPrefix(name.Name, "Msg") && len(name.Name) > 3 {
+						out[name.Name] = name.Pos()
+					}
+				}
+			}
+		}
+	}
+	return out
+}
+
+// checkFrameNames requires each Msg* constant to key the frameName map.
+func checkFrameNames(pass *analysis.Pass, msgConsts map[string]token.Pos) {
+	var lit *ast.CompositeLit
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			gd, ok := decl.(*ast.GenDecl)
+			if !ok || gd.Tok != token.VAR {
+				continue
+			}
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok || len(vs.Names) != 1 || vs.Names[0].Name != "frameName" || len(vs.Values) != 1 {
+					continue
+				}
+				if cl, ok := vs.Values[0].(*ast.CompositeLit); ok {
+					lit = cl
+				}
+			}
+		}
+	}
+	if lit == nil {
+		for name, pos := range msgConsts {
+			pass.Reportf(pos, "frame constant %s declared but the package has no frameName map to label it", name)
+			break // one report is enough to fail the build
+		}
+		return
+	}
+	keys := map[string]bool{}
+	for _, elt := range lit.Elts {
+		kv, ok := elt.(*ast.KeyValueExpr)
+		if !ok {
+			continue
+		}
+		if id, ok := kv.Key.(*ast.Ident); ok {
+			keys[id.Name] = true
+		}
+	}
+	for name, pos := range msgConsts {
+		if !keys[name] {
+			pass.Reportf(pos, "frame constant %s is not a key of frameName; traces and metrics cannot label the frame", name)
+		}
+	}
+}
+
+// codec is one encoder or decoder: key is the frame spelling used for
+// prefix matching, display the name used in messages.
+type codec struct {
+	key     string
+	display string
+	pos     token.Pos
+}
+
+// collectCodecs gathers encode*/decode* functions and T.encode /
+// T.decode methods from the package.
+func collectCodecs(pass *analysis.Pass) (enc, dec []codec) {
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok {
+				continue
+			}
+			name := fd.Name.Name
+			if fd.Recv != nil && len(fd.Recv.List) == 1 {
+				_, recvName := recvTypeName(fd.Recv.List[0].Type)
+				if recvName == "" {
+					continue
+				}
+				switch name {
+				case "encode":
+					enc = append(enc, codec{key: recvName, display: recvName + ".encode", pos: fd.Pos()})
+				case "decode":
+					dec = append(dec, codec{key: recvName, display: recvName + ".decode", pos: fd.Pos()})
+				}
+				continue
+			}
+			switch {
+			case strings.HasPrefix(name, "encode") && len(name) > len("encode"):
+				enc = append(enc, codec{key: name[len("encode"):], display: name, pos: fd.Pos()})
+			case strings.HasPrefix(name, "decode") && len(name) > len("decode"):
+				dec = append(dec, codec{key: name[len("decode"):], display: name, pos: fd.Pos()})
+			}
+		}
+	}
+	return enc, dec
+}
+
+// checkCodecPairs requires a decoder for every encoder and vice versa.
+func checkCodecPairs(pass *analysis.Pass) {
+	enc, dec := collectCodecs(pass)
+	paired := func(key string, others []codec) bool {
+		for _, o := range others {
+			if strings.HasPrefix(key, o.key) || strings.HasPrefix(o.key, key) {
+				return true
+			}
+		}
+		return false
+	}
+	for _, e := range enc {
+		if !paired(e.key, dec) {
+			pass.Reportf(e.pos, "encoder %s has no matching decoder; wire frames must round-trip", e.display)
+		}
+	}
+	for _, d := range dec {
+		if !paired(d.key, enc) {
+			pass.Reportf(d.pos, "decoder %s has no matching encoder; wire frames must round-trip", d.display)
+		}
+	}
+}
+
+// checkFuzzCoverage requires every decode* function to be exercised by
+// a Fuzz* target, directly or via another covered decoder.
+func checkFuzzCoverage(pass *analysis.Pass) {
+	type decoder struct {
+		fd   *ast.FuncDecl
+		refs map[string]bool // decoder names referenced in the body
+	}
+	decoders := map[string]*decoder{}
+	for _, f := range pass.Files {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Recv != nil || fd.Body == nil {
+				continue
+			}
+			if strings.HasPrefix(fd.Name.Name, "decode") && len(fd.Name.Name) > len("decode") {
+				decoders[fd.Name.Name] = &decoder{fd: fd, refs: map[string]bool{}}
+			}
+		}
+	}
+	if len(decoders) == 0 {
+		return
+	}
+	for name, d := range decoders {
+		ast.Inspect(d.fd.Body, func(n ast.Node) bool {
+			if id, ok := n.(*ast.Ident); ok && id.Name != name {
+				if _, isDecoder := decoders[id.Name]; isDecoder {
+					d.refs[id.Name] = true
+				}
+			}
+			return true
+		})
+	}
+	// Names mentioned inside Fuzz* functions in the package's tests.
+	mentioned := map[string]bool{}
+	for _, f := range pass.TestFiles {
+		for _, decl := range f.Decls {
+			fd, ok := decl.(*ast.FuncDecl)
+			if !ok || fd.Body == nil || !strings.HasPrefix(fd.Name.Name, "Fuzz") {
+				continue
+			}
+			ast.Inspect(fd.Body, func(n ast.Node) bool {
+				if id, ok := n.(*ast.Ident); ok {
+					mentioned[id.Name] = true
+				}
+				return true
+			})
+		}
+	}
+	covered := map[string]bool{}
+	var mark func(string)
+	mark = func(name string) {
+		if covered[name] {
+			return
+		}
+		covered[name] = true
+		for ref := range decoders[name].refs {
+			mark(ref)
+		}
+	}
+	for name := range decoders {
+		if mentioned[name] {
+			mark(name)
+		}
+	}
+	for name, d := range decoders {
+		if !covered[name] {
+			pass.Reportf(d.fd.Pos(), "decoder %s is not exercised by any Fuzz* target (directly or via a fuzzed caller); add a Fuzz*Codec", name)
+		}
+	}
+}

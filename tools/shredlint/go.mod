@@ -1,0 +1,6 @@
+// shredlint is its own module on purpose: the main shredder module
+// stays dependency-free, and the lint suite can never leak into the
+// product build graph.
+module shredder/tools/shredlint
+
+go 1.24

@@ -1,0 +1,62 @@
+// Command shredlint is the shredder repository's static-analysis
+// gate: a multichecker of custom passes that compile the store's
+// behavioral invariants — durability ordering, stripe-lock discipline,
+// nil-safe observability, wire-codec symmetry, error hygiene — into
+// CI. It exits non-zero when any analyzer reports a finding, so a
+// violation fails the build exactly like a type error.
+//
+// Usage:
+//
+//	shredlint [-dir <module root>] [-list] [packages...]
+//
+// Packages default to ./... relative to -dir (default "."). A finding
+// can be waived at the site with
+//
+//	//lint:allow <rule> <reason>
+//
+// on the flagged line or the line above; the reason is mandatory.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"shredder/tools/shredlint/analysis"
+	"shredder/tools/shredlint/analyzers"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "module root to analyze (where go list runs)")
+	list := flag.Bool("list", false, "list analyzers and exit")
+	flag.Parse()
+
+	if *list {
+		for _, a := range analyzers.All {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	patterns := flag.Args()
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	pkgs, err := analysis.Load(*dir, patterns)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shredlint:", err)
+		os.Exit(2)
+	}
+	diags, err := analysis.Run(analyzers.All, pkgs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "shredlint:", err)
+		os.Exit(2)
+	}
+	for _, d := range diags {
+		fmt.Println(d)
+	}
+	if len(diags) > 0 {
+		fmt.Fprintf(os.Stderr, "shredlint: %d finding(s) in %d package(s)\n", len(diags), len(pkgs))
+		os.Exit(1)
+	}
+}

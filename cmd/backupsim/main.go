@@ -43,6 +43,19 @@
 // disk footprint exceeds -amp-limit (default 1.5x) times the live
 // stored bytes.
 //
+// With -commit-bench FILE it benchmarks the group-commit WAL: the
+// same durable in-process service at fsync always (on a simulated
+// commodity disk), 1 vs 16 concurrent sessions, commit window off vs
+// on, reporting sessions/sec per cell and the 16-session speedup as
+// JSON to FILE — the CI artifact BENCH_commit.json.
+//
+// With -pchunk-bench FILE it benchmarks single-stream parallel
+// chunking: chunk.Parallel at 1/4/8 workers against the sequential
+// engine for both rabin and fastcdc, every parallel cut checked
+// chunk-for-chunk identical, written as JSON to FILE — the CI
+// artifact BENCH_pchunk.json. With -parallel-chunk N a -dedup-wire
+// client chunks its local streams the same way.
+//
 // With -json (any mode but -wire-bench) the progress lines move to
 // stderr and a single end-of-run summary object — streams, logical and
 // stored bytes, dedup ratio, wire savings, retention amplification —
@@ -91,6 +104,12 @@ var tracer *obs.Tracer
 // trace snapshot waits for them, so the server half of every tree has
 // ended before it renders.
 var serveDone sync.WaitGroup
+
+// clientChunkWorkers is -parallel-chunk: when non-zero, dedup-wire
+// sessions chunk their local streams with chunk.Parallel on this many
+// workers (negative: all cores). Boundaries stay byte-identical to
+// the sequential engine, so dedup accounting is unchanged.
+var clientChunkWorkers int
 
 // runSummary is the -json end-of-run object. Wire fields appear only
 // for dedup-wire runs, retention fields only for -retention runs.
@@ -160,6 +179,9 @@ func main() {
 	ampLimit := flag.Float64("amp-limit", 1.5, "retention scenario: fail when final disk bytes exceed this multiple of the live stored bytes (0 disables)")
 	clusterN := flag.Int("cluster", 0, "boot this many in-process shredderd nodes behind a consistent-hash router and run the client series through it")
 	clusterBench := flag.String("cluster-bench", "", "write the 1-node vs N-node (-cluster, default 3) routed ingest benchmark as JSON to this file and exit — the CI artifact BENCH_cluster.json")
+	commitBench := flag.String("commit-bench", "", "write the group-commit WAL benchmark (sessions/sec at fsync always, 1 vs 16 concurrent sessions, commit window off/on) as JSON to this file and exit — the CI artifact BENCH_commit.json")
+	pchunkBench := flag.String("pchunk-bench", "", "write the single-stream parallel-chunking benchmark (chunk.Parallel at 1/4/8 workers vs sequential, byte-identical check) as JSON to this file and exit — the CI artifact BENCH_pchunk.json")
+	parallelChunk := flag.Int("parallel-chunk", 0, "with -dedup-wire: chunk the local stream with this many workers (chunk.Parallel); 0 or 1 sequential, negative all cores")
 	jsonOut := flag.Bool("json", false, "emit a single end-of-run summary object as JSON on stdout (progress lines move to stderr)")
 	trace := flag.Bool("trace", false, "record a span tree per operation and print the trees at end of run (-json adds per-span rollups)")
 	flag.Parse()
@@ -239,6 +261,33 @@ func main() {
 		}
 		return
 	}
+	if *commitBench != "" {
+		if *server != "" || *data != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -commit-bench runs in-process and excludes -server/-data")
+			os.Exit(2)
+		}
+		if err := runCommitBench(*commitBench, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *pchunkBench != "" {
+		if *server != "" || *data != "" {
+			fmt.Fprintln(os.Stderr, "backupsim: -pchunk-bench runs in-process and excludes -server/-data")
+			os.Exit(2)
+		}
+		if err := runPchunkBench(*pchunkBench, *imageMB<<20, *seed); err != nil {
+			fmt.Fprintln(os.Stderr, "backupsim:", err)
+			os.Exit(1)
+		}
+		return
+	}
+	if *parallelChunk != 0 && !*dedupWire {
+		fmt.Fprintln(os.Stderr, "backupsim: -parallel-chunk only applies with -dedup-wire (the client chunks locally there)")
+		os.Exit(2)
+	}
+	clientChunkWorkers = *parallelChunk
 	if *server != "" || *data != "" || *clusterN > 0 {
 		// Chunking happens server-side in service mode; an explicit
 		// -engine would be silently meaningless, so reject it.
@@ -319,6 +368,9 @@ func sessionSpec(algoName string, avg int) (*chunk.Spec, error) {
 func negotiateSession(c *ingest.Session, spec *chunk.Spec, dedupWire bool) error {
 	if spec == nil && !dedupWire {
 		return nil
+	}
+	if dedupWire && clientChunkWorkers != 0 {
+		c.SetParallelChunking(clientChunkWorkers)
 	}
 	var propose chunk.Spec
 	if spec != nil {

@@ -36,10 +36,16 @@
 // trees show on /statusz and dump as JSON at /debug/traces, and
 // -trace-slow D retains any operation at or over D and logs its tree.
 //
+// Hot-path tuning: -parallel-chunk N cuts server-side (raw-path)
+// streams on N cores with byte-identical boundaries (chunk.Parallel);
+// -commit-window D batches concurrent sessions' WAL fsyncs under
+// -fsync always into one group commit per window, every session still
+// acked only after the fsync covering its records really returned.
+//
 //	shredderd [-addr :9323] [-admin :7071] [-shards N] [-batch N] [-buffer MiB]
 //	          [-chunker rabin|fastcdc] [-avg KiB] [-minchunk KiB] [-maxchunk KiB]
-//	          [-dedup-wire=true|false]
-//	          [-data DIR] [-fsync always|never|interval[=D]]
+//	          [-dedup-wire=true|false] [-parallel-chunk N]
+//	          [-data DIR] [-fsync always|never|interval[=D]] [-commit-window D]
 //	          [-gc-interval D] [-gc-threshold F] [-trace-slow D]
 //	          [-grace D] [-log-level L] [-log-json] [-quiet]
 package main
@@ -78,8 +84,10 @@ func main() {
 	minKiB := flag.Int("minchunk", 0, "minimum chunk size in KiB (0: engine default)")
 	maxKiB := flag.Int("maxchunk", 0, "maximum chunk size in KiB (0: engine default)")
 	dedupWire := flag.Bool("dedup-wire", true, "accept protocol v3+ two-phase dedup sessions (client-side chunking, only missing bodies cross the wire); false caps the protocol at v2")
+	parallelChunk := flag.Int("parallel-chunk", 0, "chunk server-side streams on this many cores (byte-identical output; -1: all cores, 0/1: sequential)")
 	data := flag.String("data", "", "data directory for durable storage (empty: in-memory only)")
 	fsyncFlag := flag.String("fsync", "interval", "fsync policy with -data: always, never, interval[=D], or a duration")
+	commitWindow := flag.Duration("commit-window", 2*time.Millisecond, "group-commit window with -fsync always: batch concurrent sessions' WAL appends into one fsync per window (0: fsync per commit)")
 	scrub := flag.Bool("scrub", false, "verify every chunk's fingerprint during recovery (reads all containers)")
 	gcInterval := flag.Duration("gc-interval", 0, "background container-compaction period (0: GC disabled)")
 	gcThreshold := flag.Float64("gc-threshold", 0.5, "compact containers whose live fraction is below this (0: only fully-dead containers)")
@@ -137,6 +145,7 @@ func main() {
 	if !*dedupWire {
 		cfg.MaxProtocol = 2
 	}
+	cfg.Shredder.HostWorkers = *parallelChunk
 
 	var store *shardstore.Store
 	if *data != "" {
@@ -155,6 +164,7 @@ func main() {
 		})
 		store, err = persist.OpenStore(*data, persist.Options{
 			Shards: shardsOpt, Fsync: policy, VerifyOnRecover: *scrub, Obs: reg,
+			CommitWindow: *commitWindow, Logger: logger,
 		})
 		if err != nil {
 			fatal(err)

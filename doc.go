@@ -16,9 +16,11 @@
 //   - internal/gpu, internal/pcie, internal/hostmem, internal/host,
 //     internal/sim — the simulated device/host substrate (this machine
 //     has no GPU; see DESIGN.md for the substitution argument)
-//   - internal/core — the Shredder pipeline itself
-//   - internal/pchunk, internal/dedup — the pthreads baseline and the
-//     single-goroutine reference dedup store
+//   - internal/core — the Shredder pipeline itself; with HostWorkers
+//     set it chunks on many cores via chunk.Parallel (region scans
+//     with window warmup, seam fixup, byte-identical output — the
+//     paper's multicore baseline, lifted onto the engine API)
+//   - internal/dedup — the single-goroutine reference dedup store
 //   - internal/shardstore — the sharded, lock-striped, concurrency-safe
 //     chunk store (byte-identical ingest semantics to internal/dedup,
 //     asserted differentially), with a pluggable backing: in-memory by

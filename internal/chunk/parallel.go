@@ -1,0 +1,335 @@
+// Parallel single-stream chunking: the paper's core idea — split a
+// large stream into fixed regions, chunk every region on its own core,
+// and fix up the seams so the output is byte-identical to a sequential
+// scan — lifted onto the Engine API so it works for any engine whose
+// boundary test depends on a bounded window of preceding bytes.
+//
+// The trick (Shredder §3.2, previously prototyped in the retired
+// pchunk package) is that a rolling-hash boundary at position p is a
+// pure function of a fixed number of bytes ending at p: a worker
+// assigned region [lo, hi) first warms its rolling state on the bytes
+// just before lo, then scans its region emitting candidate boundaries
+// whose fingerprints exactly equal a sequential scan's. Candidates
+// carry no min/max/normalization policy — that is inherently
+// sequential (each cut depends on where the previous cut landed) — so
+// a final single-threaded resolve pass replays the engine's policy
+// over the merged candidate list. The scan is ~99% of the work; the
+// resolve touches only candidate positions (plus, for FastCDC, a
+// sub-window of bytes per chunk) and is effectively free.
+package chunk
+
+import (
+	"errors"
+	"runtime"
+	"sync"
+	"time"
+
+	"shredder/internal/obs"
+)
+
+// candidate is one potential boundary found by a region scan: pos is
+// the exclusive end offset of the would-be chunk, fp the rolling hash
+// that fired there.
+type candidate struct {
+	pos int64
+	fp  uint64
+}
+
+// regionScanner is the engine capability Parallel needs: a region scan
+// whose candidates match a sequential scan's, plus the sequential
+// policy replay over them. Engines without it fall back to sequential.
+type regionScanner interface {
+	// overlap is how many bytes before a region the scan must feed
+	// through its rolling state so candidates at every region position
+	// equal the sequential scan's (the window-warmup overlap).
+	overlap() int
+	// scanRegion emits every candidate boundary in data[lo:hi], warming
+	// its rolling state from data[max(0, lo-overlap):lo]. Candidates are
+	// a superset of real cuts: the resolve pass applies min/max and any
+	// mask tightening.
+	scanRegion(data []byte, lo, hi int, emit func(candidate))
+	// resolve replays the engine's chunking policy over data[start:]
+	// given the ascending candidates (entries at or before start are
+	// ignored), returning exactly what a sequential Split of a stream
+	// ending at len(data) would, with offsets relative to data[0].
+	resolve(data []byte, start int, cands []candidate) []Chunk
+}
+
+// parallelMinRegion is the smallest per-worker region worth a
+// goroutine: below this the window-warmup overlap and scheduling
+// overhead eat the speedup.
+const parallelMinRegion = 256 << 10
+
+// Parallel wraps an Engine and chunks large inputs on many cores,
+// byte-identical to the wrapped engine (differentially tested for
+// every engine, feed size and worker count). Small inputs, a single
+// worker, or an engine without region support fall back to the wrapped
+// engine unchanged. Like every Engine it is stateless between calls
+// and safe for concurrent use.
+type Parallel struct {
+	inner   Engine
+	scanner regionScanner
+	workers int
+
+	// Instrumentation handles (nil without Instrument; obs methods are
+	// nil-tolerant).
+	segments    *obs.Counter
+	scanBytes   *obs.Counter
+	utilization *obs.Histogram
+}
+
+var _ Engine = (*Parallel)(nil)
+
+// NewParallel wraps inner to chunk on up to workers cores (0 or
+// negative means GOMAXPROCS).
+func NewParallel(inner Engine, workers int) *Parallel {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	p := &Parallel{inner: inner, workers: workers}
+	p.scanner, _ = inner.(regionScanner)
+	return p
+}
+
+// Spec returns the wrapped engine's configuration.
+func (p *Parallel) Spec() Spec { return p.inner.Spec() }
+
+// Inner returns the wrapped engine.
+func (p *Parallel) Inner() Engine { return p.inner }
+
+// Workers returns the configured worker count.
+func (p *Parallel) Workers() int { return p.workers }
+
+// Instrument registers the parallel chunker's metric families on reg
+// and keeps the handles. Families are shared: many Parallel instances
+// (one per session) may instrument the same registry and aggregate
+// into the same counters. A nil registry is a no-op.
+func (p *Parallel) Instrument(reg *obs.Registry) {
+	if reg == nil {
+		return
+	}
+	p.segments = reg.Counter("chunk_parallel_segments_total",
+		"Parallel region-scan passes executed.")
+	p.scanBytes = reg.Counter("chunk_parallel_bytes_total",
+		"Bytes scanned by parallel chunking workers.")
+	p.utilization = reg.Histogram("chunk_parallel_worker_utilization",
+		"Per-pass worker busy share: sum(worker busy time) / (workers x wall time).",
+		[]float64{0.1, 0.25, 0.5, 0.75, 0.9, 1})
+}
+
+// Split cuts data into chunks, byte-identical to the wrapped engine's
+// Split.
+func (p *Parallel) Split(data []byte) []Chunk {
+	cands, ok := p.parallelScan(data, 0)
+	if !ok {
+		return p.inner.Split(data)
+	}
+	return p.scanner.resolve(data, 0, cands)
+}
+
+// parallelScan fans data[lo:] out to the workers in fixed regions and
+// returns the merged, ascending candidate list. ok is false when the
+// input is too small to benefit or the engine has no region support;
+// the caller then scans sequentially.
+func (p *Parallel) parallelScan(data []byte, lo int) ([]candidate, bool) {
+	n := len(data) - lo
+	if p.scanner == nil || p.workers <= 1 || n < 2*parallelMinRegion {
+		return nil, false
+	}
+	workers := p.workers
+	if most := n / parallelMinRegion; workers > most {
+		workers = most
+	}
+	region := (n + workers - 1) / workers
+	// Per-worker arenas (the paper's Hoard-style allocation ablation:
+	// a shared locked arena serializes the scan): each worker appends
+	// to its own slice, and the in-order concatenation is already
+	// sorted because regions partition the input in order.
+	arenas := make([][]candidate, workers)
+	busy := make([]time.Duration, workers)
+	var wg sync.WaitGroup
+	t0 := time.Now()
+	for wi := 0; wi < workers; wi++ {
+		rlo := lo + wi*region
+		rhi := rlo + region
+		if rhi > len(data) {
+			rhi = len(data)
+		}
+		if rlo >= rhi {
+			continue
+		}
+		wg.Add(1)
+		go func(wi, rlo, rhi int) {
+			defer wg.Done()
+			w0 := time.Now()
+			local := arenas[wi]
+			p.scanner.scanRegion(data, rlo, rhi, func(c candidate) {
+				local = append(local, c)
+			})
+			arenas[wi] = local
+			busy[wi] = time.Since(w0)
+		}(wi, rlo, rhi)
+	}
+	wg.Wait()
+	p.observeScan(n, workers, busy, time.Since(t0))
+	total := 0
+	for _, a := range arenas {
+		total += len(a)
+	}
+	out := make([]candidate, 0, total)
+	for _, a := range arenas {
+		out = append(out, a...)
+	}
+	return out, true
+}
+
+// observeScan records one parallel pass's size and worker utilization.
+func (p *Parallel) observeScan(n, workers int, busy []time.Duration, wall time.Duration) {
+	p.segments.Add(1)
+	p.scanBytes.Add(int64(n))
+	if wall <= 0 {
+		return
+	}
+	var sum time.Duration
+	for _, d := range busy {
+		sum += d
+	}
+	p.utilization.Observe(float64(sum) / (float64(workers) * float64(wall)))
+}
+
+// segmentSize is how many unscanned bytes a stream buffers before
+// running a parallel pass: enough for every worker to get a region
+// worth waking for.
+func (p *Parallel) segmentSize() int {
+	n := p.workers * (512 << 10)
+	if n < 1<<20 {
+		n = 1 << 20
+	}
+	return n
+}
+
+// Stream returns an incremental feed that chunks buffered segments on
+// all cores, emitting exactly the chunks a sequential stream would.
+// Without region support (or a single worker) it is the wrapped
+// engine's stream.
+func (p *Parallel) Stream(emit EmitFunc) Stream {
+	if p.scanner == nil || p.workers <= 1 {
+		return p.inner.Stream(emit)
+	}
+	return &parallelStream{p: p, emit: emit}
+}
+
+// parallelStream accumulates writes, scans each full segment with the
+// worker pool, and resolves + emits every chunk that is final. A chunk
+// is final unless it is the last resolved one — only that chunk's end
+// sits at the scan horizon rather than at a real cut, so everything
+// before it is exactly what the sequential stream would have emitted.
+// Emitted bytes are dropped from the buffer, keeping only the
+// window-warmup overlap before the current chunk start, so memory
+// stays bounded by segment size + max chunk size.
+type parallelStream struct {
+	p    *Parallel
+	emit EmitFunc
+
+	buf     []byte
+	base    int64 // absolute stream offset of buf[0]
+	start   int   // buf index of the current (unemitted) chunk start
+	scanned int   // buf index the candidate list covers
+	cands   []candidate
+	closed  bool
+	err     error
+}
+
+func (s *parallelStream) Write(p []byte) (int, error) {
+	if s.err != nil {
+		return 0, s.err
+	}
+	if s.closed {
+		return 0, errors.New("chunk: write after Close")
+	}
+	s.buf = append(s.buf, p...)
+	if len(s.buf)-s.scanned >= s.p.segmentSize() {
+		s.scanTo(len(s.buf))
+		if err := s.emitResolved(false); err != nil {
+			return len(p), err
+		}
+	}
+	return len(p), nil
+}
+
+// scanTo extends the candidate list to cover buf[:hi], in parallel
+// when the unscanned span is large enough.
+func (s *parallelStream) scanTo(hi int) {
+	lo := s.scanned
+	if cands, ok := s.p.parallelScan(s.buf[:hi], lo); ok {
+		s.cands = append(s.cands, cands...)
+	} else {
+		s.p.scanner.scanRegion(s.buf[:hi], lo, hi, func(c candidate) {
+			s.cands = append(s.cands, c)
+		})
+	}
+	s.scanned = hi
+}
+
+// emitResolved resolves chunks over the scanned prefix and emits the
+// final ones (all of them when the stream is closing).
+func (s *parallelStream) emitResolved(final bool) error {
+	chunks := s.p.scanner.resolve(s.buf[:s.scanned], s.start, s.cands)
+	keep := len(chunks)
+	if !final && keep > 0 {
+		keep-- // the last chunk ends at the scan horizon, not a real cut
+	}
+	if keep == 0 {
+		return nil
+	}
+	for _, c := range chunks[:keep] {
+		data := s.buf[c.Offset : c.Offset+c.Length]
+		c.Offset += s.base
+		if err := s.emit(c, data); err != nil {
+			s.err = err
+			return err
+		}
+	}
+	s.start = int(chunks[keep-1].Offset + chunks[keep-1].Length)
+	s.trim()
+	return nil
+}
+
+// trim drops emitted bytes, keeping the warmup overlap before the
+// current chunk start so later scans roll the exact sequential state.
+func (s *parallelStream) trim() {
+	drop := s.start - s.p.scanner.overlap()
+	if drop <= 0 {
+		return
+	}
+	kept := s.cands[:0]
+	for _, c := range s.cands {
+		if c.pos <= int64(s.start) {
+			continue // superseded by an emitted cut; resolve would skip it
+		}
+		c.pos -= int64(drop)
+		kept = append(kept, c)
+	}
+	s.cands = kept
+	s.buf = s.buf[:copy(s.buf, s.buf[drop:])]
+	s.base += int64(drop)
+	s.start -= drop
+	s.scanned -= drop
+}
+
+// Close scans and emits the buffered tail. It is idempotent.
+func (s *parallelStream) Close() error {
+	if s.err != nil {
+		return s.err
+	}
+	if s.closed {
+		return nil
+	}
+	s.closed = true
+	if s.scanned < len(s.buf) {
+		s.scanTo(len(s.buf))
+	}
+	return s.emitResolved(true)
+}
+
+func (s *parallelStream) Offset() int64 { return s.base + int64(len(s.buf)) }

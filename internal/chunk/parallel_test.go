@@ -1,0 +1,245 @@
+package chunk
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"shredder/internal/chunker"
+)
+
+// parallelTestSpecs covers both engines in both paper-default and
+// limit-heavy configurations, so the differential tests exercise the
+// unbounded path, the min/max forced-cut path and mask normalization.
+func parallelTestSpecs(t testing.TB) map[string]Spec {
+	limited := chunker.DefaultParams()
+	limited.MaskBits = 11
+	limited.Marker = 1<<11 - 1
+	limited.MinSize = 2048
+	limited.MaxSize = 16384
+	return map[string]Spec{
+		"rabin-default":  DefaultSpec(),
+		"rabin-limits":   RabinSpec(limited),
+		"fastcdc-8k":     FastCDCSpec(8192),
+		"fastcdc-1k":     FastCDCSpec(1024),
+		"fastcdc-nonorm": {Algo: AlgoFastCDC, AvgSize: 8192, MinSize: 2048, MaxSize: 32768},
+	}
+}
+
+func parallelTestData(t testing.TB, seed int64, n int) []byte {
+	t.Helper()
+	data := make([]byte, n)
+	rng := rand.New(rand.NewSource(seed))
+	rng.Read(data)
+	// A low-entropy stripe forces the no-boundary path (max-size cuts
+	// for FastCDC, one giant tail for unbounded Rabin).
+	if n > 1<<20 {
+		copy(data[n/3:n/3+256<<10], make([]byte, 256<<10))
+	}
+	return data
+}
+
+func chunksEqual(t *testing.T, want, got []Chunk) {
+	t.Helper()
+	if len(want) != len(got) {
+		t.Fatalf("chunk count mismatch: want %d, got %d", len(want), len(got))
+	}
+	for i := range want {
+		if want[i] != got[i] {
+			t.Fatalf("chunk %d mismatch:\nwant %+v\ngot  %+v", i, want[i], got[i])
+		}
+	}
+}
+
+// TestParallelSplitDifferential proves Parallel.Split byte-identical
+// to the wrapped engine's Split for every engine, feed size and worker
+// count.
+func TestParallelSplitDifferential(t *testing.T) {
+	sizes := []int{0, 1, 100, 4 << 10, 2*parallelMinRegion - 1, 2 * parallelMinRegion, 3<<20 + 17}
+	workers := []int{1, 2, 3, 7, 16}
+	for name, spec := range parallelTestSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			inner, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, n := range sizes {
+				data := parallelTestData(t, int64(n)+1, n)
+				want := inner.Split(data)
+				for _, w := range workers {
+					p := NewParallel(inner, w)
+					got := p.Split(data)
+					if len(want) != len(got) {
+						t.Fatalf("n=%d workers=%d: chunk count %d != %d", n, w, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("n=%d workers=%d chunk %d:\nwant %+v\ngot  %+v", n, w, i, want[i], got[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelStreamDifferential proves the parallel stream emits
+// exactly the chunks of a sequential Split over the concatenated
+// writes, with the right bytes, for varied write granularities.
+func TestParallelStreamDifferential(t *testing.T) {
+	writeSizes := []int{1 << 20, 64 << 10, 7, 3<<20 + 11}
+	for name, spec := range parallelTestSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			inner, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			data := parallelTestData(t, 42, 6<<20+313)
+			want := inner.Split(data)
+			for _, ws := range writeSizes {
+				for _, workers := range []int{2, 8} {
+					p := NewParallel(inner, workers)
+					var got []Chunk
+					s := p.Stream(func(c Chunk, b []byte) error {
+						if !bytes.Equal(b, data[c.Offset:c.End()]) {
+							return fmt.Errorf("chunk at %d: emitted bytes differ from stream", c.Offset)
+						}
+						got = append(got, c)
+						return nil
+					})
+					for off := 0; off < len(data); off += ws {
+						end := off + ws
+						if end > len(data) {
+							end = len(data)
+						}
+						if _, err := s.Write(data[off:end]); err != nil {
+							t.Fatal(err)
+						}
+					}
+					if s.Offset() != int64(len(data)) {
+						t.Fatalf("Offset() = %d, want %d", s.Offset(), len(data))
+					}
+					if err := s.Close(); err != nil {
+						t.Fatal(err)
+					}
+					if len(want) != len(got) {
+						t.Fatalf("ws=%d workers=%d: chunk count %d != %d", ws, workers, len(got), len(want))
+					}
+					for i := range want {
+						if want[i] != got[i] {
+							t.Fatalf("ws=%d workers=%d chunk %d:\nwant %+v\ngot  %+v", ws, workers, i, want[i], got[i])
+						}
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestParallelSplitQuick drives random small inputs through the
+// parallel scan machinery directly (bypassing the too-small fallback)
+// so the seam logic is exercised at region sizes a test can afford.
+func TestParallelSplitQuick(t *testing.T) {
+	for name, spec := range parallelTestSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			inner, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := inner.(regionScanner)
+			check := func(seed int64, nRaw uint16, workers uint8) bool {
+				n := int(nRaw) * 8
+				w := int(workers)%7 + 2
+				data := parallelTestData(t, seed, n)
+				region := (n + w - 1) / w
+				if region == 0 {
+					region = 1
+				}
+				var cands []candidate
+				for lo := 0; lo < n; lo += region {
+					hi := lo + region
+					if hi > n {
+						hi = n
+					}
+					sc.scanRegion(data, lo, hi, func(c candidate) { cands = append(cands, c) })
+				}
+				want := inner.Split(data)
+				got := sc.resolve(data, 0, cands)
+				if len(want) != len(got) {
+					return false
+				}
+				for i := range want {
+					if want[i] != got[i] {
+						return false
+					}
+				}
+				return true
+			}
+			if err := quick.Check(check, &quick.Config{MaxCount: 60}); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+// TestParallelResolveMidStream checks resolve with a nonzero start and
+// stale candidates, the shape the streaming path feeds it.
+func TestParallelResolveMidStream(t *testing.T) {
+	for name, spec := range parallelTestSpecs(t) {
+		t.Run(name, func(t *testing.T) {
+			inner, err := New(spec)
+			if err != nil {
+				t.Fatal(err)
+			}
+			sc := inner.(regionScanner)
+			data := parallelTestData(t, 7, 1<<20)
+			var cands []candidate
+			sc.scanRegion(data, 0, len(data), func(c candidate) { cands = append(cands, c) })
+			full := sc.resolve(data, 0, cands)
+			if len(full) < 2 {
+				t.Skip("input produced too few chunks to split")
+			}
+			start := int(full[0].End())
+			got := sc.resolve(data, start, cands)
+			chunksEqual(t, full[1:], got)
+		})
+	}
+}
+
+// TestParallelFallbacks pins the degraded paths: one worker and small
+// inputs must use the wrapped engine directly.
+func TestParallelFallbacks(t *testing.T) {
+	inner, err := New(DefaultSpec())
+	if err != nil {
+		t.Fatal(err)
+	}
+	data := parallelTestData(t, 3, 64<<10)
+	want := inner.Split(data)
+	chunksEqual(t, want, NewParallel(inner, 1).Split(data))
+	chunksEqual(t, want, NewParallel(inner, 8).Split(data)) // below 2*parallelMinRegion
+	if w := NewParallel(inner, 0).Workers(); w < 1 {
+		t.Fatalf("Workers() = %d after GOMAXPROCS default", w)
+	}
+}
+
+func BenchmarkParallelSplit(b *testing.B) {
+	data := parallelTestData(b, 1, 64<<20)
+	for name, spec := range map[string]Spec{"rabin": DefaultSpec(), "fastcdc": FastCDCSpec(8192)} {
+		inner, err := New(spec)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, workers := range []int{1, 4, 8} {
+			b.Run(fmt.Sprintf("%s/workers=%d", name, workers), func(b *testing.B) {
+				p := NewParallel(inner, workers)
+				b.SetBytes(int64(len(data)))
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					p.Split(data)
+				}
+			})
+		}
+	}
+}

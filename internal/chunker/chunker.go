@@ -5,7 +5,7 @@
 // marker; optional minimum and maximum chunk sizes bound the result.
 //
 // This package is the sequential reference implementation: the parallel
-// host chunker (package pchunk) and the GPU chunking kernel (package
+// host chunker (chunk.Parallel) and the GPU chunking kernel (package
 // gpu) are required to produce byte-identical boundaries, and their
 // tests assert that against this package.
 //

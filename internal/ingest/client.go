@@ -51,6 +51,11 @@ type Session struct {
 	// streamName is the name of the dedup stream opened by BeginDedup,
 	// threaded into the errors of the round-level ops.
 	streamName string
+
+	// chunkWorkers, when > 1 (or < 0 for all cores), wraps the engine
+	// NegotiateDedup builds in the parallel host chunker, so BackupDedup
+	// cuts large streams on many cores with byte-identical output.
+	chunkWorkers int
 }
 
 // Client is the session type's historical name.
@@ -215,8 +220,30 @@ func (s *Session) NegotiateDedup(spec chunk.Spec) (chunk.Spec, error) {
 	if err != nil {
 		return chunk.Spec{}, err
 	}
+	if s.chunkWorkers > 1 || s.chunkWorkers < 0 {
+		eng = chunk.NewParallel(eng, s.chunkWorkers)
+	}
 	s.eng = eng
 	return accepted, nil
+}
+
+// SetParallelChunking makes BackupDedup chunk large streams on up to
+// workers cores (negative: all cores; 0 or 1: sequential). Chunk
+// boundaries are byte-identical to the sequential engine — this is
+// purely a local throughput knob and never affects the wire protocol
+// or the server. Call it before NegotiateDedup; it also rewraps an
+// already negotiated engine.
+func (s *Session) SetParallelChunking(workers int) {
+	s.chunkWorkers = workers
+	if s.eng == nil {
+		return
+	}
+	if p, ok := s.eng.(*chunk.Parallel); ok {
+		s.eng = p.Inner()
+	}
+	if workers > 1 || workers < 0 {
+		s.eng = chunk.NewParallel(s.eng, workers)
+	}
 }
 
 func (s *Session) negotiate(version byte, spec chunk.Spec) (chunk.Spec, error) {

@@ -293,6 +293,7 @@ func (s *Server) serveSession(conn net.Conn, sl *slog.Logger) (byte, error) {
 				if shred, err = core.New(s.cfg.Shredder); err != nil {
 					return ver, err
 				}
+				s.instrumentChunking(shred)
 			}
 			sp := s.span("backup", obs.SpanContext{}, obs.Str("recipe", string(payload)))
 			err := s.handleBackup(string(payload), ver, shred, br, bw, sl, sp)
@@ -396,7 +397,18 @@ func (s *Server) negotiate(payload []byte) (*core.Shredder, chunk.Spec, byte, ob
 	if err != nil {
 		return nil, chunk.Spec{}, 0, ctx, &NegotiationError{Reason: err.Error()}
 	}
-	return shred, spec, version, ctx, nil
+	return s.instrumentChunking(shred), spec, version, ctx, nil
+}
+
+// instrumentChunking registers the parallel host chunker's metric
+// families when the session pipeline cuts with one. Registration is
+// idempotent per registry, so every session aggregates into the same
+// counters; a nil registry is a no-op.
+func (s *Server) instrumentChunking(shred *core.Shredder) *core.Shredder {
+	if p, ok := shred.Engine().(*chunk.Parallel); ok {
+		p.Instrument(s.cfg.Obs)
+	}
+	return shred
 }
 
 // streamReader adapts the session's incoming Data frames into an

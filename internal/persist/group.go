@@ -1,0 +1,172 @@
+package persist
+
+import (
+	"sync"
+	"time"
+)
+
+// groupCommitter coalesces commit-point fsyncs from concurrent sessions
+// into one sync pass per commit window (group commit). With a
+// CommitWindow configured, commit points stage and flush their records
+// but skip the inline fsync; callers regain the durable-before-ack
+// guarantee through Backing.Barrier, which blocks until a syncer round
+// that started after the caller's appends has fsynced every shard and
+// the recipe journal — each waiter still learns the real outcome of the
+// fsync pass covering its records, but N sessions inside one window
+// share a single pass instead of paying N serialized fsyncs.
+type groupCommitter struct {
+	b      *Backing
+	window time.Duration
+
+	mu      sync.Mutex
+	cond    *sync.Cond
+	started int64 // sync rounds begun
+	done    int64 // sync rounds completed
+	pending bool  // waiters are queued for a round not yet started
+	// outcomes holds each in-flight round's result, refcounted by its
+	// waiters so the map stays bounded.
+	outcomes map[int64]*groupRound
+	closed   bool
+	closedCh chan struct{} // closed by close(); interrupts the window sleep
+	loopDone chan struct{}
+
+	lastBytes int64 // flushedBytes watermark at the previous round (run goroutine only)
+}
+
+// groupRound is one sync round's published result.
+type groupRound struct {
+	err     error
+	waiters int
+}
+
+func newGroupCommitter(b *Backing, window time.Duration) *groupCommitter {
+	g := &groupCommitter{
+		b:        b,
+		window:   window,
+		outcomes: make(map[int64]*groupRound),
+		closedCh: make(chan struct{}),
+		loopDone: make(chan struct{}),
+	}
+	g.cond = sync.NewCond(&g.mu)
+	go g.run()
+	return g
+}
+
+// wait blocks until the first sync round that started after the call
+// has completed and returns that round's outcome. Records the caller
+// staged before calling wait are covered by that round: a round syncs
+// everything flushed before its pass begins.
+func (g *groupCommitter) wait() error {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if g.closed {
+		return errClosed
+	}
+	// A round already in flight may have raced past this caller's
+	// records; only the NEXT round to start is guaranteed to cover them.
+	target := g.started + 1
+	o := g.outcomes[target]
+	if o == nil {
+		o = &groupRound{}
+		g.outcomes[target] = o
+	}
+	o.waiters++
+	if !g.pending {
+		g.pending = true
+		g.cond.Broadcast()
+	}
+	// Once registered, the target round is guaranteed to run — the
+	// syncer drains pending rounds before exiting on close — so this
+	// wait always resolves to a real sync outcome.
+	for g.done < target {
+		g.cond.Wait()
+	}
+	err := o.err
+	if o.waiters--; o.waiters == 0 {
+		delete(g.outcomes, target)
+	}
+	return err
+}
+
+// run is the syncer goroutine: wake on the first waiter, sleep the
+// window so concurrent commits pile onto the same round, then fsync
+// everything once and publish the outcome. On close it drains queued
+// waiters with one final (window-less) round per batch.
+func (g *groupCommitter) run() {
+	defer close(g.loopDone)
+	for {
+		g.mu.Lock()
+		for !g.pending && !g.closed {
+			g.cond.Wait()
+		}
+		if g.closed && !g.pending {
+			g.mu.Unlock()
+			return
+		}
+		final := g.closed
+		g.mu.Unlock()
+
+		if g.window > 0 && !final {
+			// Interruptible window: a close during the sleep must not
+			// stall shutdown for the full window (operators may set
+			// windows far beyond the few-ms sweet spot).
+			t := time.NewTimer(g.window)
+			select {
+			case <-t.C:
+			case <-g.closedCh:
+				t.Stop()
+			}
+		}
+
+		g.mu.Lock()
+		g.pending = false
+		g.started++
+		round := g.started
+		covered := 0
+		if o := g.outcomes[round]; o != nil {
+			covered = o.waiters
+		}
+		g.mu.Unlock()
+
+		err := g.b.Sync()
+		g.observeRound(covered)
+
+		g.mu.Lock()
+		g.done = round
+		if o := g.outcomes[round]; o != nil {
+			o.err = err
+			if o.waiters == 0 {
+				delete(g.outcomes, round)
+			}
+		}
+		g.cond.Broadcast()
+		g.mu.Unlock()
+	}
+}
+
+// observeRound records one round's window occupancy and batched bytes.
+func (g *groupCommitter) observeRound(waiters int) {
+	g.b.met.groupRounds.Add(1)
+	if h := g.b.met.groupWaiters.Load(); h != nil {
+		h.Observe(float64(waiters))
+	}
+	flushed := g.b.met.flushedBytes.Load()
+	if h := g.b.met.groupBytes.Load(); h != nil {
+		h.Observe(float64(flushed - g.lastBytes))
+	}
+	g.lastBytes = flushed
+}
+
+// close wakes the syncer, lets it drain any queued waiters with real
+// sync outcomes, and joins it. Waiters arriving after close fail with
+// errClosed.
+func (g *groupCommitter) close() {
+	g.mu.Lock()
+	if !g.closed {
+		g.closed = true
+		close(g.closedCh)
+	}
+	g.cond.Broadcast()
+	g.mu.Unlock()
+	<-g.loopDone
+}

@@ -1,0 +1,318 @@
+package persist
+
+import (
+	"errors"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+	"time"
+
+	"shredder/internal/dedup"
+	"shredder/internal/shardstore"
+)
+
+// groupOpts is the group-commit configuration the tests run under: a
+// window short enough to keep the suite fast, long enough that
+// concurrent committers actually share rounds.
+func groupOpts(shards int) Options {
+	return Options{Shards: shards, CommitWindow: 200 * time.Microsecond}
+}
+
+// TestGroupCommitBatchesRounds drives concurrent commits through the
+// backing and checks the group machinery did its job: every barrier
+// reports success, and the number of fsync rounds is strictly smaller
+// than the number of commits (the whole point of the window).
+func TestGroupCommitBatchesRounds(t *testing.T) {
+	b, err := Open(t.TempDir(), groupOpts(1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	if b.group == nil {
+		t.Fatal("CommitWindow under FsyncAlways did not enable group commit")
+	}
+	if err := b.Shard(0).Recover(func(shardstore.Hash, shardstore.Ref, int64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	const committers, commits = 8, 5
+	var wg sync.WaitGroup
+	errs := make([]error, committers)
+	for g := 0; g < committers; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			sh := b.Shard(0)
+			for i := 0; i < commits; i++ {
+				body := []byte(fmt.Sprintf("chunk-%d-%d", g, i))
+				h := dedup.Sum(body)
+				if _, _, err := sh.Append(h, body); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := sh.Commit(); err != nil {
+					errs[g] = err
+					return
+				}
+				if err := b.Barrier(); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("committer %d: %v", g, err)
+		}
+	}
+	rounds := b.met.groupRounds.Load()
+	if rounds == 0 {
+		t.Fatal("no group rounds recorded")
+	}
+	if rounds >= committers*commits {
+		t.Fatalf("%d rounds for %d commits: group commit never batched", rounds, committers*commits)
+	}
+	if got := b.met.syncErrors.Load(); got != 0 {
+		t.Fatalf("sync errors counted on a healthy disk: %d", got)
+	}
+}
+
+// TestGroupCommitStoreDurability runs concurrent sessions through the
+// store-level path (Put + CommitRecipe, each ending in a Barrier) and
+// proves a reopen recovers every acked recipe.
+func TestGroupCommitStoreDurability(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, groupOpts(2))
+	const sessions, recipes = 6, 4
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < recipes; i++ {
+				body := []byte(fmt.Sprintf("session-%d-recipe-%d", g, i))
+				if _, _, err := st.Put(body); err != nil {
+					errs[g] = err
+					return
+				}
+				name := fmt.Sprintf("r-%d-%d", g, i)
+				if err := st.CommitRecipe(name, shardstore.Recipe{dedup.Sum(body)}); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", g, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+	got := openStore(t, dir, Options{})
+	defer got.Close()
+	names := got.RecipeNames()
+	if len(names) != sessions*recipes {
+		t.Fatalf("recovered %d recipes, want %d: %v", len(names), sessions*recipes, names)
+	}
+	for g := 0; g < sessions; g++ {
+		for i := 0; i < recipes; i++ {
+			want := []byte(fmt.Sprintf("session-%d-recipe-%d", g, i))
+			r, ok := got.Recipe(fmt.Sprintf("r-%d-%d", g, i))
+			if !ok {
+				t.Fatalf("recipe r-%d-%d missing after reopen", g, i)
+			}
+			data, err := got.Reconstruct(r)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if string(data) != string(want) {
+				t.Fatalf("recipe r-%d-%d restored wrong bytes", g, i)
+			}
+		}
+	}
+}
+
+// TestGroupCommitCloseDrains proves waiters registered before Close
+// still get the real outcome of a final round instead of hanging or a
+// spurious error.
+func TestGroupCommitCloseDrains(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{Shards: 1, CommitWindow: time.Hour})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const waiters = 4
+	var wg sync.WaitGroup
+	errs := make([]error, waiters)
+	for i := 0; i < waiters; i++ {
+		wg.Add(1)
+		go func(i int) {
+			defer wg.Done()
+			errs[i] = b.Barrier()
+		}(i)
+	}
+	// Give the waiters time to register on the pending round the hour
+	// window would otherwise hold open until tomorrow.
+	time.Sleep(20 * time.Millisecond)
+	if err := b.Close(); err != nil {
+		t.Fatal(err)
+	}
+	wg.Wait()
+	for i, err := range errs {
+		if err != nil && !errors.Is(err, errClosed) {
+			t.Fatalf("waiter %d: %v", i, err)
+		}
+	}
+	if err := b.Barrier(); !errors.Is(err, errClosed) {
+		t.Fatalf("Barrier after Close = %v, want errClosed", err)
+	}
+}
+
+// TestSyncFailureSticky pins the fail-stop contract shared by the
+// interval loop and the group syncer: once any fsync fails, every
+// later commit point fails loudly with the root cause, instead of
+// silently pretending the data is durable.
+func TestSyncFailureSticky(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{Shards: 1, Fsync: FsyncPolicy{Mode: FsyncNever}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	sh := b.Shard(0)
+	if err := sh.Recover(func(shardstore.Hash, shardstore.Ref, int64) error { return nil }); err != nil {
+		t.Fatal(err)
+	}
+	body := []byte("before the fault")
+	if _, _, err := sh.Append(dedup.Sum(body), body); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Commit(); err != nil {
+		t.Fatal(err)
+	}
+
+	root := errors.New("disk on fire")
+	b.met.latchFault(root)
+
+	body = []byte("after the fault")
+	if _, _, err := sh.Append(dedup.Sum(body), body); err != nil {
+		t.Fatal(err)
+	}
+	if err := sh.Commit(); !errors.Is(err, root) {
+		t.Fatalf("Commit after latched fault = %v, want wrapped %v", err, root)
+	}
+	if err := b.CommitRecipe("r", shardstore.Recipe{dedup.Sum(body)}); !errors.Is(err, root) {
+		t.Fatalf("CommitRecipe after latched fault = %v, want wrapped %v", err, root)
+	}
+}
+
+// TestCheckedSyncCountsErrors proves a real failed fsync syscall bumps
+// persist_sync_errors_total and latches the fault.
+func TestCheckedSyncCountsErrors(t *testing.T) {
+	b, err := Open(t.TempDir(), Options{Shards: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer b.Close()
+	f, err := os.CreateTemp(t.TempDir(), "closed")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f.Close() // Sync on a closed file fails with os.ErrClosed
+	if err := b.met.checkedSync(f); err == nil {
+		t.Fatal("checkedSync on a closed file succeeded")
+	}
+	if got := b.met.syncErrors.Load(); got != 1 {
+		t.Fatalf("syncErrors = %d, want 1", got)
+	}
+	if err := b.met.syncFailed(); !errors.Is(err, os.ErrClosed) {
+		t.Fatalf("fault latched %v, want wrapped os.ErrClosed", err)
+	}
+}
+
+// TestCrashTruncateGroupCommittedRecipes group-commits recipes from
+// concurrent sessions, then truncates the recipe journal at every byte
+// of the resulting window. Every recovery must yield a subset of the
+// acked recipes with no holes in append order (so a batched fsync can
+// never surface recipe K without the recipes journaled before it), and
+// the untruncated journal must yield exactly the acked set.
+func TestCrashTruncateGroupCommittedRecipes(t *testing.T) {
+	dir := t.TempDir()
+	st := openStore(t, dir, groupOpts(1))
+	if _, _, err := st.Put([]byte("shared chunk")); err != nil {
+		t.Fatal(err)
+	}
+	h := dedup.Sum([]byte("shared chunk"))
+	const sessions, recipes = 4, 3
+	var wg sync.WaitGroup
+	errs := make([]error, sessions)
+	for g := 0; g < sessions; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < recipes; i++ {
+				if err := st.CommitRecipe(fmt.Sprintf("r-%d-%d", g, i), shardstore.Recipe{h}); err != nil {
+					errs[g] = err
+					return
+				}
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g, err := range errs {
+		if err != nil {
+			t.Fatalf("session %d: %v", g, err)
+		}
+	}
+	if err := st.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	raw, err := os.ReadFile(filepath.Join(dir, recipeLogName))
+	if err != nil {
+		t.Fatal(err)
+	}
+	acked := sessions * recipes
+	prev := 0
+	for cut := 0; cut <= len(raw); cut++ {
+		crash := t.TempDir()
+		copyTree(t, dir, crash)
+		if err := os.Truncate(filepath.Join(crash, recipeLogName), int64(cut)); err != nil {
+			t.Fatal(err)
+		}
+		got, err := OpenStore(crash, Options{})
+		if err != nil {
+			t.Fatalf("cut at %d: %v", cut, err)
+		}
+		names := got.RecipeNames()
+		if len(names) > acked {
+			t.Fatalf("cut at %d: recovered %d recipes, more than the %d acked", cut, len(names), acked)
+		}
+		// Truncation keeps a record prefix, so the recovered count can
+		// only grow with the cut — a batched fsync must not reorder
+		// records across the window.
+		if len(names) < prev {
+			t.Fatalf("cut at %d: recovered %d recipes after %d at the previous cut", cut, len(names), prev)
+		}
+		prev = len(names)
+		if cut == len(raw) && len(names) != acked {
+			t.Fatalf("full journal recovered %d recipes, want all %d acked", len(names), acked)
+		}
+		for _, n := range names {
+			r, ok := got.Recipe(n)
+			if !ok {
+				t.Fatalf("cut at %d: recipe %s listed but not fetchable", cut, n)
+			}
+			if _, err := got.Reconstruct(r); err != nil {
+				t.Fatalf("cut at %d: recovered recipe %s does not restore: %v", cut, n, err)
+			}
+		}
+		got.Close()
+	}
+}

@@ -1,6 +1,7 @@
 package persist
 
 import (
+	"fmt"
 	"os"
 	"sync/atomic"
 	"time"
@@ -20,7 +21,35 @@ type pmetrics struct {
 	checkpoints   atomic.Int64 // shard WAL checkpoints completed
 	recoverNanos  atomic.Int64 // cumulative Recover wall time, all shards
 	fsyncs        atomic.Int64 // fsync syscalls issued
+	syncErrors    atomic.Int64 // fsync syscalls that failed
+	flushedBytes  atomic.Int64 // WAL + recipe bytes written through (group batch sizing)
+	groupRounds   atomic.Int64 // group-commit sync rounds completed
 	fsyncSeconds  atomic.Pointer[obs.Histogram]
+	groupWaiters  atomic.Pointer[obs.Histogram]
+	groupBytes    atomic.Pointer[obs.Histogram]
+	// fault latches the first sync failure forever: a disk that failed
+	// an fsync holds writes in an unknowable state, so every later
+	// commit fails loudly with the original error instead of quietly
+	// acking bytes that may never land.
+	fault atomic.Pointer[syncFault]
+}
+
+// syncFault is the latched first sync failure.
+type syncFault struct{ err error }
+
+// latchFault fail-stops the backing with err if no earlier failure is
+// already latched.
+func (m *pmetrics) latchFault(err error) {
+	m.fault.CompareAndSwap(nil, &syncFault{err: err})
+}
+
+// syncFailed reports the latched failure, if any, wrapped so callers
+// see both the fail-stop and its root cause.
+func (m *pmetrics) syncFailed() error {
+	if f := m.fault.Load(); f != nil {
+		return fmt.Errorf("persist: failing stop after sync failure: %w", f.err)
+	}
+	return nil
 }
 
 // timedSync counts one fsync and, when instrumented, observes its
@@ -31,13 +60,24 @@ func (m *pmetrics) timedSync(f *os.File, sp *obs.Span) error {
 	m.fsyncs.Add(1)
 	h := m.fsyncSeconds.Load()
 	if h == nil && sp == nil {
-		return f.Sync()
+		return m.checkedSync(f)
 	}
 	c := sp.Child("fsync")
 	t0 := time.Now()
-	err := f.Sync()
+	err := m.checkedSync(f)
 	h.ObserveSinceExemplar(t0, sp.Trace())
 	c.End()
+	return err
+}
+
+// checkedSync issues the fsync and, on failure, counts it and latches
+// the backing into fail-stop.
+func (m *pmetrics) checkedSync(f *os.File) error {
+	err := f.Sync()
+	if err != nil {
+		m.syncErrors.Add(1)
+		m.latchFault(err)
+	}
 	return err
 }
 
@@ -82,6 +122,13 @@ func (b *Backing) Instrument(reg *obs.Registry) {
 	reg.CounterFunc("persist_checkpoints_total",
 		"Shard WAL checkpoints completed (compaction commit points).",
 		func() float64 { return float64(b.met.checkpoints.Load()) })
+	reg.CounterFunc("persist_sync_errors_total",
+		"Failed fsync syscalls; the first latches the backing into fail-stop.",
+		func() float64 { return float64(b.met.syncErrors.Load()) },
+		"policy", policy)
+	reg.CounterFunc("persist_group_commit_rounds_total",
+		"Group-commit sync rounds completed (one shared fsync pass each).",
+		func() float64 { return float64(b.met.groupRounds.Load()) })
 	reg.GaugeFunc("persist_recovery_seconds",
 		"Cumulative wall time the last open spent replaying shard WALs.",
 		func() float64 { return float64(b.met.recoverNanos.Load()) / 1e9 })
@@ -98,4 +145,10 @@ func (b *Backing) Instrument(reg *obs.Registry) {
 		})
 	b.met.fsyncSeconds.Store(reg.Histogram("persist_fsync_seconds",
 		"fsync syscall latency.", obs.LatencyBuckets, "policy", policy))
+	b.met.groupWaiters.Store(reg.Histogram("persist_group_commit_waiters",
+		"Sessions sharing one group-commit sync round (window occupancy).",
+		[]float64{1, 2, 4, 8, 16, 32, 64, 128}))
+	b.met.groupBytes.Store(reg.Histogram("persist_group_commit_bytes",
+		"WAL and recipe-journal bytes made durable per group-commit round.",
+		[]float64{1 << 10, 4 << 10, 16 << 10, 64 << 10, 256 << 10, 1 << 20, 4 << 20}))
 }

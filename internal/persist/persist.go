@@ -28,6 +28,7 @@ package persist
 import (
 	"encoding/binary"
 	"fmt"
+	"log/slog"
 	"os"
 	"path/filepath"
 	"sync"
@@ -58,6 +59,19 @@ type Options struct {
 	// after power loss under relaxed fsync), at the cost of reading and
 	// hashing every stored byte at open.
 	VerifyOnRecover bool
+	// CommitWindow, when positive and Fsync is FsyncAlways, switches
+	// the backing to group commit: commit points stage and flush their
+	// records but leave the fsync to a shared syncer goroutine that
+	// syncs at most once per window. Callers regain the durable-before-
+	// ack guarantee through Barrier, which blocks until the sync round
+	// covering their records has completed and returns its real outcome
+	// (shardstore calls it before every ack). Concurrent sessions inside
+	// one window then share a single fsync pass instead of paying one
+	// each. Ignored under FsyncInterval and FsyncNever.
+	CommitWindow time.Duration
+	// Logger receives persistence warnings (today: a failing background
+	// fsync under FsyncInterval). Nil means slog.Default().
+	Logger *slog.Logger
 	// Obs, when set, receives the backing's persistence metric families
 	// (WAL appends, fsync count and latency, recovery time, checkpoint
 	// count). Nil means no instrumentation.
@@ -74,6 +88,10 @@ type Backing struct {
 	opts   Options
 	shards []*diskShard
 	met    pmetrics
+	logger *slog.Logger
+	// group is the group-commit syncer (FsyncAlways + CommitWindow);
+	// nil means every commit point fsyncs inline and Barrier is a no-op.
+	group *groupCommitter
 
 	rmu         sync.Mutex
 	span        *obs.Span // active request span for recipe-journal I/O
@@ -125,12 +143,20 @@ func Open(dir string, opts Options) (*Backing, error) {
 	}
 	opts.Shards, opts.ContainerSize = adopted.Shards, adopted.ContainerSize
 	b := &Backing{dir: dir, opts: opts, shards: make([]*diskShard, opts.Shards)}
+	b.logger = opts.Logger
+	if b.logger == nil {
+		b.logger = slog.Default()
+	}
 	always := opts.Fsync.Mode == FsyncAlways
+	grouped := always && opts.CommitWindow > 0
 	for i := range b.shards {
-		b.shards[i] = newDiskShard(dir, i, opts.ContainerSize, always, opts.VerifyOnRecover, &b.met)
+		b.shards[i] = newDiskShard(dir, i, opts.ContainerSize, always, grouped, opts.VerifyOnRecover, &b.met)
 	}
 	if err := b.openRecipes(); err != nil {
 		return nil, err
+	}
+	if grouped {
+		b.group = newGroupCommitter(b, opts.CommitWindow)
 	}
 	if opts.Fsync.Mode == FsyncInterval {
 		iv := opts.Fsync.Interval
@@ -346,8 +372,13 @@ func (b *Backing) DeleteRecipe(name string) error {
 }
 
 // appendRecipeRecordLocked frames body onto the journal, honoring the
-// fsync policy. The caller holds b.rmu.
+// fsync policy. Under group commit the inline fsync is skipped: the
+// record becomes durable at the next syncer round, which the store
+// waits for (Barrier) before acking. The caller holds b.rmu.
 func (b *Backing) appendRecipeRecordLocked(body []byte) error {
+	if err := b.met.syncFailed(); err != nil {
+		return err
+	}
 	if b.recipeFailed != nil {
 		return fmt.Errorf("persist: recipe journal unavailable after failed rewrite: %w", b.recipeFailed)
 	}
@@ -364,7 +395,8 @@ func (b *Backing) appendRecipeRecordLocked(body []byte) error {
 	b.recipeSize += int64(len(rec))
 	b.recipeDirty = true
 	b.met.recipeRecords.Add(1)
-	if b.opts.Fsync.Mode == FsyncAlways {
+	b.met.flushedBytes.Add(int64(len(rec)))
+	if b.opts.Fsync.Mode == FsyncAlways && b.group == nil {
 		return b.syncRecipesLocked()
 	}
 	return nil
@@ -412,19 +444,40 @@ func (b *Backing) syncRecipesLocked() error {
 	return nil
 }
 
-// Recipes returns the live recipe set (replayed at open, maintained by
-// CommitRecipe/DeleteRecipe since). The caller must copy it before any
-// concurrent use; shardstore.Open does.
+// Recipes returns a copy of the live recipe set (replayed at open,
+// maintained by CommitRecipe/DeleteRecipe since). The copy is the
+// caller's to keep: later commits and deletes never mutate it.
 func (b *Backing) Recipes() (map[string]shardstore.Recipe, error) {
-	return b.recipes, nil
+	b.rmu.Lock()
+	defer b.rmu.Unlock()
+	out := make(map[string]shardstore.Recipe, len(b.recipes))
+	for name, r := range b.recipes {
+		out[name] = r
+	}
+	return out, nil
 }
 
-// Sync flushes and fsyncs every shard and the recipe journal.
+// Sync flushes and fsyncs every shard and the recipe journal. Shards
+// sync concurrently — their files are independent and the filesystem
+// merges overlapping journal flushes, which is what makes a group-
+// commit round cheap — but always before the recipe journal, so a
+// recipe is never more durable than the inserts it references.
 func (b *Backing) Sync() error {
+	errs := make([]error, len(b.shards))
+	var wg sync.WaitGroup
+	for i, sh := range b.shards {
+		wg.Add(1)
+		go func(i int, sh *diskShard) {
+			defer wg.Done()
+			errs[i] = sh.sync()
+		}(i, sh)
+	}
+	wg.Wait()
 	var first error
-	for _, sh := range b.shards {
-		if err := sh.sync(); err != nil && first == nil {
+	for _, err := range errs {
+		if err != nil {
 			first = err
+			break
 		}
 	}
 	b.rmu.Lock()
@@ -437,7 +490,23 @@ func (b *Backing) Sync() error {
 	return first
 }
 
-// fsyncLoop is the FsyncInterval background loop.
+// Barrier blocks until every record staged before the call is durable
+// under the group-commit policy and returns the real outcome of the
+// sync pass that covered it. Without a group committer it is a no-op:
+// FsyncAlways commit points already synced inline, and the interval and
+// never policies deliberately trade a loss window for throughput.
+func (b *Backing) Barrier() error {
+	if b.group == nil {
+		return nil
+	}
+	return b.group.wait()
+}
+
+// fsyncLoop is the FsyncInterval background loop. A sync failure is
+// fatal: the error is latched so every subsequent commit fails loudly
+// with it (and persist_sync_errors_total counts it), logged, and the
+// loop exits — silently retrying against a disk that failed an fsync
+// would only hide which acknowledged writes actually landed.
 func (b *Backing) fsyncLoop(every time.Duration) {
 	defer close(b.tickDone)
 	t := time.NewTicker(every)
@@ -447,7 +516,12 @@ func (b *Backing) fsyncLoop(every time.Duration) {
 		case <-b.tickStop:
 			return
 		case <-t.C:
-			_ = b.Sync()
+			if err := b.Sync(); err != nil {
+				b.met.latchFault(err)
+				b.logger.Error("persist: background fsync failed; failing stop",
+					"dir", b.dir, "err", err)
+				return
+			}
 		}
 	}
 }
@@ -464,6 +538,9 @@ func (b *Backing) Close() error {
 	if b.tickStop != nil {
 		close(b.tickStop)
 		<-b.tickDone
+	}
+	if b.group != nil {
+		b.group.close()
 	}
 	err := b.Sync()
 	for _, sh := range b.shards {

@@ -28,8 +28,13 @@ type diskShard struct {
 	dir           string
 	containerSize int64
 	always        bool // FsyncAlways: fsync at every Commit
-	verify        bool // re-hash every chunk during Recover
-	met           *pmetrics
+	// grouped defers Commit's fsync to the backing's group-commit
+	// syncer; the store waits on Backing.Barrier before acking instead.
+	// Directory syncs (container rolls) still happen inline — the group
+	// round only syncs file contents.
+	grouped bool
+	verify  bool // re-hash every chunk during Recover
+	met     *pmetrics
 
 	mu         sync.Mutex // guards all fields below
 	span       *obs.Span  // active request span for I/O attribution
@@ -62,12 +67,13 @@ const (
 	containerFormat = "c-%06d.dat"
 )
 
-func newDiskShard(dir string, id int, containerSize int64, always, verify bool, met *pmetrics) *diskShard {
+func newDiskShard(dir string, id int, containerSize int64, always, grouped, verify bool, met *pmetrics) *diskShard {
 	return &diskShard{
 		id:            id,
 		dir:           filepath.Join(dir, fmt.Sprintf("shard-%04d", id)),
 		containerSize: containerSize,
 		always:        always,
+		grouped:       grouped,
 		verify:        verify,
 		met:           met,
 	}
@@ -379,14 +385,16 @@ func (s *diskShard) LogRefDelta(h shardstore.Hash, delta int64) error {
 
 // Commit writes the staged WAL records through to the kernel and, under
 // FsyncAlways, fsyncs the dirty container files and the WAL (data
-// before journal, so a synced record always has its bytes).
+// before journal, so a synced record always has its bytes). Under group
+// commit the fsync is deferred to the backing's shared syncer round,
+// which the store waits for (Backing.Barrier) before acking.
 func (s *diskShard) Commit() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if err := s.flushLocked(); err != nil {
 		return err
 	}
-	if s.always {
+	if s.always && !s.grouped {
 		return s.fsyncLocked()
 	}
 	return nil
@@ -394,6 +402,9 @@ func (s *diskShard) Commit() error {
 
 // flushLocked writes staged records to the WAL file.
 func (s *diskShard) flushLocked() error {
+	if err := s.met.syncFailed(); err != nil {
+		return err
+	}
 	if len(s.walBuf) == 0 {
 		return nil
 	}
@@ -413,6 +424,7 @@ func (s *diskShard) flushLocked() error {
 		return err
 	}
 	s.walSize += int64(len(s.walBuf))
+	s.met.flushedBytes.Add(int64(len(s.walBuf)))
 	s.walBuf = s.walBuf[:0]
 	s.walDirty = true
 	return nil

@@ -39,14 +39,27 @@ type Backing interface {
 	// never leave a recovered recipe pointing at released chunks.
 	DeleteRecipe(name string) error
 	// Recipes returns the recipes recovered at open time (nil when the
-	// backing is fresh or non-durable). The Store copies the map; the
-	// backing may keep mutating its own view afterwards.
+	// backing is fresh or non-durable). Ownership of the returned map
+	// passes to the caller: the backing must hand out a copy (or nil),
+	// never a live view it keeps mutating.
 	Recipes() (map[string]Recipe, error)
 	// Sync forces everything written so far to durable media.
 	Sync() error
 	// Close flushes and releases the backing. The Store must not be
 	// used afterwards.
 	Close() error
+}
+
+// BarrierBacking is an optional Backing capability for group commit: a
+// backing whose commit points stage and flush but defer their fsync to
+// a shared syncer round (persist with a CommitWindow) exposes Barrier,
+// and the Store calls it once per API call — after releasing the
+// stripe locks and the recipe mutex, so concurrent sessions pile onto
+// the same round instead of serializing a window each. Barrier blocks
+// until every record staged before the call is durable and returns the
+// real outcome of the sync pass that covered it.
+type BarrierBacking interface {
+	Barrier() error
 }
 
 // CheckpointEntry is one live index entry handed to a shard checkpoint:

@@ -144,6 +144,12 @@ type Store struct {
 	// recipeSink is the backing as a spanSink for the recipe-journal
 	// path (nil when the backing does not implement it).
 	recipeSink spanSink
+
+	// barrier is the backing's group-commit wait (nil when the backing
+	// fsyncs inline). It is always called OUTSIDE the stripe locks and
+	// the recipe mutex: waiting a commit window under a lock would
+	// serialize the very sessions group commit exists to batch.
+	barrier func() error
 }
 
 // New returns an empty in-memory store with the given shard count (a
@@ -205,14 +211,27 @@ func Open(b Backing) (*Store, error) {
 	if err != nil {
 		return nil, fmt.Errorf("shardstore: recover recipes: %w", err)
 	}
-	// Copy: a durable backing keeps its own live view of the recipe set
-	// (for journal compaction) and must not share the Store's map.
-	s.recipes = make(map[string]Recipe, len(recipes))
-	for name, r := range recipes {
-		s.recipes[name] = r
+	// The contract hands ownership of the returned map to the caller
+	// (nil for a fresh or non-durable backing).
+	s.recipes = recipes
+	if s.recipes == nil {
+		s.recipes = make(map[string]Recipe)
 	}
 	s.recipeSink, _ = b.(spanSink)
+	if bb, ok := b.(BarrierBacking); ok {
+		s.barrier = bb.Barrier
+	}
 	return s, nil
+}
+
+// commitBarrier waits out the backing's group-commit round, if it has
+// one, so an ack never outruns durability. Call sites sit after every
+// lock release on each commit path.
+func (s *Store) commitBarrier() error {
+	if s.barrier == nil {
+		return nil
+	}
+	return s.barrier()
 }
 
 // NumShards returns the shard count.
@@ -249,6 +268,9 @@ func (s *Store) PutHashed(h Hash, data []byte) (Ref, bool, error) {
 		return Ref{}, false, err
 	}
 	s.account(int64(len(data)), dup)
+	if cerr == nil {
+		cerr = s.commitBarrier()
+	}
 	return ref, dup, cerr
 }
 
@@ -399,6 +421,9 @@ func (s *Store) PinBatchTraced(hs []Hash, sp *obs.Span) (refs []Ref, missing []i
 		}
 		return nil
 	})
+	if err == nil {
+		err = s.commitBarrier()
+	}
 	s.chunks.Add(chunksN)
 	s.logical.Add(logical)
 	s.hits.Add(dups)
@@ -475,6 +500,9 @@ func (s *Store) PutHashedBatchTraced(hs []Hash, chunks [][]byte, sp *obs.Span) (
 		}
 		return sh.back.Commit()
 	})
+	if err == nil {
+		err = s.commitBarrier()
+	}
 	s.chunks.Add(chunksN)
 	s.logical.Add(logical)
 	s.hits.Add(dups)
@@ -621,6 +649,12 @@ func (s *Store) CommitRecipeTraced(name string, r Recipe, sp *obs.Span) error {
 	}
 	s.recipes[name] = r
 	s.rmu.Unlock()
+	// The barrier runs after the recipe mutex is released so concurrent
+	// commits share one group round; the new recipe is durable before
+	// either the ack or the release of the replaced recipe's refs.
+	if err := s.commitBarrier(); err != nil {
+		return err
+	}
 	if !replaced {
 		return nil
 	}
@@ -675,6 +709,12 @@ func (s *Store) DeleteRecipeTraced(name string, sp *obs.Span) (DeleteStats, erro
 	}
 	delete(s.recipes, name)
 	s.rmu.Unlock()
+	// Tombstone-before-release must hold under group commit too: only
+	// after the barrier reports the tombstone durable may the reference
+	// decrements be staged.
+	if err := s.commitBarrier(); err != nil {
+		return DeleteStats{}, err
+	}
 	return s.releaseRefs(r, sp)
 }
 
@@ -734,6 +774,9 @@ func (s *Store) releaseRefs(r Recipe, sp *obs.Span) (DeleteStats, error) {
 		}
 		return nil
 	})
+	if err == nil {
+		err = s.commitBarrier()
+	}
 	// Mirror of the recovery derivation: a released reference undoes one
 	// duplicate hit; a dropped entry undoes its unique insert.
 	s.releases.Add(chunksN)
